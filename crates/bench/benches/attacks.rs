@@ -1,0 +1,75 @@
+//! Criterion benches of the attack pipelines: how much wall time each
+//! stage of the reproduction costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ragnar_core::covert::{inter_mr, random_bits};
+use ragnar_core::re::uli::probe_uli;
+use ragnar_core::{AddressPattern, Target};
+use ragnar_workloads::sherman::{value_from, ShermanTree};
+use rdma_verbs::{AccessFlags, DeviceKind};
+use sim_core::SimTime;
+use std::hint::black_box;
+use trace_classifier::{Dataset, MlpClassifier, TrainConfig};
+
+fn bench_uli_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attack_stages");
+    g.sample_size(10);
+    g.bench_function("uli_probe_100us", |b| {
+        b.iter(|| {
+            let samples = probe_uli(
+                &rdma_verbs::DeviceProfile::connectx4(),
+                8,
+                64,
+                |tb| {
+                    let mr = tb.server_mr(1 << 21, AccessFlags::remote_all());
+                    AddressPattern::Fixed(Target {
+                        key: mr.key,
+                        addr: mr.addr(0),
+                    })
+                },
+                SimTime::from_micros(100),
+                10,
+                7,
+            );
+            black_box(samples.len())
+        })
+    });
+
+    g.bench_function("inter_mr_channel_64bits_cx4", |b| {
+        let bits = random_bits(64, 9);
+        let cfg = inter_mr::default_config(DeviceKind::ConnectX4);
+        b.iter(|| black_box(inter_mr::run(DeviceKind::ConnectX4, &bits, &cfg).report.bit_errors))
+    });
+
+    g.bench_function("sherman_bulk_load_10k", |b| {
+        let pairs: Vec<(u64, [u8; 56])> = (0..10_000u64)
+            .map(|i| (i * 2 + 1, value_from(b"v")))
+            .collect();
+        b.iter(|| black_box(ShermanTree::bulk_load(&pairs, 0.8).node_count()))
+    });
+
+    g.bench_function("mlp_train_small", |b| {
+        let mut data = Dataset::new(32);
+        let mut rng = sim_core::SimRng::seed_from(3);
+        for i in 0..200 {
+            let c = i % 4;
+            let trace: Vec<f64> = (0..32)
+                .map(|j| if j == c * 8 { 4.0 } else { rng.uniform() })
+                .collect();
+            data.push(&trace, c);
+        }
+        data.normalize_per_sample();
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        };
+        b.iter(|| {
+            let clf = MlpClassifier::train(&data, &cfg);
+            black_box(clf.evaluate(&data).0)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_uli_probe);
+criterion_main!(benches);

@@ -1,0 +1,497 @@
+//! A small 1-D convolutional network — the architectural midpoint
+//! between the MLP and the paper's ResNet18: convolutions capture the
+//! *local* structure of ULI traces (collision peaks have fixed width in
+//! observation-offset space), which dense layers must learn point by
+//! point.
+//!
+//! Architecture: `conv(k, c1) → ReLU → maxpool(p) → conv(k, c2) → ReLU →
+//! flatten → dense → softmax`, trained with Adam. (The head flattens
+//! rather than global-average-pools: the class *is* the peak position in
+//! these traces, and GAP would erase it.)
+
+use crate::data::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters of the CNN.
+#[derive(Debug, Clone)]
+pub struct CnnConfig {
+    /// Kernel width of both conv layers.
+    pub kernel: usize,
+    /// Channels of the first conv layer.
+    pub channels1: usize,
+    /// Channels of the second conv layer.
+    pub channels2: usize,
+    /// Max-pool width between the conv layers.
+    pub pool: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Init/shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for CnnConfig {
+    fn default() -> Self {
+        CnnConfig {
+            kernel: 5,
+            channels1: 8,
+            channels2: 16,
+            pool: 4,
+            learning_rate: 2e-3,
+            batch_size: 32,
+            epochs: 30,
+            seed: 0xC4A,
+        }
+    }
+}
+
+/// One 1-D conv layer (valid padding) with Adam state.
+#[derive(Debug, Clone)]
+struct Conv1d {
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    w: Vec<f32>, // out_ch × in_ch × k
+    b: Vec<f32>,
+    mw: Vec<f32>,
+    vw: Vec<f32>,
+    mb: Vec<f32>,
+    vb: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+}
+
+impl Conv1d {
+    fn new(in_ch: usize, out_ch: usize, k: usize, rng: &mut StdRng) -> Self {
+        let fan_in = (in_ch * k) as f32;
+        let scale = (2.0 / fan_in).sqrt();
+        let n = out_ch * in_ch * k;
+        Conv1d {
+            in_ch,
+            out_ch,
+            k,
+            w: (0..n).map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale).collect(),
+            b: vec![0.0; out_ch],
+            mw: vec![0.0; n],
+            vw: vec![0.0; n],
+            mb: vec![0.0; out_ch],
+            vb: vec![0.0; out_ch],
+            gw: vec![0.0; n],
+            gb: vec![0.0; out_ch],
+        }
+    }
+
+    fn out_len(&self, in_len: usize) -> usize {
+        in_len + 1 - self.k
+    }
+
+    /// x: in_ch × in_len (row-major). Returns out_ch × out_len.
+    fn forward(&self, x: &[f32], in_len: usize) -> Vec<f32> {
+        let out_len = self.out_len(in_len);
+        let mut y = vec![0.0f32; self.out_ch * out_len];
+        for oc in 0..self.out_ch {
+            for t in 0..out_len {
+                let mut acc = self.b[oc];
+                for ic in 0..self.in_ch {
+                    let wbase = (oc * self.in_ch + ic) * self.k;
+                    let xbase = ic * in_len + t;
+                    for j in 0..self.k {
+                        acc += self.w[wbase + j] * x[xbase + j];
+                    }
+                }
+                y[oc * out_len + t] = acc;
+            }
+        }
+        y
+    }
+
+    /// Accumulates gradients; returns dL/dx.
+    fn backward(&mut self, x: &[f32], in_len: usize, dy: &[f32]) -> Vec<f32> {
+        let out_len = self.out_len(in_len);
+        let mut dx = vec![0.0f32; self.in_ch * in_len];
+        for oc in 0..self.out_ch {
+            for t in 0..out_len {
+                let g = dy[oc * out_len + t];
+                if g == 0.0 {
+                    continue;
+                }
+                self.gb[oc] += g;
+                for ic in 0..self.in_ch {
+                    let wbase = (oc * self.in_ch + ic) * self.k;
+                    let xbase = ic * in_len + t;
+                    for j in 0..self.k {
+                        self.gw[wbase + j] += g * x[xbase + j];
+                        dx[xbase + j] += g * self.w[wbase + j];
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn zero_grad(&mut self) {
+        self.gw.iter_mut().for_each(|g| *g = 0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn adam_step(&mut self, lr: f32, t: i32, batch: f32) {
+        adam(&mut self.w, &self.gw, &mut self.mw, &mut self.vw, lr, t, batch);
+        adam(&mut self.b, &self.gb, &mut self.mb, &mut self.vb, lr, t, batch);
+    }
+}
+
+fn adam(w: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], lr: f32, t: i32, batch: f32) {
+    const B1: f32 = 0.9;
+    const B2: f32 = 0.999;
+    const EPS: f32 = 1e-8;
+    let bc1 = 1.0 - B1.powi(t);
+    let bc2 = 1.0 - B2.powi(t);
+    for i in 0..w.len() {
+        let gi = g[i] / batch;
+        m[i] = B1 * m[i] + (1.0 - B1) * gi;
+        v[i] = B2 * v[i] + (1.0 - B2) * gi * gi;
+        w[i] -= lr * (m[i] / bc1) / ((v[i] / bc2).sqrt() + EPS);
+    }
+}
+
+/// The trained CNN classifier.
+#[derive(Debug, Clone)]
+pub struct CnnClassifier {
+    conv1: Conv1d,
+    conv2: Conv1d,
+    fc_w: Vec<f32>, // classes × (channels2 · len2)
+    fc_b: Vec<f32>,
+    fc_mw: Vec<f32>,
+    fc_vw: Vec<f32>,
+    fc_mb: Vec<f32>,
+    fc_vb: Vec<f32>,
+    classes: usize,
+    dim: usize,
+    pool: usize,
+    feat: usize, // channels2 · len2
+}
+
+struct ForwardCache {
+    a1: Vec<f32>,      // conv1 post-ReLU
+    len1: usize,
+    pooled: Vec<f32>,  // after maxpool
+    argmax: Vec<usize>,
+    len_p: usize,
+    a2: Vec<f32>,      // conv2 post-ReLU (the flattened features)
+    logits: Vec<f32>,
+}
+
+impl CnnClassifier {
+    /// Trains on the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or too short for the kernel/pool
+    /// geometry.
+    pub fn train(train: &Dataset, cfg: &CnnConfig) -> Self {
+        assert!(!train.is_empty(), "cannot train on an empty dataset");
+        let dim = train.dim();
+        let classes = train.class_count();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let conv1 = Conv1d::new(1, cfg.channels1, cfg.kernel, &mut rng);
+        let len1 = dim + 1 - cfg.kernel;
+        let len_p = len1 / cfg.pool;
+        assert!(len_p >= cfg.kernel, "input too short for this geometry");
+        let conv2 = Conv1d::new(cfg.channels1, cfg.channels2, cfg.kernel, &mut rng);
+        let len2 = len_p + 1 - cfg.kernel;
+        let feat = cfg.channels2 * len2;
+        let fc_n = classes * feat;
+        let scale = (2.0 / feat as f32).sqrt();
+        let mut net = CnnClassifier {
+            conv1,
+            conv2,
+            fc_w: (0..fc_n).map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale).collect(),
+            fc_b: vec![0.0; classes],
+            fc_mw: vec![0.0; fc_n],
+            fc_vw: vec![0.0; fc_n],
+            fc_mb: vec![0.0; classes],
+            fc_vb: vec![0.0; classes],
+            classes,
+            dim,
+            pool: cfg.pool,
+            feat,
+        };
+
+        let n = train.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut step = 0;
+        let mut fc_gw = vec![0.0f32; fc_n];
+        let mut fc_gb = vec![0.0f32; classes];
+        for _ in 0..cfg.epochs {
+            for i in (1..n).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            for batch in order.chunks(cfg.batch_size) {
+                net.conv1.zero_grad();
+                net.conv2.zero_grad();
+                fc_gw.iter_mut().for_each(|g| *g = 0.0);
+                fc_gb.iter_mut().for_each(|g| *g = 0.0);
+                for &idx in batch {
+                    let (x, label) = train.sample(idx);
+                    let cache = net.forward(x);
+                    // Softmax CE gradient on logits.
+                    let mut probs = cache.logits.clone();
+                    softmax(&mut probs);
+                    let mut dlogits = probs;
+                    dlogits[label] -= 1.0;
+                    net.backward(x, &cache, &dlogits, &mut fc_gw, &mut fc_gb);
+                }
+                step += 1;
+                let bs = batch.len() as f32;
+                net.conv1.adam_step(cfg.learning_rate, step, bs);
+                net.conv2.adam_step(cfg.learning_rate, step, bs);
+                adam(&mut net.fc_w, &fc_gw, &mut net.fc_mw, &mut net.fc_vw, cfg.learning_rate, step, bs);
+                adam(&mut net.fc_b, &fc_gb, &mut net.fc_mb, &mut net.fc_vb, cfg.learning_rate, step, bs);
+            }
+        }
+        net
+    }
+
+    fn forward(&self, x: &[f32]) -> ForwardCache {
+        let len1 = self.conv1.out_len(self.dim);
+        let mut a1 = self.conv1.forward(x, self.dim);
+        a1.iter_mut().for_each(|v| *v = v.max(0.0));
+        // Max pool per channel.
+        let len_p = len1 / self.pool;
+        let c1 = self.conv1.out_ch;
+        let mut pooled = vec![0.0f32; c1 * len_p];
+        let mut argmax = vec![0usize; c1 * len_p];
+        for c in 0..c1 {
+            for t in 0..len_p {
+                let mut best = f32::NEG_INFINITY;
+                let mut bi = 0;
+                for j in 0..self.pool {
+                    let idx = c * len1 + t * self.pool + j;
+                    if a1[idx] > best {
+                        best = a1[idx];
+                        bi = idx;
+                    }
+                }
+                pooled[c * len_p + t] = best;
+                argmax[c * len_p + t] = bi;
+            }
+        }
+        let mut a2 = self.conv2.forward(&pooled, len_p);
+        a2.iter_mut().for_each(|v| *v = v.max(0.0));
+        // Flatten → dense head.
+        let mut logits = vec![0.0f32; self.classes];
+        for k in 0..self.classes {
+            let mut acc = self.fc_b[k];
+            let row = &self.fc_w[k * self.feat..(k + 1) * self.feat];
+            for (w, x) in row.iter().zip(&a2) {
+                acc += w * x;
+            }
+            logits[k] = acc;
+        }
+        ForwardCache {
+            a1,
+            len1,
+            pooled,
+            argmax,
+            len_p,
+            a2,
+            logits,
+        }
+    }
+
+    fn backward(
+        &mut self,
+        x: &[f32],
+        cache: &ForwardCache,
+        dlogits: &[f32],
+        fc_gw: &mut [f32],
+        fc_gb: &mut [f32],
+    ) {
+        // FC grads + d(features).
+        let mut da2 = vec![0.0f32; self.feat];
+        for k in 0..self.classes {
+            let g = dlogits[k];
+            fc_gb[k] += g;
+            let row = &self.fc_w[k * self.feat..(k + 1) * self.feat];
+            for i in 0..self.feat {
+                fc_gw[k * self.feat + i] += g * cache.a2[i];
+                da2[i] += g * row[i];
+            }
+        }
+        // Through conv2's ReLU.
+        for (d, a) in da2.iter_mut().zip(&cache.a2) {
+            if *a <= 0.0 {
+                *d = 0.0;
+            }
+        }
+        let mut dpooled = self.conv2.backward(&cache.pooled, cache.len_p, &da2);
+        // Through maxpool (route to argmax) and conv1's ReLU.
+        let c1 = self.conv1.out_ch;
+        let mut da1 = vec![0.0f32; c1 * cache.len1];
+        for i in 0..c1 * cache.len_p {
+            let src = cache.argmax[i];
+            if cache.a1[src] > 0.0 {
+                da1[src] += dpooled[i];
+            }
+        }
+        dpooled.clear();
+        let _ = self.conv1.backward(x, self.dim, &da1);
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes
+    }
+
+    /// Most likely class for one trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace length differs from the training dimension.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        assert_eq!(x.len(), self.dim, "trace length mismatch");
+        let cache = self.forward(x);
+        cache
+            .logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i)
+            .expect("non-empty output")
+    }
+
+    /// Accuracy on a dataset.
+    pub fn evaluate(&self, data: &Dataset) -> f64 {
+        let mut correct = 0usize;
+        for i in 0..data.len() {
+            let (x, label) = data.sample(i);
+            if self.predict(x) == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / data.len() as f64
+    }
+}
+
+fn softmax(v: &mut [f32]) {
+    let max = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in v.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in v.iter_mut() {
+        *x /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Peaks at class-dependent positions — the shape of Fig.-13 traces.
+    fn peaks(classes: usize, per_class: usize, noise: f64, seed: u64) -> Dataset {
+        let dim = 64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(dim);
+        for c in 0..classes {
+            for _ in 0..per_class {
+                let center = 8 + c * 10;
+                let trace: Vec<f64> = (0..dim)
+                    .map(|i| {
+                        let dist = (i as f64 - center as f64).abs();
+                        (3.0 - dist).max(0.0) + noise * (rng.random::<f64>() - 0.5)
+                    })
+                    .collect();
+                d.push(&trace, c);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn learns_peak_positions() {
+        let mut d = peaks(5, 30, 0.8, 3);
+        d.normalize_per_sample();
+        d.shuffle(1);
+        let (train, test) = d.split(0.25);
+        let cfg = CnnConfig {
+            epochs: 15,
+            ..CnnConfig::default()
+        };
+        let clf = CnnClassifier::train(&train, &cfg);
+        let acc = clf.evaluate(&test);
+        assert!(acc > 0.9, "CNN should learn peak positions: {acc}");
+    }
+
+    #[test]
+    fn conv_shapes_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv1d::new(2, 3, 5, &mut rng);
+        assert_eq!(conv.out_len(20), 16);
+        let x = vec![1.0f32; 2 * 20];
+        let y = conv.forward(&x, 20);
+        assert_eq!(y.len(), 3 * 16);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn translation_sensitivity_beats_chance_under_shift() {
+        // Convolutions generalize to slightly shifted peaks better than
+        // point-wise models; verify the CNN survives a 1-position shift.
+        let mut train = peaks(4, 40, 0.5, 7);
+        train.normalize_per_sample();
+        let cfg = CnnConfig {
+            epochs: 15,
+            ..CnnConfig::default()
+        };
+        let clf = CnnClassifier::train(&train, &cfg);
+        // Shifted test set.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut correct = 0;
+        let total = 40;
+        for i in 0..total {
+            let c = i % 4;
+            let center = 9 + c * 10; // +1 shift
+            let trace: Vec<f32> = (0..64)
+                .map(|j| {
+                    let dist = (j as f64 - center as f64).abs();
+                    (((3.0 - dist).max(0.0)) + 0.5 * (rng.random::<f64>() - 0.5)) as f32
+                })
+                .collect();
+            // Normalize like the dataset does.
+            let mean = trace.iter().sum::<f32>() / trace.len() as f32;
+            let var = trace.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+                / trace.len() as f32;
+            let std = var.sqrt().max(1e-9);
+            let norm: Vec<f32> = trace.iter().map(|v| (v - mean) / std).collect();
+            if clf.predict(&norm) == c {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 / total as f64 > 0.6,
+            "shift robustness: {correct}/{total}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "trace length mismatch")]
+    fn predict_rejects_wrong_dim() {
+        let mut d = peaks(2, 10, 0.1, 5);
+        d.normalize_per_sample();
+        let clf = CnnClassifier::train(
+            &d,
+            &CnnConfig {
+                epochs: 1,
+                ..CnnConfig::default()
+            },
+        );
+        let _ = clf.predict(&[0.0; 10]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Labelled trace datasets: normalization, shuffling, splitting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled dataset of fixed-length traces.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Flattened features, `len = samples × dim`.
+    features: Vec<f32>,
+    /// One label per sample.
+    labels: Vec<usize>,
+    dim: usize,
+}
+
+impl Dataset {
+    /// Creates an empty dataset of the given feature dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "feature dimension must be positive");
+        Dataset {
+            features: Vec::new(),
+            labels: Vec::new(),
+            dim,
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if no samples were added.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of distinct labels (max label + 1).
+    pub fn class_count(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Adds a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace length differs from the dataset dimension.
+    pub fn push(&mut self, trace: &[f64], label: usize) {
+        assert_eq!(trace.len(), self.dim, "trace length mismatch");
+        self.features.extend(trace.iter().map(|&v| v as f32));
+        self.labels.push(label);
+    }
+
+    /// The `i`-th sample.
+    pub fn sample(&self, i: usize) -> (&[f32], usize) {
+        let lo = i * self.dim;
+        (&self.features[lo..lo + self.dim], self.labels[i])
+    }
+
+    /// Z-score-normalizes every trace in place (per-sample mean 0,
+    /// std 1) — the standard preprocessing for contention traces, since
+    /// absolute ULI levels drift with load while the *shape* carries the
+    /// signal.
+    pub fn normalize_per_sample(&mut self) {
+        for i in 0..self.len() {
+            let lo = i * self.dim;
+            let row = &mut self.features[lo..lo + self.dim];
+            let n = row.len() as f32;
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+            let std = var.sqrt().max(1e-9);
+            for v in row {
+                *v = (*v - mean) / std;
+            }
+        }
+    }
+
+    /// Deterministically shuffles samples.
+    pub fn shuffle(&mut self, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.len();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            self.labels.swap(i, j);
+            for k in 0..self.dim {
+                self.features.swap(i * self.dim + k, j * self.dim + k);
+            }
+        }
+    }
+
+    /// Splits off the last `test_fraction` of samples as a test set.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < test_fraction < 1` and both splits end up
+    /// non-empty.
+    pub fn split(mut self, test_fraction: f64) -> (Dataset, Dataset) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test fraction out of range"
+        );
+        let n_test = ((self.len() as f64) * test_fraction).round() as usize;
+        let n_train = self.len() - n_test;
+        assert!(n_train > 0 && n_test > 0, "split produced an empty set");
+        let test = Dataset {
+            features: self.features.split_off(n_train * self.dim),
+            labels: self.labels.split_off(n_train),
+            dim: self.dim,
+        };
+        (self, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(3);
+        for i in 0..10 {
+            d.push(&[i as f64, 2.0 * i as f64, 30.0], i % 2);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = toy();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.dim(), 3);
+        assert_eq!(d.class_count(), 2);
+        let (row, label) = d.sample(3);
+        assert_eq!(row, &[3.0, 6.0, 30.0]);
+        assert_eq!(label, 1);
+    }
+
+    #[test]
+    fn normalization_zero_mean_unit_std() {
+        let mut d = toy();
+        d.normalize_per_sample();
+        for i in 0..d.len() {
+            let (row, _) = d.sample(i);
+            let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
+            let var: f32 =
+                row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / row.len() as f32;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_pairs() {
+        let mut d = toy();
+        d.shuffle(42);
+        // Each feature row still matches its label by construction
+        // (feature[0] is even iff label 0).
+        for i in 0..d.len() {
+            let (row, label) = d.sample(i);
+            assert_eq!((row[0] as usize) % 2, label);
+            assert_eq!(row[1], row[0] * 2.0);
+        }
+    }
+
+    #[test]
+    fn split_sizes() {
+        let d = toy();
+        let (train, test) = d.split(0.3);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        assert_eq!(train.dim(), test.dim());
+    }
+
+    #[test]
+    #[should_panic(expected = "trace length mismatch")]
+    fn dimension_mismatch_rejected() {
+        let mut d = Dataset::new(3);
+        d.push(&[1.0, 2.0], 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Nearest-centroid template matching — the classical side-channel
+//! trace classifier, used as a baseline against the MLP.
+
+use crate::data::Dataset;
+
+/// A nearest-centroid classifier: one mean trace ("template") per class,
+/// prediction by maximum Pearson correlation against each template.
+#[derive(Debug, Clone)]
+pub struct TemplateClassifier {
+    centroids: Vec<Vec<f32>>,
+}
+
+impl TemplateClassifier {
+    /// Fits class centroids from a training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or a class has no samples.
+    pub fn fit(train: &Dataset) -> Self {
+        assert!(!train.is_empty(), "cannot fit on an empty dataset");
+        let classes = train.class_count();
+        let dim = train.dim();
+        let mut sums = vec![vec![0.0f64; dim]; classes];
+        let mut counts = vec![0usize; classes];
+        for i in 0..train.len() {
+            let (x, label) = train.sample(i);
+            counts[label] += 1;
+            for (s, &v) in sums[label].iter_mut().zip(x) {
+                *s += f64::from(v);
+            }
+        }
+        let centroids = sums
+            .into_iter()
+            .zip(&counts)
+            .map(|(s, &c)| {
+                assert!(c > 0, "a class has no training samples");
+                s.into_iter().map(|v| (v / c as f64) as f32).collect()
+            })
+            .collect();
+        TemplateClassifier { centroids }
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The fitted template of a class.
+    pub fn template(&self, class: usize) -> &[f32] {
+        &self.centroids[class]
+    }
+
+    /// Predicts the class whose template correlates best with `x`.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let mut best = 0usize;
+        let mut best_r = f64::NEG_INFINITY;
+        for (c, t) in self.centroids.iter().enumerate() {
+            let r = correlation(x, t);
+            if r > best_r {
+                best_r = r;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Accuracy on a dataset.
+    pub fn evaluate(&self, data: &Dataset) -> f64 {
+        let mut correct = 0usize;
+        for i in 0..data.len() {
+            let (x, label) = data.sample(i);
+            if self.predict(x) == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// Pearson correlation of two equal-length f32 slices (0 for flat
+/// inputs).
+fn correlation(a: &[f32], b: &[f32]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+    let mb = b.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+    let mut sab = 0.0;
+    let mut saa = 0.0;
+    let mut sbb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = f64::from(x) - ma;
+        let dy = f64::from(y) - mb;
+        sab += dx * dy;
+        saa += dx * dx;
+        sbb += dy * dy;
+    }
+    if saa == 0.0 || sbb == 0.0 {
+        0.0
+    } else {
+        sab / (saa * sbb).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shifted_sines(classes: usize, per_class: usize) -> Dataset {
+        let dim = 32;
+        let mut d = Dataset::new(dim);
+        for c in 0..classes {
+            for s in 0..per_class {
+                let trace: Vec<f64> = (0..dim)
+                    .map(|i| {
+                        ((i + c * 8) as f64 * 0.4).sin() + 0.01 * (s as f64 % 3.0)
+                    })
+                    .collect();
+                d.push(&trace, c);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn classifies_distinct_shapes() {
+        let d = shifted_sines(4, 10);
+        let clf = TemplateClassifier::fit(&d);
+        assert_eq!(clf.class_count(), 4);
+        assert!(clf.evaluate(&d) > 0.99);
+    }
+
+    #[test]
+    fn templates_have_right_shape() {
+        let d = shifted_sines(3, 5);
+        let clf = TemplateClassifier::fit(&d);
+        assert_eq!(clf.template(0).len(), 32);
+        // Templates of different classes differ.
+        assert_ne!(clf.template(0), clf.template(1));
+    }
+
+    #[test]
+    fn correlation_bounds() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [2.0f32, 4.0, 6.0];
+        let c = [3.0f32, 2.0, 1.0];
+        assert!((correlation(&a, &b) - 1.0).abs() < 1e-9);
+        assert!((correlation(&a, &c) + 1.0).abs() < 1e-9);
+        let flat = [1.0f32, 1.0, 1.0];
+        assert_eq!(correlation(&a, &flat), 0.0);
+    }
+}

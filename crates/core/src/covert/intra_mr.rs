@@ -1,0 +1,122 @@
+//! §V-D — the Grain-IV intra-MR address-based channel.
+//!
+//! For maximal stealthiness the sender keeps *everything* constant except
+//! the address offset within one MR: bit 0 reads offset 0 (which aliases
+//! the receiver's TPU bank and inflates its ULI), bit 1 reads offset
+//! 255 B (257 B on CX-6) — a different bank, so the receiver's ULI
+//! relaxes. Encoding adds nothing beyond a normal variation of access
+//! offsets, which is why Grain-I–III defenses cannot see it.
+
+use crate::covert::runner::{run_uli_channel, UliChannelConfig, UliRun};
+use crate::covert::BitModes;
+use crate::measure::{AddressPattern, Target};
+use rdma_verbs::DeviceKind;
+use sim_core::SimDuration;
+
+/// The offset used to encode a 1-bit (footnote 11: 255 B on CX-4/5,
+/// 257 B on CX-6).
+pub fn one_offset(kind: DeviceKind) -> u64 {
+    match kind {
+        DeviceKind::ConnectX4 | DeviceKind::ConnectX5 => 255,
+        DeviceKind::ConnectX6 => 257,
+    }
+}
+
+/// Default parameters (footnote 11: 512 B reads, max send queue 8), bit
+/// periods calibrated near Table V's intra-MR bandwidths.
+pub fn default_config(kind: DeviceKind) -> UliChannelConfig {
+    let bit_period_ns = match kind {
+        DeviceKind::ConnectX4 => 31_000,
+        DeviceKind::ConnectX5 => 31_700,
+        DeviceKind::ConnectX6 => 12_300,
+    };
+    UliChannelConfig {
+        tx_qp_count: 2,
+        tx_depth: 12,
+        tx_msg_len: 512,
+        rx_depth: 6,
+        rx_msg_len: 64,
+        bit_period: SimDuration::from_nanos(bit_period_ns),
+        high_is_one: false,
+        mitigation_noise_ns: 0,
+        background_traffic_len: None,
+        seed: 0x17A4,
+    }
+}
+
+/// Runs the intra-MR channel transmitting `bits` on `kind`.
+pub fn run(kind: DeviceKind, bits: &[bool], cfg: &UliChannelConfig) -> UliRun {
+    let one = one_offset(kind);
+    run_uli_channel(kind, bits, cfg, |mr_a, _mr_b| BitModes {
+        // Bit 0: offset 0 — same bank as the receiver's probe.
+        zero: (
+            AddressPattern::Fixed(Target {
+                key: mr_a.key,
+                addr: mr_a.addr(0),
+            }),
+            cfg.tx_msg_len,
+        ),
+        // Bit 1: offset 255/257 — different bank, unaligned tokens.
+        one: (
+            AddressPattern::Fixed(Target {
+                key: mr_a.key,
+                addr: mr_a.addr(one),
+            }),
+            cfg.tx_msg_len,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covert::random_bits;
+
+    #[test]
+    fn intra_mr_channel_decodes_on_cx4() {
+        let cfg = default_config(DeviceKind::ConnectX4);
+        let bits = random_bits(48, 33);
+        let run = run(DeviceKind::ConnectX4, &bits, &cfg);
+        assert!(
+            run.report.error_rate() < 0.15,
+            "error rate too high: {}",
+            run.report.error_rate()
+        );
+    }
+
+    #[test]
+    fn grain_ii_profile_is_identical_across_bits() {
+        // Stealthiness: both bit modes use the same opcode, size and MR —
+        // only the offset differs, so per-opcode counters can't tell.
+        let kind = DeviceKind::ConnectX5;
+        let cfg = default_config(kind);
+        assert_eq!(cfg.tx_msg_len, 512);
+        assert_eq!(one_offset(kind) % 8, 7, "one-offset is deliberately unaligned");
+    }
+
+    #[test]
+    fn zero_bits_raise_receiver_uli() {
+        // Offset 0 aliases the receiver's bank, so 0-bits read HIGH.
+        let kind = DeviceKind::ConnectX4;
+        let cfg = default_config(kind);
+        let bits = crate::covert::parse_bits("0101010101010101");
+        let run = run(kind, &bits, &cfg);
+        let mean_of = |want: bool| {
+            let v: Vec<f64> = run
+                .report
+                .levels
+                .iter()
+                .zip(&bits)
+                .filter(|(_, &b)| b == want)
+                .map(|(&l, _)| l)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            mean_of(false) > mean_of(true),
+            "0-bits must read high: {} vs {}",
+            mean_of(false),
+            mean_of(true)
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! §V-B — the Grain-I/II inter-traffic-class priority-based channel
+//! (Fig. 9).
+//!
+//! The covert Rx (one client) maintains a small monitored flow; the
+//! covert Tx (another client) saturates the shared server with RDMA
+//! Writes of 128 B (bit 1) or 2048 B (bit 0). Bulk 2048 B writes press
+//! much harder on the shared path, so the receiver's bandwidth drops
+//! sharply on 0-bits — "the significant drop means bit 0, the slight
+//! drop means bit 1".
+//!
+//! The paper's channel runs at ~1 bps because it reads second-granularity
+//! bandwidth counters. Event counts at seconds of simulated time are kept
+//! tractable with [`DeviceProfile::time_scaled`], which preserves every
+//! contention ratio (see `DESIGN.md`).
+
+use crate::covert::{
+    count_errors, threshold_decode, BitModes, ChannelReport, ModulatingSender,
+};
+use crate::measure::{AddressPattern, BandwidthSampler, FlowStats, SaturatingFlow, Target};
+use crate::testbed::Testbed;
+use rdma_verbs::{AccessFlags, DeviceKind, DeviceProfile, FlowId, Opcode, TrafficClass};
+use sim_core::{SimDuration, SimTime, TimeSeries};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Parameters of the priority channel.
+#[derive(Debug, Clone)]
+pub struct PriorityChannelConfig {
+    /// Time-scale factor applied to the device profile (rates divided,
+    /// latencies kept) to keep long runs tractable.
+    pub scale: f64,
+    /// Bit period (simulated time; the paper uses ~1 s).
+    pub bit_period: SimDuration,
+    /// Write size encoding a 1-bit (128 B in Fig. 9).
+    pub one_len: u64,
+    /// Write size encoding a 0-bit (2048 B in Fig. 9).
+    pub zero_len: u64,
+    /// Receiver's monitored-flow read size.
+    pub rx_msg_len: u64,
+    /// Receiver's queue depth (a deliberately small flow).
+    pub rx_depth: usize,
+    /// Sender's queue depth.
+    pub tx_depth: usize,
+    /// Bandwidth-counter sampling interval.
+    pub sample_interval: SimDuration,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for PriorityChannelConfig {
+    fn default() -> Self {
+        PriorityChannelConfig {
+            scale: 0.005,
+            bit_period: SimDuration::from_millis(100),
+            one_len: 128,
+            zero_len: 2048,
+            rx_msg_len: 512,
+            rx_depth: 2,
+            tx_depth: 32,
+            sample_interval: SimDuration::from_millis(10),
+            seed: 0xF19,
+        }
+    }
+}
+
+/// Result of a priority-channel run.
+#[derive(Debug, Clone)]
+pub struct PriorityRun {
+    /// Channel evaluation.
+    pub report: ChannelReport,
+    /// The receiver's sampled bandwidth trace (the Fig.-9 curve).
+    pub rx_bandwidth: TimeSeries,
+    /// Transmission start.
+    pub start: SimTime,
+}
+
+/// Runs the priority channel transmitting `bits` on `kind`.
+pub fn run(kind: DeviceKind, bits: &[bool], cfg: &PriorityChannelConfig) -> PriorityRun {
+    let profile = DeviceProfile::preset(kind).time_scaled(cfg.scale);
+    let mut tb = Testbed::new(profile, 2, cfg.seed);
+    let mr_tx = tb.server_mr(4 << 20, AccessFlags::remote_all());
+    let mr_rx = tb.server_mr(1 << 21, AccessFlags::remote_all());
+
+    // ETS 50/50 between the two traffic classes, as in the paper's setup.
+    for host in [tb.server, tb.clients[0], tb.clients[1]] {
+        tb.sim.set_ets_weights(host, [1; 8]);
+    }
+
+    let start = SimTime::ZERO + cfg.bit_period;
+
+    // Covert Tx: client 0, writes whose size encodes the bit.
+    let tx_qp = tb.connect_client_with(0, TrafficClass::new(0), FlowId(1), cfg.tx_depth);
+    let tx_pattern = AddressPattern::Stride {
+        key: mr_tx.key,
+        base: mr_tx.base_va,
+        stride: 4160,
+        count: 900,
+    };
+    let sender = tb.sim.add_app(Box::new(ModulatingSender::new(
+        vec![tx_qp],
+        Opcode::Write,
+        BitModes {
+            zero: (tx_pattern.clone(), cfg.zero_len),
+            one: (tx_pattern, cfg.one_len),
+        },
+        bits.to_vec(),
+        cfg.bit_period,
+        start,
+    )));
+    tb.sim.own_qp(sender, tx_qp);
+
+    // Covert Rx: client 1, a small monitored flow.
+    let rx_qp = tb.connect_client_with(1, TrafficClass::new(1), FlowId(2), cfg.rx_depth);
+    let stats = FlowStats::new(false);
+    let paused = Rc::new(RefCell::new(false));
+    let rx_flow = tb.sim.add_app(Box::new(SaturatingFlow::new(
+        vec![rx_qp],
+        Opcode::Read,
+        cfg.rx_msg_len,
+        AddressPattern::Fixed(Target {
+            key: mr_rx.key,
+            addr: mr_rx.addr(0),
+        }),
+        0x3000,
+        Rc::clone(&stats),
+        paused,
+    )));
+    tb.sim.own_qp(rx_flow, rx_qp);
+
+    let series = Rc::new(RefCell::new(TimeSeries::new()));
+    tb.sim.add_app(Box::new(BandwidthSampler::new(
+        Rc::clone(&stats),
+        cfg.sample_interval,
+        Rc::clone(&series),
+    )));
+
+    let end = start + cfg.bit_period * bits.len() as u64 + cfg.sample_interval;
+    tb.sim.run_until(end);
+
+    let rx_bandwidth = series.borrow().clone();
+    let mut levels = Vec::with_capacity(bits.len());
+    for i in 0..bits.len() {
+        let lo = start + cfg.bit_period * i as u64;
+        let hi = lo + cfg.bit_period;
+        // Samples report the window *ending* at their timestamp, so shift
+        // the window by one interval.
+        let level = rx_bandwidth
+            .window_mean(lo + cfg.sample_interval, hi + cfg.sample_interval)
+            .unwrap_or(0.0);
+        levels.push(level);
+    }
+    // Bit 1 (small writes) leaves the receiver more bandwidth.
+    let decoded = threshold_decode(&levels, true);
+    let errors = count_errors(bits, &decoded);
+    PriorityRun {
+        report: ChannelReport {
+            device: kind,
+            bits_sent: bits.len(),
+            bit_errors: errors,
+            raw_bandwidth_bps: 1.0 / cfg.bit_period.as_secs_f64(),
+            levels,
+            decoded,
+        },
+        rx_bandwidth,
+        start,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covert::{parse_bits, FIG9_BITS};
+
+    #[test]
+    fn fig9_bitstream_decodes_error_free_on_cx4() {
+        let cfg = PriorityChannelConfig::default();
+        let bits = parse_bits(FIG9_BITS);
+        let run = run(DeviceKind::ConnectX4, &bits, &cfg);
+        assert_eq!(
+            run.report.bit_errors, 0,
+            "priority channel is error-free in the paper; levels: {:?}",
+            run.report.levels
+        );
+        assert_eq!(run.report.decoded, bits);
+    }
+
+    #[test]
+    fn zero_bits_cause_the_deeper_drop() {
+        let cfg = PriorityChannelConfig::default();
+        let bits = parse_bits("0101");
+        let run = run(DeviceKind::ConnectX5, &bits, &cfg);
+        assert!(
+            run.report.levels[0] < run.report.levels[1],
+            "2048 B writes must depress the receiver more than 128 B: {:?}",
+            run.report.levels
+        );
+    }
+}

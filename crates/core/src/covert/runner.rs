@@ -1,0 +1,193 @@
+//! Shared runner for the ULI-observing covert channels (inter-MR and
+//! intra-MR): a modulating sender on one client, a ULI probe on another,
+//! window-averaged threshold decoding at the receiver.
+
+use crate::covert::{count_errors, threshold_decode, BitModes, ChannelReport, ModulatingSender};
+use crate::measure::{AddressPattern, CounterSampler, Target, UliProbe, UliSample};
+use crate::testbed::Testbed;
+use rdma_verbs::{DeviceKind, DeviceProfile, FlowId, MrHandle, Opcode, TrafficClass};
+use rnic_model::CounterSnapshot;
+use sim_core::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Parameters of a ULI-based covert channel run.
+#[derive(Debug, Clone)]
+pub struct UliChannelConfig {
+    /// Sender's max send queue (the paper's footnotes 10–11).
+    pub tx_depth: usize,
+    /// Sender QP count (the paper's §V-C setup uses 2 QPs).
+    pub tx_qp_count: usize,
+    /// Sender's read size.
+    pub tx_msg_len: u64,
+    /// Receiver probe's max send queue.
+    pub rx_depth: usize,
+    /// Receiver probe's read size.
+    pub rx_msg_len: u64,
+    /// Bit period.
+    pub bit_period: SimDuration,
+    /// Decode polarity: `true` if a high receiver level means a 1-bit.
+    pub high_is_one: bool,
+    /// Extra Gaussian latency noise (σ, ns) injected into the server's
+    /// translation unit — the §VII mitigation knob. Zero disables.
+    pub mitigation_noise_ns: u64,
+    /// When set, a third (innocent) client keeps a saturating read flow
+    /// of this size against its own server MR — the robustness scenario:
+    /// covert channels must survive bystander traffic.
+    pub background_traffic_len: Option<u64>,
+    /// Seed.
+    pub seed: u64,
+}
+
+/// Result of a ULI-channel run.
+#[derive(Debug, Clone)]
+pub struct UliRun {
+    /// Channel evaluation.
+    pub report: ChannelReport,
+    /// Raw receiver ULI samples (for Fig. 10/11 folding).
+    pub rx_samples: Vec<UliSample>,
+    /// Transmission start time (bit 0 boundary).
+    pub start: SimTime,
+    /// Periodic counter snapshots of the *sender's* NIC — what a
+    /// HARMONIC-style monitor observes (Grain-I/II/III).
+    pub tx_counter_samples: Vec<(SimTime, CounterSnapshot)>,
+}
+
+/// Builds MR layout + apps and runs the channel. `modes_of` receives the
+/// three server MRs `(mr_a, mr_b, mr_rx)` and produces the sender's bit
+/// modes.
+pub(crate) fn run_uli_channel(
+    kind: DeviceKind,
+    bits: &[bool],
+    cfg: &UliChannelConfig,
+    modes_of: impl FnOnce(&MrHandle, &MrHandle) -> BitModes,
+) -> UliRun {
+    let profile = DeviceProfile::preset(kind);
+    let n_clients = if cfg.background_traffic_len.is_some() { 3 } else { 2 };
+    let mut tb = Testbed::new(profile, n_clients, cfg.seed);
+    if cfg.mitigation_noise_ns > 0 {
+        let server = tb.server;
+        tb.sim
+            .nic_mut(server)
+            .tpu_mut()
+            .set_noise_sigma(SimDuration::from_nanos(cfg.mitigation_noise_ns));
+    }
+    let mr_a = tb.server_mr(1 << 21, rdma_verbs::AccessFlags::remote_all());
+    let mr_b = tb.server_mr(1 << 21, rdma_verbs::AccessFlags::remote_all());
+    let mr_rx = tb.server_mr(1 << 21, rdma_verbs::AccessFlags::remote_all());
+
+    // Sender: client 0, spread over the configured QP count.
+    let tx_qps: Vec<_> = (0..cfg.tx_qp_count.max(1))
+        .map(|_| tb.connect_client_with(0, TrafficClass::new(0), FlowId(1), cfg.tx_depth))
+        .collect();
+    // Transmission starts after a settling lead-in.
+    let start = SimTime::from_micros(30);
+    let modes = modes_of(&mr_a, &mr_b);
+    let sender = tb.sim.add_app(Box::new(ModulatingSender::new(
+        tx_qps.clone(),
+        Opcode::Read,
+        modes,
+        bits.to_vec(),
+        cfg.bit_period,
+        start,
+    )));
+    for qp in tx_qps {
+        tb.sim.own_qp(sender, qp);
+    }
+
+    // Receiver: client 1, probing its own MR at offset 0.
+    let rx_qp = tb.connect_client_with(1, TrafficClass::new(0), FlowId(2), cfg.rx_depth);
+    let samples = Rc::new(RefCell::new(Vec::new()));
+    let probe = tb.sim.add_app(Box::new(UliProbe::new(
+        rx_qp,
+        cfg.rx_depth,
+        cfg.rx_msg_len,
+        AddressPattern::Fixed(Target {
+            key: mr_rx.key,
+            addr: mr_rx.addr(0),
+        }),
+        0x2000,
+        Rc::clone(&samples),
+    )));
+    tb.sim.own_qp(probe, rx_qp);
+
+    // Optional bystander: client 2 with its own MR and a steady flow.
+    if let Some(len) = cfg.background_traffic_len {
+        let mr_bg = tb.server_mr(4 << 20, rdma_verbs::AccessFlags::remote_all());
+        let bg_qp = tb.connect_client_with(2, TrafficClass::new(0), FlowId(3), 16);
+        let stats = crate::measure::FlowStats::new(false);
+        let paused = Rc::new(RefCell::new(false));
+        let bg = tb.sim.add_app(Box::new(crate::measure::SaturatingFlow::new(
+            vec![bg_qp],
+            Opcode::Read,
+            len,
+            AddressPattern::Stride {
+                key: mr_bg.key,
+                base: mr_bg.base_va,
+                stride: 4160,
+                count: 900,
+            },
+            0x9000,
+            stats,
+            paused,
+        )));
+        tb.sim.own_qp(bg, bg_qp);
+    }
+
+    // HARMONIC's view: sample the sender-side NIC counters every few
+    // bit periods.
+    let tx_counters = Rc::new(RefCell::new(Vec::new()));
+    tb.sim.add_app(Box::new(CounterSampler::new(
+        tb.clients[0],
+        cfg.bit_period * 4,
+        Rc::clone(&tx_counters),
+    )));
+
+    let end = start + cfg.bit_period * bits.len() as u64 + SimDuration::from_micros(5);
+    tb.sim.run_until(end);
+
+    let rx_samples: Vec<UliSample> = samples.borrow().clone();
+    let tx_samples: Vec<(SimTime, CounterSnapshot)> = tx_counters.borrow().clone();
+    // Window means per bit. The first 30 % of each bit period is skipped:
+    // the shared queue state needs to settle after the sender switches
+    // modes (inter-symbol interference).
+    let mut levels = Vec::with_capacity(bits.len());
+    for i in 0..bits.len() {
+        let lo = start + cfg.bit_period * i as u64 + cfg.bit_period.mul_f64(0.3);
+        let hi = start + cfg.bit_period * (i as u64 + 1);
+        let window: Vec<f64> = rx_samples
+            .iter()
+            .filter(|s| s.at >= lo && s.at < hi)
+            .map(|s| s.uli_ns)
+            .collect();
+        let level = if window.is_empty() {
+            f64::NAN
+        } else {
+            window.iter().sum::<f64>() / window.len() as f64
+        };
+        levels.push(level);
+    }
+    // Empty windows decode as the previous level (rare; keeps lengths
+    // aligned).
+    let mut filled = levels.clone();
+    for i in 0..filled.len() {
+        if filled[i].is_nan() {
+            filled[i] = if i > 0 { filled[i - 1] } else { 0.0 };
+        }
+    }
+    let decoded = threshold_decode(&filled, cfg.high_is_one);
+    let errors = count_errors(bits, &decoded);
+    UliRun {
+        report: ChannelReport {
+            device: kind,
+            bits_sent: bits.len(),
+            bit_errors: errors,
+            raw_bandwidth_bps: 1.0 / cfg.bit_period.as_secs_f64(),
+            levels: filled,
+            decoded,
+        },
+        rx_samples,
+        start,
+        tx_counter_samples: tx_samples,
+    }
+}

@@ -1,0 +1,32 @@
+//! # ragnar-core — the Ragnar attacks (DAC 2025)
+//!
+//! The paper's primary contribution, reproduced over the simulated RNIC
+//! substrate:
+//!
+//! * [`re`] — the §IV reverse-engineering suite: the Fig.-4 contention
+//!   sweep across traffic granularities, ULI linearity validation, and
+//!   the Fig. 5–8 offset-effect microbenchmarks.
+//! * [`covert`] — the §V covert channels: the Grain-I/II priority channel,
+//!   the Grain-III inter-MR channel and the Grain-IV intra-MR channel,
+//!   with the Table-V evaluation (bandwidth, error rate, effective
+//!   bandwidth).
+//! * [`side`] — the §VI side channels: shuffle/join fingerprinting of a
+//!   distributed database (Algorithm 1, Fig. 12) and address snooping on
+//!   disaggregated memory (Fig. 13).
+//! * [`measure`] — the shared measurement drivers (saturating flows, the
+//!   ULI probe, bandwidth samplers).
+//! * [`Testbed`] — the one-server/N-client experiment topology.
+
+#![warn(missing_docs)]
+
+pub mod covert;
+pub mod measure;
+pub mod re;
+pub mod side;
+mod testbed;
+
+pub use measure::{
+    goodput_bps, AddressPattern, BandwidthSampler, CounterSampler, FlowStats, SaturatingFlow,
+    Target, UliProbe, UliSample,
+};
+pub use testbed::Testbed;

@@ -1,0 +1,16 @@
+//! §IV — reverse-engineering the RNIC.
+//!
+//! * [`contention`] — the Grain-I/II priority study behind Fig. 4 and Key
+//!   Findings 1–3: pairs of competing flows swept over opcodes, message
+//!   sizes, QP counts and directions.
+//! * [`uli`] — the Unit Latency Increase methodology of §IV-C: linearity
+//!   validation and the Fig.-5 same-MR/different-MR comparison.
+//! * [`offset`] — the Grain-IV offset effect of Fig. 6–8: ULI versus
+//!   absolute and relative remote-address offsets.
+//! * [`scaling`] — solo-throughput and contention-footprint curves along
+//!   the Fig.-4 axes (QP count, message size).
+
+pub mod contention;
+pub mod offset;
+pub mod scaling;
+pub mod uli;

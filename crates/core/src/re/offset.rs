@@ -1,0 +1,213 @@
+//! §IV-C / Key Finding 4 — the Grain-IV address-offset effect
+//! (Fig. 6, 7, 8).
+//!
+//! With Grain-II parameters fixed, the *remote address* of RDMA Reads
+//! still modulates the datapath: ULI drops at 8 B-aligned offsets, drops
+//! further at 64 B multiples, and shows 2048 B periodicity; the offset
+//! *relative* to the previous read has its own (prefetch-shaped) effect.
+
+use crate::measure::{AddressPattern, Target};
+use crate::re::uli::probe_uli;
+use rdma_verbs::{AccessFlags, DeviceProfile};
+use sim_core::{SimTime, Summary};
+
+/// One point of an offset sweep.
+#[derive(Debug, Clone)]
+pub struct OffsetPoint {
+    /// The swept offset in bytes.
+    pub offset: u64,
+    /// ULI summary (ns) at that offset.
+    pub uli: Summary,
+}
+
+/// Configuration of the Fig. 6/7/8 sweeps.
+#[derive(Debug, Clone)]
+pub struct OffsetSweepConfig {
+    /// Read size in bytes (64 for Fig. 6/8, 1024 for Fig. 7).
+    pub msg_len: u64,
+    /// Offsets to sweep.
+    pub offsets: Vec<u64>,
+    /// Probe queue depth.
+    pub depth: usize,
+    /// Simulated time per offset.
+    pub horizon: SimTime,
+    /// Leading samples to discard per offset.
+    pub warmup: usize,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for OffsetSweepConfig {
+    fn default() -> Self {
+        OffsetSweepConfig {
+            msg_len: 64,
+            offsets: (0..4096).step_by(16).collect(),
+            // A moderate depth keeps the probe in the regime where ULI
+            // reflects per-request cost *without* the two-address bank
+            // parallelism flattening the alignment structure.
+            depth: 8,
+            horizon: SimTime::from_micros(320),
+            warmup: 20,
+            seed: 0xA11CE,
+        }
+    }
+}
+
+/// Fig. 6/7: ULI vs. **absolute** offset — alternately reading offset 0
+/// and offset `a` of the same remote MR, for each `a` in the sweep.
+pub fn absolute_offset_sweep(profile: &DeviceProfile, cfg: &OffsetSweepConfig) -> Vec<OffsetPoint> {
+    cfg.offsets
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            let samples = probe_uli(
+                profile,
+                cfg.depth,
+                cfg.msg_len,
+                |tb| {
+                    let mr = tb.server_mr(4 << 20, AccessFlags::remote_all());
+                    AddressPattern::Cycle(vec![
+                        Target {
+                            key: mr.key,
+                            addr: mr.addr(0),
+                        },
+                        Target {
+                            key: mr.key,
+                            addr: mr.addr(a),
+                        },
+                    ])
+                },
+                cfg.horizon,
+                cfg.warmup,
+                cfg.seed.wrapping_add(i as u64),
+            );
+            let uli: Vec<f64> = samples.iter().map(|s| s.uli_ns).collect();
+            OffsetPoint {
+                offset: a,
+                uli: Summary::from_samples(&uli),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 8: ULI vs. **relative** offset — consecutive reads separated by a
+/// fixed delta `r`, with the pair base rotated across 2 KiB rows so the
+/// absolute-alignment component averages out.
+pub fn relative_offset_sweep(profile: &DeviceProfile, cfg: &OffsetSweepConfig) -> Vec<OffsetPoint> {
+    cfg.offsets
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            let samples = probe_uli(
+                profile,
+                cfg.depth,
+                cfg.msg_len,
+                |tb| {
+                    let mr = tb.server_mr(8 << 20, AccessFlags::remote_all());
+                    // Pairs (x, x+r) with x stepping over aligned bases.
+                    let mut targets = Vec::new();
+                    for j in 0..8u64 {
+                        let x = j * 8192;
+                        targets.push(Target {
+                            key: mr.key,
+                            addr: mr.addr(x),
+                        });
+                        targets.push(Target {
+                            key: mr.key,
+                            addr: mr.addr(x + r),
+                        });
+                    }
+                    AddressPattern::Cycle(targets)
+                },
+                cfg.horizon,
+                cfg.warmup,
+                cfg.seed.wrapping_add(i as u64),
+            );
+            let uli: Vec<f64> = samples.iter().map(|s| s.uli_ns).collect();
+            OffsetPoint {
+                offset: r,
+                uli: Summary::from_samples(&uli),
+            }
+        })
+        .collect()
+}
+
+/// Means of the sweep points grouped by a predicate — convenience for
+/// checking alignment-induced level differences.
+pub fn mean_where(points: &[OffsetPoint], pred: impl Fn(u64) -> bool) -> f64 {
+    let sel: Vec<f64> = points
+        .iter()
+        .filter(|p| pred(p.offset))
+        .map(|p| p.uli.mean)
+        .collect();
+    assert!(!sel.is_empty(), "predicate selected no points");
+    sel.iter().sum::<f64>() / sel.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(offsets: Vec<u64>) -> OffsetSweepConfig {
+        OffsetSweepConfig {
+            offsets,
+            horizon: SimTime::from_micros(80),
+            warmup: 15,
+            ..OffsetSweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn aligned_offsets_are_faster() {
+        let profile = DeviceProfile::connectx4();
+        // Mix of 64-aligned, 8-aligned and unaligned offsets.
+        let offsets: Vec<u64> = vec![64, 128, 192, 256, 72, 136, 200, 264, 67, 133, 197, 261];
+        let points = absolute_offset_sweep(&profile, &quick_cfg(offsets));
+        let aligned64 = mean_where(&points, |o| o % 64 == 0);
+        let aligned8 = mean_where(&points, |o| o % 8 == 0 && o % 64 != 0);
+        let unaligned = mean_where(&points, |o| o % 8 != 0);
+        assert!(
+            aligned64 < aligned8,
+            "64 B-aligned ULI {aligned64} should drop below 8 B-aligned {aligned8}"
+        );
+        assert!(
+            aligned8 < unaligned,
+            "8 B-aligned ULI {aligned8} should drop below unaligned {unaligned}"
+        );
+    }
+
+    #[test]
+    fn row_periodicity_at_2048() {
+        let profile = DeviceProfile::connectx4();
+        // Same alignment class, different rows relative to offset 0:
+        // 2048·even shares the row buffer with 0 (ping-pong conflict on
+        // CX-4's 2 buffers), 2048·odd does not.
+        let offsets: Vec<u64> = vec![4096, 8192, 12288, 2048, 6144, 10240];
+        let points = absolute_offset_sweep(&profile, &quick_cfg(offsets));
+        let conflicting = mean_where(&points, |o| (o / 2048) % 2 == 0);
+        let friendly = mean_where(&points, |o| (o / 2048) % 2 == 1);
+        assert!(
+            conflicting > friendly + 5.0,
+            "row ping-pong ({conflicting}) should exceed buffered rows ({friendly})"
+        );
+    }
+
+    #[test]
+    fn relative_offset_shows_prefetch_window() {
+        let profile = DeviceProfile::connectx4();
+        let offsets: Vec<u64> = vec![0, 64, 128, 192, 256, 1024, 1536];
+        let points = relative_offset_sweep(&profile, &quick_cfg(offsets));
+        // Small deltas (within the prefetch reach) are cheaper than far
+        // jumps.
+        let near = points
+            .iter()
+            .filter(|p| p.offset <= 256)
+            .map(|p| p.uli.mean)
+            .fold(f64::INFINITY, f64::min);
+        let far = mean_where(&points, |o| o >= 1024);
+        assert!(
+            near < far,
+            "near-delta ULI {near} should undercut far-delta {far}"
+        );
+    }
+}

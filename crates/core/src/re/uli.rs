@@ -1,0 +1,232 @@
+//! §IV-C — the Unit Latency Increase (ULI) methodology.
+//!
+//! `Lat_total` from `ibv_post_send` to polling the completion includes the
+//! queueing delay of the `len_sq` WQEs ahead, so
+//! `Lat_total = k · (len_sq + 1) + C` and `ULI ≈ Lat_total / (len_sq + 1)`
+//! characterizes per-request contention. This module validates the
+//! linearity claim (the paper reports Pearson r = 0.9998) and reproduces
+//! Fig. 5 (ULI vs. same/different remote MR vs. message size).
+
+use crate::measure::{AddressPattern, Target, UliProbe, UliSample};
+use crate::testbed::Testbed;
+use rdma_verbs::{AccessFlags, DeviceProfile, FlowId, TrafficClass};
+use sim_core::{linear_fit, LineFit, SimTime, Summary};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Outcome of the linearity validation.
+#[derive(Debug, Clone)]
+pub struct LinearityReport {
+    /// Queue depths swept.
+    pub depths: Vec<usize>,
+    /// Mean `Lat_total` (ns) at each depth.
+    pub mean_latency_ns: Vec<f64>,
+    /// The least-squares fit of latency against depth.
+    pub fit: LineFit,
+}
+
+/// Runs one ULI probe and returns its steady-state samples.
+///
+/// `warmup_samples` leading observations (cold caches, row buffers) are
+/// discarded.
+pub fn probe_uli(
+    profile: &DeviceProfile,
+    depth: usize,
+    msg_len: u64,
+    pattern_of: impl FnOnce(&mut Testbed) -> AddressPattern,
+    horizon: SimTime,
+    warmup_samples: usize,
+    seed: u64,
+) -> Vec<UliSample> {
+    let mut tb = Testbed::new(profile.clone(), 1, seed);
+    let pattern = pattern_of(&mut tb);
+    let qp = tb.connect_client_with(0, TrafficClass::new(0), FlowId(1), depth);
+    let samples = Rc::new(RefCell::new(Vec::new()));
+    let app = tb.sim.add_app(Box::new(UliProbe::new(
+        qp,
+        depth,
+        msg_len,
+        pattern,
+        0x1000,
+        Rc::clone(&samples),
+    )));
+    tb.sim.own_qp(app, qp);
+    tb.sim.run_until(horizon);
+    let mut all = samples.borrow().clone();
+    if all.len() > warmup_samples {
+        all.drain(..warmup_samples);
+    } else {
+        all.clear();
+    }
+    all
+}
+
+/// Validates `Lat_total = k · (len_sq + 1) + C` across queue depths
+/// (§IV-C footnotes 7–8).
+pub fn linearity_report(profile: &DeviceProfile, seed: u64) -> LinearityReport {
+    // The k·(len_sq+1) law holds once the pipeline is saturated (the
+    // paper's footnote 7 derives it for the stable-traffic case), so the
+    // sweep starts where queueing dominates the fixed round-trip terms.
+    let depths = vec![64usize, 96, 128, 192, 256];
+    let mut mean_latency_ns = Vec::with_capacity(depths.len());
+    for (i, &depth) in depths.iter().enumerate() {
+        let samples = probe_uli(
+            profile,
+            depth,
+            64,
+            |tb| {
+                let mr = tb.server_mr(1 << 21, AccessFlags::remote_all());
+                AddressPattern::Fixed(Target {
+                    key: mr.key,
+                    addr: mr.addr(0),
+                })
+            },
+            SimTime::from_micros(100 + 20 * depth as u64),
+            30,
+            seed.wrapping_add(i as u64),
+        );
+        let mean = samples.iter().map(|s| s.latency_ns).sum::<f64>() / samples.len() as f64;
+        mean_latency_ns.push(mean);
+    }
+    let xs: Vec<f64> = depths.iter().map(|&d| d as f64).collect();
+    let fit = linear_fit(&xs, &mean_latency_ns);
+    LinearityReport {
+        depths,
+        mean_latency_ns,
+        fit,
+    }
+}
+
+/// One row of the Fig.-5 experiment.
+#[derive(Debug, Clone)]
+pub struct MrUliPoint {
+    /// Message size in bytes.
+    pub msg_len: u64,
+    /// ULI summary when alternating two addresses in the *same* MR.
+    pub same_mr: Summary,
+    /// ULI summary when alternating addresses in *different* MRs.
+    pub diff_mr: Summary,
+}
+
+/// Fig. 5: ULI vs. same/different remote MRs vs. message size
+/// (alternating reads, 2 QPs in the paper; one probe QP here since the
+/// pattern alternation is what matters).
+pub fn mr_uli_sweep(profile: &DeviceProfile, msg_sizes: &[u64], seed: u64) -> Vec<MrUliPoint> {
+    let depth = 8;
+    msg_sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &msg_len)| {
+            let same = probe_uli(
+                profile,
+                depth,
+                msg_len,
+                |tb| {
+                    let mr = tb.server_mr(2 << 21, AccessFlags::remote_all());
+                    AddressPattern::Cycle(vec![
+                        Target {
+                            key: mr.key,
+                            addr: mr.addr(0),
+                        },
+                        Target {
+                            key: mr.key,
+                            addr: mr.addr(1 << 20),
+                        },
+                    ])
+                },
+                SimTime::from_micros(800),
+                40,
+                seed.wrapping_add(2 * i as u64),
+            );
+            let diff = probe_uli(
+                profile,
+                depth,
+                msg_len,
+                |tb| {
+                    let mr_a = tb.server_mr(1 << 21, AccessFlags::remote_all());
+                    let mr_b = tb.server_mr(1 << 21, AccessFlags::remote_all());
+                    AddressPattern::Cycle(vec![
+                        Target {
+                            key: mr_a.key,
+                            addr: mr_a.addr(0),
+                        },
+                        Target {
+                            key: mr_b.key,
+                            addr: mr_b.addr(0),
+                        },
+                    ])
+                },
+                SimTime::from_micros(800),
+                40,
+                seed.wrapping_add(2 * i as u64 + 1),
+            );
+            MrUliPoint {
+                msg_len,
+                same_mr: Summary::from_samples(
+                    &same.iter().map(|s| s.uli_ns).collect::<Vec<_>>(),
+                ),
+                diff_mr: Summary::from_samples(
+                    &diff.iter().map(|s| s.uli_ns).collect::<Vec<_>>(),
+                ),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_linear_in_queue_depth() {
+        let report = linearity_report(&DeviceProfile::connectx4(), 77);
+        assert!(
+            report.fit.r > 0.999,
+            "paper reports r = 0.9998; got r = {}",
+            report.fit.r
+        );
+        assert!(report.fit.slope > 0.0);
+    }
+
+    #[test]
+    fn different_mr_costs_more_uli() {
+        let points = mr_uli_sweep(&DeviceProfile::connectx4(), &[64, 1024], 5);
+        for p in &points {
+            assert!(
+                p.diff_mr.mean > p.same_mr.mean,
+                "at {} B: diff-MR ULI {} should exceed same-MR {}",
+                p.msg_len,
+                p.diff_mr.mean,
+                p.same_mr.mean
+            );
+        }
+        // The gap is the MR context reload; it matters most for small
+        // messages where the TPU dominates the per-request cost.
+        let small_gap = points[0].diff_mr.mean - points[0].same_mr.mean;
+        assert!(small_gap > 20.0, "context-switch gap too small: {small_gap} ns");
+    }
+
+    #[test]
+    fn probe_discards_warmup() {
+        let samples = probe_uli(
+            &DeviceProfile::connectx5(),
+            4,
+            64,
+            |tb| {
+                let mr = tb.server_mr(1 << 21, AccessFlags::remote_all());
+                AddressPattern::Fixed(Target {
+                    key: mr.key,
+                    addr: mr.addr(0),
+                })
+            },
+            SimTime::from_micros(100),
+            10,
+            3,
+        );
+        assert!(!samples.is_empty());
+        // Steady state: ULI spread stays tight.
+        let uli: Vec<f64> = samples.iter().map(|s| s.uli_ns).collect();
+        let s = Summary::from_samples(&uli);
+        assert!(s.max - s.min < s.mean, "steady-state ULI too noisy: {s:?}");
+    }
+}

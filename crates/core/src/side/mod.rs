@@ -1,0 +1,12 @@
+//! §VI — side-channel Ragnar attacks on real-world applications.
+//!
+//! * [`fingerprint`] — Grain-II fingerprinting of a distributed
+//!   database's shuffle/join operations from the attacker's own
+//!   bandwidth (Algorithm 1, Fig. 12).
+//! * [`snoop`] — Grain-IV snooping of the access address of a
+//!   Sherman-style disaggregated-memory KV store via the offset effect
+//!   (Fig. 13), including the trace classifier reaching the paper's
+//!   95.6 % accuracy target.
+
+pub mod fingerprint;
+pub mod snoop;

@@ -1,0 +1,497 @@
+//! §VI-B — snooping the victim's access address on disaggregated memory
+//! with the Grain-IV offset effect (Fig. 13).
+//!
+//! The victim (a Sherman KV client) repeatedly reads a 64 B record at a
+//! secret offset of a 1 KB shared file (17 candidates, 0–1024 B). The
+//! attacker sweeps an *observation set* of 257 offsets (0–1024 B in 4 B
+//! steps), issuing 64 B reads and measuring ULI at each (step ❶); the
+//! per-offset averages form a trace revealing the victim's address
+//! (step ❷); a trained classifier recovers the candidate from the trace
+//! (step ❸) — the paper reports 95.6 % accuracy.
+
+use crate::testbed::Testbed;
+use rdma_verbs::{
+    AccessFlags, App, ConnectOptions, Cqe, Ctx, DeviceKind, DeviceProfile, FlowId, HostId,
+    MrHandle, PostError, QpHandle, TrafficClass, WorkRequest,
+};
+use ragnar_workloads::sherman::{value_from, ShermanTree, ShermanVictim, NODE_SIZE};
+use sim_core::{SimRng, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+use trace_classifier::{CnnClassifier, CnnConfig, Dataset, MlpClassifier, TemplateClassifier, TrainConfig};
+
+/// Parameters of the snooping attack.
+#[derive(Debug, Clone)]
+pub struct SnoopConfig {
+    /// Observation span in bytes (the shared file size).
+    pub span: u64,
+    /// Observation step (4 B ⇒ 257 samples over 1 KB).
+    pub step: u64,
+    /// ULI samples collected per observation offset (the pool).
+    pub samples_per_offset: usize,
+    /// Warm-up samples discarded per offset.
+    pub warmup_per_offset: usize,
+    /// Samples averaged per trace point when bootstrapping traces
+    /// (the paper's "N times").
+    pub reps_per_trace: usize,
+    /// Attacker probe queue depth.
+    pub probe_depth: usize,
+    /// Victim queue depth.
+    pub victim_depth: usize,
+    /// Candidate victim offsets (17 candidates, 0–1024 B in the paper).
+    pub candidates: Vec<u64>,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for SnoopConfig {
+    fn default() -> Self {
+        SnoopConfig {
+            span: 1024,
+            step: 4,
+            samples_per_offset: 80,
+            warmup_per_offset: 6,
+            reps_per_trace: 50,
+            // The probe must be queue-dominated (its ULI then reflects
+            // bank service time directly) and the victim must keep real
+            // pressure on its bank — see DESIGN.md §4 and EXPERIMENTS.md.
+            probe_depth: 32,
+            victim_depth: 16,
+            candidates: (0..=16).map(|i| i * 64).collect(),
+            seed: 0x5EEB,
+        }
+    }
+}
+
+impl SnoopConfig {
+    /// The observation offsets (0, step, …, span inclusive).
+    pub fn observation_offsets(&self) -> Vec<u64> {
+        (0..=self.span / self.step).map(|i| i * self.step).collect()
+    }
+}
+
+/// The attacker's sweeping probe: for each observation offset, keeps its
+/// queue full with 64 B reads, records ULI samples, drains, then moves to
+/// the next offset.
+///
+/// Closed loops in a low-noise fabric phase-lock against the victim's
+/// loop, which makes per-session contention patterns idiosyncratic. The
+/// probe therefore *re-phases*: every few samples it drains and idles
+/// for a short pseudo-random gap, so each pool averages over many
+/// relative phases and session-to-session traces agree.
+struct SweepProbe {
+    qp: QpHandle,
+    depth: usize,
+    mr: MrHandle,
+    file_base: u64,
+    offsets: Vec<u64>,
+    per_offset: usize,
+    warmup: usize,
+    rephase_every: usize,
+    current: usize,
+    collected: usize,
+    outstanding: usize,
+    draining: bool,
+    pools: Rc<RefCell<Vec<Vec<f64>>>>,
+    seq: u64,
+}
+
+impl SweepProbe {
+    fn post_one(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        let off = self.offsets[self.current];
+        self.seq += 1;
+        match ctx.post_send(
+            self.qp,
+            WorkRequest::read(
+                self.seq,
+                0x6000,
+                self.mr.addr(self.file_base + off),
+                self.mr.key,
+                64,
+            ),
+        ) {
+            Ok(()) => {
+                self.outstanding += 1;
+                true
+            }
+            Err(PostError::SendQueueFull) => false,
+            Err(e) => panic!("probe post failed: {e}"),
+        }
+    }
+
+    fn fill(&mut self, ctx: &mut Ctx<'_>) {
+        if self.draining || self.current >= self.offsets.len() {
+            return;
+        }
+        while self.post_one(ctx) {}
+    }
+}
+
+impl SweepProbe {
+    /// Deterministic per-chunk idle gap (sub-µs, varied so consecutive
+    /// re-phasings land at different relative phases).
+    fn rephase_gap(&self) -> sim_core::SimDuration {
+        let salt = self
+            .seq
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17);
+        sim_core::SimDuration::from_nanos(300 + salt % 700)
+    }
+}
+
+impl App for SweepProbe {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.fill(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        // Re-phase gap over: resume the current offset.
+        self.fill(ctx);
+    }
+
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_>, _host: HostId, cqe: Cqe) {
+        self.outstanding -= 1;
+        if self.current >= self.offsets.len() {
+            if self.outstanding == 0 {
+                ctx.stop();
+            }
+            return;
+        }
+        if !self.draining {
+            self.collected += 1;
+            if self.collected > self.warmup {
+                let uli = cqe.latency().as_nanos_f64() / self.depth as f64;
+                self.pools.borrow_mut()[self.current].push(uli);
+            }
+            if self.collected >= self.warmup + self.per_offset {
+                // Drain before switching offsets so samples never mix.
+                self.draining = true;
+            } else if self.collected > self.warmup
+                && (self.collected - self.warmup).is_multiple_of(self.rephase_every)
+            {
+                // Mid-offset re-phasing: let the pipeline drain, then
+                // resume after a pseudo-random idle gap.
+                if self.outstanding == 0 {
+                    let gap = self.rephase_gap();
+                    ctx.set_timer(gap, 0);
+                }
+                // (While outstanding > 0 we simply stop refilling; the
+                // remaining completions still record samples and the last
+                // one arms the timer below.)
+                return;
+            } else {
+                self.fill(ctx);
+            }
+        }
+        if !self.draining
+            && self.outstanding == 0
+            && self.collected < self.warmup + self.per_offset
+        {
+            // Pipeline drained mid-chunk (re-phasing): idle briefly.
+            let gap = self.rephase_gap();
+            ctx.set_timer(gap, 0);
+            return;
+        }
+        if self.draining && self.outstanding == 0 {
+            self.draining = false;
+            self.collected = 0;
+            self.current += 1;
+            if self.current >= self.offsets.len() {
+                ctx.stop();
+            } else {
+                self.fill(ctx);
+            }
+        }
+    }
+}
+
+/// Raw per-offset ULI sample pools for one victim placement.
+#[derive(Debug, Clone)]
+pub struct SamplePools {
+    /// `pools[i]` holds the samples for observation offset `i·step`.
+    pub pools: Vec<Vec<f64>>,
+    /// The victim's secret offset this run used.
+    pub victim_offset: u64,
+}
+
+/// Runs step ❶ once: victim at `victim_offset`, attacker sweeping the
+/// observation set; returns the per-offset sample pools.
+pub fn collect_pools(kind: DeviceKind, victim_offset: u64, cfg: &SnoopConfig) -> SamplePools {
+    let profile = DeviceProfile::preset(kind);
+    let mut tb = Testbed::new(profile, 2, cfg.seed ^ victim_offset);
+
+    // Build the Sherman index and the shared 1 KB file after it.
+    let pairs: Vec<(u64, [u8; 56])> = (0..200u64)
+        .map(|i| (i * 3 + 1, value_from(format!("rec{i}").as_bytes())))
+        .collect();
+    let tree = ShermanTree::bulk_load(&pairs, 0.8);
+    let file_base = (tree.image().len() as u64).div_ceil(NODE_SIZE) * NODE_SIZE;
+    let mr = tb.server_mr(
+        (file_base + cfg.span + NODE_SIZE).max(1 << 21),
+        AccessFlags::remote_all(),
+    );
+    let image = tree.image().to_vec();
+    tb.sim.write_memory(tb.server, mr.addr(0), &image);
+
+    // Victim on client 0.
+    let victim_qp = tb.connect_client(
+        0,
+        ConnectOptions {
+            tc: TrafficClass::new(0),
+            flow: FlowId(1),
+            max_send_queue: cfg.victim_depth,
+        },
+    );
+    let victim = tb.sim.add_app(Box::new(ShermanVictim::new(
+        victim_qp,
+        mr,
+        file_base,
+        victim_offset,
+        tree.root_offset(),
+        100,
+        pairs[0].0,
+        0x7000,
+    )));
+    tb.sim.own_qp(victim, victim_qp);
+
+    // Attacker on client 1.
+    let attacker_qp = tb.connect_client(
+        1,
+        ConnectOptions {
+            tc: TrafficClass::new(0),
+            flow: FlowId(2),
+            max_send_queue: cfg.probe_depth,
+        },
+    );
+    // The sweep starts with a discarded dummy pass over the first offset
+    // so cold caches/row buffers never contaminate a real pool.
+    let mut offsets = cfg.observation_offsets();
+    offsets.insert(0, offsets[0]);
+    let pools = Rc::new(RefCell::new(vec![Vec::new(); offsets.len()]));
+    let probe = tb.sim.add_app(Box::new(SweepProbe {
+        qp: attacker_qp,
+        depth: cfg.probe_depth,
+        mr,
+        file_base,
+        offsets,
+        per_offset: cfg.samples_per_offset,
+        warmup: cfg.warmup_per_offset,
+        rephase_every: 8,
+        current: 0,
+        collected: 0,
+        outstanding: 0,
+        draining: false,
+        pools: Rc::clone(&pools),
+        seq: 0,
+    }));
+    tb.sim.own_qp(probe, attacker_qp);
+
+    // The probe stops the loop when its sweep completes.
+    tb.sim.run_until(SimTime::from_secs(10));
+    let mut pools = pools.borrow().clone();
+    pools.remove(0); // the dummy cold-start pass
+    SamplePools {
+        pools,
+        victim_offset,
+    }
+}
+
+/// Step ❷: one trace = per-offset means of `reps` bootstrap-sampled ULI
+/// observations (deterministic given the RNG).
+pub fn trace_from_pools(pools: &SamplePools, reps: usize, rng: &mut SimRng) -> Vec<f64> {
+    pools
+        .pools
+        .iter()
+        .map(|pool| {
+            assert!(!pool.is_empty(), "empty sample pool");
+            let mut acc = 0.0;
+            for _ in 0..reps {
+                let i = rng.uniform_range(0, pool.len() as u64) as usize;
+                acc += pool[i];
+            }
+            acc / reps as f64
+        })
+        .collect()
+}
+
+/// The attacker's averaged trace for one run (the Fig. 13(a) curves).
+pub fn mean_trace(pools: &SamplePools) -> Vec<f64> {
+    pools
+        .pools
+        .iter()
+        .map(|p| p.iter().sum::<f64>() / p.len() as f64)
+        .collect()
+}
+
+/// Step ❸ evaluation: accuracy of the trained classifier plus baseline.
+#[derive(Debug)]
+pub struct Fig13Report {
+    /// MLP test accuracy (the paper's headline is 95.6 %).
+    pub mlp_accuracy: f64,
+    /// 1-D CNN test accuracy (closest to the paper's ResNet18 choice).
+    pub cnn_accuracy: f64,
+    /// Nearest-centroid baseline accuracy.
+    pub template_accuracy: f64,
+    /// Confusion matrix of the MLP (`[truth][pred]`).
+    pub confusion: Vec<Vec<u32>>,
+    /// Mean traces per candidate, for plotting Fig. 13(a).
+    pub mean_traces: Vec<(u64, Vec<f64>)>,
+    /// Training set size used.
+    pub train_size: usize,
+    /// Test set size used.
+    pub test_size: usize,
+}
+
+/// Runs the complete Fig.-13 pipeline: pools per candidate, bootstrap
+/// dataset, MLP training, held-out evaluation.
+pub fn evaluate(
+    kind: DeviceKind,
+    cfg: &SnoopConfig,
+    train_per_class: usize,
+    test_per_class: usize,
+) -> Fig13Report {
+    let dim = cfg.observation_offsets().len();
+    let mut train = Dataset::new(dim);
+    let mut test = Dataset::new(dim);
+    let mut mean_traces = Vec::new();
+    let mut rng = SimRng::derive(cfg.seed, "snoop-bootstrap");
+    for (class, &cand) in cfg.candidates.iter().enumerate() {
+        // Train and test traces come from *independent* attack sessions
+        // (different seeds), so the classifier must generalize across
+        // runs rather than memorize one session's noise.
+        let train_pools = collect_pools(kind, cand, cfg);
+        let test_cfg = SnoopConfig {
+            seed: cfg.seed.wrapping_add(0x9E37_79B9),
+            ..cfg.clone()
+        };
+        let test_pools = collect_pools(kind, cand, &test_cfg);
+        mean_traces.push((cand, mean_trace(&train_pools)));
+        for _ in 0..train_per_class {
+            train.push(
+                &trace_from_pools(&train_pools, cfg.reps_per_trace, &mut rng),
+                class,
+            );
+        }
+        for _ in 0..test_per_class {
+            test.push(
+                &trace_from_pools(&test_pools, cfg.reps_per_trace, &mut rng),
+                class,
+            );
+        }
+    }
+    train.normalize_per_sample();
+    test.normalize_per_sample();
+    train.shuffle(cfg.seed);
+
+    let template = TemplateClassifier::fit(&train);
+    let template_accuracy = template.evaluate(&test);
+
+    let mlp = MlpClassifier::train(
+        &train,
+        &TrainConfig {
+            hidden: vec![64, 32],
+            epochs: 40,
+            ..TrainConfig::default()
+        },
+    );
+    let (mlp_accuracy, confusion) = mlp.evaluate(&test);
+
+    // The CNN needs enough positions for its conv/pool geometry; on the
+    // coarse 17-point quick mode fall back to a smaller kernel.
+    let cnn_cfg = if dim >= 64 {
+        CnnConfig::default()
+    } else {
+        CnnConfig {
+            kernel: 3,
+            pool: 2,
+            ..CnnConfig::default()
+        }
+    };
+    let cnn = CnnClassifier::train(&train, &cnn_cfg);
+    let cnn_accuracy = cnn.evaluate(&test);
+
+    Fig13Report {
+        mlp_accuracy,
+        cnn_accuracy,
+        template_accuracy,
+        confusion,
+        mean_traces,
+        train_size: train.len(),
+        test_size: test.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> SnoopConfig {
+        SnoopConfig {
+            step: 64, // 17 observation points instead of 257
+            samples_per_offset: 40,
+            warmup_per_offset: 6,
+            reps_per_trace: 25,
+            candidates: vec![0, 256, 512, 768],
+            ..SnoopConfig::default()
+        }
+    }
+
+    #[test]
+    fn traces_peak_near_the_victim_offset() {
+        let cfg = quick_cfg();
+        let pools = collect_pools(DeviceKind::ConnectX4, 512, &cfg);
+        let trace = mean_trace(&pools);
+        assert_eq!(trace.len(), 17);
+        // The bank-collision signature: the observation point sharing the
+        // victim's 64 B token (offset 512 = index 8) reads highest.
+        let peak_idx = trace
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        assert_eq!(
+            peak_idx, 8,
+            "ULI peak should sit at the victim's offset; trace: {trace:?}"
+        );
+    }
+
+    #[test]
+    fn different_candidates_produce_distinct_traces() {
+        let cfg = quick_cfg();
+        let a = mean_trace(&collect_pools(DeviceKind::ConnectX4, 0, &cfg));
+        let b = mean_trace(&collect_pools(DeviceKind::ConnectX4, 768, &cfg));
+        // Their peaks differ.
+        let argmax = |t: &[f64]| {
+            t.iter()
+                .enumerate()
+                .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("non-empty")
+        };
+        assert_ne!(argmax(&a), argmax(&b));
+    }
+
+    #[test]
+    fn small_scale_classification_works() {
+        let cfg = quick_cfg();
+        let report = evaluate(DeviceKind::ConnectX4, &cfg, 40, 10);
+        assert!(
+            report.mlp_accuracy > 0.8,
+            "small-scale accuracy too low: {} (template {})",
+            report.mlp_accuracy,
+            report.template_accuracy
+        );
+        assert_eq!(report.train_size, 160);
+        assert_eq!(report.test_size, 40);
+    }
+
+    #[test]
+    fn observation_set_matches_paper() {
+        let cfg = SnoopConfig::default();
+        let offsets = cfg.observation_offsets();
+        assert_eq!(offsets.len(), 257, "paper uses 257 observation samples");
+        assert_eq!(cfg.candidates.len(), 17, "paper uses 17 candidates");
+        assert_eq!(*offsets.last().expect("non-empty"), 1024);
+    }
+}

@@ -1,0 +1,155 @@
+//! Common experiment scaffolding: one server, N clients, shared PD on the
+//! server (the paper's §IV-C setup), convenience MR/QP plumbing.
+
+use rdma_verbs::{
+    AccessFlags, ConnectOptions, DeviceProfile, FlowId, HostId, MrHandle, PdId, QpHandle,
+    Simulation, TrafficClass,
+};
+
+/// A star topology: `clients[i] ⇄ switch ⇄ server`, every host carrying
+/// the same RNIC generation.
+///
+/// # Examples
+///
+/// ```
+/// use ragnar_core::Testbed;
+/// use rdma_verbs::{AccessFlags, DeviceProfile};
+///
+/// let mut tb = Testbed::new(DeviceProfile::connectx5(), 2, 42);
+/// let mr = tb.server_mr(2 * 1024 * 1024, AccessFlags::remote_all());
+/// let qp = tb.connect_client(0, Default::default());
+/// assert_eq!(qp.peer_host, tb.server);
+/// assert_eq!(mr.host, tb.server);
+/// ```
+pub struct Testbed {
+    /// The underlying simulation.
+    pub sim: Simulation,
+    /// The server host (holds the shared data).
+    pub server: HostId,
+    /// Client hosts.
+    pub clients: Vec<HostId>,
+    server_pd: PdId,
+    client_pds: Vec<PdId>,
+}
+
+impl Testbed {
+    /// Builds the topology with `n_clients` clients, all using `profile`.
+    pub fn new(profile: DeviceProfile, n_clients: usize, seed: u64) -> Self {
+        let mut sim = Simulation::new(seed);
+        let server = sim.add_host(profile.clone());
+        let server_pd = sim.alloc_pd(server);
+        let mut clients = Vec::with_capacity(n_clients);
+        let mut client_pds = Vec::with_capacity(n_clients);
+        for _ in 0..n_clients {
+            let c = sim.add_host(profile.clone());
+            client_pds.push(sim.alloc_pd(c));
+            clients.push(c);
+        }
+        Testbed {
+            sim,
+            server,
+            clients,
+            server_pd,
+            client_pds,
+        }
+    }
+
+    /// The server's protection domain (all server MRs share it, as in the
+    /// paper's setup).
+    pub fn server_pd(&self) -> PdId {
+        self.server_pd
+    }
+
+    /// Registers a server-side MR (2 MiB huge-page aligned).
+    pub fn server_mr(&mut self, len: u64, access: AccessFlags) -> MrHandle {
+        self.sim.register_mr(self.server, self.server_pd, len, access)
+    }
+
+    /// Registers an MR on a client (for local buffers).
+    pub fn client_mr(&mut self, client: usize, len: u64, access: AccessFlags) -> MrHandle {
+        self.sim
+            .register_mr(self.clients[client], self.client_pds[client], len, access)
+    }
+
+    /// Connects client `client` to the server; returns the client-side
+    /// endpoint.
+    pub fn connect_client(&mut self, client: usize, opts: ConnectOptions) -> QpHandle {
+        let (cq, _sq) = self.sim.connect(
+            self.clients[client],
+            self.client_pds[client],
+            self.server,
+            self.server_pd,
+            opts,
+        );
+        cq
+    }
+
+    /// Connects the server to client `client` (for "reverse" flows where
+    /// the server is the requester, e.g. reverse RDMA Reads in Fig. 4);
+    /// returns the server-side endpoint.
+    pub fn connect_server_to_client(&mut self, client: usize, opts: ConnectOptions) -> QpHandle {
+        let (sq, _cq) = self.sim.connect(
+            self.server,
+            self.server_pd,
+            self.clients[client],
+            self.client_pds[client],
+            opts,
+        );
+        sq
+    }
+
+    /// Connects client `client` with explicit TC/flow/queue depth.
+    pub fn connect_client_with(
+        &mut self,
+        client: usize,
+        tc: TrafficClass,
+        flow: FlowId,
+        max_send_queue: usize,
+    ) -> QpHandle {
+        self.connect_client(
+            client,
+            ConnectOptions {
+                tc,
+                flow,
+                max_send_queue,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma_verbs::WorkRequest;
+    use sim_core::SimTime;
+
+    #[test]
+    fn clients_reach_the_server() {
+        let mut tb = Testbed::new(DeviceProfile::connectx4(), 2, 1);
+        let mr = tb.server_mr(1 << 21, AccessFlags::remote_all());
+        tb.sim.write_memory(tb.server, mr.addr(0), b"shared");
+        let q0 = tb.connect_client(0, Default::default());
+        let q1 = tb.connect_client(1, Default::default());
+        tb.sim
+            .post_send(q0, WorkRequest::read(1, 0x1000, mr.addr(0), mr.key, 6))
+            .expect("post c0");
+        tb.sim
+            .post_send(q1, WorkRequest::read(2, 0x1000, mr.addr(0), mr.key, 6))
+            .expect("post c1");
+        tb.sim.run_until(SimTime::from_millis(1));
+        let done = tb.sim.take_completions();
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|(_, c)| c.status.is_ok()));
+    }
+
+    #[test]
+    fn distinct_pds_per_host() {
+        let tb = Testbed::new(DeviceProfile::connectx5(), 3, 2);
+        assert_eq!(tb.clients.len(), 3);
+        let mut pds = tb.client_pds.clone();
+        pds.push(tb.server_pd);
+        pds.sort_by_key(|p| p.0);
+        pds.dedup();
+        assert_eq!(pds.len(), 4, "every host gets its own PD");
+    }
+}

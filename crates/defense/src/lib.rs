@@ -1,0 +1,31 @@
+//! # ragnar-defense — the defenses Ragnar is evaluated against
+//!
+//! The paper's granularity taxonomy (§II-D) maps each defense to the
+//! attack grain it can see:
+//!
+//! * [`pfc`] — native Grain-I per-traffic-class counters and pause
+//!   frames: contain pressure floods, blind to anything finer.
+//! * [`harmonic`] — a HARMONIC-style (NSDI'24) monitor over Grain-II
+//!   opcode/size counters and Grain-III resource counters. It flags the
+//!   §V-B priority channel (whose sender modulates message sizes) but
+//!   passes the inter-/intra-MR channels, whose Grain-II/III statistics
+//!   are stationary — the paper's central stealthiness claim.
+//! * [`mitigation`] — the §VII latency-noise countermeasure and its
+//!   security/performance trade-off.
+//! * [`roc`] — detector operating characteristics: the quantitative form
+//!   of the paper's stealthiness argument.
+//!
+//! Integration tests in `ragnar-bench` run the real covert channels
+//! against these monitors to reproduce Table I's "Defended" column.
+
+#![warn(missing_docs)]
+
+pub mod harmonic;
+pub mod mitigation;
+pub mod pfc;
+pub mod roc;
+
+pub use harmonic::{window_signatures, HarmonicMonitor, Verdict, WindowSignature};
+pub use mitigation::{noise_sweep, NoisePoint};
+pub use pfc::{apply_pauses, PauseDecision, PfcWatchdog};
+pub use roc::{detection_at_fpr, roc_sweep, RocPoint};

@@ -1,0 +1,86 @@
+//! §VII mitigation study: latency-noise injection and its
+//! security/performance trade-off.
+//!
+//! "Introducing sub-microsecond noise into packet latency can obscure
+//! ULI but may still leave detectable traces. Adding full noise for
+//! complete masking results in significant performance degradation."
+//! This module quantifies both sides: the covert channel's error rate
+//! and the victim-visible latency overhead, as a function of the
+//! injected noise σ.
+
+use ragnar_core::covert::inter_mr;
+use ragnar_core::covert::UliChannelConfig;
+use rdma_verbs::DeviceKind;
+
+/// One point of the noise sweep.
+#[derive(Debug, Clone)]
+pub struct NoisePoint {
+    /// Injected TPU noise σ in nanoseconds.
+    pub noise_ns: u64,
+    /// Inter-MR channel error rate under this noise.
+    pub channel_error_rate: f64,
+    /// Effective channel bandwidth (bps) under this noise.
+    pub effective_bandwidth_bps: f64,
+    /// Mean receiver ULI (ns) — the performance cost every tenant pays.
+    pub mean_uli_ns: f64,
+}
+
+/// Sweeps noise levels against the inter-MR channel on `kind`.
+pub fn noise_sweep(kind: DeviceKind, noise_levels_ns: &[u64], bits: usize) -> Vec<NoisePoint> {
+    let payload = ragnar_core::covert::random_bits(bits, 0xD1CE);
+    noise_levels_ns
+        .iter()
+        .map(|&noise_ns| {
+            let cfg = UliChannelConfig {
+                mitigation_noise_ns: noise_ns,
+                ..inter_mr::default_config(kind)
+            };
+            let run = inter_mr::run(kind, &payload, &cfg);
+            let mean_uli = if run.rx_samples.is_empty() {
+                0.0
+            } else {
+                run.rx_samples.iter().map(|s| s.uli_ns).sum::<f64>()
+                    / run.rx_samples.len() as f64
+            };
+            NoisePoint {
+                noise_ns,
+                channel_error_rate: run.report.error_rate(),
+                effective_bandwidth_bps: run.report.effective_bandwidth_bps(),
+                mean_uli_ns: mean_uli,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_degrades_the_channel_but_costs_latency() {
+        // The receiver averages ~40 samples per bit, so masking needs σ
+        // large enough that the *window mean* noise swamps the ~300 ns
+        // signal — full masking is expensive, as §VII warns.
+        let points = noise_sweep(DeviceKind::ConnectX4, &[0, 2500], 96);
+        let clean = &points[0];
+        let noisy = &points[1];
+        assert!(
+            noisy.channel_error_rate > clean.channel_error_rate + 0.05,
+            "heavy noise should raise channel errors: {} -> {}",
+            clean.channel_error_rate,
+            noisy.channel_error_rate
+        );
+        assert!(
+            noisy.effective_bandwidth_bps < 0.8 * clean.effective_bandwidth_bps,
+            "effective bandwidth should collapse: {} -> {}",
+            clean.effective_bandwidth_bps,
+            noisy.effective_bandwidth_bps
+        );
+        assert!(
+            noisy.mean_uli_ns > clean.mean_uli_ns,
+            "masking noise costs every tenant latency: {} -> {}",
+            clean.mean_uli_ns,
+            noisy.mean_uli_ns
+        );
+    }
+}

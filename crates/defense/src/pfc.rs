@@ -1,0 +1,116 @@
+//! Grain-I defense: priority flow control (PFC).
+//!
+//! Modern RNICs provide native per-traffic-class counters and pause
+//! frames, which contain *pressure*-level (Grain-I) attacks: a watchdog
+//! that pauses a class whose ingress rate exceeds its share. The paper's
+//! taxonomy (§II-D) notes this catches Grain-I floods but is blind to
+//! everything finer.
+
+use rnic_model::{CounterSnapshot, TrafficClass};
+use sim_core::{SimDuration, SimTime};
+
+/// A PFC watchdog decision for one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseDecision {
+    /// The class to pause.
+    pub tc: TrafficClass,
+    /// How long to pause it.
+    pub duration: SimDuration,
+}
+
+/// Watches per-TC ingress byte rates and issues pause decisions when a
+/// class exceeds its configured share of the port.
+#[derive(Debug, Clone)]
+pub struct PfcWatchdog {
+    /// Port rate in bits per second.
+    pub port_rate_bps: u64,
+    /// Fraction of the port a single class may use before being paused.
+    pub share_limit: f64,
+    /// Pause duration issued on violation.
+    pub pause: SimDuration,
+}
+
+impl PfcWatchdog {
+    /// Creates a watchdog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share limit is outside `(0, 1]`.
+    pub fn new(port_rate_bps: u64, share_limit: f64) -> Self {
+        assert!(
+            share_limit > 0.0 && share_limit <= 1.0,
+            "share limit out of range"
+        );
+        PfcWatchdog {
+            port_rate_bps,
+            share_limit,
+            pause: SimDuration::from_micros(50),
+        }
+    }
+
+    /// Evaluates one counter window: returns pause decisions for every
+    /// class whose ingress rate exceeded its share.
+    pub fn evaluate(
+        &self,
+        earlier: &CounterSnapshot,
+        later: &CounterSnapshot,
+        window: SimDuration,
+    ) -> Vec<PauseDecision> {
+        assert!(!window.is_zero(), "empty window");
+        let d = later.delta(earlier);
+        let mut out = Vec::new();
+        for tc in 0..TrafficClass::COUNT {
+            let bps = d.rx_bytes_per_tc[tc] as f64 * 8.0 / window.as_secs_f64();
+            if bps > self.share_limit * self.port_rate_bps as f64 {
+                out.push(PauseDecision {
+                    tc: TrafficClass::new(tc as u8),
+                    duration: self.pause,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: applies decisions to an RNIC at `now`.
+pub fn apply_pauses(nic: &mut rnic_model::Rnic, now: SimTime, decisions: &[PauseDecision]) {
+    for d in decisions {
+        nic.pause_tc(d.tc, now + d.duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flood_triggers_pause_only_for_offender() {
+        let wd = PfcWatchdog::new(25_000_000_000, 0.6);
+        let a = CounterSnapshot::default();
+        let mut b = CounterSnapshot::default();
+        // TC0 floods: 2.5 MB in 1 ms = 20 Gbps (> 60 % of 25 G).
+        b.rx_bytes_per_tc[0] = 2_500_000;
+        // TC1 modest: 100 KB in 1 ms = 0.8 Gbps.
+        b.rx_bytes_per_tc[1] = 100_000;
+        let decisions = wd.evaluate(&a, &b, SimDuration::from_millis(1));
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(decisions[0].tc, TrafficClass::new(0));
+    }
+
+    #[test]
+    fn quiet_traffic_not_paused() {
+        let wd = PfcWatchdog::new(25_000_000_000, 0.6);
+        let a = CounterSnapshot::default();
+        let mut b = CounterSnapshot::default();
+        b.rx_bytes_per_tc[3] = 10_000;
+        assert!(wd
+            .evaluate(&a, &b, SimDuration::from_millis(1))
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "share limit")]
+    fn invalid_share_rejected() {
+        let _ = PfcWatchdog::new(25_000_000_000, 1.5);
+    }
+}

@@ -1,0 +1,381 @@
+//! # pythia-baseline — the persistent-channel baseline (Tsai et al.,
+//! USENIX Security'19)
+//!
+//! Pythia attacks the RNIC's *on-board caches* (here: the MPT protection
+//! cache) with evict+reload: the receiver times a read of a shared MR —
+//! a slow read means its protection entry was evicted, i.e. the sender
+//! transmitted a 1. This is a **persistent** channel (it communicates
+//! through retained state), in contrast to Ragnar's volatile contention
+//! channels, and the point of comparison for the paper's headline
+//! "3.2× the bandwidth of state-of-the-art RDMA covert channels on
+//! CX-5" (63.6 Kbps inter-MR vs. Pythia's 20 Kbps).
+//!
+//! The eviction set is *discovered by timing measurements*, mirroring
+//! Pythia's reverse-engineering step — the attacker never inspects the
+//! simulated cache's internals.
+
+#![warn(missing_docs)]
+
+use ragnar_core::covert::{count_errors, ChannelReport};
+use ragnar_core::Testbed;
+use rdma_verbs::{
+    AccessFlags, ConnectOptions, DeviceKind, DeviceProfile, FlowId, MrHandle, QpHandle,
+    Simulation, TrafficClass, WorkRequest,
+};
+use sim_core::{SimDuration, SimTime};
+
+/// Parameters of the Pythia channel.
+#[derive(Debug, Clone)]
+pub struct PythiaConfig {
+    /// Probe MRs registered for eviction-set discovery. `0` means "2×
+    /// the device's MPT capacity" (guaranteed to contain an eviction
+    /// set).
+    pub probe_mr_count: usize,
+    /// Overrides the device's MPT cache entry count (smaller caches make
+    /// tests fast; `None` keeps the preset geometry).
+    pub mpt_entries_override: Option<usize>,
+    /// Bit period (calibrated so CX-5 lands at Pythia's reported
+    /// ~20 Kbps: one evict+reload round plus synchronization margin).
+    pub bit_period: SimDuration,
+    /// Latency threshold multiplier over the hit baseline for declaring
+    /// a miss.
+    pub miss_threshold: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for PythiaConfig {
+    fn default() -> Self {
+        PythiaConfig {
+            probe_mr_count: 0,
+            mpt_entries_override: None,
+            bit_period: SimDuration::from_micros(50),
+            miss_threshold: 1.12,
+            seed: 0x9171A,
+        }
+    }
+}
+
+/// The prepared attack world: server + sender + receiver with a shared
+/// MR and a pool of sender-owned probe MRs.
+pub struct PythiaWorld {
+    /// The fabric.
+    pub tb: Testbed,
+    /// The MR whose MPT entry carries the covert state.
+    pub shared_mr: MrHandle,
+    /// Sender-side QP.
+    pub tx_qp: QpHandle,
+    /// Receiver-side QP.
+    pub rx_qp: QpHandle,
+    /// Probe MRs available for eviction.
+    pub probe_mrs: Vec<MrHandle>,
+    wr_seq: u64,
+}
+
+impl PythiaWorld {
+    /// Builds the world on the given device.
+    pub fn new(kind: DeviceKind, cfg: &PythiaConfig) -> Self {
+        let mut profile = DeviceProfile::preset(kind);
+        if let Some(entries) = cfg.mpt_entries_override {
+            profile.mpt_cache_entries = entries;
+        }
+        let probe_count = if cfg.probe_mr_count == 0 {
+            profile.mpt_cache_entries * 2
+        } else {
+            cfg.probe_mr_count
+        };
+        let mut tb = Testbed::new(profile, 2, cfg.seed);
+        let shared_mr = tb.server_mr(4096, AccessFlags::remote_read_only());
+        let probe_mrs: Vec<MrHandle> = (0..probe_count)
+            .map(|_| tb.server_mr(4096, AccessFlags::remote_read_only()))
+            .collect();
+        let tx_qp = tb.connect_client(
+            0,
+            ConnectOptions {
+                tc: TrafficClass::new(0),
+                flow: FlowId(1),
+                max_send_queue: 64,
+            },
+        );
+        let rx_qp = tb.connect_client(
+            1,
+            ConnectOptions {
+                tc: TrafficClass::new(0),
+                flow: FlowId(2),
+                max_send_queue: 8,
+            },
+        );
+        PythiaWorld {
+            tb,
+            shared_mr,
+            tx_qp,
+            rx_qp,
+            probe_mrs,
+            wr_seq: 0,
+        }
+    }
+
+    fn sim(&mut self) -> &mut Simulation {
+        &mut self.tb.sim
+    }
+
+    /// Posts one 8 B read and runs until its completion; returns the
+    /// latency in nanoseconds.
+    pub fn timed_read(&mut self, qp: QpHandle, mr: &MrHandle) -> f64 {
+        self.wr_seq += 1;
+        let wr = WorkRequest::read(self.wr_seq, 0x1000, mr.addr(0), mr.key, 8);
+        self.sim().post_send(qp, wr).expect("post read");
+        // Drain until this completion arrives.
+        loop {
+            self.sim().run_until(SimTime::MAX);
+            let done = self.sim().take_completions();
+            if !done.is_empty() {
+                let cqe = done.last().expect("completion").1;
+                return cqe.latency().as_nanos_f64();
+            }
+        }
+    }
+
+    /// Posts reads over a set of MRs from the sender (pipelined, windowed
+    /// by the QP's send-queue capacity) and waits for them to complete.
+    pub fn touch_all(&mut self, qp: QpHandle, mrs: &[MrHandle]) {
+        let mut waiting = 0usize;
+        for mr in mrs {
+            self.wr_seq += 1;
+            let wr = WorkRequest::read(self.wr_seq, 0x2000, mr.addr(0), mr.key, 8);
+            loop {
+                match self.sim().post_send(qp, wr) {
+                    Ok(()) => {
+                        waiting += 1;
+                        break;
+                    }
+                    Err(rdma_verbs::PostError::SendQueueFull) => {
+                        // Drain some completions, then retry.
+                        self.sim().run_until(SimTime::MAX);
+                        waiting -= self.sim().take_completions().len();
+                    }
+                    Err(e) => panic!("post touch failed: {e}"),
+                }
+            }
+        }
+        while waiting > 0 {
+            self.sim().run_until(SimTime::MAX);
+            waiting -= self.sim().take_completions().len();
+        }
+    }
+
+    /// Measures the hit-latency baseline of the shared MR.
+    pub fn hit_baseline(&mut self) -> f64 {
+        // First read warms the entry; average a few warm reads.
+        let qp = self.rx_qp;
+        let shared = self.shared_mr;
+        self.timed_read(qp, &shared);
+        let n = 8;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += self.timed_read(qp, &shared);
+        }
+        acc / n as f64
+    }
+
+    /// True if reading the shared MR misses the MPT cache (latency above
+    /// `threshold` ns). The read also reloads the entry.
+    pub fn probe_is_miss(&mut self, threshold: f64) -> bool {
+        let qp = self.rx_qp;
+        let shared = self.shared_mr;
+        self.timed_read(qp, &shared) > threshold
+    }
+
+    /// Pythia's reverse-engineering step: discovers a minimal eviction
+    /// set for the shared MR by timing alone (group reduction).
+    ///
+    /// Returns the set, or `None` if the probe pool cannot evict the
+    /// entry at all.
+    pub fn discover_eviction_set(&mut self, threshold: f64) -> Option<Vec<MrHandle>> {
+        let evicts = |world: &mut PythiaWorld, set: &[MrHandle]| -> bool {
+            // Load the shared entry, touch the candidate set, re-probe.
+            let rx = world.rx_qp;
+            let tx = world.tx_qp;
+            let shared = world.shared_mr;
+            world.timed_read(rx, &shared);
+            world.touch_all(tx, set);
+            world.probe_is_miss(threshold)
+        };
+        let mut set: Vec<MrHandle> = self.probe_mrs.clone();
+        if !evicts(self, &set) {
+            return None;
+        }
+        // Group reduction: repeatedly split into groups and drop any
+        // group whose removal still evicts.
+        while set.len() > 24 {
+            let groups = 8;
+            let group_len = set.len().div_ceil(groups);
+            let mut reduced = false;
+            for g in 0..groups {
+                let lo = g * group_len;
+                if lo >= set.len() {
+                    break;
+                }
+                let hi = (lo + group_len).min(set.len());
+                let candidate: Vec<MrHandle> = set[..lo]
+                    .iter()
+                    .chain(&set[hi..])
+                    .copied()
+                    .collect();
+                if !candidate.is_empty() && evicts(self, &candidate) {
+                    set = candidate;
+                    reduced = true;
+                    break;
+                }
+            }
+            if !reduced {
+                break;
+            }
+        }
+        // Final element-wise reduction.
+        let mut i = 0;
+        while i < set.len() {
+            let mut candidate = set.clone();
+            candidate.remove(i);
+            if !candidate.is_empty() && evicts(self, &candidate) {
+                set = candidate;
+            } else {
+                i += 1;
+            }
+        }
+        Some(set)
+    }
+}
+
+/// Result of one Pythia channel run.
+#[derive(Debug, Clone)]
+pub struct PythiaRun {
+    /// Channel evaluation (same report type as the Ragnar channels, for
+    /// direct Table-V-style comparison).
+    pub report: ChannelReport,
+    /// Discovered eviction-set size.
+    pub eviction_set_size: usize,
+}
+
+/// Runs the evict+reload covert channel transmitting `bits` on `kind`.
+///
+/// # Panics
+///
+/// Panics if no eviction set can be discovered (probe pool too small for
+/// the device's MPT geometry).
+pub fn run_channel(kind: DeviceKind, bits: &[bool], cfg: &PythiaConfig) -> PythiaRun {
+    let mut world = PythiaWorld::new(kind, cfg);
+    let baseline = world.hit_baseline();
+    let threshold = baseline * cfg.miss_threshold;
+    let eviction_set = world
+        .discover_eviction_set(threshold)
+        .expect("probe pool must contain an eviction set");
+
+    let mut levels = Vec::with_capacity(bits.len());
+    let mut decoded = Vec::with_capacity(bits.len());
+    // Align to a bit grid after discovery.
+    let mut bit_start = world.tb.sim.now() + cfg.bit_period;
+    for &bit in bits {
+        // Receiver reloads the entry at the bit start.
+        world.tb.sim.run_until(bit_start);
+        let rx = world.rx_qp;
+        let shared = world.shared_mr;
+        world.timed_read(rx, &shared);
+        // Sender evicts (bit 1) or stays idle (bit 0).
+        if bit {
+            let tx = world.tx_qp;
+            let set = eviction_set.clone();
+            world.touch_all(tx, &set);
+        }
+        // Receiver probes near the end of the bit.
+        world
+            .tb
+            .sim
+            .run_until(bit_start + cfg.bit_period.mul_f64(0.8));
+        let lat = world.timed_read(rx, &shared);
+        levels.push(lat);
+        decoded.push(lat > threshold);
+        bit_start += cfg.bit_period;
+    }
+    let errors = count_errors(bits, &decoded);
+    PythiaRun {
+        report: ChannelReport {
+            device: kind,
+            bits_sent: bits.len(),
+            bit_errors: errors,
+            raw_bandwidth_bps: 1.0 / cfg.bit_period.as_secs_f64(),
+            levels,
+            decoded,
+        },
+        eviction_set_size: eviction_set.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ragnar_core::covert::random_bits;
+
+    fn small_cache_cfg() -> PythiaConfig {
+        PythiaConfig {
+            mpt_entries_override: Some(128),
+            ..PythiaConfig::default()
+        }
+    }
+
+    #[test]
+    fn hit_miss_latencies_are_separable() {
+        let cfg = small_cache_cfg();
+        let mut world = PythiaWorld::new(DeviceKind::ConnectX5, &cfg);
+        let baseline = world.hit_baseline();
+        // Evict by touching the full probe pool, then time the reload.
+        let tx = world.tx_qp;
+        let probes = world.probe_mrs.clone();
+        world.touch_all(tx, &probes);
+        let rx = world.rx_qp;
+        let shared = world.shared_mr;
+        let miss = world.timed_read(rx, &shared);
+        assert!(
+            miss > baseline * 1.1,
+            "MPT miss should be visibly slower: hit {baseline} vs miss {miss}"
+        );
+    }
+
+    #[test]
+    fn eviction_set_discovery_finds_minimal_set() {
+        let cfg = small_cache_cfg();
+        let mut world = PythiaWorld::new(DeviceKind::ConnectX5, &cfg);
+        let baseline = world.hit_baseline();
+        let set = world
+            .discover_eviction_set(baseline * cfg.miss_threshold)
+            .expect("discoverable");
+        // CX-5's MPT is 8-way: the minimal eviction set is the
+        // associativity.
+        assert!(
+            set.len() >= 8 && set.len() <= 12,
+            "eviction set should be near the associativity, got {}",
+            set.len()
+        );
+        // And it really evicts.
+        let rx = world.rx_qp;
+        let shared = world.shared_mr;
+        world.timed_read(rx, &shared);
+        let tx = world.tx_qp;
+        world.touch_all(tx, &set);
+        assert!(world.probe_is_miss(baseline * cfg.miss_threshold));
+    }
+
+    #[test]
+    fn channel_round_trips_bits() {
+        let cfg = small_cache_cfg();
+        let bits = random_bits(48, 3);
+        let run = run_channel(DeviceKind::ConnectX5, &bits, &cfg);
+        assert!(
+            run.report.error_rate() < 0.05,
+            "Pythia's channel is low-error: {}",
+            run.report.error_rate()
+        );
+        // ~20 Kbps at the default 50 µs bit period.
+        assert!((run.report.raw_bandwidth_bps - 20_000.0).abs() < 1.0);
+    }
+}

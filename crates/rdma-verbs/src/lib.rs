@@ -1,0 +1,29 @@
+//! # rdma-verbs — a verbs-style RDMA software stack over the simulated
+//! RNIC fabric
+//!
+//! Provides the abstractions of the paper's Fig. 1: protection domains,
+//! registered memory regions, connected RC queue pairs, work/completion
+//! queues, plus an `mlnx_qos` equivalent for ETS traffic-class
+//! configuration — all driving [`rnic_model::Rnic`] instances connected
+//! through a switch in a deterministic event loop.
+//!
+//! Attack code, victims and measurement drivers are [`App`]s: event-driven
+//! state machines reacting to completions and timers via [`Ctx`].
+//!
+//! See [`Simulation`] for a complete two-host example.
+
+#![warn(missing_docs)]
+
+mod host;
+mod world;
+mod wr;
+
+pub use host::HostSpec;
+pub use world::{App, AppId, ConnectOptions, Ctx, MrHandle, QpHandle, Simulation};
+pub use wr::WorkRequest;
+
+// Re-export the identifiers callers need to interact with the NIC layer.
+pub use rnic_model::{
+    AccessFlags, Cqe, CqeStatus, DeviceKind, DeviceProfile, FlowId, HostId, MrKey, NakReason,
+    Opcode, PdId, PostError, QpNum, RecvWqe, TrafficClass,
+};

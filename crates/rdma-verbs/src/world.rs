@@ -1,0 +1,945 @@
+//! The simulated fabric: hosts, their RNICs, a switch, and the global
+//! event loop that also dispatches application callbacks.
+
+use crate::wr::WorkRequest;
+use rnic_model::{
+    AccessFlags, Cqe, DeviceProfile, HostMemory, MrEntry, MrKey, NicAction, NicCounters, NicEvent,
+    Packet, PdId, PostError, QpConfig, QpNum, RecvWqe, Rnic, TrafficClass,
+};
+use sim_core::{EventQueue, SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
+
+/// Identifies an application registered with the [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AppId(pub usize);
+
+/// Identifies a flow label allocator result.
+pub use rnic_model::FlowId;
+pub use rnic_model::HostId;
+
+/// A registered memory region handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrHandle {
+    /// Host owning the region.
+    pub host: HostId,
+    /// Remote key.
+    pub key: MrKey,
+    /// Base virtual address (2 MiB aligned, as with huge pages).
+    pub base_va: u64,
+    /// Region length in bytes.
+    pub len: u64,
+    /// Owning protection domain.
+    pub pd: PdId,
+}
+
+impl MrHandle {
+    /// Address of `offset` bytes into the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds the region length.
+    pub fn addr(&self, offset: u64) -> u64 {
+        assert!(offset <= self.len, "offset {offset} beyond MR length {}", self.len);
+        self.base_va + offset
+    }
+}
+
+/// A connected queue-pair endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QpHandle {
+    /// Local host.
+    pub host: HostId,
+    /// Local QP number.
+    pub qp: QpNum,
+    /// Remote host.
+    pub peer_host: HostId,
+    /// Remote QP number.
+    pub peer_qp: QpNum,
+}
+
+/// Options for [`Simulation::connect`].
+#[derive(Debug, Clone, Copy)]
+pub struct ConnectOptions {
+    /// Traffic class for both directions.
+    pub tc: TrafficClass,
+    /// Flow label for both directions.
+    pub flow: FlowId,
+    /// Max outstanding send WQEs per endpoint.
+    pub max_send_queue: usize,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        ConnectOptions {
+            tc: TrafficClass::new(0),
+            flow: FlowId(0),
+            max_send_queue: 256,
+        }
+    }
+}
+
+/// Events of the global loop.
+#[derive(Debug)]
+enum WorldEvent {
+    Nic(HostId, NicEvent),
+    Deliver(HostId, Packet),
+    Timer { app: AppId, token: u64 },
+    AppCqe { app: AppId, host: HostId, cqe: Cqe },
+}
+
+/// An event-driven application (attacker, victim, or measurement driver).
+///
+/// Applications never block: they react to completions and timers through
+/// the [`Ctx`] handle. Share results with the harness through
+/// `Rc<RefCell<…>>` captured at construction.
+pub trait App {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Called when a completion arrives on a QP owned by this app.
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_>, host: HostId, cqe: Cqe) {
+        let _ = (ctx, host, cqe);
+    }
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+}
+
+/// State shared by the fabric: NICs, routing, allocators.
+struct World {
+    queue: EventQueue<WorldEvent>,
+    nics: Vec<Rnic>,
+    qp_owner: HashMap<(HostId, QpNum), AppId>,
+    switch_latency: SimDuration,
+    next_qp: u32,
+    next_mr: u32,
+    next_pd: u32,
+    next_flow: u32,
+    next_va: Vec<u64>,
+    orphan_cqes: Vec<(HostId, Cqe)>,
+    stopped: bool,
+    rng: SimRng,
+    /// Probability that any wire packet is dropped by the fabric
+    /// (deterministic given the seed). Zero by default.
+    loss_rate: f64,
+    dropped_packets: u64,
+}
+
+const HUGE_PAGE: u64 = 2 * 1024 * 1024;
+
+impl World {
+    fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    fn apply_actions(&mut self, host: HostId, actions: Vec<NicAction>) {
+        for action in actions {
+            match action {
+                NicAction::Schedule { at, event } => {
+                    self.queue.schedule(at, WorldEvent::Nic(host, event));
+                }
+                NicAction::Transmit { at, pkt } => {
+                    if self.loss_rate > 0.0 && self.rng.chance(self.loss_rate) {
+                        self.dropped_packets += 1;
+                        continue;
+                    }
+                    let prop = self.nics[host.0 as usize].profile().wire_propagation
+                        + self.switch_latency;
+                    let dst = pkt.dst;
+                    self.queue.schedule(at + prop, WorldEvent::Deliver(dst, pkt));
+                }
+                NicAction::Complete { at, cqe } => match self.qp_owner.get(&(host, cqe.qp)) {
+                    Some(&app) => {
+                        self.queue.schedule(at, WorldEvent::AppCqe { app, host, cqe });
+                    }
+                    None => self.orphan_cqes.push((host, cqe)),
+                },
+            }
+        }
+    }
+
+    fn post_send(&mut self, qp: QpHandle, wr: WorkRequest) -> Result<(), PostError> {
+        let now = self.now();
+        let actions = self.nics[qp.host.0 as usize].post_send(now, qp.qp, wr.into_wqe())?;
+        self.apply_actions(qp.host, actions);
+        Ok(())
+    }
+}
+
+/// The top-level simulation: fabric plus applications.
+///
+/// # Examples
+///
+/// One 64 B write between two CX-5 hosts, checked end to end:
+///
+/// ```
+/// use rdma_verbs::{ConnectOptions, Simulation, WorkRequest};
+/// use rnic_model::{AccessFlags, DeviceProfile};
+/// use sim_core::SimTime;
+///
+/// let mut sim = Simulation::new(42);
+/// let a = sim.add_host(DeviceProfile::connectx5());
+/// let b = sim.add_host(DeviceProfile::connectx5());
+/// let pd_a = sim.alloc_pd(a);
+/// let pd_b = sim.alloc_pd(b);
+/// let src = sim.register_mr(a, pd_a, 4096, AccessFlags::remote_all());
+/// let dst = sim.register_mr(b, pd_b, 4096, AccessFlags::remote_all());
+/// let (qa, _qb) = sim.connect(a, pd_a, b, pd_b, ConnectOptions::default());
+///
+/// sim.write_memory(a, src.addr(0), b"ping");
+/// sim.post_send(qa, WorkRequest::write(1, src.addr(0), dst.addr(64), dst.key, 4))
+///     .expect("post");
+/// sim.run_until(SimTime::from_millis(1));
+///
+/// assert_eq!(sim.read_memory(b, dst.addr(64), 4), b"ping");
+/// let done = sim.take_completions();
+/// assert_eq!(done.len(), 1);
+/// assert!(done[0].1.status.is_ok());
+/// ```
+pub struct Simulation {
+    world: World,
+    apps: Vec<Option<Box<dyn App>>>,
+    started_count: usize,
+}
+
+impl Simulation {
+    /// Creates an empty fabric with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            world: World {
+                queue: EventQueue::new(),
+                nics: Vec::new(),
+                qp_owner: HashMap::new(),
+                switch_latency: SimDuration::from_nanos(200),
+                next_qp: 1,
+                next_mr: 1,
+                next_pd: 1,
+                next_flow: 1,
+                next_va: Vec::new(),
+                orphan_cqes: Vec::new(),
+                stopped: false,
+                rng: SimRng::derive(seed, "world"),
+                loss_rate: 0.0,
+                dropped_packets: 0,
+            },
+            apps: Vec::new(),
+            started_count: 0,
+        }
+    }
+
+    /// Adds a host with the given RNIC profile; hosts are numbered from 0.
+    pub fn add_host(&mut self, profile: DeviceProfile) -> HostId {
+        let id = HostId(self.world.nics.len() as u32);
+        // Derive per-NIC seeds from the world RNG stream deterministically.
+        let seed = self.world.rng.next_u64();
+        self.world.nics.push(Rnic::new(id, profile, seed));
+        self.world.next_va.push(HUGE_PAGE);
+        id
+    }
+
+    /// Allocates a protection domain on `host`.
+    pub fn alloc_pd(&mut self, host: HostId) -> PdId {
+        let _ = host;
+        let pd = PdId(self.world.next_pd);
+        self.world.next_pd += 1;
+        pd
+    }
+
+    /// Allocates a fresh flow label.
+    pub fn alloc_flow(&mut self) -> FlowId {
+        let f = FlowId(self.world.next_flow);
+        self.world.next_flow += 1;
+        f
+    }
+
+    /// Registers a 2 MiB-aligned MR of `len` bytes on `host` (the paper's
+    /// setup pins MRs on 2 MB huge pages).
+    pub fn register_mr(
+        &mut self,
+        host: HostId,
+        pd: PdId,
+        len: u64,
+        access: AccessFlags,
+    ) -> MrHandle {
+        let key = MrKey(self.world.next_mr);
+        self.world.next_mr += 1;
+        let base = self.world.next_va[host.0 as usize];
+        let span = len.div_ceil(HUGE_PAGE).max(1) * HUGE_PAGE;
+        self.world.next_va[host.0 as usize] = base + span;
+        let entry = MrEntry {
+            key,
+            pd,
+            base_va: base,
+            len,
+            access,
+        };
+        self.world.nics[host.0 as usize].register_mr(entry);
+        MrHandle {
+            host,
+            key,
+            base_va: base,
+            len,
+            pd,
+        }
+    }
+
+    /// Deregisters an MR; returns whether it existed.
+    pub fn deregister_mr(&mut self, mr: MrHandle) -> bool {
+        self.world.nics[mr.host.0 as usize].deregister_mr(mr.key)
+    }
+
+    /// Connects an RC queue pair between two hosts, returning both
+    /// endpoints (`a` first).
+    pub fn connect(
+        &mut self,
+        a: HostId,
+        pd_a: PdId,
+        b: HostId,
+        pd_b: PdId,
+        opts: ConnectOptions,
+    ) -> (QpHandle, QpHandle) {
+        let qa = QpNum(self.world.next_qp);
+        let qb = QpNum(self.world.next_qp + 1);
+        self.world.next_qp += 2;
+        self.world.nics[a.0 as usize].create_qp(
+            qa,
+            QpConfig {
+                pd: pd_a,
+                tc: opts.tc,
+                flow: opts.flow,
+                peer_host: b,
+                peer_qp: qb,
+                max_send_queue: opts.max_send_queue,
+            },
+        );
+        self.world.nics[b.0 as usize].create_qp(
+            qb,
+            QpConfig {
+                pd: pd_b,
+                tc: opts.tc,
+                flow: opts.flow,
+                peer_host: a,
+                peer_qp: qa,
+                max_send_queue: opts.max_send_queue,
+            },
+        );
+        (
+            QpHandle {
+                host: a,
+                qp: qa,
+                peer_host: b,
+                peer_qp: qb,
+            },
+            QpHandle {
+                host: b,
+                qp: qb,
+                peer_host: a,
+                peer_qp: qa,
+            },
+        )
+    }
+
+    /// Applies ETS weights on a host's egress scheduler (`mlnx_qos`).
+    pub fn set_ets_weights(&mut self, host: HostId, weights: [u32; TrafficClass::COUNT]) {
+        self.world.nics[host.0 as usize].set_ets_weights(weights);
+    }
+
+    /// Registers an application; its `on_start` runs when the simulation
+    /// first advances.
+    pub fn add_app(&mut self, app: Box<dyn App>) -> AppId {
+        let id = AppId(self.apps.len());
+        self.apps.push(Some(app));
+        id
+    }
+
+    /// Routes completions of `qp` to `app`.
+    pub fn own_qp(&mut self, app: AppId, qp: QpHandle) {
+        self.world.qp_owner.insert((qp.host, qp.qp), app);
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// Immutable access to a host's NIC (counters, TPU, profile).
+    pub fn nic(&self, host: HostId) -> &Rnic {
+        &self.world.nics[host.0 as usize]
+    }
+
+    /// Mutable access to a host's NIC (defense knobs, instrumentation).
+    pub fn nic_mut(&mut self, host: HostId) -> &mut Rnic {
+        &mut self.world.nics[host.0 as usize]
+    }
+
+    /// Shorthand for a host's counters.
+    pub fn counters(&self, host: HostId) -> &NicCounters {
+        self.world.nics[host.0 as usize].counters()
+    }
+
+    /// Writes into a host's memory.
+    pub fn write_memory(&mut self, host: HostId, addr: u64, data: &[u8]) {
+        self.world.nics[host.0 as usize].memory_mut().write(addr, data);
+    }
+
+    /// Reads from a host's memory.
+    pub fn read_memory(&self, host: HostId, addr: u64, len: u64) -> Vec<u8> {
+        self.world.nics[host.0 as usize].memory().read(addr, len)
+    }
+
+    /// A host's memory handle.
+    pub fn memory_mut(&mut self, host: HostId) -> &mut HostMemory {
+        self.world.nics[host.0 as usize].memory_mut()
+    }
+
+    /// Sets the fabric's packet-loss probability (0 disables; default).
+    /// Lost messages are recovered by the NICs' retransmission timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn set_loss_rate(&mut self, rate: f64) {
+        assert!((0.0..1.0).contains(&rate), "loss rate out of range");
+        self.world.loss_rate = rate;
+    }
+
+    /// Packets dropped by the fabric so far.
+    pub fn dropped_packets(&self) -> u64 {
+        self.world.dropped_packets
+    }
+
+    /// Posts a work request from outside any app (handy in tests and
+    /// simple drivers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PostError`] from the NIC.
+    pub fn post_send(&mut self, qp: QpHandle, wr: WorkRequest) -> Result<(), PostError> {
+        self.world.post_send(qp, wr)
+    }
+
+    /// Posts a receive WQE.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PostError`] from the NIC.
+    pub fn post_recv(&mut self, qp: QpHandle, recv: RecvWqe) -> Result<(), PostError> {
+        self.world.nics[qp.host.0 as usize].post_recv(qp.qp, recv)
+    }
+
+    /// Completions delivered on QPs not owned by any app, in delivery
+    /// order. Draining.
+    pub fn take_completions(&mut self) -> Vec<(HostId, Cqe)> {
+        std::mem::take(&mut self.world.orphan_cqes)
+    }
+
+    /// Starts every app that has not yet run `on_start` (apps may be
+    /// added mid-simulation; they start at the next `run_until`).
+    fn start_apps(&mut self) {
+        while self.started_count < self.apps.len() {
+            let i = self.started_count;
+            self.started_count += 1;
+            self.with_app(AppId(i), |app, ctx| app.on_start(ctx));
+        }
+    }
+
+    fn with_app(&mut self, id: AppId, f: impl FnOnce(&mut dyn App, &mut Ctx<'_>)) {
+        let Some(mut app) = self.apps[id.0].take() else {
+            return;
+        };
+        {
+            let mut ctx = Ctx {
+                world: &mut self.world,
+                app: id,
+            };
+            f(app.as_mut(), &mut ctx);
+        }
+        self.apps[id.0] = Some(app);
+    }
+
+    /// Runs the event loop until `deadline` (inclusive), the stop flag, or
+    /// queue exhaustion. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.start_apps();
+        let mut processed = 0;
+        while !self.world.stopped {
+            let Some((_, event)) = self.world.queue.pop_before(deadline) else {
+                break;
+            };
+            processed += 1;
+            match event {
+                WorldEvent::Nic(host, ev) => {
+                    let now = self.world.now();
+                    let actions = self.world.nics[host.0 as usize].handle(now, ev);
+                    self.world.apply_actions(host, actions);
+                }
+                WorldEvent::Deliver(host, pkt) => {
+                    let now = self.world.now();
+                    let actions = self.world.nics[host.0 as usize]
+                        .handle(now, NicEvent::IngressArrival { pkt });
+                    self.world.apply_actions(host, actions);
+                }
+                WorldEvent::Timer { app, token } => {
+                    self.with_app(app, |a, ctx| a.on_timer(ctx, token));
+                }
+                WorldEvent::AppCqe { app, host, cqe } => {
+                    self.with_app(app, |a, ctx| a.on_cqe(ctx, host, cqe));
+                }
+            }
+        }
+        processed
+    }
+
+    /// Runs until the queue drains or an app calls [`Ctx::stop`].
+    pub fn run(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.world.queue.events_processed()
+    }
+}
+
+/// The capability handle passed to application callbacks.
+pub struct Ctx<'a> {
+    world: &'a mut World,
+    app: AppId,
+}
+
+impl Ctx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// This app's id.
+    pub fn app_id(&self) -> AppId {
+        self.app
+    }
+
+    /// Posts a work request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PostError`] from the NIC (notably
+    /// [`PostError::SendQueueFull`], which attack loops use for pacing).
+    pub fn post_send(&mut self, qp: QpHandle, wr: WorkRequest) -> Result<(), PostError> {
+        self.world.post_send(qp, wr)
+    }
+
+    /// Posts a receive WQE.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PostError`] from the NIC.
+    pub fn post_recv(&mut self, qp: QpHandle, recv: RecvWqe) -> Result<(), PostError> {
+        self.world.nics[qp.host.0 as usize].post_recv(qp.qp, recv)
+    }
+
+    /// Fires `on_timer(token)` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let at = self.now() + delay;
+        let app = self.app;
+        self.world.queue.schedule(at, WorldEvent::Timer { app, token });
+    }
+
+    /// Stops the event loop after the current callback returns.
+    pub fn stop(&mut self) {
+        self.world.stopped = true;
+    }
+
+    /// A host's counters.
+    pub fn counters(&self, host: HostId) -> &NicCounters {
+        self.world.nics[host.0 as usize].counters()
+    }
+
+    /// A host's NIC.
+    pub fn nic(&self, host: HostId) -> &Rnic {
+        &self.world.nics[host.0 as usize]
+    }
+
+    /// Writes into a host's memory.
+    pub fn write_memory(&mut self, host: HostId, addr: u64, data: &[u8]) {
+        self.world.nics[host.0 as usize].memory_mut().write(addr, data);
+    }
+
+    /// Reads from a host's memory.
+    pub fn read_memory(&self, host: HostId, addr: u64, len: u64) -> Vec<u8> {
+        self.world.nics[host.0 as usize].memory().read(addr, len)
+    }
+
+    /// Deterministic app-level randomness.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.world.rng
+    }
+
+    /// Pauses a traffic class on a host's egress for `duration` — the
+    /// enforcement half of a PFC defense app.
+    pub fn pause_traffic_class(&mut self, host: HostId, tc: TrafficClass, duration: SimDuration) {
+        let until = self.now() + duration;
+        self.world.nics[host.0 as usize].pause_tc(tc, until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnic_model::{CqeStatus, NakReason, Opcode};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn two_hosts(kind: fn() -> DeviceProfile) -> (Simulation, QpHandle, QpHandle, MrHandle, MrHandle) {
+        let mut sim = Simulation::new(7);
+        let a = sim.add_host(kind());
+        let b = sim.add_host(kind());
+        let pd_a = sim.alloc_pd(a);
+        let pd_b = sim.alloc_pd(b);
+        let mr_a = sim.register_mr(a, pd_a, 2 * 1024 * 1024, AccessFlags::remote_all());
+        let mr_b = sim.register_mr(b, pd_b, 2 * 1024 * 1024, AccessFlags::remote_all());
+        let (qa, qb) = sim.connect(a, pd_a, b, pd_b, ConnectOptions::default());
+        (sim, qa, qb, mr_a, mr_b)
+    }
+
+    #[test]
+    fn read_round_trip_returns_completion() {
+        let (mut sim, qa, _qb, _mr_a, mr_b) = two_hosts(DeviceProfile::connectx5);
+        sim.write_memory(mr_b.host, mr_b.addr(128), b"secret-data");
+        sim.post_send(qa, WorkRequest::read(9, 0x100000, mr_b.addr(128), mr_b.key, 11))
+            .expect("post");
+        sim.run_until(SimTime::from_millis(1));
+        let done = sim.take_completions();
+        assert_eq!(done.len(), 1);
+        let (host, cqe) = done[0];
+        assert_eq!(host, qa.host);
+        assert_eq!(cqe.wr_id, 9);
+        assert_eq!(cqe.opcode, Opcode::Read);
+        assert!(cqe.status.is_ok());
+        assert!(cqe.latency() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn read_places_data_in_local_buffer() {
+        let (mut sim, qa, _qb, mr_a, mr_b) = two_hosts(DeviceProfile::connectx5);
+        sim.write_memory(mr_b.host, mr_b.addr(100), b"remote-bytes");
+        sim.post_send(
+            qa,
+            WorkRequest::read(1, mr_a.addr(0), mr_b.addr(100), mr_b.key, 12),
+        )
+        .expect("post");
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(sim.read_memory(mr_a.host, mr_a.addr(0), 12), b"remote-bytes");
+    }
+
+    #[test]
+    fn multi_segment_read_places_all_data() {
+        let (mut sim, qa, _qb, mr_a, mr_b) = two_hosts(DeviceProfile::connectx6);
+        let payload: Vec<u8> = (0..12_000u32).map(|i| (i % 241) as u8).collect();
+        sim.write_memory(mr_b.host, mr_b.addr(0), &payload);
+        sim.post_send(
+            qa,
+            WorkRequest::read(1, mr_a.addr(0), mr_b.addr(0), mr_b.key, payload.len() as u64),
+        )
+        .expect("post");
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(
+            sim.read_memory(mr_a.host, mr_a.addr(0), payload.len() as u64),
+            payload
+        );
+    }
+
+    #[test]
+    fn write_moves_data() {
+        let (mut sim, qa, _qb, mr_a, mr_b) = two_hosts(DeviceProfile::connectx4);
+        sim.write_memory(mr_a.host, mr_a.addr(0), b"hello rdma");
+        sim.post_send(
+            qa,
+            WorkRequest::write(1, mr_a.addr(0), mr_b.addr(4096), mr_b.key, 10),
+        )
+        .expect("post");
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(sim.read_memory(mr_b.host, mr_b.addr(4096), 10), b"hello rdma");
+        assert!(sim.take_completions()[0].1.status.is_ok());
+    }
+
+    #[test]
+    fn multi_segment_write_round_trip() {
+        let (mut sim, qa, _qb, mr_a, mr_b) = two_hosts(DeviceProfile::connectx6);
+        let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        sim.write_memory(mr_a.host, mr_a.addr(0), &payload);
+        sim.post_send(
+            qa,
+            WorkRequest::write(2, mr_a.addr(0), mr_b.addr(0), mr_b.key, payload.len() as u64),
+        )
+        .expect("post");
+        sim.run_until(SimTime::from_millis(2));
+        assert_eq!(
+            sim.read_memory(mr_b.host, mr_b.addr(0), payload.len() as u64),
+            payload
+        );
+        let done = sim.take_completions();
+        assert_eq!(done.len(), 1, "one completion for the whole message");
+    }
+
+    #[test]
+    fn protection_violation_yields_remote_error() {
+        let (mut sim, qa, _qb, _mr_a, mr_b) = two_hosts(DeviceProfile::connectx5);
+        // Read beyond the MR bounds.
+        sim.post_send(
+            qa,
+            WorkRequest::read(3, 0x100000, mr_b.addr(0) + mr_b.len - 4, mr_b.key, 64),
+        )
+        .expect("post");
+        sim.run_until(SimTime::from_millis(1));
+        let done = sim.take_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(
+            done[0].1.status,
+            CqeStatus::RemoteError(NakReason::OutOfBounds)
+        );
+        assert_eq!(sim.nic(mr_b.host).counters().naks_sent, 1);
+    }
+
+    #[test]
+    fn send_queue_capacity_enforced() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_host(DeviceProfile::connectx5());
+        let b = sim.add_host(DeviceProfile::connectx5());
+        let pd_a = sim.alloc_pd(a);
+        let pd_b = sim.alloc_pd(b);
+        let mr_b = sim.register_mr(b, pd_b, 1 << 20, AccessFlags::remote_all());
+        let (qa, _qb) = sim.connect(
+            a,
+            pd_a,
+            b,
+            pd_b,
+            ConnectOptions {
+                max_send_queue: 4,
+                ..ConnectOptions::default()
+            },
+        );
+        for i in 0..4 {
+            sim.post_send(qa, WorkRequest::read(i, 0x1000, mr_b.addr(0), mr_b.key, 64))
+                .expect("within capacity");
+        }
+        let err = sim
+            .post_send(qa, WorkRequest::read(9, 0x1000, mr_b.addr(0), mr_b.key, 64))
+            .expect_err("queue is full");
+        assert_eq!(err, PostError::SendQueueFull);
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(sim.take_completions().len(), 4);
+        // After completion there is room again.
+        sim.post_send(qa, WorkRequest::read(10, 0x1000, mr_b.addr(0), mr_b.key, 64))
+            .expect("capacity restored");
+    }
+
+    #[test]
+    fn atomic_fetch_add_returns_old_value() {
+        let (mut sim, qa, _qb, _mr_a, mr_b) = two_hosts(DeviceProfile::connectx5);
+        sim.memory_mut(mr_b.host).write_u64(mr_b.addr(256), 41);
+        sim.post_send(
+            qa,
+            WorkRequest::fetch_add(4, 0x1000, mr_b.addr(256), mr_b.key, 1),
+        )
+        .expect("post");
+        sim.run_until(SimTime::from_millis(1));
+        let done = sim.take_completions();
+        assert_eq!(done[0].1.atomic_old_value, 41);
+        assert_eq!(sim.nic(mr_b.host).memory().read_u64(mr_b.addr(256)), 42);
+    }
+
+    #[test]
+    fn atomic_cmp_swap_behaviour() {
+        let (mut sim, qa, _qb, _mr_a, mr_b) = two_hosts(DeviceProfile::connectx6);
+        sim.memory_mut(mr_b.host).write_u64(mr_b.addr(0), 7);
+        sim.post_send(
+            qa,
+            WorkRequest::cmp_swap(5, 0x1000, mr_b.addr(0), mr_b.key, 7, 100),
+        )
+        .expect("post");
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(sim.take_completions()[0].1.atomic_old_value, 7);
+        assert_eq!(sim.nic(mr_b.host).memory().read_u64(mr_b.addr(0)), 100);
+    }
+
+    #[test]
+    fn send_recv_round_trip() {
+        let (mut sim, qa, qb, mr_a, mr_b) = two_hosts(DeviceProfile::connectx5);
+        sim.write_memory(mr_a.host, mr_a.addr(0), b"two-sided");
+        sim.post_recv(
+            qb,
+            RecvWqe {
+                wr_id: 77,
+                local_addr: mr_b.addr(512),
+                len: 64,
+            },
+        )
+        .expect("post recv");
+        sim.post_send(qa, WorkRequest::send(6, mr_a.addr(0), 9))
+            .expect("post send");
+        sim.run_until(SimTime::from_millis(1));
+        let done = sim.take_completions();
+        // Send completion at requester + receive completion at responder.
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().any(|(_, c)| c.is_recv && c.wr_id == 77));
+        assert_eq!(sim.read_memory(mr_b.host, mr_b.addr(512), 9), b"two-sided");
+    }
+
+    #[test]
+    fn send_without_recv_naks() {
+        let (mut sim, qa, _qb, mr_a, _mr_b) = two_hosts(DeviceProfile::connectx5);
+        sim.post_send(qa, WorkRequest::send(8, mr_a.addr(0), 16))
+            .expect("post send");
+        sim.run_until(SimTime::from_millis(1));
+        let done = sim.take_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(
+            done[0].1.status,
+            CqeStatus::RemoteError(NakReason::ReceiveNotPosted)
+        );
+    }
+
+    #[test]
+    fn pd_mismatch_rejected() {
+        let mut sim = Simulation::new(3);
+        let a = sim.add_host(DeviceProfile::connectx5());
+        let b = sim.add_host(DeviceProfile::connectx5());
+        let pd_a = sim.alloc_pd(a);
+        let pd_b = sim.alloc_pd(b);
+        let pd_other = sim.alloc_pd(b);
+        // MR in a different PD than the QP.
+        let mr_b = sim.register_mr(b, pd_other, 1 << 20, AccessFlags::remote_all());
+        let (qa, _qb) = sim.connect(a, pd_a, b, pd_b, ConnectOptions::default());
+        sim.post_send(qa, WorkRequest::read(1, 0x1000, mr_b.addr(0), mr_b.key, 8))
+            .expect("post");
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(
+            sim.take_completions()[0].1.status,
+            CqeStatus::RemoteError(NakReason::PdMismatch)
+        );
+    }
+
+    struct PingPong {
+        qp: QpHandle,
+        remote: MrHandle,
+        remaining: u32,
+        latencies: Rc<RefCell<Vec<f64>>>,
+    }
+
+    impl App for PingPong {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.post_send(
+                self.qp,
+                WorkRequest::read(0, 0x1000, self.remote.addr(0), self.remote.key, 64),
+            )
+            .expect("post");
+        }
+
+        fn on_cqe(&mut self, ctx: &mut Ctx<'_>, _host: HostId, cqe: Cqe) {
+            self.latencies
+                .borrow_mut()
+                .push(cqe.latency().as_nanos_f64());
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                ctx.stop();
+            } else {
+                ctx.post_send(
+                    self.qp,
+                    WorkRequest::read(0, 0x1000, self.remote.addr(0), self.remote.key, 64),
+                )
+                .expect("post");
+            }
+        }
+    }
+
+    #[test]
+    fn app_driven_ping_pong() {
+        let (mut sim, qa, _qb, _mr_a, mr_b) = two_hosts(DeviceProfile::connectx5);
+        let latencies = Rc::new(RefCell::new(Vec::new()));
+        let app = sim.add_app(Box::new(PingPong {
+            qp: qa,
+            remote: mr_b,
+            remaining: 50,
+            latencies: Rc::clone(&latencies),
+        }));
+        sim.own_qp(app, qa);
+        sim.run();
+        let lat = latencies.borrow();
+        assert_eq!(lat.len(), 50);
+        // Steady-state unloaded latency must be stable: skip the cold-start
+        // samples (MPT miss, row open, MR context load), then the spread
+        // stays within jitter range.
+        let warm = &lat[5..];
+        let min = warm.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = warm.iter().cloned().fold(0.0, f64::max);
+        assert!(min > 0.0);
+        assert!(max - min < 500.0, "unloaded latency spread too wide: {min}..{max}");
+        // And the cold first access is visibly more expensive.
+        assert!(lat[0] > min, "cold start should exceed steady state");
+    }
+
+    #[test]
+    fn timer_delivery() {
+        struct TimerApp {
+            fired: Rc<RefCell<Vec<u64>>>,
+        }
+        impl App for TimerApp {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_micros(5), 1);
+                ctx.set_timer(SimDuration::from_micros(2), 2);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                self.fired.borrow_mut().push(token);
+                if token == 1 {
+                    ctx.stop();
+                }
+            }
+        }
+        let mut sim = Simulation::new(5);
+        sim.add_host(DeviceProfile::connectx4());
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(Box::new(TimerApp {
+            fired: Rc::clone(&fired),
+        }));
+        sim.run();
+        assert_eq!(*fired.borrow(), vec![2, 1]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let (mut sim, qa, _qb, _mr_a, mr_b) = two_hosts(DeviceProfile::connectx4);
+            for i in 0..20 {
+                sim.post_send(
+                    qa,
+                    WorkRequest::read(i, 0x1000, mr_b.addr(64 * i), mr_b.key, 64),
+                )
+                .expect("post");
+            }
+            sim.run_until(SimTime::from_millis(1));
+            sim.take_completions()
+                .iter()
+                .map(|(_, c)| c.completed_at.as_picos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let (mut sim, qa, _qb, _mr_a, mr_b) = two_hosts(DeviceProfile::connectx5);
+        sim.post_send(qa, WorkRequest::read(1, 0x1000, mr_b.addr(0), mr_b.key, 1024))
+            .expect("post");
+        sim.run_until(SimTime::from_millis(1));
+        let a = sim.counters(qa.host);
+        assert_eq!(a.requests_per_opcode[Opcode::Read.index()], 1);
+        assert!(a.tx_packets >= 1);
+        assert!(a.rx_bytes >= 1024);
+        let b = sim.counters(mr_b.host);
+        assert_eq!(b.responder_ops_per_opcode[Opcode::Read.index()], 1);
+        assert_eq!(b.tpu_lookups, 1);
+        assert!(b.snapshot().tx_bytes > 0);
+    }
+}

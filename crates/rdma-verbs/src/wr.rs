@@ -1,0 +1,163 @@
+//! Work-request construction helpers.
+
+use rnic_model::{MrKey, Opcode, Wqe};
+use sim_core::SimTime;
+
+/// A work request, the verbs-level description of one RDMA operation.
+///
+/// Use the constructors ([`WorkRequest::read`], [`WorkRequest::write`],
+/// [`WorkRequest::send`], [`WorkRequest::fetch_add`],
+/// [`WorkRequest::cmp_swap`]) rather than filling fields by hand.
+///
+/// # Examples
+///
+/// ```
+/// use rdma_verbs::WorkRequest;
+/// use rnic_model::MrKey;
+///
+/// let wr = WorkRequest::read(1, 0x10_0000, 0x20_0000, MrKey(3), 64);
+/// assert_eq!(wr.len, 64);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WorkRequest {
+    /// Caller-chosen id echoed in the completion.
+    pub wr_id: u64,
+    /// Operation.
+    pub opcode: Opcode,
+    /// Message length in bytes.
+    pub len: u64,
+    /// Local buffer address.
+    pub local_addr: u64,
+    /// Remote address (unused for sends).
+    pub remote_addr: u64,
+    /// Remote key (unused for sends).
+    pub rkey: MrKey,
+    /// Atomic operands `(compare, swap_or_add)`.
+    pub atomic_args: (u64, u64),
+}
+
+impl WorkRequest {
+    /// RDMA Read of `len` bytes from `remote_addr` into `local_addr`.
+    pub fn read(wr_id: u64, local_addr: u64, remote_addr: u64, rkey: MrKey, len: u64) -> Self {
+        WorkRequest {
+            wr_id,
+            opcode: Opcode::Read,
+            len,
+            local_addr,
+            remote_addr,
+            rkey,
+            atomic_args: (0, 0),
+        }
+    }
+
+    /// RDMA Write of `len` bytes from `local_addr` to `remote_addr`.
+    pub fn write(wr_id: u64, local_addr: u64, remote_addr: u64, rkey: MrKey, len: u64) -> Self {
+        WorkRequest {
+            wr_id,
+            opcode: Opcode::Write,
+            len,
+            local_addr,
+            remote_addr,
+            rkey,
+            atomic_args: (0, 0),
+        }
+    }
+
+    /// Two-sided Send of `len` bytes from `local_addr`.
+    pub fn send(wr_id: u64, local_addr: u64, len: u64) -> Self {
+        WorkRequest {
+            wr_id,
+            opcode: Opcode::Send,
+            len,
+            local_addr,
+            remote_addr: 0,
+            rkey: MrKey(0),
+            atomic_args: (0, 0),
+        }
+    }
+
+    /// 8-byte fetch-and-add at `remote_addr`; the old value is returned in
+    /// the completion.
+    pub fn fetch_add(wr_id: u64, local_addr: u64, remote_addr: u64, rkey: MrKey, add: u64) -> Self {
+        WorkRequest {
+            wr_id,
+            opcode: Opcode::AtomicFetchAdd,
+            len: 8,
+            local_addr,
+            remote_addr,
+            rkey,
+            atomic_args: (0, add),
+        }
+    }
+
+    /// 8-byte compare-and-swap at `remote_addr`.
+    pub fn cmp_swap(
+        wr_id: u64,
+        local_addr: u64,
+        remote_addr: u64,
+        rkey: MrKey,
+        compare: u64,
+        swap: u64,
+    ) -> Self {
+        WorkRequest {
+            wr_id,
+            opcode: Opcode::AtomicCmpSwap,
+            len: 8,
+            local_addr,
+            remote_addr,
+            rkey,
+            atomic_args: (compare, swap),
+        }
+    }
+
+    /// Lowers the work request into the NIC's WQE format.
+    pub fn into_wqe(self) -> Wqe {
+        Wqe {
+            wr_id: self.wr_id,
+            opcode: self.opcode,
+            len: self.len,
+            local_addr: self.local_addr,
+            remote_addr: self.remote_addr,
+            rkey: self.rkey,
+            atomic_args: self.atomic_args,
+            posted_at: SimTime::ZERO,
+            seq: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_opcodes() {
+        assert_eq!(
+            WorkRequest::read(1, 0, 0, MrKey(0), 64).opcode,
+            Opcode::Read
+        );
+        assert_eq!(
+            WorkRequest::write(1, 0, 0, MrKey(0), 64).opcode,
+            Opcode::Write
+        );
+        assert_eq!(WorkRequest::send(1, 0, 64).opcode, Opcode::Send);
+        let fa = WorkRequest::fetch_add(1, 0, 0, MrKey(0), 5);
+        assert_eq!(fa.opcode, Opcode::AtomicFetchAdd);
+        assert_eq!(fa.len, 8);
+        assert_eq!(fa.atomic_args, (0, 5));
+        let cs = WorkRequest::cmp_swap(1, 0, 0, MrKey(0), 3, 9);
+        assert_eq!(cs.opcode, Opcode::AtomicCmpSwap);
+        assert_eq!(cs.atomic_args, (3, 9));
+    }
+
+    #[test]
+    fn wqe_lowering_copies_fields() {
+        let wr = WorkRequest::read(42, 0x100, 0x200, MrKey(7), 128);
+        let wqe = wr.into_wqe();
+        assert_eq!(wqe.wr_id, 42);
+        assert_eq!(wqe.local_addr, 0x100);
+        assert_eq!(wqe.remote_addr, 0x200);
+        assert_eq!(wqe.rkey, MrKey(7));
+        assert_eq!(wqe.len, 128);
+    }
+}

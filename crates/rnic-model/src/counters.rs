@@ -1,0 +1,160 @@
+//! `ethtool`-style NIC counters.
+//!
+//! These are the observables of the paper's granularity taxonomy (§II-D):
+//!
+//! * **Grain-I** — per-port bytes/packets (native bps/pps counters);
+//! * **Grain-II** — per-traffic-class and per-opcode counts (what
+//!   HARMONIC monitors);
+//! * **Grain-III** — RDMA-resource utilization (TPU accesses, PCIe bytes,
+//!   per-flow activity).
+//!
+//! Grain-IV (addresses) is deliberately *not* counted by any production
+//! NIC — which is exactly why the paper's Grain-IV attacks are stealthy.
+
+use crate::types::{FlowId, Opcode, TrafficClass};
+use std::collections::HashMap;
+
+/// Monotonic counters for one NIC.
+#[derive(Debug, Clone, Default)]
+pub struct NicCounters {
+    /// Transmitted wire bytes (Grain-I).
+    pub tx_bytes: u64,
+    /// Transmitted packets (Grain-I).
+    pub tx_packets: u64,
+    /// Received wire bytes (Grain-I).
+    pub rx_bytes: u64,
+    /// Received packets (Grain-I).
+    pub rx_packets: u64,
+    /// Per-traffic-class transmitted bytes (Grain-II).
+    pub tx_bytes_per_tc: [u64; TrafficClass::COUNT],
+    /// Per-traffic-class received bytes (Grain-II).
+    pub rx_bytes_per_tc: [u64; TrafficClass::COUNT],
+    /// Requests issued per opcode (Grain-II; HARMONIC's opcode counters).
+    pub requests_per_opcode: [u64; Opcode::COUNT],
+    /// Inbound requests served per opcode (Grain-II).
+    pub responder_ops_per_opcode: [u64; Opcode::COUNT],
+    /// Translation-unit lookups (Grain-III resource counter).
+    pub tpu_lookups: u64,
+    /// DMA bytes moved over PCIe, both directions (Grain-III).
+    pub pcie_bytes: u64,
+    /// WQEs fetched (doorbells served).
+    pub wqes_fetched: u64,
+    /// Completions delivered.
+    pub cqes_delivered: u64,
+    /// NAKs generated (protection violations observed).
+    pub naks_sent: u64,
+    /// Messages retransmitted after a timeout (loss recovery).
+    pub retransmits: u64,
+    /// Per-flow transmitted payload bytes (Grain-III bookkeeping for
+    /// experiments and the HARMONIC detector).
+    pub tx_payload_per_flow: HashMap<FlowId, u64>,
+}
+
+impl NicCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot for windowed rate computation.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            tx_bytes: self.tx_bytes,
+            tx_packets: self.tx_packets,
+            rx_bytes: self.rx_bytes,
+            rx_packets: self.rx_packets,
+            tx_bytes_per_tc: self.tx_bytes_per_tc,
+            rx_bytes_per_tc: self.rx_bytes_per_tc,
+            requests_per_opcode: self.requests_per_opcode,
+            tpu_lookups: self.tpu_lookups,
+            pcie_bytes: self.pcie_bytes,
+        }
+    }
+
+    /// Per-flow payload bytes transmitted (zero if unseen).
+    pub fn flow_tx_payload(&self, flow: FlowId) -> u64 {
+        self.tx_payload_per_flow.get(&flow).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn note_flow_payload(&mut self, flow: FlowId, bytes: u64) {
+        *self.tx_payload_per_flow.entry(flow).or_insert(0) += bytes;
+    }
+}
+
+/// A point-in-time copy of the rate-relevant counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Transmitted wire bytes.
+    pub tx_bytes: u64,
+    /// Transmitted packets.
+    pub tx_packets: u64,
+    /// Received wire bytes.
+    pub rx_bytes: u64,
+    /// Received packets.
+    pub rx_packets: u64,
+    /// Per-TC transmitted bytes.
+    pub tx_bytes_per_tc: [u64; TrafficClass::COUNT],
+    /// Per-TC received bytes.
+    pub rx_bytes_per_tc: [u64; TrafficClass::COUNT],
+    /// Requests per opcode.
+    pub requests_per_opcode: [u64; Opcode::COUNT],
+    /// TPU lookups.
+    pub tpu_lookups: u64,
+    /// PCIe DMA bytes.
+    pub pcie_bytes: u64,
+}
+
+impl CounterSnapshot {
+    /// Component-wise difference `self - earlier` (saturating), giving the
+    /// activity within a sampling window.
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut out = *self;
+        out.tx_bytes = self.tx_bytes.saturating_sub(earlier.tx_bytes);
+        out.tx_packets = self.tx_packets.saturating_sub(earlier.tx_packets);
+        out.rx_bytes = self.rx_bytes.saturating_sub(earlier.rx_bytes);
+        out.rx_packets = self.rx_packets.saturating_sub(earlier.rx_packets);
+        for i in 0..TrafficClass::COUNT {
+            out.tx_bytes_per_tc[i] = self.tx_bytes_per_tc[i].saturating_sub(earlier.tx_bytes_per_tc[i]);
+            out.rx_bytes_per_tc[i] = self.rx_bytes_per_tc[i].saturating_sub(earlier.rx_bytes_per_tc[i]);
+        }
+        for i in 0..Opcode::COUNT {
+            out.requests_per_opcode[i] =
+                self.requests_per_opcode[i].saturating_sub(earlier.requests_per_opcode[i]);
+        }
+        out.tpu_lookups = self.tpu_lookups.saturating_sub(earlier.tpu_lookups);
+        out.pcie_bytes = self.pcie_bytes.saturating_sub(earlier.pcie_bytes);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let mut c = NicCounters::new();
+        c.tx_bytes = 100;
+        c.tx_packets = 2;
+        let early = c.snapshot();
+        c.tx_bytes = 350;
+        c.tx_packets = 7;
+        c.tx_bytes_per_tc[3] = 50;
+        let late = c.snapshot();
+        let d = late.delta(&early);
+        assert_eq!(d.tx_bytes, 250);
+        assert_eq!(d.tx_packets, 5);
+        assert_eq!(d.tx_bytes_per_tc[3], 50);
+    }
+
+    #[test]
+    fn flow_payload_accumulates() {
+        let mut c = NicCounters::new();
+        c.note_flow_payload(FlowId(1), 64);
+        c.note_flow_payload(FlowId(1), 64);
+        c.note_flow_payload(FlowId(2), 10);
+        assert_eq!(c.flow_tx_payload(FlowId(1)), 128);
+        assert_eq!(c.flow_tx_payload(FlowId(2)), 10);
+        assert_eq!(c.flow_tx_payload(FlowId(3)), 0);
+    }
+}

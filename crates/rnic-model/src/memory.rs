@@ -1,0 +1,150 @@
+//! A sparse byte-addressable host-memory model.
+//!
+//! Each simulated host owns one [`HostMemory`]; the verbs layer allocates
+//! MR backing store from it and applications observe RDMA'd data through
+//! it. Pages materialize on first touch so multi-gigabyte address spaces
+//! cost nothing until used.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Sparse host DRAM.
+///
+/// # Examples
+///
+/// ```
+/// use rnic_model::HostMemory;
+///
+/// let mut mem = HostMemory::new();
+/// mem.write(0x200000, b"hello");
+/// assert_eq!(mem.read(0x200000, 5), b"hello");
+/// ```
+#[derive(Debug, Default)]
+pub struct HostMemory {
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl HostMemory {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8] {
+        self.pages
+            .entry(page)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Writes `data` starting at virtual address `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let mut offset = 0usize;
+        while offset < data.len() {
+            let va = addr + offset as u64;
+            let page = va >> PAGE_SHIFT;
+            let in_page = (va & (PAGE_SIZE - 1)) as usize;
+            let n = (PAGE_SIZE as usize - in_page).min(data.len() - offset);
+            self.page_mut(page)[in_page..in_page + n].copy_from_slice(&data[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr` (untouched pages read as zero).
+    pub fn read(&self, addr: u64, len: u64) -> Vec<u8> {
+        let mut out = vec![0u8; len as usize];
+        let mut offset = 0usize;
+        while offset < out.len() {
+            let va = addr + offset as u64;
+            let page = va >> PAGE_SHIFT;
+            let in_page = (va & (PAGE_SIZE - 1)) as usize;
+            let n = (PAGE_SIZE as usize - in_page).min(out.len() - offset);
+            if let Some(p) = self.pages.get(&page) {
+                out[offset..offset + n].copy_from_slice(&p[in_page..in_page + n]);
+            }
+            offset += n;
+        }
+        out
+    }
+
+    /// Reads a little-endian u64 at `addr`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let bytes = self.read(addr, 8);
+        u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+    }
+
+    /// Writes a little-endian u64 at `addr`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Atomically fetches the u64 at `addr` and adds `delta`; returns the
+    /// original value.
+    pub fn fetch_add_u64(&mut self, addr: u64, delta: u64) -> u64 {
+        let old = self.read_u64(addr);
+        self.write_u64(addr, old.wrapping_add(delta));
+        old
+    }
+
+    /// Atomically compares the u64 at `addr` with `expect` and swaps in
+    /// `new` on match; returns the original value.
+    pub fn compare_swap_u64(&mut self, addr: u64, expect: u64, new: u64) -> u64 {
+        let old = self.read_u64(addr);
+        if old == expect {
+            self.write_u64(addr, new);
+        }
+        old
+    }
+
+    /// Number of materialized 4 KiB pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_page_write_read() {
+        let mut m = HostMemory::new();
+        let addr = PAGE_SIZE - 3;
+        let data: Vec<u8> = (0..10).collect();
+        m.write(addr, &data);
+        assert_eq!(m.read(addr, 10), data);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn untouched_reads_zero() {
+        let m = HostMemory::new();
+        assert_eq!(m.read(0xDEAD_0000, 4), vec![0; 4]);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut m = HostMemory::new();
+        m.write_u64(0x1000, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.read_u64(0x1000), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn fetch_add_semantics() {
+        let mut m = HostMemory::new();
+        m.write_u64(0x40, 10);
+        assert_eq!(m.fetch_add_u64(0x40, 5), 10);
+        assert_eq!(m.read_u64(0x40), 15);
+    }
+
+    #[test]
+    fn compare_swap_semantics() {
+        let mut m = HostMemory::new();
+        m.write_u64(0x40, 10);
+        assert_eq!(m.compare_swap_u64(0x40, 10, 99), 10);
+        assert_eq!(m.read_u64(0x40), 99);
+        assert_eq!(m.compare_swap_u64(0x40, 10, 7), 99);
+        assert_eq!(m.read_u64(0x40), 99, "failed CAS must not write");
+    }
+}

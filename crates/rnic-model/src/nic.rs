@@ -1,0 +1,1235 @@
+//! The RNIC datapath state machine: Fig. 3 of the paper in executable
+//! form.
+//!
+//! A [`Rnic`] owns every per-NIC contended resource — PCIe directions,
+//! transmit/receive processing units, the translation & protection unit,
+//! the atomic unit, the egress port scheduler and the ingress link — plus
+//! the host's memory. The verbs layer drives it through [`Rnic::post_send`]
+//! / [`Rnic::post_recv`] and a global event loop: every handler returns
+//! [`NicAction`]s that the loop turns into future events, fabric
+//! hand-offs, or application completions.
+//!
+//! ## Pipeline
+//!
+//! Requester Tx: doorbell → WQE fetch (PCIe) → Tx issue arbiter → TxPU
+//! (NoC-aware) → [gather DMA for non-inline payloads] → egress scheduler
+//! (Tx class) → wire.
+//!
+//! Responder Rx: ingress link → RxPU → TPU (validate + offset-dependent
+//! lookup) → DMA (PCIe) → response generation → egress scheduler (Rx
+//! class, lower priority) → wire.
+//!
+//! Requester completion: RxPU → payload DMA → CQE write (PCIe) →
+//! completion to the application.
+
+use crate::arbiter::{EgressClass, EgressScheduler};
+use crate::counters::NicCounters;
+use crate::device::DeviceProfile;
+use crate::memory::HostMemory;
+use crate::noc::NocActivation;
+use crate::packet::{segment_count, Cqe, CqeStatus, Packet, PacketKind, RecvWqe, Wqe};
+use crate::tpu::{MrEntry, TranslationUnit};
+use crate::types::{wire, FlowId, HostId, MrKey, NakReason, Opcode, PdId, QpNum, TrafficClass};
+use bytes::Bytes;
+use sim_core::{LinkResource, ServiceResource, SimDuration, SimRng, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Size of a WQE on the PCIe bus.
+const WQE_BYTES: u64 = 64;
+/// Size of a CQE on the PCIe bus.
+const CQE_BYTES: u64 = 64;
+
+/// Configuration of a queue pair at creation time.
+#[derive(Debug, Clone, Copy)]
+pub struct QpConfig {
+    /// Protection domain the QP belongs to.
+    pub pd: PdId,
+    /// Traffic class stamped on outgoing packets.
+    pub tc: TrafficClass,
+    /// Application flow label.
+    pub flow: FlowId,
+    /// Remote host this RC QP is connected to.
+    pub peer_host: HostId,
+    /// Remote QP number.
+    pub peer_qp: QpNum,
+    /// Maximum WQEs outstanding (posted, not yet completed).
+    pub max_send_queue: usize,
+}
+
+#[derive(Debug)]
+struct QpState {
+    config: QpConfig,
+    sq: VecDeque<Wqe>,
+    outstanding: usize,
+    recv_queue: VecDeque<RecvWqe>,
+    /// Next per-QP WQE sequence assigned at post time.
+    next_seq: u64,
+    /// Next sequence expected to retire (send completions).
+    retire_seq: u64,
+    /// Completions waiting for earlier WQEs to retire first.
+    retire_hold: std::collections::BTreeMap<u64, (SimTime, Cqe)>,
+    /// Monotonic CQE delivery clock for this QP.
+    retire_clock: SimTime,
+}
+
+/// Why a post was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostError {
+    /// The QP number is unknown.
+    UnknownQp,
+    /// The send queue is full (`max_send_queue` outstanding).
+    SendQueueFull,
+}
+
+impl core::fmt::Display for PostError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PostError::UnknownQp => f.write_str("unknown queue pair"),
+            PostError::SendQueueFull => f.write_str("send queue full"),
+        }
+    }
+}
+
+impl std::error::Error for PostError {}
+
+/// Internal pipeline events of one NIC.
+#[derive(Debug, Clone)]
+pub enum NicEvent {
+    /// A WQE finished its PCIe fetch and is ready for arbitration.
+    WqeFetched {
+        /// Owning QP.
+        qp: QpNum,
+        /// The descriptor.
+        wqe: Wqe,
+    },
+    /// Tx issue arbiter tick: try to push the next WQE into the TxPU.
+    TxIssue,
+    /// TxPU finished processing a WQE.
+    TxPuDone {
+        /// Owning QP.
+        qp: QpNum,
+        /// The descriptor.
+        wqe: Wqe,
+    },
+    /// Gather DMA for a non-inline payload finished.
+    GatherDone {
+        /// Owning QP.
+        qp: QpNum,
+        /// The descriptor.
+        wqe: Wqe,
+    },
+    /// A request is ready to enter the egress scheduler (in per-QP WQE
+    /// order).
+    RequestReady {
+        /// Owning QP.
+        qp: QpNum,
+        /// The descriptor.
+        wqe: Wqe,
+    },
+    /// The egress port finished serializing one packet.
+    EgressDone,
+    /// A packet arrived from the fabric at the ingress link.
+    IngressArrival {
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A packet was fully received and enters the Rx pipeline.
+    RxPacket {
+        /// The packet.
+        pkt: Packet,
+    },
+    /// RxPU parsing finished.
+    RxPuDone {
+        /// The packet.
+        pkt: Packet,
+    },
+    /// The TPU lookup for an inbound request finished.
+    TpuDone {
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A host-memory DMA transaction for this packet finished.
+    DmaDone {
+        /// The packet.
+        pkt: Packet,
+    },
+    /// The atomic execution unit finished.
+    AtomicExecDone {
+        /// The packet.
+        pkt: Packet,
+    },
+    /// The CQE DMA write finished; deliver the completion.
+    CqeWrite {
+        /// The completion.
+        cqe: Cqe,
+    },
+    /// Retransmission timer for an in-flight message.
+    RetransmitCheck {
+        /// Owning QP.
+        qp: QpNum,
+        /// The message to check.
+        msg_id: u64,
+    },
+}
+
+/// Effects a NIC handler asks the world to carry out.
+#[derive(Debug, Clone)]
+pub enum NicAction {
+    /// Schedule a future event on this same NIC.
+    Schedule {
+        /// Absolute fire time.
+        at: SimTime,
+        /// The event.
+        event: NicEvent,
+    },
+    /// Hand a packet to the fabric at `at` (it departed the egress port).
+    Transmit {
+        /// Departure instant.
+        at: SimTime,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// Deliver a completion to the application at `at`.
+    Complete {
+        /// Delivery instant.
+        at: SimTime,
+        /// The completion.
+        cqe: Cqe,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AssemblyState {
+    Receiving(u32),
+    Failed,
+}
+
+/// One simulated RDMA NIC plus its host memory.
+#[derive(Debug)]
+pub struct Rnic {
+    host: HostId,
+    profile: DeviceProfile,
+    rng: SimRng,
+    qps: HashMap<QpNum, QpState>,
+    tpu: TranslationUnit,
+    mem: HostMemory,
+    pcie_up: ServiceResource,
+    pcie_down: ServiceResource,
+    tx_pu: ServiceResource,
+    rx_pu: ServiceResource,
+    atomic_unit: ServiceResource,
+    egress: EgressScheduler,
+    ingress: LinkResource,
+    noc: NocActivation,
+    counters: NicCounters,
+    msg_seq: u64,
+    issue_order: VecDeque<QpNum>,
+    tx_issue_scheduled: bool,
+    assembly: HashMap<(HostId, u64), AssemblyState>,
+    recv_targets: HashMap<(HostId, u64), RecvWqe>,
+    /// Responder-side placement ordering: a read (or atomic) on a QP must
+    /// observe all earlier writes on that QP, even though DMA reads and
+    /// writes use different PCIe directions.
+    placement_fence: HashMap<QpNum, SimTime>,
+    /// Requester-side WQE ordering: per-QP fetch completions are
+    /// monotonic so PCIe jitter can never reorder WQEs within a QP.
+    wqe_fetch_fence: HashMap<QpNum, SimTime>,
+    /// Responder-side RC ordering: requests of one QP leave the TPU in
+    /// PSN order even when they hit different banks.
+    responder_order: HashMap<QpNum, SimTime>,
+    /// Responder-side RC ordering, DMA stage: host-memory effects of one
+    /// QP's requests happen in PSN order (reads snapshot before later
+    /// writes land — the anti-dependency).
+    responder_dma_order: HashMap<QpNum, SimTime>,
+    /// Requester-side RC ordering: requests of one QP enter the egress
+    /// scheduler in WQE order (a gathered write cannot be overtaken by a
+    /// later inline op).
+    requester_order: HashMap<QpNum, SimTime>,
+    /// In-flight messages awaiting completion, for retransmission:
+    /// `msg_id -> (qp, wqe, retries)`.
+    inflight: HashMap<u64, (QpNum, Wqe, u32)>,
+    /// Responder replay cache for atomics: a retransmitted atomic must
+    /// not execute twice (RC exactly-once semantics), so the old value is
+    /// replayed from here. Bounded FIFO per NIC.
+    atomic_replay: HashMap<(HostId, u64), u64>,
+    atomic_replay_order: VecDeque<(HostId, u64)>,
+}
+
+impl Rnic {
+    /// Creates a NIC for `host` with the given device profile and RNG
+    /// seed stream.
+    pub fn new(host: HostId, profile: DeviceProfile, seed: u64) -> Self {
+        let mut egress = EgressScheduler::new(profile.port_rate_bps);
+        egress.set_bulk_burst(profile.bulk_burst_segments, profile.inline_threshold);
+        egress.set_tx_strict_priority(profile.tx_strict_priority);
+        let ingress = LinkResource::new(profile.port_rate_bps);
+        let tpu = TranslationUnit::new(&profile);
+        let noc = NocActivation::new(
+            profile.noc_small_threshold,
+            profile.noc_flows_to_activate,
+            profile.noc_window,
+        );
+        Rnic {
+            host,
+            rng: SimRng::derive(seed, &format!("rnic-{}", host.0)),
+            qps: HashMap::new(),
+            tpu,
+            mem: HostMemory::new(),
+            pcie_up: ServiceResource::new(),
+            pcie_down: ServiceResource::new(),
+            tx_pu: ServiceResource::new(),
+            rx_pu: ServiceResource::new(),
+            atomic_unit: ServiceResource::new(),
+            egress,
+            ingress,
+            noc,
+            counters: NicCounters::new(),
+            msg_seq: 0,
+            issue_order: VecDeque::new(),
+            tx_issue_scheduled: false,
+            assembly: HashMap::new(),
+            recv_targets: HashMap::new(),
+            placement_fence: HashMap::new(),
+            wqe_fetch_fence: HashMap::new(),
+            responder_order: HashMap::new(),
+            responder_dma_order: HashMap::new(),
+            requester_order: HashMap::new(),
+            inflight: HashMap::new(),
+            atomic_replay: HashMap::new(),
+            atomic_replay_order: VecDeque::new(),
+            profile,
+        }
+    }
+
+    /// This NIC's host id.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The device profile in use.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Creates (connects) an RC queue pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the QP number is already in use.
+    pub fn create_qp(&mut self, num: QpNum, config: QpConfig) {
+        let prev = self.qps.insert(
+            num,
+            QpState {
+                config,
+                sq: VecDeque::new(),
+                outstanding: 0,
+                recv_queue: VecDeque::new(),
+                next_seq: 0,
+                retire_seq: 0,
+                retire_hold: std::collections::BTreeMap::new(),
+                retire_clock: SimTime::ZERO,
+            },
+        );
+        assert!(prev.is_none(), "QP {num:?} already exists");
+    }
+
+    /// Registers a memory region with the translation unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered.
+    pub fn register_mr(&mut self, entry: MrEntry) {
+        self.tpu.register_mr(entry);
+    }
+
+    /// Deregisters an MR; returns whether it existed.
+    pub fn deregister_mr(&mut self, key: MrKey) -> bool {
+        self.tpu.deregister_mr(key)
+    }
+
+    /// ETS weights for the egress scheduler (`mlnx_qos` equivalent).
+    pub fn set_ets_weights(&mut self, weights: [u32; TrafficClass::COUNT]) {
+        self.egress.set_ets_weights(weights);
+    }
+
+    /// Pauses a traffic class until `until` (PFC).
+    pub fn pause_tc(&mut self, tc: TrafficClass, until: SimTime) {
+        self.egress.pause(tc, until);
+    }
+
+    /// Counters (Grain-I/II/III observables).
+    pub fn counters(&self) -> &NicCounters {
+        &self.counters
+    }
+
+    /// Host memory (for MR initialization and result inspection).
+    pub fn memory(&self) -> &HostMemory {
+        &self.mem
+    }
+
+    /// Mutable host memory.
+    pub fn memory_mut(&mut self) -> &mut HostMemory {
+        &mut self.mem
+    }
+
+    /// The translation unit (for defense/baseline instrumentation).
+    pub fn tpu(&self) -> &TranslationUnit {
+        &self.tpu
+    }
+
+    /// Mutable translation unit (noise-injection mitigation knob).
+    pub fn tpu_mut(&mut self) -> &mut TranslationUnit {
+        &mut self.tpu
+    }
+
+    /// Number of WQEs currently outstanding on a QP.
+    pub fn outstanding(&self, qp: QpNum) -> Option<usize> {
+        self.qps.get(&qp).map(|q| q.outstanding)
+    }
+
+    /// Times the auxiliary NoC lane switched on.
+    pub fn noc_activations(&self) -> u64 {
+        self.noc.activation_count()
+    }
+
+    /// PCIe completion latency with arbitration jitter.
+    fn pcie_delay(&mut self) -> SimDuration {
+        let base = self.profile.pcie_latency.as_picos() as f64;
+        let j = self.rng.jitter_ps(self.profile.pcie_jitter_sigma.as_picos() as f64);
+        SimDuration::from_picos((base + j).max(0.0).round() as u64)
+    }
+
+    fn next_msg_id(&mut self) -> u64 {
+        self.msg_seq += 1;
+        self.msg_seq
+    }
+
+    /// Posts a send-queue WQE. Returns the pipeline actions.
+    ///
+    /// # Errors
+    ///
+    /// [`PostError::UnknownQp`] if the QP does not exist;
+    /// [`PostError::SendQueueFull`] if `max_send_queue` WQEs are already
+    /// outstanding.
+    pub fn post_send(
+        &mut self,
+        now: SimTime,
+        qp: QpNum,
+        mut wqe: Wqe,
+    ) -> Result<Vec<NicAction>, PostError> {
+        let state = self.qps.get_mut(&qp).ok_or(PostError::UnknownQp)?;
+        if state.outstanding >= state.config.max_send_queue {
+            return Err(PostError::SendQueueFull);
+        }
+        state.outstanding += 1;
+        wqe.posted_at = now;
+        wqe.seq = state.next_seq;
+        state.next_seq += 1;
+        let flow = state.config.flow;
+
+        self.counters.requests_per_opcode[wqe.opcode.index()] += 1;
+        if wqe.opcode == Opcode::Write {
+            self.noc.note_write(now, flow, wqe.len);
+        }
+
+        // Doorbell + WQE fetch over PCIe.
+        self.counters.wqes_fetched += 1;
+        self.counters.pcie_bytes += WQE_BYTES;
+        let ser = SimDuration::serialization(WQE_BYTES, self.profile.pcie_rate_bps);
+        let res = self.pcie_up.reserve(now, ser);
+        let mut ready = res.end + self.pcie_delay();
+        // Verbs ordering: WQEs on one QP execute in post order, so fetch
+        // completions must be monotonic per QP despite PCIe jitter.
+        let fence = self.wqe_fetch_fence.entry(qp).or_insert(SimTime::ZERO);
+        ready = ready.max_of(*fence);
+        *fence = ready;
+        Ok(vec![NicAction::Schedule {
+            at: ready,
+            event: NicEvent::WqeFetched { qp, wqe },
+        }])
+    }
+
+    /// Posts a receive WQE (for inbound Sends).
+    ///
+    /// # Errors
+    ///
+    /// [`PostError::UnknownQp`] if the QP does not exist.
+    pub fn post_recv(&mut self, qp: QpNum, recv: RecvWqe) -> Result<(), PostError> {
+        let state = self.qps.get_mut(&qp).ok_or(PostError::UnknownQp)?;
+        state.recv_queue.push_back(recv);
+        Ok(())
+    }
+
+    /// Handles one pipeline event, returning follow-up actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal inconsistencies (events for unknown QPs), which
+    /// indicate a bug in the event loop rather than a recoverable
+    /// condition.
+    pub fn handle(&mut self, now: SimTime, event: NicEvent) -> Vec<NicAction> {
+        let mut out = Vec::new();
+        match event {
+            NicEvent::WqeFetched { qp, wqe } => {
+                let state = self.qps.get_mut(&qp).expect("WQE for unknown QP");
+                if state.sq.is_empty() {
+                    self.issue_order.push_back(qp);
+                }
+                state.sq.push_back(wqe);
+                self.schedule_tx_issue(now, now, &mut out);
+            }
+            NicEvent::TxIssue => {
+                self.tx_issue_scheduled = false;
+                self.tx_issue(now, &mut out);
+            }
+            NicEvent::TxPuDone { qp, wqe } => {
+                let needs_gather = wqe.opcode.carries_request_payload()
+                    && wqe.len > self.profile.inline_threshold;
+                if needs_gather {
+                    self.counters.pcie_bytes += wqe.len;
+                    let ser = SimDuration::serialization(wqe.len, self.profile.pcie_rate_bps);
+                    let delay = self.pcie_delay();
+                    let res = self.pcie_up.reserve(now, ser);
+                    // Claim the per-QP hand-off slot now so later WQEs of
+                    // this QP cannot slip past while the gather runs.
+                    let at = self.requester_fence(qp, res.end + delay);
+                    out.push(NicAction::Schedule {
+                        at,
+                        event: NicEvent::GatherDone { qp, wqe },
+                    });
+                } else {
+                    let at = self.requester_fence(qp, now);
+                    out.push(NicAction::Schedule {
+                        at,
+                        event: NicEvent::RequestReady { qp, wqe },
+                    });
+                }
+            }
+            NicEvent::GatherDone { qp, wqe } => {
+                // The gather claimed the hand-off fence when it started,
+                // and this event was inserted before any later WQE's
+                // RequestReady, so enqueueing directly preserves FIFO
+                // order at equal timestamps.
+                self.enqueue_request(now, qp, wqe, &mut out);
+            }
+            NicEvent::RequestReady { qp, wqe } => {
+                self.enqueue_request(now, qp, wqe, &mut out);
+            }
+            NicEvent::EgressDone => {
+                self.egress.complete_transmission();
+                self.kick_egress(now, &mut out);
+            }
+            NicEvent::IngressArrival { pkt } => {
+                let res = self.ingress.transmit(now, pkt.wire_bytes());
+                out.push(NicAction::Schedule {
+                    at: res.end,
+                    event: NicEvent::RxPacket { pkt },
+                });
+            }
+            NicEvent::RxPacket { pkt } => {
+                self.counters.rx_bytes += pkt.wire_bytes();
+                self.counters.rx_packets += 1;
+                self.counters.rx_bytes_per_tc[pkt.tc.index()] += pkt.wire_bytes();
+                let res = self.rx_pu.reserve(now, self.profile.rx_pu_service);
+                out.push(NicAction::Schedule {
+                    at: res.end,
+                    event: NicEvent::RxPuDone { pkt },
+                });
+            }
+            NicEvent::RxPuDone { pkt } => self.rx_pu_done(now, pkt, &mut out),
+            NicEvent::TpuDone { pkt } => self.tpu_done(now, pkt, &mut out),
+            NicEvent::DmaDone { pkt } => self.dma_done(now, pkt, &mut out),
+            NicEvent::AtomicExecDone { pkt } => self.atomic_done(now, pkt, &mut out),
+            NicEvent::CqeWrite { cqe } => {
+                if !cqe.is_recv {
+                    if let Some(state) = self.qps.get_mut(&cqe.qp) {
+                        state.outstanding = state.outstanding.saturating_sub(1);
+                    }
+                }
+                self.counters.cqes_delivered += 1;
+                out.push(NicAction::Complete { at: now, cqe });
+            }
+            NicEvent::RetransmitCheck { qp, msg_id } => {
+                self.retransmit_check(now, qp, msg_id, &mut out);
+            }
+        }
+        out
+    }
+
+    fn schedule_tx_issue(&mut self, now: SimTime, at: SimTime, out: &mut Vec<NicAction>) {
+        let _ = now;
+        if !self.tx_issue_scheduled {
+            self.tx_issue_scheduled = true;
+            out.push(NicAction::Schedule {
+                at,
+                event: NicEvent::TxIssue,
+            });
+        }
+    }
+
+    fn tx_issue(&mut self, now: SimTime, out: &mut Vec<NicAction>) {
+        if self.tx_pu.next_free() > now {
+            let at = self.tx_pu.next_free();
+            self.schedule_tx_issue(now, at, out);
+            return;
+        }
+        // Round-robin across QPs with pending WQEs.
+        let qp = loop {
+            match self.issue_order.pop_front() {
+                None => return, // nothing pending
+                Some(qp) => {
+                    if self
+                        .qps
+                        .get(&qp)
+                        .is_some_and(|s| !s.sq.is_empty())
+                    {
+                        break qp;
+                    }
+                }
+            }
+        };
+        let state = self.qps.get_mut(&qp).expect("issue for unknown QP");
+        let wqe = state.sq.pop_front().expect("non-empty SQ");
+        if !state.sq.is_empty() {
+            self.issue_order.push_back(qp);
+        }
+
+        // Per-WQE TxPU cost, amortized descriptor work for multi-segment
+        // messages, NoC speedup when the auxiliary lane is engaged.
+        let segs = if wqe.opcode.carries_request_payload() {
+            segment_count(wqe.len)
+        } else {
+            1
+        };
+        let mut service = self
+            .profile
+            .tx_pu_service
+            .mul_f64(1.0 + 0.25 * (segs as f64 - 1.0));
+        if self.noc.is_active(now) {
+            service = service.mul_f64(self.profile.noc_speedup);
+        }
+        let res = self.tx_pu.reserve(now, service);
+        out.push(NicAction::Schedule {
+            at: res.end,
+            event: NicEvent::TxPuDone { qp, wqe },
+        });
+        if !self.issue_order.is_empty() {
+            self.schedule_tx_issue(now, res.end, out);
+        }
+    }
+
+    fn enqueue_request(&mut self, now: SimTime, qp: QpNum, wqe: Wqe, out: &mut Vec<NicAction>) {
+        let msg_id = self.next_msg_id();
+        // Arm the retransmission machinery for this message.
+        self.inflight.insert(msg_id, (qp, wqe.clone(), 0));
+        out.push(NicAction::Schedule {
+            at: now + self.profile.retransmit_timeout,
+            event: NicEvent::RetransmitCheck { qp, msg_id },
+        });
+        self.send_request_packets(now, qp, wqe, msg_id, out);
+    }
+
+    /// Builds and enqueues the wire packets of one message (also used on
+    /// retransmission, where `msg_id` is reused so the responder can
+    /// deduplicate).
+    fn send_request_packets(
+        &mut self,
+        now: SimTime,
+        qp: QpNum,
+        wqe: Wqe,
+        msg_id: u64,
+        out: &mut Vec<NicAction>,
+    ) {
+        let config = self.qps.get(&qp).expect("unknown QP").config;
+        let (kind, seg_cnt, payload) = match wqe.opcode {
+            Opcode::Read => (PacketKind::ReadReq, 1u32, Bytes::new()),
+            Opcode::Write => (
+                PacketKind::WriteSeg,
+                segment_count(wqe.len),
+                Bytes::from(self.mem.read(wqe.local_addr, wqe.len)),
+            ),
+            Opcode::Send => (
+                PacketKind::SendSeg,
+                segment_count(wqe.len),
+                Bytes::from(self.mem.read(wqe.local_addr, wqe.len)),
+            ),
+            Opcode::AtomicFetchAdd | Opcode::AtomicCmpSwap => {
+                (PacketKind::AtomicReq, 1, Bytes::new())
+            }
+        };
+        for seg in 0..seg_cnt {
+            let seg_payload = if payload.is_empty() {
+                Bytes::new()
+            } else {
+                let lo = (seg as u64 * wire::MTU) as usize;
+                let hi = ((seg as u64 + 1) * wire::MTU).min(wqe.len) as usize;
+                payload.slice(lo..hi)
+            };
+            let pkt = Packet {
+                src: self.host,
+                dst: config.peer_host,
+                src_qp: qp,
+                dst_qp: config.peer_qp,
+                tc: config.tc,
+                flow: config.flow,
+                kind: kind.clone(),
+                msg_id,
+                seg_idx: seg,
+                seg_cnt,
+                payload: seg_payload,
+                opcode: wqe.opcode,
+                total_len: wqe.len,
+                remote_addr: wqe.remote_addr,
+                rkey: wqe.rkey,
+                atomic_args: wqe.atomic_args,
+                local_addr: wqe.local_addr,
+                wqe_seq: wqe.seq,
+                wr_id: wqe.wr_id,
+                posted_at: wqe.posted_at,
+            };
+            self.egress.enqueue(EgressClass::TxRequest, pkt);
+        }
+        self.kick_egress(now, out);
+    }
+
+    fn kick_egress(&mut self, now: SimTime, out: &mut Vec<NicAction>) {
+        if let Some((pkt, ser)) = self.egress.try_grant(now) {
+            let finish = now + ser;
+            self.counters.tx_bytes += pkt.wire_bytes();
+            self.counters.tx_packets += 1;
+            self.counters.tx_bytes_per_tc[pkt.tc.index()] += pkt.wire_bytes();
+            if !pkt.payload.is_empty() {
+                self.counters
+                    .note_flow_payload(pkt.flow, pkt.payload.len() as u64);
+            }
+            out.push(NicAction::Schedule {
+                at: finish,
+                event: NicEvent::EgressDone,
+            });
+            out.push(NicAction::Transmit { at: finish, pkt });
+        }
+    }
+
+    fn respond(&mut self, now: SimTime, req: &Packet, kind: PacketKind, payload: Bytes) {
+        let seg_cnt = if payload.is_empty() {
+            1
+        } else {
+            segment_count(payload.len() as u64)
+        };
+        for seg in 0..seg_cnt {
+            let seg_payload = if payload.is_empty() {
+                Bytes::new()
+            } else {
+                let lo = (seg as u64 * wire::MTU) as usize;
+                let hi = ((seg as u64 + 1) * wire::MTU).min(payload.len() as u64) as usize;
+                payload.slice(lo..hi)
+            };
+            let pkt = Packet {
+                src: self.host,
+                dst: req.src,
+                src_qp: req.dst_qp,
+                dst_qp: req.src_qp,
+                tc: req.tc,
+                flow: req.flow,
+                kind: kind.clone(),
+                msg_id: req.msg_id,
+                seg_idx: seg,
+                seg_cnt,
+                payload: seg_payload,
+                opcode: req.opcode,
+                total_len: req.total_len,
+                remote_addr: req.remote_addr,
+                rkey: req.rkey,
+                atomic_args: req.atomic_args,
+                local_addr: req.local_addr,
+                wqe_seq: req.wqe_seq,
+                wr_id: req.wr_id,
+                posted_at: req.posted_at,
+            };
+            self.egress.enqueue(EgressClass::RxResponse, pkt);
+        }
+        let _ = now;
+    }
+
+    fn qp_pd(&self, qp: QpNum) -> PdId {
+        self.qps
+            .get(&qp)
+            .map(|s| s.config.pd)
+            // Unknown target QP: validation against a PD that matches no MR.
+            .unwrap_or(PdId(u32::MAX))
+    }
+
+    fn rx_pu_done(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<NicAction>) {
+        match pkt.kind {
+            PacketKind::ReadReq | PacketKind::AtomicReq => {
+                let pd = self.qp_pd(pkt.dst_qp);
+                let len = if pkt.kind == PacketKind::AtomicReq {
+                    wire::ATOMIC_LEN
+                } else {
+                    pkt.total_len
+                };
+                match self.tpu.access(
+                    now,
+                    &mut self.rng,
+                    pd,
+                    pkt.opcode,
+                    pkt.rkey,
+                    pkt.remote_addr,
+                    len,
+                ) {
+                    Ok(access) => {
+                        self.counters.tpu_lookups += 1;
+                        let at = self.responder_fence(pkt.dst_qp, access.reservation.end);
+                        out.push(NicAction::Schedule {
+                            at,
+                            event: NicEvent::TpuDone { pkt },
+                        });
+                    }
+                    Err(reason) => {
+                        self.counters.naks_sent += 1;
+                        self.respond(now, &pkt, PacketKind::Nak(reason), Bytes::new());
+                        self.kick_egress(now, out);
+                    }
+                }
+            }
+            PacketKind::WriteSeg => {
+                let key = (pkt.src, pkt.msg_id);
+                if pkt.seg_idx == 0 {
+                    let pd = self.qp_pd(pkt.dst_qp);
+                    match self.tpu.access(
+                        now,
+                        &mut self.rng,
+                        pd,
+                        pkt.opcode,
+                        pkt.rkey,
+                        pkt.remote_addr,
+                        pkt.total_len,
+                    ) {
+                        Ok(access) => {
+                            self.counters.tpu_lookups += 1;
+                            self.assembly.insert(key, AssemblyState::Receiving(0));
+                            let at = self.responder_fence(pkt.dst_qp, access.reservation.end);
+                            out.push(NicAction::Schedule {
+                                at,
+                                event: NicEvent::TpuDone { pkt },
+                            });
+                        }
+                        Err(reason) => {
+                            self.counters.naks_sent += 1;
+                            self.assembly.insert(key, AssemblyState::Failed);
+                            self.respond(now, &pkt, PacketKind::Nak(reason), Bytes::new());
+                            self.kick_egress(now, out);
+                        }
+                    }
+                } else {
+                    match self.assembly.get(&key) {
+                        Some(AssemblyState::Failed) => {
+                            // Message already NAK'd; drop the segment,
+                            // clear state on the last one.
+                            if pkt.is_last_segment() {
+                                self.assembly.remove(&key);
+                            }
+                        }
+                        _ => {
+                            let at = self.responder_fence(pkt.dst_qp, now);
+                            out.push(NicAction::Schedule {
+                                at,
+                                event: NicEvent::TpuDone { pkt },
+                            });
+                        }
+                    }
+                }
+            }
+            PacketKind::SendSeg => {
+                let key = (pkt.src, pkt.msg_id);
+                if pkt.seg_idx == 0 {
+                    let recv = self
+                        .qps
+                        .get_mut(&pkt.dst_qp)
+                        .and_then(|s| s.recv_queue.pop_front());
+                    match recv {
+                        Some(r) if r.len >= pkt.total_len => {
+                            self.assembly.insert(key, AssemblyState::Receiving(0));
+                            self.recv_targets.insert(key, r);
+                            let at = self.responder_fence(pkt.dst_qp, now);
+                            out.push(NicAction::Schedule {
+                                at,
+                                event: NicEvent::TpuDone { pkt },
+                            });
+                        }
+                        _ => {
+                            self.counters.naks_sent += 1;
+                            self.assembly.insert(key, AssemblyState::Failed);
+                            self.respond(
+                                now,
+                                &pkt,
+                                PacketKind::Nak(NakReason::ReceiveNotPosted),
+                                Bytes::new(),
+                            );
+                            self.kick_egress(now, out);
+                        }
+                    }
+                } else {
+                    match self.assembly.get(&key) {
+                        Some(AssemblyState::Failed) => {
+                            if pkt.is_last_segment() {
+                                self.assembly.remove(&key);
+                                self.recv_targets.remove(&key);
+                            }
+                        }
+                        _ => {
+                            let at = self.responder_fence(pkt.dst_qp, now);
+                            out.push(NicAction::Schedule {
+                                at,
+                                event: NicEvent::TpuDone { pkt },
+                            });
+                        }
+                    }
+                }
+            }
+            PacketKind::ReadResp | PacketKind::AtomicResp => {
+                // Requester side: DMA the payload down to host memory.
+                self.counters.pcie_bytes += pkt.payload.len() as u64;
+                let ser = SimDuration::serialization(
+                    (pkt.payload.len() as u64).max(1),
+                    self.profile.pcie_rate_bps,
+                );
+                let delay = self.pcie_delay();
+                let res = self.pcie_down.reserve(now, ser);
+                out.push(NicAction::Schedule {
+                    at: res.end + delay,
+                    event: NicEvent::DmaDone { pkt },
+                });
+            }
+            PacketKind::Ack | PacketKind::Nak(_) => {
+                let status = match pkt.kind {
+                    PacketKind::Nak(reason) => CqeStatus::RemoteError(reason),
+                    _ => CqeStatus::Success,
+                };
+                self.deliver_cqe(now, &pkt, status, false, 0, out);
+            }
+        }
+    }
+
+    /// Clamps a responder pipeline event to PSN order for its QP.
+    fn responder_fence(&mut self, qp: QpNum, at: SimTime) -> SimTime {
+        let fence = self.responder_order.entry(qp).or_insert(SimTime::ZERO);
+        let at = at.max_of(*fence);
+        *fence = at;
+        at
+    }
+
+    /// Fires when a message's retransmission timer expires.
+    fn retransmit_check(&mut self, now: SimTime, qp: QpNum, msg_id: u64, out: &mut Vec<NicAction>) {
+        let Some((_, wqe, retries)) = self.inflight.get(&msg_id).cloned() else {
+            return; // completed in time
+        };
+        if retries >= self.profile.max_retries {
+            self.inflight.remove(&msg_id);
+            // Reset any partial reassembly of the response.
+            self.assembly.remove(&(self.host, msg_id));
+            let cqe = Cqe {
+                qp,
+                wr_id: wqe.wr_id,
+                status: CqeStatus::RetryExceeded,
+                opcode: wqe.opcode,
+                byte_len: wqe.len,
+                posted_at: wqe.posted_at,
+                completed_at: now,
+                is_recv: false,
+                atomic_old_value: 0,
+            };
+            // Deliver through the ordered retirement path.
+            let seq = wqe.seq;
+            let state = self.qps.get_mut(&qp).expect("retransmit for unknown QP");
+            state.retire_hold.insert(seq, (now, cqe));
+            loop {
+                let Some(state) = self.qps.get_mut(&qp) else { break };
+                let next = state.retire_seq;
+                let Some((ready, cqe)) = state.retire_hold.remove(&next) else {
+                    break;
+                };
+                state.retire_seq += 1;
+                let at = ready.max_of(state.retire_clock);
+                state.retire_clock = at;
+                self.schedule_cqe_write(at, cqe, out);
+            }
+            return;
+        }
+        self.inflight.insert(msg_id, (qp, wqe.clone(), retries + 1));
+        self.counters.retransmits += 1;
+        // Drop partial response state and resend the whole message.
+        self.assembly.remove(&(self.host, msg_id));
+        out.push(NicAction::Schedule {
+            at: now + self.profile.retransmit_timeout,
+            event: NicEvent::RetransmitCheck { qp, msg_id },
+        });
+        self.send_request_packets(now, qp, wqe, msg_id, out);
+    }
+
+    /// Clamps a requester request hand-off to WQE order for its QP.
+    fn requester_fence(&mut self, qp: QpNum, at: SimTime) -> SimTime {
+        let fence = self.requester_order.entry(qp).or_insert(SimTime::ZERO);
+        let at = at.max_of(*fence);
+        *fence = at;
+        at
+    }
+
+    /// Clamps a responder DMA completion to PSN order for its QP.
+    fn responder_dma_fence(&mut self, qp: QpNum, at: SimTime) -> SimTime {
+        let fence = self.responder_dma_order.entry(qp).or_insert(SimTime::ZERO);
+        let at = at.max_of(*fence);
+        *fence = at;
+        at
+    }
+
+    fn tpu_done(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<NicAction>) {
+        match pkt.kind {
+            PacketKind::ReadReq => {
+                // DMA-read the data from host memory, after any earlier
+                // write on this QP has been placed (same-QP ordering).
+                self.counters.pcie_bytes += pkt.total_len;
+                let ser =
+                    SimDuration::serialization(pkt.total_len.max(1), self.profile.pcie_rate_bps);
+                let delay = self.pcie_delay();
+                let res = self.pcie_up.reserve(now, ser);
+                let fence = self
+                    .placement_fence
+                    .get(&pkt.dst_qp)
+                    .copied()
+                    .unwrap_or(SimTime::ZERO);
+                let at = self.responder_dma_fence(pkt.dst_qp, (res.end + delay).max_of(fence));
+                out.push(NicAction::Schedule {
+                    at,
+                    event: NicEvent::DmaDone { pkt },
+                });
+            }
+            PacketKind::WriteSeg | PacketKind::SendSeg => {
+                self.counters.pcie_bytes += pkt.payload.len() as u64;
+                let ser = SimDuration::serialization(
+                    (pkt.payload.len() as u64).max(1),
+                    self.profile.pcie_rate_bps,
+                );
+                let delay = self.pcie_delay();
+                let res = self.pcie_down.reserve(now, ser);
+                let placed = self.responder_dma_fence(pkt.dst_qp, res.end + delay);
+                let fence = self.placement_fence.entry(pkt.dst_qp).or_insert(SimTime::ZERO);
+                *fence = fence.max_of(placed);
+                out.push(NicAction::Schedule {
+                    at: placed,
+                    event: NicEvent::DmaDone { pkt },
+                });
+            }
+            PacketKind::AtomicReq => {
+                let fence = self
+                    .placement_fence
+                    .get(&pkt.dst_qp)
+                    .copied()
+                    .unwrap_or(SimTime::ZERO);
+                let res = self
+                    .atomic_unit
+                    .reserve(now.max_of(fence), self.profile.atomic_unit_service);
+                let at = self.responder_dma_fence(pkt.dst_qp, res.end);
+                out.push(NicAction::Schedule {
+                    at,
+                    event: NicEvent::AtomicExecDone { pkt },
+                });
+            }
+            _ => unreachable!("TpuDone for non-request packet"),
+        }
+    }
+
+    fn dma_done(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<NicAction>) {
+        match pkt.kind {
+            PacketKind::ReadReq => {
+                // Responder: data fetched; emit the response segments.
+                self.counters.responder_ops_per_opcode[pkt.opcode.index()] += 1;
+                let data = Bytes::from(self.mem.read(pkt.remote_addr, pkt.total_len));
+                self.respond(now, &pkt, PacketKind::ReadResp, data);
+                self.kick_egress(now, out);
+            }
+            PacketKind::WriteSeg => {
+                let addr = pkt.segment_addr();
+                self.mem.write(addr, &pkt.payload);
+                self.finish_inbound_segment(now, pkt, out);
+            }
+            PacketKind::SendSeg => {
+                let key = (pkt.src, pkt.msg_id);
+                if let Some(recv) = self.recv_targets.get(&key).copied() {
+                    let addr = recv.local_addr + pkt.seg_idx as u64 * wire::MTU;
+                    self.mem.write(addr, &pkt.payload);
+                }
+                self.finish_inbound_segment(now, pkt, out);
+            }
+            PacketKind::ReadResp | PacketKind::AtomicResp => {
+                // Requester: place the payload into the WQE's local buffer.
+                if !pkt.payload.is_empty() {
+                    let addr = pkt.local_addr + pkt.seg_idx as u64 * wire::MTU;
+                    let data = pkt.payload.clone();
+                    self.mem.write(addr, &data);
+                }
+                let key = (self.host, pkt.msg_id);
+                let done = {
+                    let entry = self
+                        .assembly
+                        .entry(key)
+                        .or_insert(AssemblyState::Receiving(0));
+                    match entry {
+                        AssemblyState::Receiving(n) => {
+                            *n += 1;
+                            *n == pkt.seg_cnt
+                        }
+                        AssemblyState::Failed => true,
+                    }
+                };
+                if done {
+                    self.assembly.remove(&key);
+                    let old = if pkt.kind == PacketKind::AtomicResp {
+                        let bytes = pkt.payload.to_vec();
+                        u64::from_le_bytes(bytes.try_into().unwrap_or([0; 8]))
+                    } else {
+                        0
+                    };
+                    self.deliver_cqe(now, &pkt, CqeStatus::Success, false, old, out);
+                }
+            }
+            _ => unreachable!("DmaDone for unexpected packet kind"),
+        }
+    }
+
+    fn finish_inbound_segment(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<NicAction>) {
+        let key = (pkt.src, pkt.msg_id);
+        let done = {
+            let entry = self
+                .assembly
+                .entry(key)
+                .or_insert(AssemblyState::Receiving(0));
+            match entry {
+                AssemblyState::Receiving(n) => {
+                    *n += 1;
+                    *n == pkt.seg_cnt
+                }
+                AssemblyState::Failed => false,
+            }
+        };
+        if done {
+            self.assembly.remove(&key);
+            self.counters.responder_ops_per_opcode[pkt.opcode.index()] += 1;
+            self.respond(now, &pkt, PacketKind::Ack, Bytes::new());
+            self.kick_egress(now, out);
+            if pkt.kind == PacketKind::SendSeg {
+                if let Some(recv) = self.recv_targets.remove(&key) {
+                    // Receive completion on the responder.
+                    let cqe = Cqe {
+                        qp: pkt.dst_qp,
+                        wr_id: recv.wr_id,
+                        status: CqeStatus::Success,
+                        opcode: pkt.opcode,
+                        byte_len: pkt.total_len,
+                        posted_at: pkt.posted_at,
+                        completed_at: now,
+                        is_recv: true,
+                        atomic_old_value: 0,
+                    };
+                    self.schedule_cqe_write(now, cqe, out);
+                }
+            }
+        }
+    }
+
+    fn atomic_done(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<NicAction>) {
+        // Execute on host memory; 8 B each way over PCIe is folded into
+        // the atomic unit's service time. RC semantics: a retransmitted
+        // atomic must not execute twice, so replay the cached result.
+        self.counters.responder_ops_per_opcode[pkt.opcode.index()] += 1;
+        self.counters.pcie_bytes += 16;
+        let replay_key = (pkt.src, pkt.msg_id);
+        let (compare, operand) = pkt.atomic_args;
+        let old = if let Some(&cached) = self.atomic_replay.get(&replay_key) {
+            cached
+        } else {
+            let old = match pkt.opcode {
+                Opcode::AtomicFetchAdd => self.mem.fetch_add_u64(pkt.remote_addr, operand),
+                Opcode::AtomicCmpSwap => {
+                    self.mem.compare_swap_u64(pkt.remote_addr, compare, operand)
+                }
+                _ => unreachable!("atomic exec for non-atomic opcode"),
+            };
+            self.atomic_replay.insert(replay_key, old);
+            self.atomic_replay_order.push_back(replay_key);
+            while self.atomic_replay_order.len() > 1024 {
+                if let Some(evict) = self.atomic_replay_order.pop_front() {
+                    self.atomic_replay.remove(&evict);
+                }
+            }
+            old
+        };
+        self.respond(
+            now,
+            &pkt,
+            PacketKind::AtomicResp,
+            Bytes::from(old.to_le_bytes().to_vec()),
+        );
+        self.kick_egress(now, out);
+    }
+
+    fn deliver_cqe(
+        &mut self,
+        now: SimTime,
+        pkt: &Packet,
+        status: CqeStatus,
+        is_recv: bool,
+        atomic_old: u64,
+        out: &mut Vec<NicAction>,
+    ) {
+        if !is_recv {
+            // Message finished: disarm retransmission.
+            self.inflight.remove(&pkt.msg_id);
+        }
+        let cqe = Cqe {
+            qp: pkt.dst_qp,
+            wr_id: pkt.wr_id,
+            status,
+            opcode: pkt.opcode,
+            byte_len: pkt.total_len,
+            posted_at: pkt.posted_at,
+            completed_at: now,
+            is_recv,
+            atomic_old_value: atomic_old,
+        };
+        if is_recv {
+            self.schedule_cqe_write(now, cqe, out);
+            return;
+        }
+        // RC retirement: send completions are delivered strictly in post
+        // order per QP, so a fast later op waits for its predecessors.
+        let Some(state) = self.qps.get_mut(&pkt.dst_qp) else {
+            self.schedule_cqe_write(now, cqe, out);
+            return;
+        };
+        state.retire_hold.insert(pkt.wqe_seq, (now, cqe));
+        loop {
+            let Some(state) = self.qps.get_mut(&pkt.dst_qp) else { break };
+            let next = state.retire_seq;
+            let Some((ready, cqe)) = state.retire_hold.remove(&next) else {
+                break;
+            };
+            state.retire_seq += 1;
+            let at = ready.max_of(state.retire_clock);
+            state.retire_clock = at;
+            self.schedule_cqe_write(at, cqe, out);
+        }
+    }
+
+    fn schedule_cqe_write(&mut self, now: SimTime, mut cqe: Cqe, out: &mut Vec<NicAction>) {
+        self.counters.pcie_bytes += CQE_BYTES;
+        let ser = SimDuration::serialization(CQE_BYTES, self.profile.pcie_rate_bps);
+        let res = self.pcie_down.reserve(now, ser);
+        let at = res.end + self.profile.cqe_delivery;
+        cqe.completed_at = at;
+        out.push(NicAction::Schedule {
+            at,
+            event: NicEvent::CqeWrite { cqe },
+        });
+    }
+}

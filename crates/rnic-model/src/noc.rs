@@ -1,0 +1,123 @@
+//! The on-chip-network activation heuristic behind Key Finding 2.
+//!
+//! §IV-B observes that *contention of small RDMA Writes can lead to an
+//! abnormal bandwidth increment in both traffic flows*, which the paper
+//! attributes to NoC activation. We model this as an auxiliary processing
+//! lane that engages only when **multiple distinct flows** are actively
+//! posting small writes within a short window: a single flow never
+//! triggers it (so the solo baseline is slower), but two contending
+//! small-write flows unlock it and their combined throughput exceeds 200%
+//! of the solo flow.
+
+use crate::types::FlowId;
+use sim_core::{SimDuration, SimTime};
+
+/// Tracks small-write flow activity and reports whether the auxiliary
+/// NoC lane is engaged.
+#[derive(Debug, Clone)]
+pub struct NocActivation {
+    small_threshold: u64,
+    flows_to_activate: usize,
+    window: SimDuration,
+    /// (flow, last small-write time), tiny working set.
+    recent: Vec<(FlowId, SimTime)>,
+    activations: u64,
+    active: bool,
+}
+
+impl NocActivation {
+    /// Creates the tracker.
+    ///
+    /// * `small_threshold` — messages at or below this size count.
+    /// * `flows_to_activate` — distinct active flows required.
+    /// * `window` — how long a flow stays "active" after its last post.
+    pub fn new(small_threshold: u64, flows_to_activate: usize, window: SimDuration) -> Self {
+        NocActivation {
+            small_threshold,
+            flows_to_activate,
+            window,
+            recent: Vec::new(),
+            activations: 0,
+            active: false,
+        }
+    }
+
+    /// Notes a posted write of `len` bytes on `flow` at `now`.
+    pub fn note_write(&mut self, now: SimTime, flow: FlowId, len: u64) {
+        if len > self.small_threshold {
+            return;
+        }
+        if let Some(entry) = self.recent.iter_mut().find(|(f, _)| *f == flow) {
+            entry.1 = now;
+        } else {
+            self.recent.push((flow, now));
+        }
+    }
+
+    /// True if the auxiliary lane is engaged at `now`.
+    pub fn is_active(&mut self, now: SimTime) -> bool {
+        let window = self.window;
+        self.recent
+            .retain(|&(_, t)| now.saturating_since(t) <= window);
+        let next = self.recent.len() >= self.flows_to_activate;
+        if next && !self.active {
+            self.activations += 1;
+        }
+        self.active = next;
+        next
+    }
+
+    /// How many times the lane has switched on.
+    pub fn activation_count(&self) -> u64 {
+        self.activations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> NocActivation {
+        NocActivation::new(256, 2, SimDuration::from_micros(5))
+    }
+
+    #[test]
+    fn single_flow_never_activates() {
+        let mut n = tracker();
+        for i in 0..100 {
+            n.note_write(SimTime::from_nanos(i * 10), FlowId(1), 64);
+        }
+        assert!(!n.is_active(SimTime::from_micros(1)));
+    }
+
+    #[test]
+    fn two_small_write_flows_activate() {
+        let mut n = tracker();
+        n.note_write(SimTime::from_nanos(0), FlowId(1), 64);
+        n.note_write(SimTime::from_nanos(10), FlowId(2), 128);
+        assert!(n.is_active(SimTime::from_nanos(20)));
+        assert_eq!(n.activation_count(), 1);
+    }
+
+    #[test]
+    fn large_writes_do_not_count() {
+        let mut n = tracker();
+        n.note_write(SimTime::ZERO, FlowId(1), 64);
+        n.note_write(SimTime::ZERO, FlowId(2), 2048);
+        assert!(!n.is_active(SimTime::from_nanos(1)));
+    }
+
+    #[test]
+    fn activity_expires_after_window() {
+        let mut n = tracker();
+        n.note_write(SimTime::ZERO, FlowId(1), 64);
+        n.note_write(SimTime::ZERO, FlowId(2), 64);
+        assert!(n.is_active(SimTime::from_micros(1)));
+        assert!(!n.is_active(SimTime::from_micros(20)));
+        // Re-activation counts again.
+        n.note_write(SimTime::from_micros(21), FlowId(1), 64);
+        n.note_write(SimTime::from_micros(21), FlowId(2), 64);
+        assert!(n.is_active(SimTime::from_micros(22)));
+        assert_eq!(n.activation_count(), 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! # sim-core — deterministic discrete-event simulation engine
+//!
+//! The foundation of the Ragnar reproduction: a picosecond-resolution
+//! simulation clock ([`SimTime`], [`SimDuration`]), a deterministic
+//! future-event list ([`EventQueue`]), seeded randomness ([`SimRng`]),
+//! queueing primitives for contended hardware resources
+//! ([`ServiceResource`], [`BankedResource`], [`LinkResource`]), and the
+//! statistics used by the paper's measurement methodology
+//! ([`OnlineStats`], [`Summary`], [`pearson`], [`linear_fit`],
+//! [`TimeSeries`]).
+//!
+//! Everything in this crate is intentionally domain-agnostic: the RNIC
+//! microarchitecture lives in `rnic-model`, and the verbs software stack in
+//! `rdma-verbs`.
+//!
+//! # Examples
+//!
+//! Simulate two jobs contending for one server and measure the queueing
+//! delay of the second — the primitive behind every volatile channel in
+//! the paper:
+//!
+//! ```
+//! use sim_core::{ServiceResource, SimDuration, SimTime};
+//!
+//! let mut unit = ServiceResource::new();
+//! let now = SimTime::ZERO;
+//! let first = unit.reserve(now, SimDuration::from_nanos(300));
+//! let second = unit.reserve(now, SimDuration::from_nanos(300));
+//! assert_eq!(first.wait_since(now), SimDuration::ZERO);
+//! assert_eq!(second.wait_since(now), SimDuration::from_nanos(300));
+//! ```
+
+#![warn(missing_docs)]
+
+mod queue;
+mod resource;
+mod rng;
+mod stats;
+mod time;
+
+pub use queue::EventQueue;
+pub use resource::{BankedResource, LinkResource, Reservation, ServiceResource};
+pub use rng::SimRng;
+pub use stats::{
+    linear_fit, pearson, percentile_sorted, LineFit, OnlineStats, Summary, TimeSeries,
+};
+pub use time::{SimDuration, SimTime};

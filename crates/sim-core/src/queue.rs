@@ -1,0 +1,220 @@
+//! The deterministic event queue at the heart of the simulator.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a particular instant.
+///
+/// Ordering is by time, then by insertion sequence number, so two events
+/// scheduled for the same instant always fire in the order they were
+/// scheduled. This makes the whole simulation deterministic regardless of
+/// heap internals.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first order.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Generic over the event payload `E` so that higher layers can define their
+/// own event enums without this crate knowing about them.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(20), "late");
+/// q.schedule(SimTime::from_nanos(10), "early");
+/// q.schedule(SimTime::from_nanos(10), "early-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The current simulation clock: the timestamp of the most recently
+    /// popped event (or zero before any event fired).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock: scheduling into the
+    /// past would silently corrupt causality.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at} now={now}",
+            at = at.as_picos(),
+            now = self.now.as_picos()
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Removes and returns the earliest pending event, advancing the clock
+    /// to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event queue time went backwards");
+        self.now = s.at;
+        self.popped += 1;
+        Some((s.at, s.event))
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before
+    /// `deadline`.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= deadline {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Drops all pending events without touching the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn clock_tracks_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(3), ());
+        q.schedule(SimTime::from_nanos(9), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(3));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(9));
+        assert_eq!(q.events_processed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), ());
+        q.pop();
+        q.schedule(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), 'a');
+        q.schedule(SimTime::from_nanos(20), 'b');
+        assert_eq!(
+            q.pop_before(SimTime::from_nanos(15)),
+            Some((SimTime::from_nanos(10), 'a'))
+        );
+        assert_eq!(q.pop_before(SimTime::from_nanos(15)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(4), ());
+        q.pop();
+        q.schedule(SimTime::from_nanos(8), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_nanos(4));
+    }
+}

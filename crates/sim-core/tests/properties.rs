@@ -1,0 +1,132 @@
+//! Property-based tests of the simulation-engine invariants.
+
+use proptest::prelude::*;
+use sim_core::{
+    linear_fit, pearson, percentile_sorted, EventQueue, OnlineStats, ServiceResource,
+    SimDuration, SimTime, Summary,
+};
+
+proptest! {
+    /// Popping the event queue always yields non-decreasing timestamps,
+    /// and equal timestamps come out in insertion order.
+    #[test]
+    fn event_queue_is_stable_priority_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((at, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(at >= lt);
+                if at == lt {
+                    prop_assert!(idx > lidx, "FIFO violated among equal timestamps");
+                }
+            }
+            last = Some((at, idx));
+        }
+        prop_assert_eq!(q.events_processed(), times.len() as u64);
+    }
+
+    /// A single-server FIFO never overlaps service intervals and never
+    /// starts before the request instant.
+    #[test]
+    fn service_resource_never_overlaps(
+        jobs in prop::collection::vec((0u64..10_000, 1u64..500), 1..100)
+    ) {
+        let mut r = ServiceResource::new();
+        let mut sorted = jobs.clone();
+        sorted.sort();
+        let mut prev_end = SimTime::ZERO;
+        let mut total = SimDuration::ZERO;
+        for (arrive, svc) in sorted {
+            let now = SimTime::from_nanos(arrive);
+            let svc = SimDuration::from_nanos(svc);
+            let res = r.reserve(now, svc);
+            prop_assert!(res.start >= now);
+            prop_assert!(res.start >= prev_end);
+            prop_assert_eq!(res.end - res.start, svc);
+            prev_end = res.end;
+            total += svc;
+        }
+        prop_assert_eq!(r.busy_time(), total);
+    }
+
+    /// Merging split statistics equals computing them in one pass.
+    #[test]
+    fn online_stats_merge_associative(
+        data in prop::collection::vec(-1e6f64..1e6, 2..300),
+        split in 1usize..200
+    ) {
+        let split = split.min(data.len() - 1);
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..split] {
+            a.push(x);
+        }
+        for &x in &data[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (a.population_variance() - whole.population_variance()).abs()
+                < 1e-5 * (1.0 + whole.population_variance())
+        );
+    }
+
+    /// Percentiles are monotone in the quantile and bracketed by min/max.
+    #[test]
+    fn percentiles_monotone(mut data in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let p = percentile_sorted(&data, q);
+            prop_assert!(p >= prev);
+            prop_assert!(p >= data[0] && p <= data[data.len() - 1]);
+            prev = p;
+        }
+        let s = Summary::from_samples(&data);
+        prop_assert!(s.p10 <= s.p50 && s.p50 <= s.p90);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    /// Pearson correlation is bounded and exactly ±1 for affine data.
+    #[test]
+    fn pearson_bounded_and_affine(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..100),
+        slope in prop::sample::select(vec![-2.5f64, -1.0, 0.5, 3.0]),
+        intercept in -10f64..10.0
+    ) {
+        // Ensure xs is not constant.
+        let mut xs = xs;
+        xs[0] += 1.0;
+        if xs.iter().all(|&v| v == xs[0]) {
+            xs[1] += 2.0;
+        }
+        let ys: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0001..=1.0001).contains(&r));
+        prop_assert!((r.abs() - 1.0).abs() < 1e-9, "affine data must give |r| = 1, got {r}");
+        let fit = linear_fit(&xs, &ys);
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+    }
+
+    /// Serialization time scales linearly in bytes (up to rounding).
+    #[test]
+    fn serialization_additive(bytes_a in 1u64..65_536, bytes_b in 1u64..65_536) {
+        let rate = 100_000_000_000u64; // 100 Gbps
+        let a = SimDuration::serialization(bytes_a, rate);
+        let b = SimDuration::serialization(bytes_b, rate);
+        let both = SimDuration::serialization(bytes_a + bytes_b, rate);
+        let sum = a + b;
+        let diff = sum.as_picos() as i128 - both.as_picos() as i128;
+        prop_assert!(diff.abs() <= 1, "rounding drift beyond 1 ps: {diff}");
+    }
+}

@@ -1,0 +1,17 @@
+//! # ragnar-workloads — the real-world victims of the §VI side channels
+//!
+//! * [`shuffle_join`] — a distributed-database traffic generator with
+//!   shuffle (plateau) and join (tooth) phases, fingerprinted in Fig. 12.
+//! * [`sherman`] — a Sherman-style write-optimized B⁺-tree KV index on
+//!   disaggregated memory with a 1 KB shared file region, snooped in
+//!   Fig. 13.
+//!
+//! Both victims run as ordinary [`rdma_verbs::App`]s on client hosts and
+//! generate genuine RDMA traffic through the simulated fabric — the
+//! attacks in `ragnar-core` observe only contention, never the victims'
+//! data.
+
+#![warn(missing_docs)]
+
+pub mod sherman;
+pub mod shuffle_join;

@@ -1,0 +1,744 @@
+//! A Sherman-style write-optimized B⁺-tree index on disaggregated memory
+//! (Wang et al., SIGMOD'22 — the victim of the paper's §VI-B attack).
+//!
+//! The memory server (MS) holds the tree image and a 1 KB shared file
+//! region inside one registered MR; compute servers (CS) traverse the
+//! index with one-sided RDMA Reads and update leaves with RDMA Writes
+//! under a CAS-acquired node lock — the access pattern the Grain-IV
+//! side channel snoops on.
+//!
+//! Scope notes (documented substitutions): the tree is bulk-loaded with
+//! slack in each leaf, and client-side inserts update in place or take a
+//! free slot; structural modifications (splits) are out of scope for the
+//! attack study, as the victim of Fig. 13 only issues reads.
+
+use rdma_verbs::{App, Cqe, CqeStatus, Ctx, HostId, MrHandle, QpHandle, WorkRequest};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Node size in bytes (Sherman uses 1 KB internal nodes).
+pub const NODE_SIZE: u64 = 1024;
+/// Header bytes before the entry area:
+/// `[type u8][pad u8][count u16][version u32][lock u64][next_leaf u64]`.
+pub const NODE_HEADER: u64 = 24;
+/// Bytes per leaf entry (Sherman is a 64 B KV store).
+pub const LEAF_ENTRY: u64 = 64;
+/// Bytes per internal entry (key + child address).
+pub const INTERNAL_ENTRY: u64 = 16;
+/// Leaf entries per node.
+pub const LEAF_CAP: usize = ((NODE_SIZE - NODE_HEADER) / LEAF_ENTRY) as usize;
+/// Internal fan-out.
+pub const INTERNAL_CAP: usize = ((NODE_SIZE - NODE_HEADER) / INTERNAL_ENTRY) as usize;
+
+const TYPE_INTERNAL: u8 = 0;
+const TYPE_LEAF: u8 = 1;
+
+/// A 56-byte value payload.
+pub type Value = [u8; 56];
+
+/// Builds a value from a small byte string.
+pub fn value_from(bytes: &[u8]) -> Value {
+    let mut v = [0u8; 56];
+    let n = bytes.len().min(56);
+    v[..n].copy_from_slice(&bytes[..n]);
+    v
+}
+
+/// The serialized tree image plus its layout metadata.
+///
+/// Built host-side (the MS initializes its own memory), then traversed
+/// remotely by [`TreeClient`]s.
+#[derive(Debug, Clone)]
+pub struct ShermanTree {
+    image: Vec<u8>,
+    root_off: u64,
+    height: u32,
+    leaf_of_key: BTreeMap<u64, u64>, // key -> entry offset in image
+}
+
+impl ShermanTree {
+    /// Bulk-loads a tree from sorted `(key, value)` pairs, filling each
+    /// leaf to `fill` of capacity (0 < fill ≤ 1) to leave insert slack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty, unsorted, contains duplicates, or
+    /// `fill` is out of range.
+    pub fn bulk_load(pairs: &[(u64, Value)], fill: f64) -> Self {
+        assert!(!pairs.is_empty(), "cannot build an empty tree");
+        assert!(fill > 0.0 && fill <= 1.0, "fill factor out of range");
+        for w in pairs.windows(2) {
+            assert!(w[0].0 < w[1].0, "keys must be strictly increasing");
+        }
+        let per_leaf = ((LEAF_CAP as f64 * fill).floor() as usize).max(1);
+
+        let mut image = Vec::new();
+        let mut leaf_of_key = BTreeMap::new();
+
+        // Level 0: leaves, chained through the `next_leaf` header field
+        // for range scans (Sherman's leaves are siblings-linked).
+        let mut level: Vec<(u64, u64)> = Vec::new(); // (first key, node offset)
+        let n_leaves = pairs.chunks(per_leaf).count() as u64;
+        for (li, chunk) in pairs.chunks(per_leaf).enumerate() {
+            let off = image.len() as u64;
+            let mut node = vec![0u8; NODE_SIZE as usize];
+            node[0] = TYPE_LEAF;
+            node[2..4].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+            let next = if (li as u64) + 1 < n_leaves {
+                off + NODE_SIZE
+            } else {
+                u64::MAX // end of chain
+            };
+            node[16..24].copy_from_slice(&next.to_le_bytes());
+            for (i, (k, v)) in chunk.iter().enumerate() {
+                let e = (NODE_HEADER + i as u64 * LEAF_ENTRY) as usize;
+                node[e..e + 8].copy_from_slice(&k.to_le_bytes());
+                node[e + 8..e + 64].copy_from_slice(v);
+                leaf_of_key.insert(*k, off + NODE_HEADER + i as u64 * LEAF_ENTRY);
+            }
+            image.extend_from_slice(&node);
+            level.push((chunk[0].0, off));
+        }
+
+        // Internal levels.
+        let mut height = 1;
+        while level.len() > 1 {
+            height += 1;
+            let mut next = Vec::new();
+            for chunk in level.chunks(INTERNAL_CAP) {
+                let off = image.len() as u64;
+                let mut node = vec![0u8; NODE_SIZE as usize];
+                node[0] = TYPE_INTERNAL;
+                node[2..4].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+                for (i, (k, child)) in chunk.iter().enumerate() {
+                    let e = (NODE_HEADER + i as u64 * INTERNAL_ENTRY) as usize;
+                    node[e..e + 8].copy_from_slice(&k.to_le_bytes());
+                    node[e + 8..e + 16].copy_from_slice(&child.to_le_bytes());
+                }
+                image.extend_from_slice(&node);
+                next.push((chunk[0].0, off));
+            }
+            level = next;
+        }
+        let root_off = level[0].1;
+        ShermanTree {
+            image,
+            root_off,
+            height,
+            leaf_of_key,
+        }
+    }
+
+    /// The serialized image to place at the MR base.
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+
+    /// Offset of the root node within the image.
+    pub fn root_offset(&self) -> u64 {
+        self.root_off
+    }
+
+    /// Tree height (1 = a single leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of nodes in the image.
+    pub fn node_count(&self) -> usize {
+        self.image.len() / NODE_SIZE as usize
+    }
+
+    /// Offset (within the image) of the 64 B leaf entry holding `key`.
+    pub fn entry_offset(&self, key: u64) -> Option<u64> {
+        self.leaf_of_key.get(&key).copied()
+    }
+
+    /// Host-side reference lookup (ground truth for tests).
+    pub fn lookup_local(&self, key: u64) -> Option<Value> {
+        let off = self.entry_offset(key)? as usize;
+        let mut v = [0u8; 56];
+        v.copy_from_slice(&self.image[off + 8..off + 64]);
+        Some(v)
+    }
+}
+
+/// Parses the node type/count header from raw node bytes.
+fn parse_header(node: &[u8]) -> (u8, usize) {
+    let ty = node[0];
+    let count = u16::from_le_bytes([node[2], node[3]]) as usize;
+    (ty, count)
+}
+
+/// Reads the sibling pointer of a leaf (`u64::MAX` = end of chain).
+fn next_leaf(node: &[u8]) -> u64 {
+    u64::from_le_bytes(node[16..24].try_into().expect("8 bytes"))
+}
+
+/// Collects all `(key, value)` pairs of a leaf with `key >= start`.
+fn leaf_entries_from(node: &[u8], count: usize, start: u64) -> Vec<(u64, Value)> {
+    let mut out = Vec::new();
+    for i in 0..count {
+        let e = (NODE_HEADER + i as u64 * LEAF_ENTRY) as usize;
+        let k = u64::from_le_bytes(node[e..e + 8].try_into().expect("8 bytes"));
+        if k >= start {
+            let mut v = [0u8; 56];
+            v.copy_from_slice(&node[e + 8..e + 64]);
+            out.push((k, v));
+        }
+    }
+    out
+}
+
+/// Searches an internal node for the child covering `key`.
+fn search_internal(node: &[u8], count: usize, key: u64) -> u64 {
+    let mut child = 0u64;
+    for i in 0..count {
+        let e = (NODE_HEADER + i as u64 * INTERNAL_ENTRY) as usize;
+        let k = u64::from_le_bytes(node[e..e + 8].try_into().expect("8 bytes"));
+        let c = u64::from_le_bytes(node[e + 8..e + 16].try_into().expect("8 bytes"));
+        if i == 0 || k <= key {
+            child = c;
+        } else {
+            break;
+        }
+    }
+    child
+}
+
+/// Searches a leaf node for `key`; returns `(slot, value)`.
+fn search_leaf(node: &[u8], count: usize, key: u64) -> Option<(usize, Value)> {
+    for i in 0..count {
+        let e = (NODE_HEADER + i as u64 * LEAF_ENTRY) as usize;
+        let k = u64::from_le_bytes(node[e..e + 8].try_into().expect("8 bytes"));
+        if k == key {
+            let mut v = [0u8; 56];
+            v.copy_from_slice(&node[e + 8..e + 64]);
+            return Some((i, v));
+        }
+    }
+    None
+}
+
+/// One client-visible operation.
+#[derive(Debug, Clone)]
+pub enum TreeOp {
+    /// Point lookup.
+    Get(u64),
+    /// Insert or update (in place / free slot; no splits).
+    Insert(u64, Value),
+    /// Range scan: up to `limit` pairs with `key >= start`, walking the
+    /// sibling-linked leaves.
+    Scan {
+        /// First key of the range (inclusive).
+        start: u64,
+        /// Maximum number of pairs returned.
+        limit: usize,
+    },
+}
+
+/// Outcome of one operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpResult {
+    /// Get hit with the value.
+    Found(u64, Value),
+    /// Get miss.
+    NotFound(u64),
+    /// Insert/update succeeded.
+    Inserted(u64),
+    /// Insert failed (leaf full).
+    LeafFull(u64),
+    /// Scan result, ordered by key.
+    Scanned(Vec<(u64, Value)>),
+}
+
+#[derive(Debug)]
+enum OpState {
+    Traverse { key: u64, level: u32 },
+    ScanLeaf { start: u64, limit: usize, acc: Vec<(u64, Value)> },
+    LockLeaf { key: u64, leaf_off: u64 },
+    WriteEntry { key: u64, leaf_off: u64 },
+    BumpCount { key: u64, leaf_off: u64 },
+    Unlock { key: u64 },
+}
+
+/// A compute-server client executing a queue of tree operations over
+/// RDMA, as an event-driven [`App`].
+pub struct TreeClient {
+    qp: QpHandle,
+    mr: MrHandle,
+    root_off: u64,
+    scratch: u64,
+    ops: std::collections::VecDeque<TreeOp>,
+    state: Option<OpState>,
+    current_node_off: u64,
+    pending_insert: Option<(u64, Value, usize, bool)>, // key, value, slot, is_new
+    pending_scan: Option<(u64, usize)>,
+    results: Rc<RefCell<Vec<OpResult>>>,
+    lock_id: u64,
+    stop_when_done: bool,
+}
+
+impl TreeClient {
+    /// Creates a client. `mr` is the MS region holding the tree image at
+    /// its base; `scratch` is a local buffer address for reads.
+    pub fn new(
+        qp: QpHandle,
+        mr: MrHandle,
+        root_off: u64,
+        scratch: u64,
+        ops: Vec<TreeOp>,
+        results: Rc<RefCell<Vec<OpResult>>>,
+        lock_id: u64,
+        stop_when_done: bool,
+    ) -> Self {
+        TreeClient {
+            qp,
+            mr,
+            root_off,
+            scratch,
+            ops: ops.into(),
+            state: None,
+            current_node_off: 0,
+            pending_insert: None,
+            pending_scan: None,
+            results,
+            lock_id,
+            stop_when_done,
+        }
+    }
+
+    fn begin_next(&mut self, ctx: &mut Ctx<'_>) {
+        match self.ops.pop_front() {
+            None => {
+                if self.stop_when_done {
+                    ctx.stop();
+                }
+            }
+            Some(op) => {
+                let key = match &op {
+                    TreeOp::Get(k) => {
+                        self.pending_insert = None;
+                        self.pending_scan = None;
+                        *k
+                    }
+                    TreeOp::Insert(k, v) => {
+                        self.pending_insert = Some((*k, *v, 0, false));
+                        self.pending_scan = None;
+                        *k
+                    }
+                    TreeOp::Scan { start, limit } => {
+                        self.pending_insert = None;
+                        self.pending_scan = Some((*start, *limit));
+                        *start
+                    }
+                };
+                self.state = Some(OpState::Traverse { key, level: 0 });
+                self.read_node(ctx, self.root_off);
+            }
+        }
+    }
+
+    fn read_node(&mut self, ctx: &mut Ctx<'_>, node_off: u64) {
+        self.current_node_off = node_off;
+        ctx.post_send(
+            self.qp,
+            WorkRequest::read(
+                1,
+                self.scratch,
+                self.mr.addr(node_off),
+                self.mr.key,
+                NODE_SIZE,
+            ),
+        )
+        .expect("tree read");
+    }
+
+    fn node_bytes(&self, ctx: &Ctx<'_>) -> Vec<u8> {
+        ctx.read_memory(self.qp.host, self.scratch, NODE_SIZE)
+    }
+}
+
+impl App for TreeClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.begin_next(ctx);
+    }
+
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_>, _host: HostId, cqe: Cqe) {
+        assert_eq!(cqe.status, CqeStatus::Success, "tree op failed remotely");
+        let state = self.state.take().expect("completion without active op");
+        match state {
+            OpState::Traverse { key, level } => {
+                let node = self.node_bytes(ctx);
+                let (ty, count) = parse_header(&node);
+                if ty == TYPE_INTERNAL {
+                    let child = search_internal(&node, count, key);
+                    self.state = Some(OpState::Traverse {
+                        key,
+                        level: level + 1,
+                    });
+                    self.read_node(ctx, child);
+                } else if let Some((start, limit)) = self.pending_scan.take() {
+                    // Leaf reached for a scan: collect and walk siblings.
+                    let mut acc = leaf_entries_from(&node, count, start);
+                    acc.truncate(limit);
+                    let next = next_leaf(&node);
+                    if acc.len() < limit && next != u64::MAX {
+                        self.state = Some(OpState::ScanLeaf { start, limit, acc });
+                        self.read_node(ctx, next);
+                    } else {
+                        self.results.borrow_mut().push(OpResult::Scanned(acc));
+                        self.begin_next(ctx);
+                    }
+                } else {
+                    // Leaf reached.
+                    let hit = search_leaf(&node, count, key);
+                    match (&mut self.pending_insert, hit) {
+                        (None, Some((_, v))) => {
+                            self.results.borrow_mut().push(OpResult::Found(key, v));
+                            self.begin_next(ctx);
+                        }
+                        (None, None) => {
+                            self.results.borrow_mut().push(OpResult::NotFound(key));
+                            self.begin_next(ctx);
+                        }
+                        (Some(ins), hit) => {
+                            // Insert path: remember the slot, take the lock.
+                            match hit {
+                                Some((slot, _)) => {
+                                    ins.2 = slot;
+                                    ins.3 = false;
+                                }
+                                None if count < LEAF_CAP => {
+                                    ins.2 = count;
+                                    ins.3 = true;
+                                }
+                                None => {
+                                    self.results.borrow_mut().push(OpResult::LeafFull(key));
+                                    self.pending_insert = None;
+                                    let leaf_off = self.current_node_off;
+                                    let _ = leaf_off;
+                                    self.begin_next(ctx);
+                                    return;
+                                }
+                            }
+                            let leaf_off = self.current_node_off;
+                            self.state = Some(OpState::LockLeaf { key, leaf_off });
+                            ctx.post_send(
+                                self.qp,
+                                WorkRequest::cmp_swap(
+                                    2,
+                                    self.scratch + NODE_SIZE,
+                                    self.mr.addr(leaf_off + 8),
+                                    self.mr.key,
+                                    0,
+                                    self.lock_id,
+                                ),
+                            )
+                            .expect("lock CAS");
+                        }
+                    }
+                }
+            }
+            OpState::ScanLeaf { start, limit, mut acc } => {
+                let node = self.node_bytes(ctx);
+                let (_, count) = parse_header(&node);
+                let mut more = leaf_entries_from(&node, count, start);
+                let room = limit - acc.len();
+                more.truncate(room);
+                acc.extend(more);
+                let next = next_leaf(&node);
+                if acc.len() < limit && next != u64::MAX {
+                    self.state = Some(OpState::ScanLeaf { start, limit, acc });
+                    self.read_node(ctx, next);
+                } else {
+                    self.results.borrow_mut().push(OpResult::Scanned(acc));
+                    self.begin_next(ctx);
+                }
+            }
+            OpState::LockLeaf { key, leaf_off } => {
+                if cqe.atomic_old_value != 0 {
+                    // Lock held; retry the CAS.
+                    self.state = Some(OpState::LockLeaf { key, leaf_off });
+                    ctx.post_send(
+                        self.qp,
+                        WorkRequest::cmp_swap(
+                            2,
+                            self.scratch + NODE_SIZE,
+                            self.mr.addr(leaf_off + 8),
+                            self.mr.key,
+                            0,
+                            self.lock_id,
+                        ),
+                    )
+                    .expect("lock retry");
+                    return;
+                }
+                // Write the 64 B entry.
+                let (k, v, slot, _is_new) = self.pending_insert.expect("insert context");
+                let mut entry = [0u8; 64];
+                entry[..8].copy_from_slice(&k.to_le_bytes());
+                entry[8..].copy_from_slice(&v);
+                ctx.write_memory(self.qp.host, self.scratch + 2 * NODE_SIZE, &entry);
+                let entry_addr = leaf_off + NODE_HEADER + slot as u64 * LEAF_ENTRY;
+                self.state = Some(OpState::WriteEntry { key, leaf_off });
+                ctx.post_send(
+                    self.qp,
+                    WorkRequest::write(
+                        3,
+                        self.scratch + 2 * NODE_SIZE,
+                        self.mr.addr(entry_addr),
+                        self.mr.key,
+                        LEAF_ENTRY,
+                    ),
+                )
+                .expect("entry write");
+            }
+            OpState::WriteEntry { key, leaf_off } => {
+                let (_, _, slot, is_new) = self.pending_insert.expect("insert context");
+                if is_new {
+                    // Bump the leaf count with a small write.
+                    let new_count = (slot + 1) as u16;
+                    ctx.write_memory(
+                        self.qp.host,
+                        self.scratch + 3 * NODE_SIZE,
+                        &new_count.to_le_bytes(),
+                    );
+                    self.state = Some(OpState::BumpCount { key, leaf_off });
+                    ctx.post_send(
+                        self.qp,
+                        WorkRequest::write(
+                            4,
+                            self.scratch + 3 * NODE_SIZE,
+                            self.mr.addr(leaf_off + 2),
+                            self.mr.key,
+                            2,
+                        ),
+                    )
+                    .expect("count write");
+                } else {
+                    self.state = Some(OpState::Unlock { key });
+                    self.post_unlock(ctx, leaf_off);
+                }
+            }
+            OpState::BumpCount { key, leaf_off } => {
+                self.state = Some(OpState::Unlock { key });
+                self.post_unlock(ctx, leaf_off);
+            }
+            OpState::Unlock { key } => {
+                self.results.borrow_mut().push(OpResult::Inserted(key));
+                self.pending_insert = None;
+                self.begin_next(ctx);
+            }
+        }
+    }
+}
+
+impl TreeClient {
+    fn post_unlock(&mut self, ctx: &mut Ctx<'_>, leaf_off: u64) {
+        ctx.post_send(
+            self.qp,
+            WorkRequest::cmp_swap(
+                5,
+                self.scratch + NODE_SIZE,
+                self.mr.addr(leaf_off + 8),
+                self.mr.key,
+                self.lock_id,
+                0,
+            ),
+        )
+        .expect("unlock CAS");
+    }
+}
+
+/// The Fig.-13 victim: a CS procedure that reads a 64 B record at a fixed
+/// secret offset of the shared 1 KB file, interleaving a real index
+/// lookup every `1 / index_ratio` file accesses (the paper assumes an
+/// index-to-file access ratio of 0.01).
+pub struct ShermanVictim {
+    qp: QpHandle,
+    mr: MrHandle,
+    /// Offset of the shared file within the MR.
+    file_base: u64,
+    /// The secret: which candidate offset the victim reads.
+    secret_offset: u64,
+    root_off: u64,
+    index_period: u64,
+    hot_key: u64,
+    scratch: u64,
+    accesses: u64,
+    traversing: bool,
+    current_node_off: u64,
+}
+
+impl ShermanVictim {
+    /// Creates the victim.
+    pub fn new(
+        qp: QpHandle,
+        mr: MrHandle,
+        file_base: u64,
+        secret_offset: u64,
+        root_off: u64,
+        index_period: u64,
+        hot_key: u64,
+        scratch: u64,
+    ) -> Self {
+        assert!(secret_offset <= 1024, "candidate offsets span 0..=1024");
+        ShermanVictim {
+            qp,
+            mr,
+            file_base,
+            secret_offset,
+            root_off,
+            index_period: index_period.max(2),
+            hot_key,
+            scratch,
+            accesses: 0,
+            traversing: false,
+            current_node_off: 0,
+        }
+    }
+
+    /// Total accesses issued.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Keeps the send queue full with file reads (the victim is an
+    /// aggressive reader; its pipeline depth is the QP's max send queue).
+    fn fill_file_reads(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            match ctx.post_send(
+                self.qp,
+                WorkRequest::read(
+                    10,
+                    self.scratch,
+                    self.mr.addr(self.file_base + self.secret_offset),
+                    self.mr.key,
+                    64,
+                ),
+            ) {
+                Ok(()) => self.accesses += 1,
+                Err(rdma_verbs::PostError::SendQueueFull) => break,
+                Err(e) => panic!("victim file read failed: {e}"),
+            }
+        }
+    }
+
+    /// Posts an index-node read; returns false when the queue is full
+    /// (the caller retries at the next completion).
+    fn post_node_read(&mut self, ctx: &mut Ctx<'_>, node_off: u64) -> bool {
+        self.current_node_off = node_off;
+        match ctx.post_send(
+            self.qp,
+            WorkRequest::read(
+                11,
+                self.scratch + 64,
+                self.mr.addr(node_off),
+                self.mr.key,
+                NODE_SIZE,
+            ),
+        ) {
+            Ok(()) => {
+                self.accesses += 1;
+                true
+            }
+            Err(rdma_verbs::PostError::SendQueueFull) => false,
+            Err(e) => panic!("victim index read failed: {e}"),
+        }
+    }
+}
+
+impl App for ShermanVictim {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.fill_file_reads(ctx);
+    }
+
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_>, _host: HostId, cqe: Cqe) {
+        // Traversal completions carry wr_id 11; file reads 10. The index
+        // lookup runs *concurrently* with the file-read stream (Sherman
+        // issues them from separate coroutines) — the file pipeline never
+        // stalls.
+        if cqe.wr_id == 11 {
+            let node = ctx.read_memory(self.qp.host, self.scratch + 64, NODE_SIZE);
+            let (ty, count) = parse_header(&node);
+            if ty == TYPE_INTERNAL {
+                let child = search_internal(&node, count, self.hot_key);
+                if !self.post_node_read(ctx, child) {
+                    // Queue full: abandon this traversal attempt.
+                    self.traversing = false;
+                }
+            } else {
+                self.traversing = false;
+            }
+            self.fill_file_reads(ctx);
+            return;
+        }
+        if !self.traversing && self.accesses % self.index_period == self.index_period - 1 {
+            self.traversing = self.post_node_read(ctx, self.root_off);
+        }
+        self.fill_file_reads(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(n: u64) -> Vec<(u64, Value)> {
+        (0..n)
+            .map(|i| (i * 10, value_from(format!("val-{i}").as_bytes())))
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_structure() {
+        let t = ShermanTree::bulk_load(&pairs(100), 0.8);
+        assert!(t.height() >= 2);
+        assert_eq!(t.image().len() % NODE_SIZE as usize, 0);
+        assert!(t.node_count() >= 10);
+        // Root is within the image.
+        assert!(t.root_offset() < t.image().len() as u64);
+    }
+
+    #[test]
+    fn local_lookup_matches_input() {
+        let p = pairs(500);
+        let t = ShermanTree::bulk_load(&p, 0.7);
+        for (k, v) in &p {
+            assert_eq!(t.lookup_local(*k).as_ref(), Some(v), "key {k}");
+        }
+        assert_eq!(t.lookup_local(5), None);
+    }
+
+    #[test]
+    fn entry_offsets_are_leaf_entries() {
+        let t = ShermanTree::bulk_load(&pairs(64), 0.8);
+        for k in (0..640).step_by(10) {
+            let off = t.entry_offset(k).expect("key present");
+            // Entry offsets are entry-aligned within a node.
+            let within = (off % NODE_SIZE) - NODE_HEADER;
+            assert_eq!(within % LEAF_ENTRY, 0);
+            // And the node it lives in is a leaf.
+            let node_off = (off / NODE_SIZE) * NODE_SIZE;
+            assert_eq!(t.image()[node_off as usize], TYPE_LEAF);
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let t = ShermanTree::bulk_load(&pairs(3), 1.0);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.root_offset(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_keys() {
+        let mut p = pairs(5);
+        p.swap(0, 1);
+        let _ = ShermanTree::bulk_load(&p, 0.8);
+    }
+}

@@ -1,0 +1,222 @@
+//! A distributed-database traffic generator with RDMA shuffle/join
+//! phases — the victim of the paper's §VI-A fingerprinting attack.
+//!
+//! Shuffle is network-intensive and *sustained* (a plateau of bulk
+//! transfers); join alternates network bursts with compute gaps (a tooth
+//! pattern). Fig. 12 shows exactly these two shapes in the attacker's
+//! monitored bandwidth.
+
+use rdma_verbs::{App, Cqe, Ctx, HostId, MrKey, PostError, QpHandle, WorkRequest};
+use sim_core::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One phase of the database workload script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbPhase {
+    /// No traffic.
+    Idle(SimDuration),
+    /// Sustained bulk shuffle traffic.
+    Shuffle(SimDuration),
+    /// `rounds` bursts of `burst` traffic separated by `gap` compute time.
+    Join {
+        /// Number of build/probe rounds.
+        rounds: u32,
+        /// Network-active time per round.
+        burst: SimDuration,
+        /// Compute gap per round.
+        gap: SimDuration,
+    },
+}
+
+impl DbPhase {
+    /// Total wall time of the phase.
+    pub fn duration(&self) -> SimDuration {
+        match *self {
+            DbPhase::Idle(d) | DbPhase::Shuffle(d) => d,
+            DbPhase::Join { rounds, burst, gap } => (burst + gap) * u64::from(rounds),
+        }
+    }
+
+    /// Short label for ground-truth records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DbPhase::Idle(_) => "idle",
+            DbPhase::Shuffle(_) => "shuffle",
+            DbPhase::Join { .. } => "join",
+        }
+    }
+}
+
+/// Ground truth: which phase was active when.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseLog {
+    /// `(label, start, end)` triples.
+    pub intervals: Vec<(&'static str, SimTime, SimTime)>,
+}
+
+impl PhaseLog {
+    /// The label active at `t`, if any.
+    pub fn label_at(&self, t: SimTime) -> Option<&'static str> {
+        self.intervals
+            .iter()
+            .find(|&&(_, s, e)| t >= s && t < e)
+            .map(|&(l, _, _)| l)
+    }
+}
+
+/// Configuration of the database victim.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Message size during shuffle (bulk transfers).
+    pub shuffle_msg_len: u64,
+    /// Message size during join bursts.
+    pub join_msg_len: u64,
+    /// Remote key of the victim's working MR on the server.
+    pub rkey: MrKey,
+    /// Base address of the working region.
+    pub remote_base: u64,
+    /// Bytes available in the working region.
+    pub remote_len: u64,
+}
+
+/// The database victim app: walks a phase script, generating saturating
+/// write traffic whenever a phase (or join round burst) is active.
+pub struct DbVictim {
+    qp: QpHandle,
+    cfg: DbConfig,
+    phases: Vec<DbPhase>,
+    log: Rc<RefCell<PhaseLog>>,
+    active: bool,
+    msg_len: u64,
+    seq: u64,
+    // Timer tokens encode script progress.
+    script: Vec<(SimDuration, bool, u64)>, // (at-offset, active?, msg_len)
+}
+
+impl DbVictim {
+    /// Creates the victim; the script starts when the simulation starts.
+    pub fn new(
+        qp: QpHandle,
+        cfg: DbConfig,
+        phases: Vec<DbPhase>,
+        log: Rc<RefCell<PhaseLog>>,
+    ) -> Self {
+        // Pre-compile the phase list into (offset, active, msg_len)
+        // transitions.
+        let mut script = Vec::new();
+        let mut t = SimDuration::ZERO;
+        for p in &phases {
+            match *p {
+                DbPhase::Idle(d) => {
+                    script.push((t, false, 0));
+                    t += d;
+                }
+                DbPhase::Shuffle(d) => {
+                    script.push((t, true, 0)); // msg_len patched below
+                    t += d;
+                }
+                DbPhase::Join { rounds, burst, gap } => {
+                    for _ in 0..rounds {
+                        script.push((t, true, 1));
+                        t += burst;
+                        script.push((t, false, 0));
+                        t += gap;
+                    }
+                }
+            }
+        }
+        script.push((t, false, 0)); // final stop
+        DbVictim {
+            qp,
+            cfg,
+            phases,
+            log,
+            active: false,
+            msg_len: 0,
+            seq: 0,
+            script,
+        }
+    }
+
+    fn fill(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.active {
+            return;
+        }
+        loop {
+            let slot = self.seq % (self.cfg.remote_len / self.cfg.shuffle_msg_len.max(1)).max(1);
+            let addr = self.cfg.remote_base + slot * self.cfg.shuffle_msg_len;
+            self.seq += 1;
+            let wr = WorkRequest::write(self.seq, 0x9000, addr, self.cfg.rkey, self.msg_len);
+            match ctx.post_send(self.qp, wr) {
+                Ok(()) => {}
+                Err(PostError::SendQueueFull) => break,
+                Err(e) => panic!("victim post failed: {e}"),
+            }
+        }
+    }
+}
+
+impl App for DbVictim {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Record ground truth.
+        {
+            let mut log = self.log.borrow_mut();
+            let mut t = ctx.now();
+            for p in &self.phases {
+                let end = t + p.duration();
+                log.intervals.push((p.label(), t, end));
+                t = end;
+            }
+        }
+        for (i, &(offset, _, _)) in self.script.iter().enumerate() {
+            ctx.set_timer(offset, i as u64);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let (_, active, kind) = self.script[token as usize];
+        self.active = active;
+        if active {
+            self.msg_len = if kind == 1 {
+                self.cfg.join_msg_len
+            } else {
+                self.cfg.shuffle_msg_len
+            };
+            self.fill(ctx);
+        }
+    }
+
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_>, _host: HostId, _cqe: Cqe) {
+        self.fill(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_durations() {
+        let idle = DbPhase::Idle(SimDuration::from_micros(10));
+        assert_eq!(idle.duration(), SimDuration::from_micros(10));
+        let join = DbPhase::Join {
+            rounds: 3,
+            burst: SimDuration::from_micros(4),
+            gap: SimDuration::from_micros(6),
+        };
+        assert_eq!(join.duration(), SimDuration::from_micros(30));
+        assert_eq!(join.label(), "join");
+    }
+
+    #[test]
+    fn phase_log_lookup() {
+        let mut log = PhaseLog::default();
+        log.intervals.push(("idle", SimTime::ZERO, SimTime::from_micros(10)));
+        log.intervals
+            .push(("shuffle", SimTime::from_micros(10), SimTime::from_micros(30)));
+        assert_eq!(log.label_at(SimTime::from_micros(5)), Some("idle"));
+        assert_eq!(log.label_at(SimTime::from_micros(15)), Some("shuffle"));
+        assert_eq!(log.label_at(SimTime::from_micros(35)), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the Sherman B⁺-tree against reference models.
+
+use proptest::prelude::*;
+use ragnar_workloads::sherman::{
+    value_from, OpResult, ShermanTree, TreeClient, TreeOp, INTERNAL_CAP, LEAF_CAP, NODE_SIZE,
+};
+use rdma_verbs::{AccessFlags, ConnectOptions, DeviceProfile, Simulation};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+fn sorted_pairs(keys: &[u64]) -> Vec<(u64, [u8; 56])> {
+    let mut uniq: Vec<u64> = keys.to_vec();
+    uniq.sort_unstable();
+    uniq.dedup();
+    uniq.iter()
+        .map(|&k| (k, value_from(&k.to_le_bytes())))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Bulk-loaded trees answer every lookup like a BTreeMap, and miss
+    /// exactly the absent keys.
+    #[test]
+    fn bulk_load_matches_btreemap(
+        keys in prop::collection::vec(0u64..100_000, 1..400),
+        probes in prop::collection::vec(0u64..100_000, 1..100),
+        fill_pct in 30u32..=100
+    ) {
+        let pairs = sorted_pairs(&keys);
+        let reference: BTreeMap<u64, [u8; 56]> = pairs.iter().copied().collect();
+        let tree = ShermanTree::bulk_load(&pairs, f64::from(fill_pct) / 100.0);
+        for probe in probes {
+            prop_assert_eq!(
+                tree.lookup_local(probe),
+                reference.get(&probe).copied(),
+                "key {}", probe
+            );
+        }
+    }
+
+    /// Structural invariants: node sizes, fan-out bounds, leaf entry
+    /// alignment, height consistent with the key count.
+    #[test]
+    fn tree_structure_invariants(
+        keys in prop::collection::vec(0u64..1_000_000, 1..600),
+        fill_pct in 30u32..=100
+    ) {
+        let pairs = sorted_pairs(&keys);
+        let fill = f64::from(fill_pct) / 100.0;
+        let tree = ShermanTree::bulk_load(&pairs, fill);
+        let image = tree.image();
+        prop_assert_eq!(image.len() % NODE_SIZE as usize, 0);
+        let per_leaf = ((LEAF_CAP as f64 * fill).floor() as usize).max(1);
+        let min_leaves = pairs.len().div_ceil(per_leaf);
+        prop_assert!(tree.node_count() >= min_leaves);
+        // Height bound: ceil(log_fanout(leaves)) + 1.
+        let mut level = min_leaves;
+        let mut height = 1;
+        while level > 1 {
+            level = level.div_ceil(INTERNAL_CAP);
+            height += 1;
+        }
+        prop_assert_eq!(tree.height(), height as u32);
+        // Every key's entry offset points at its key bytes.
+        for (k, _) in &pairs {
+            let off = tree.entry_offset(*k).expect("present") as usize;
+            let stored = u64::from_le_bytes(image[off..off + 8].try_into().expect("8"));
+            prop_assert_eq!(stored, *k);
+        }
+    }
+
+    /// Remote clients see exactly what the host-side reference sees, and
+    /// inserts round-trip through the simulated fabric.
+    #[test]
+    fn remote_client_matches_reference(
+        keys in prop::collection::vec(1u64..10_000, 2..60),
+        updates in prop::collection::vec((0usize..60, any::<u8>()), 1..12),
+        seed in 0u64..100
+    ) {
+        let pairs = sorted_pairs(&keys);
+        let tree = ShermanTree::bulk_load(&pairs, 0.6);
+        let mut reference: BTreeMap<u64, [u8; 56]> = pairs.iter().copied().collect();
+
+        let mut sim = Simulation::new(seed);
+        let ms = sim.add_host(DeviceProfile::connectx5());
+        let cs = sim.add_host(DeviceProfile::connectx5());
+        let pd_ms = sim.alloc_pd(ms);
+        let pd_cs = sim.alloc_pd(cs);
+        let mr = sim.register_mr(
+            ms,
+            pd_ms,
+            (tree.image().len() as u64 + 4096).max(1 << 21),
+            AccessFlags::remote_all(),
+        );
+        sim.write_memory(ms, mr.addr(0), tree.image());
+        let (qp, _) = sim.connect(cs, pd_cs, ms, pd_ms, ConnectOptions::default());
+
+        // Interleave updates of existing keys with lookups of every key.
+        let mut ops = Vec::new();
+        for &(idx, fill) in &updates {
+            let k = pairs[idx % pairs.len()].0;
+            let v = value_from(&[fill; 8]);
+            reference.insert(k, v);
+            ops.push(TreeOp::Insert(k, v));
+        }
+        for (k, _) in &pairs {
+            ops.push(TreeOp::Get(*k));
+        }
+        ops.push(TreeOp::Get(0)); // absent (keys start at 1)
+
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let app = sim.add_app(Box::new(TreeClient::new(
+            qp,
+            mr,
+            tree.root_offset(),
+            0x40_000,
+            ops.clone(),
+            Rc::clone(&results),
+            0xCC,
+            true,
+        )));
+        sim.own_qp(app, qp);
+        sim.run();
+
+        let res = results.borrow();
+        prop_assert_eq!(res.len(), ops.len());
+        let mut i = 0;
+        for &(_, _) in &updates {
+            prop_assert!(matches!(res[i], OpResult::Inserted(_)), "update {i}: {:?}", res[i]);
+            i += 1;
+        }
+        for (k, _) in &pairs {
+            prop_assert_eq!(
+                &res[i],
+                &OpResult::Found(*k, reference[k]),
+                "lookup of {}", k
+            );
+            i += 1;
+        }
+        prop_assert_eq!(&res[i], &OpResult::NotFound(0));
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end tests of the Sherman tree client over the simulated fabric.
+
+use ragnar_workloads::sherman::{
+    value_from, OpResult, ShermanTree, ShermanVictim, TreeClient, TreeOp, NODE_SIZE,
+};
+use rdma_verbs::{AccessFlags, ConnectOptions, DeviceProfile, MrHandle, QpHandle, Simulation};
+use sim_core::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn setup(tree: &ShermanTree) -> (Simulation, QpHandle, MrHandle) {
+    let mut sim = Simulation::new(99);
+    let ms = sim.add_host(DeviceProfile::connectx5());
+    let cs = sim.add_host(DeviceProfile::connectx5());
+    let pd_ms = sim.alloc_pd(ms);
+    let pd_cs = sim.alloc_pd(cs);
+    let mr = sim.register_mr(
+        ms,
+        pd_ms,
+        (tree.image().len() as u64 + 4096).max(1 << 21),
+        AccessFlags::remote_all(),
+    );
+    sim.write_memory(ms, mr.addr(0), tree.image());
+    let (cq, _sq) = sim.connect(cs, pd_cs, ms, pd_ms, ConnectOptions::default());
+    (sim, cq, mr)
+}
+
+fn pairs(n: u64) -> Vec<(u64, [u8; 56])> {
+    (0..n)
+        .map(|i| (i * 7 + 1, value_from(format!("payload-{i}").as_bytes())))
+        .collect()
+}
+
+#[test]
+fn remote_get_matches_local_lookup() {
+    let p = pairs(200);
+    let tree = ShermanTree::bulk_load(&p, 0.8);
+    let (mut sim, qp, mr) = setup(&tree);
+    let results = Rc::new(RefCell::new(Vec::new()));
+    let ops = vec![
+        TreeOp::Get(1),          // first key
+        TreeOp::Get(7 * 57 + 1), // middle key
+        TreeOp::Get(7 * 199 + 1),
+        TreeOp::Get(4), // absent
+    ];
+    let app = sim.add_app(Box::new(TreeClient::new(
+        qp,
+        mr,
+        tree.root_offset(),
+        0x10_000,
+        ops,
+        Rc::clone(&results),
+        0xC5,
+        true,
+    )));
+    sim.own_qp(app, qp);
+    sim.run();
+    let r = results.borrow();
+    assert_eq!(r.len(), 4);
+    assert_eq!(r[0], OpResult::Found(1, tree.lookup_local(1).unwrap()));
+    assert_eq!(
+        r[1],
+        OpResult::Found(7 * 57 + 1, tree.lookup_local(7 * 57 + 1).unwrap())
+    );
+    assert_eq!(
+        r[2],
+        OpResult::Found(7 * 199 + 1, tree.lookup_local(7 * 199 + 1).unwrap())
+    );
+    assert_eq!(r[3], OpResult::NotFound(4));
+}
+
+#[test]
+fn remote_insert_then_get_round_trips() {
+    let p = pairs(100);
+    let tree = ShermanTree::bulk_load(&p, 0.6);
+    let (mut sim, qp, mr) = setup(&tree);
+    let results = Rc::new(RefCell::new(Vec::new()));
+    let new_val = value_from(b"fresh-value");
+    let ops = vec![
+        // Update an existing key in place.
+        TreeOp::Insert(1, new_val),
+        TreeOp::Get(1),
+        // Insert a brand-new key into leaf slack.
+        TreeOp::Insert(2, value_from(b"brand-new")),
+        TreeOp::Get(2),
+    ];
+    let app = sim.add_app(Box::new(TreeClient::new(
+        qp,
+        mr,
+        tree.root_offset(),
+        0x10_000,
+        ops,
+        Rc::clone(&results),
+        0xC5,
+        true,
+    )));
+    sim.own_qp(app, qp);
+    sim.run();
+    let r = results.borrow();
+    assert_eq!(r[0], OpResult::Inserted(1));
+    assert_eq!(r[1], OpResult::Found(1, new_val));
+    assert_eq!(r[2], OpResult::Inserted(2));
+    assert_eq!(r[3], OpResult::Found(2, value_from(b"brand-new")));
+}
+
+#[test]
+fn victim_generates_fixed_offset_reads() {
+    let p = pairs(50);
+    let tree = ShermanTree::bulk_load(&p, 0.8);
+    let (mut sim, qp, mr) = setup(&tree);
+    // Shared 1 KB file placed after the tree image, node-aligned.
+    let file_base = (tree.image().len() as u64).div_ceil(NODE_SIZE) * NODE_SIZE;
+    let app = sim.add_app(Box::new(ShermanVictim::new(
+        qp,
+        mr,
+        file_base,
+        256, // the secret candidate offset
+        tree.root_offset(),
+        100,
+        1,
+        0x20_000,
+    )));
+    sim.own_qp(app, qp);
+    sim.run_until(SimTime::from_micros(500));
+    // The victim keeps issuing traffic: check volume and the secret
+    // address actually dominates via counters.
+    let reqs = sim.counters(qp.host).requests_per_opcode;
+    let reads = reqs[rdma_verbs::Opcode::Read.index()];
+    assert!(reads > 50, "victim should sustain reads, got {reads}");
+}

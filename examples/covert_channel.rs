@@ -1,0 +1,60 @@
+//! Transmit a secret message between two mutually isolated clients over
+//! the Grain-III inter-MR covert channel (§V-C) — no packet ever flows
+//! between them; the bits ride on translation-unit contention at the
+//! shared server.
+//!
+//! ```sh
+//! cargo run --release --example covert_channel
+//! ```
+
+use ragnar::attacks::covert::{inter_mr, parse_bits};
+use ragnar::verbs::DeviceKind;
+
+fn main() {
+    let secret = "RAGNAR";
+    // Encode ASCII to bits, MSB first.
+    let bit_string: String = secret
+        .bytes()
+        .map(|b| format!("{b:08b}"))
+        .collect();
+    let bits = parse_bits(&bit_string);
+    println!("covert Tx encodes {:?} as {} bits", secret, bits.len());
+
+    let kind = DeviceKind::ConnectX5;
+    let cfg = inter_mr::default_config(kind);
+    println!(
+        "channel: {} reads, send queue {}, bit period {:.1} us, {kind}",
+        cfg.tx_msg_len,
+        cfg.tx_depth,
+        cfg.bit_period.as_micros_f64()
+    );
+
+    let run = inter_mr::run(kind, &bits, &cfg);
+
+    // Decode back to text.
+    let mut decoded_bytes = Vec::new();
+    for chunk in run.report.decoded.chunks(8) {
+        let mut byte = 0u8;
+        for &bit in chunk {
+            byte = (byte << 1) | u8::from(bit);
+        }
+        decoded_bytes.push(byte);
+    }
+    println!(
+        "covert Rx decodes: {:?}",
+        String::from_utf8_lossy(&decoded_bytes)
+    );
+    println!(
+        "raw bandwidth {:.1} Kbps, bit errors {}/{} ({:.2}%), effective {:.1} Kbps",
+        run.report.raw_bandwidth_bps / 1e3,
+        run.report.bit_errors,
+        run.report.bits_sent,
+        run.report.error_rate() * 100.0,
+        run.report.effective_bandwidth_bps() / 1e3
+    );
+    println!(
+        "\nthe receiver only ever measured the latency of its own reads to \
+         its own memory region — Grain-II monitoring sees two constant, \
+         well-behaved tenants."
+    );
+}

