@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Repository CI gate: formatting, lints, full test suite.
+#
+# Usage: ./ci.sh
+# Runs entirely offline against the vendored dependency stubs (see
+# vendor/README.md); no network or registry access is required.
+
+set -eu
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test (workspace)"
+cargo test -q --workspace --offline
+
+echo "CI OK"

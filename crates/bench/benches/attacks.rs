@@ -38,7 +38,13 @@ fn bench_uli_probe(c: &mut Criterion) {
     g.bench_function("inter_mr_channel_64bits_cx4", |b| {
         let bits = random_bits(64, 9);
         let cfg = inter_mr::default_config(DeviceKind::ConnectX4);
-        b.iter(|| black_box(inter_mr::run(DeviceKind::ConnectX4, &bits, &cfg).report.bit_errors))
+        b.iter(|| {
+            black_box(
+                inter_mr::run(DeviceKind::ConnectX4, &bits, &cfg)
+                    .report
+                    .bit_errors,
+            )
+        })
     });
 
     g.bench_function("sherman_bulk_load_10k", |b| {

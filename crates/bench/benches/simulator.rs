@@ -43,7 +43,7 @@ fn bench_tpu(c: &mut Criterion) {
         let mut t = SimTime::ZERO;
         let mut off = 0u64;
         b.iter(|| {
-            t = t + sim_core::SimDuration::from_nanos(500);
+            t += sim_core::SimDuration::from_nanos(500);
             off = (off + 4160) % ((4 << 20) - 4160);
             black_box(
                 tpu.access(

@@ -1,91 +1,8 @@
-//! Ablation studies for the design choices called out in DESIGN.md §4 —
-//! each mechanism is switched off or resized and the corresponding Key
-//! Finding re-measured.
+//! Ablation studies for the design choices called out in DESIGN.md §4.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::contention::Ablations`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::{fmt_pct, print_table};
-use ragnar_core::re::contention::{measure_pair, FlowSpec, PairConfig};
-use ragnar_core::re::offset::{absolute_offset_sweep, mean_where, OffsetSweepConfig};
-use rdma_verbs::{DeviceProfile, Opcode};
-use sim_core::SimTime;
-
-fn main() {
-    let pair_cfg = PairConfig::default();
-
-    println!("## Ablation 1 — bulk-burst arbiter (KF1 crossover)\n");
-    let mut rows = Vec::new();
-    for burst in [0u32, 2, 8, 16] {
-        let mut p = DeviceProfile::connectx4();
-        p.bulk_burst_segments = burst;
-        let o = measure_pair(
-            &p,
-            FlowSpec::client(Opcode::Read, 512, 1),
-            FlowSpec::client(Opcode::Write, 2048, 1),
-            &pair_cfg,
-        );
-        rows.push(vec![
-            format!("burst {burst}"),
-            fmt_pct(o.reduction_a()),
-            fmt_pct(o.reduction_b()),
-        ]);
-    }
-    print_table(&["config", "read loss", "write loss"], &rows);
-    println!("(burst 0 removes the crossover: reads stop losing to big writes)\n");
-
-    println!("## Ablation 2 — NoC activation (KF2 abnormal increment)\n");
-    let mut rows = Vec::new();
-    for (label, speedup) in [("NoC lane on (x0.45)", 0.45), ("NoC lane off (x1.0)", 1.0)] {
-        let mut p = DeviceProfile::connectx4();
-        p.noc_speedup = speedup;
-        let o = measure_pair(
-            &p,
-            FlowSpec::client(Opcode::Write, 64, 1),
-            FlowSpec::client(Opcode::Write, 64, 1),
-            &pair_cfg,
-        );
-        rows.push(vec![label.to_string(), format!("{:.2}", o.total_ratio())]);
-    }
-    print_table(&["config", "combined / solo ratio"], &rows);
-    println!("(without the lane the combined throughput stays below 200%)\n");
-
-    println!("## Ablation 3 — Tx-over-Rx strict priority (KF3)\n");
-    let mut rows = Vec::new();
-    for (label, strict) in [("strict Tx>Rx", true), ("round-robin", false)] {
-        let mut p = DeviceProfile::connectx4();
-        p.tx_strict_priority = strict;
-        let o = measure_pair(
-            &p,
-            FlowSpec::reverse(Opcode::Read, 2048, 2),
-            FlowSpec::client(Opcode::Write, 2048, 2),
-            &pair_cfg,
-        );
-        rows.push(vec![label.to_string(), fmt_pct(o.reduction_a())]);
-    }
-    print_table(&["egress arbitration", "reverse-read loss"], &rows);
-    println!("(equalizing the arbiters erases the yellow-box asymmetry)\n");
-
-    println!("## Ablation 4 — TPU row buffers (KF4 2048 B periodicity)\n");
-    let offsets: Vec<u64> = (0..18432u64).step_by(64).collect();
-    let mut rows = Vec::new();
-    for buffers in [1usize, 2, 4] {
-        let mut p = DeviceProfile::connectx4();
-        p.tpu_row_buffers = buffers;
-        let cfg = OffsetSweepConfig {
-            offsets: offsets.clone(),
-            horizon: SimTime::from_micros(100),
-            ..OffsetSweepConfig::default()
-        };
-        let points = absolute_offset_sweep(&p, &cfg);
-        // Conflict parity is relative to offset 0's row for the probe's
-        // alternating pattern; with B buffers, rows congruent to 0 mod B
-        // ping-pong against row 0.
-        let cell = if buffers == 1 {
-            "no periodicity (all rows conflict)".to_string()
-        } else {
-            let hi = mean_where(&points, |o| o >= 2048 && (o / 2048) % buffers as u64 == 0);
-            let lo = mean_where(&points, |o| o >= 2048 && (o / 2048) % buffers as u64 != 0);
-            format!("{:.1} ns", hi - lo)
-        };
-        rows.push(vec![format!("{buffers} row buffer(s)"), cell]);
-    }
-    print_table(&["TPU geometry", "2048 B-periodic ULI swing"], &rows);
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::contention::Ablations)
 }

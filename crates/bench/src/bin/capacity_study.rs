@@ -1,40 +1,8 @@
-//! Channel-capacity sweep: how the paper's "best parameter combinations"
-//! (footnotes 10–11) arise — raw bandwidth rises as the bit period
-//! shrinks, errors explode past the receiver's sampling limit, and the
-//! effective bandwidth peaks in between.
+//! Channel-capacity sweep: how the paper's best parameter combinations arise.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::covert::CapacityStudy`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::{fmt_bps, fmt_pct, print_table};
-use ragnar_core::covert::capacity::{best_operating_point, capacity_sweep, UliChannel};
-use rdma_verbs::DeviceKind;
-
-fn main() {
-    let kind = DeviceKind::ConnectX5;
-    let periods: Vec<u64> = vec![4_000, 8_000, 12_000, 15_700, 24_000, 48_000, 96_000];
-    for (label, channel) in [
-        ("inter-MR (Grain III)", UliChannel::InterMr),
-        ("intra-MR (Grain IV)", UliChannel::IntraMr),
-    ] {
-        println!("## Capacity sweep — {label} channel, CX-5\n");
-        let points = capacity_sweep(kind, channel, &periods, 192);
-        let rows: Vec<Vec<String>> = points
-            .iter()
-            .map(|p| {
-                vec![
-                    format!("{:.1} us", p.bit_period_ns as f64 / 1000.0),
-                    fmt_bps(p.raw_bps),
-                    fmt_pct(p.error_rate),
-                    fmt_bps(p.effective_bps),
-                ]
-            })
-            .collect();
-        print_table(&["bit period", "raw BW", "error", "effective BW"], &rows);
-        let best = best_operating_point(&points);
-        println!(
-            "\nbest operating point: {:.1} us per bit -> {} effective\n",
-            best.bit_period_ns as f64 / 1000.0,
-            fmt_bps(best.effective_bps)
-        );
-    }
-    println!("The Table-V bit periods sit at (or near) these optima — the same");
-    println!("calibration the paper performed per NIC.");
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::covert::CapacityStudy)
 }

@@ -1,32 +1,8 @@
-//! Fig. 10: covert bits decoded from unit latency increase — the folded
-//! ULI pattern under a periodically switching bitstream (inter-MR
-//! channel, CX-4).
+//! Fig. 10: covert bits decoded from unit latency increase (inter-MR channel, CX-4).
+//!
+//! Thin wrapper over `ragnar_bench::experiments::uli::Fig10UliDecode`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::sparkline;
-use ragnar_core::covert::inter_mr::{default_config, run};
-use ragnar_core::covert::{fold_by_phase, parse_bits};
-use rdma_verbs::DeviceKind;
-
-fn main() {
-    let kind = DeviceKind::ConnectX4;
-    let cfg = default_config(kind);
-    // Periodic 1010… bitstream, folded over two bit periods.
-    let bits = parse_bits(&"10".repeat(128));
-    let r = run(kind, &bits, &cfg);
-    let samples: Vec<_> = r.rx_samples.iter().map(|s| (s.at, s.uli_ns)).collect();
-    let folded = fold_by_phase(&samples, r.start, cfg.bit_period * 2, 32);
-
-    println!("## Fig. 10 — folded receiver ULI over one period of two covert bits (CX-4)\n");
-    println!("  folded ULI   {}", sparkline(&folded));
-    let hi = folded.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let lo = folded.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!("  levels: bit 1 plateau ≈ {hi:.0} ns, bit 0 plateau ≈ {lo:.0} ns");
-    println!(
-        "  decode over {} bits: {} errors ({:.2}%)",
-        r.report.bits_sent,
-        r.report.bit_errors,
-        r.report.error_rate() * 100.0
-    );
-    println!("\nThe ULI distinction stays stable across the whole transmission,");
-    println!("as the paper observes over tens of seconds.");
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::uli::Fig10UliDecode)
 }

@@ -1,31 +1,8 @@
-//! Fig. 11: the inter-MR resource-based channel on CX-4/5/6 — folded,
-//! normalized receiver ULI over one period of two covert bits, under the
-//! best parameter combination per NIC.
+//! Fig. 11: the inter-MR resource-based channel on CX-4/5/6.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::uli::Fig11InterMr`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::sparkline;
-use ragnar_core::covert::inter_mr::{default_config, run};
-use ragnar_core::covert::{fold_by_phase, parse_bits};
-use rdma_verbs::DeviceKind;
-
-fn main() {
-    println!("## Fig. 11 — inter-MR channel, folded normalized ULI (CX-4/5/6)\n");
-    let bits = parse_bits(&"10".repeat(128));
-    for kind in DeviceKind::ALL {
-        let cfg = default_config(kind);
-        let r = run(kind, &bits, &cfg);
-        let samples: Vec<_> = r.rx_samples.iter().map(|s| (s.at, s.uli_ns)).collect();
-        let folded = fold_by_phase(&samples, r.start, cfg.bit_period * 2, 32);
-        // Normalize to [0, 1] as the paper's Y axes do.
-        let hi = folded.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let lo = folded.iter().cloned().fold(f64::INFINITY, f64::min);
-        let norm: Vec<f64> = folded.iter().map(|v| (v - lo) / (hi - lo).max(1e-9)).collect();
-        println!(
-            "{kind}: {}  (tx {} B reads, SQ {}, bit {:.1} µs, err {:.2}%)",
-            sparkline(&norm),
-            cfg.tx_msg_len,
-            cfg.tx_depth,
-            cfg.bit_period.as_micros_f64(),
-            r.report.error_rate() * 100.0
-        );
-    }
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::uli::Fig11InterMr)
 }

@@ -1,46 +1,8 @@
-//! Fig. 12 + Algorithm 1: fingerprinting shuffle/join operations of the
-//! distributed database from the attacker's monitored bandwidth.
+//! Fig. 12 + Algorithm 1: fingerprinting shuffle/join operations of the distributed database.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::side::Fig12Fingerprint`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::sparkline;
-use ragnar_core::side::fingerprint::{run, FingerprintConfig, Pattern};
-use rdma_verbs::DeviceKind;
-
-fn main() {
-    let r = run(DeviceKind::ConnectX4, &FingerprintConfig::default());
-    println!("## Fig. 12 — shuffle/join fingerprint (CX-4)\n");
-    println!("attacker bandwidth: {}", sparkline(&r.monitor.values()));
-
-    // Ground-truth strip aligned with the samples.
-    let truth: String = r
-        .monitor
-        .points()
-        .iter()
-        .map(|&(t, _)| match r.truth.label_at(t) {
-            Some("shuffle") => 'S',
-            Some("join") => 'J',
-            Some("idle") => '.',
-            _ => ' ',
-        })
-        .collect();
-    println!("ground truth:       {truth}");
-
-    let detected: String = r
-        .monitor
-        .points()
-        .iter()
-        .map(|&(t, _)| {
-            r.detections
-                .iter()
-                .find(|&&(dt, _)| dt >= t)
-                .map(|&(_, p)| match p {
-                    Pattern::Shuffle => 'S',
-                    Pattern::Join => 'J',
-                    Pattern::Null => '.',
-                })
-                .unwrap_or(' ')
-        })
-        .collect();
-    println!("detected:           {detected}");
-    println!("\nplateau-like drop during shuffle, tooth-like during join;");
-    println!("window classification accuracy: {:.1}%", r.accuracy * 100.0);
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::side::Fig12Fingerprint)
 }

@@ -1,57 +1,8 @@
-//! Fig. 13(b): the 17-way classifier recovering the victim's access
-//! address from 257-dimensional ULI traces — step ❸ of the snooping
-//! attack. The paper trains a ResNet18 on 6720 traces and reports 95.6 %
-//! test accuracy; this reproduction trains an MLP (substitution recorded
-//! in DESIGN.md) on the same trace volume.
+//! Fig. 13(b): the 17-way classifier recovering the victim's access address.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::side::Fig13Classifier`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_core::side::snoop::{evaluate, SnoopConfig};
-use rdma_verbs::DeviceKind;
-
-fn main() {
-    // --quick: 17-point traces and a smaller dataset for a fast check.
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (cfg, train_per_class, test_per_class) = if quick {
-        (
-            SnoopConfig {
-                step: 64,
-                ..SnoopConfig::default()
-            },
-            60,
-            20,
-        )
-    } else {
-        (
-            SnoopConfig::default(),
-            // 17 × 395 = 6715 ≈ the paper's 6720 training traces.
-            395,
-            85,
-        )
-    };
-    println!(
-        "## Fig. 13(b) — {}-way classification of {}-dim traces",
-        cfg.candidates.len(),
-        cfg.observation_offsets().len()
-    );
-    let report = evaluate(DeviceKind::ConnectX4, &cfg, train_per_class, test_per_class);
-    println!(
-        "train {} traces, test {} traces",
-        report.train_size, report.test_size
-    );
-    println!(
-        "MLP accuracy: {:.2}%   (paper: 95.6% with ResNet18)",
-        report.mlp_accuracy * 100.0
-    );
-    println!(
-        "1-D CNN (conv-pool-conv-dense): {:.2}%",
-        report.cnn_accuracy * 100.0
-    );
-    println!(
-        "nearest-centroid baseline: {:.2}%",
-        report.template_accuracy * 100.0
-    );
-    println!("\nconfusion matrix (rows = truth, cols = prediction):");
-    for (i, row) in report.confusion.iter().enumerate() {
-        let line: Vec<String> = row.iter().map(|c| format!("{c:>3}")).collect();
-        println!("  {:>4} B | {}", i * 64, line.join(" "));
-    }
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::side::Fig13Classifier)
 }

@@ -1,45 +1,8 @@
-//! Fig. 13(a): the attacker's ULI traces under the 17 candidate victim
-//! addresses — steps ❶ and ❷ of the disaggregated-memory snooping
-//! attack.
+//! Fig. 13(a): the attacker's ULI traces under the candidate victim addresses.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::side::Fig13Snoop`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::sparkline;
-use ragnar_core::side::snoop::{collect_pools, mean_trace, SnoopConfig};
-use rdma_verbs::DeviceKind;
-
-fn main() {
-    // Full resolution (257 observation offsets) is the default; pass
-    // --coarse for a fast 17-point sweep.
-    let coarse = std::env::args().any(|a| a == "--coarse");
-    let cfg = SnoopConfig {
-        step: if coarse { 64 } else { 4 },
-        ..SnoopConfig::default()
-    };
-    println!(
-        "## Fig. 13(a) — attacker traces, {} observation offsets x {} candidates (CX-4)\n",
-        cfg.observation_offsets().len(),
-        cfg.candidates.len()
-    );
-    for &cand in &cfg.candidates.clone() {
-        let pools = collect_pools(DeviceKind::ConnectX4, cand, &cfg);
-        let trace = mean_trace(&pools);
-        let peak_idx = trace
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        let peak_offset = peak_idx as u64 * cfg.step;
-        println!(
-            "victim @{cand:>4} B: {}  peak @{peak_offset:>4} B {}",
-            sparkline(&trace),
-            if peak_offset / 64 == cand.min(1024) / 64 || (cand == 1024 && peak_offset < 64) {
-                "<- matches"
-            } else {
-                ""
-            }
-        );
-    }
-    println!("\nEach trace's elevation marks the TPU bank the victim's secret");
-    println!("address occupies; candidates 0 B and 1024 B share a bank and are");
-    println!("separated by the prefetch-window asymmetry (classifier input).");
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::side::Fig13Snoop)
 }

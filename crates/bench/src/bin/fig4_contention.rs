@@ -1,96 +1,8 @@
-//! Fig. 4: the Grain-I/II contention sweep — competition-caused
-//! bandwidth reduction across opcode pairs, message sizes and QP counts.
+//! Fig. 4: the Grain-I/II contention sweep (pass --full for the >6000-combination scan).
 //!
-//! By default runs a representative sub-grid plus the four highlighted
-//! phenomena; pass `--full` for the full >6000-combination scan (the
-//! paper's benchmark).
+//! Thin wrapper over `ragnar_bench::experiments::contention::Fig4Contention`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::{fmt_bps, fmt_pct, print_table};
-use ragnar_core::re::contention::{
-    contention_grid, measure_pair, FlowDirection, FlowSpec, GridConfig, PairConfig,
-};
-use rdma_verbs::{DeviceProfile, Opcode};
-
-fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let profile = DeviceProfile::connectx4();
-    let pair_cfg = PairConfig::default();
-
-    println!("## Fig. 4 — highlighted phenomena (CX-4)\n");
-    let phenomena = [
-        (
-            "\u{2460} small writes lose >50% vs reads",
-            FlowSpec::client(Opcode::Write, 64, 1),
-            FlowSpec::client(Opcode::Read, 512, 1),
-        ),
-        (
-            "\u{2460} big writes crush reads (crossover ≥512 B)",
-            FlowSpec::client(Opcode::Read, 512, 1),
-            FlowSpec::client(Opcode::Write, 2048, 1),
-        ),
-        (
-            "\u{2461} atomics follow the write trend",
-            FlowSpec::client(Opcode::AtomicFetchAdd, 8, 1),
-            FlowSpec::client(Opcode::Write, 2048, 1),
-        ),
-        (
-            "\u{2462} small-write pair: abnormal increment",
-            FlowSpec::client(Opcode::Write, 64, 1),
-            FlowSpec::client(Opcode::Write, 64, 1),
-        ),
-        (
-            "\u{2463} reverse reads vs writes (Tx > Rx arbiter)",
-            FlowSpec::reverse(Opcode::Read, 2048, 2),
-            FlowSpec::client(Opcode::Write, 2048, 2),
-        ),
-    ];
-    let mut rows = Vec::new();
-    for (label, a, b) in phenomena {
-        let o = measure_pair(&profile, a, b, &pair_cfg);
-        rows.push(vec![
-            label.to_string(),
-            fmt_bps(o.solo_a_bps),
-            fmt_bps(o.duo_a_bps),
-            fmt_pct(o.reduction_a()),
-            fmt_pct(o.reduction_b()),
-            format!("{:.2}", o.total_ratio()),
-        ]);
-    }
-    print_table(
-        &["phenomenon", "A solo", "A duo", "A loss", "B loss", "total ratio"],
-        &rows,
-    );
-
-    // The grid.
-    let cfg = if full {
-        GridConfig::default()
-    } else {
-        GridConfig {
-            sizes: vec![64, 512, 2048],
-            qp_counts: vec![1, 2],
-            shapes: vec![
-                (Opcode::Read, FlowDirection::FromClient),
-                (Opcode::Write, FlowDirection::FromClient),
-            ],
-            ..GridConfig::default()
-        }
-    };
-    let n_combos = cfg.shapes.len().pow(2) * cfg.sizes.len().pow(2) * cfg.qp_counts.len().pow(2);
-    println!("\n## Fig. 4 — contention grid ({n_combos} combinations{})\n",
-        if full { ", full scan" } else { ", pass --full for the >6000-combination scan" });
-    let cells = contention_grid(&profile, &cfg);
-    let mut rows = Vec::new();
-    for c in &cells {
-        rows.push(vec![
-            format!("{} {}B x{}", c.a.opcode, c.a.msg_len, c.a.qp_count),
-            format!("{} {}B x{}", c.b.opcode, c.b.msg_len, c.b.qp_count),
-            fmt_pct(c.outcome.reduction_a()),
-            fmt_pct(c.outcome.reduction_b()),
-            format!("{:.2}", c.outcome.total_ratio()),
-        ]);
-    }
-    print_table(
-        &["induced flow (A)", "inducing flow (B)", "A loss", "B loss", "total"],
-        &rows,
-    );
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::contention::Fig4Contention)
 }

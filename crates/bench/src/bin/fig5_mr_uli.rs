@@ -1,38 +1,8 @@
-//! Fig. 5: ULI vs. same/different remote MRs vs. message size
-//! (alternating RDMA Reads on CX-4).
+//! Fig. 5: ULI vs. same/different remote MRs vs. message size (CX-4).
+//!
+//! Thin wrapper over `ragnar_bench::experiments::uli::Fig5MrUli`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::print_table;
-use ragnar_core::re::uli::mr_uli_sweep;
-use rdma_verbs::DeviceProfile;
-
-fn main() {
-    let sizes = [64u64, 128, 256, 512, 1024, 2048, 4096, 8192];
-    let points = mr_uli_sweep(&DeviceProfile::connectx4(), &sizes, 0xF165);
-    println!("## Fig. 5 — ULI vs. same/different remote MR vs. message size (CX-4)\n");
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            vec![
-                format!("{} B", p.msg_len),
-                format!("{:.1} ns", p.same_mr.mean),
-                format!("[{:.1}, {:.1}]", p.same_mr.p10, p.same_mr.p90),
-                format!("{:.1} ns", p.diff_mr.mean),
-                format!("[{:.1}, {:.1}]", p.diff_mr.p10, p.diff_mr.p90),
-                format!("{:.1} ns", p.diff_mr.mean - p.same_mr.mean),
-            ]
-        })
-        .collect();
-    print_table(
-        &[
-            "msg size",
-            "same-MR ULI",
-            "same p10/p90",
-            "diff-MR ULI",
-            "diff p10/p90",
-            "gap",
-        ],
-        &rows,
-    );
-    println!("\nThe different-MR gap is the TPU protection-context reload — the");
-    println!("paper's Grain-III latency distinction (its Fig. 5).");
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::uli::Fig5MrUli)
 }

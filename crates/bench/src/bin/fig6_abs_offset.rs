@@ -1,44 +1,8 @@
-//! Fig. 6: ULI vs. *absolute* address offset, 64 B RDMA Reads, same
-//! remote MR, CX-4 — the Grain-IV offset effect with its 8 B / 64 B /
-//! 2048 B power-of-two periodicities.
+//! Fig. 6: ULI vs. absolute address offset, 64 B RDMA Reads (Grain-IV periodicities).
+//!
+//! Thin wrapper over `ragnar_bench::experiments::offset::Fig6AbsOffset`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::sparkline;
-use ragnar_core::re::offset::{absolute_offset_sweep, mean_where, OffsetSweepConfig};
-use rdma_verbs::DeviceProfile;
-use sim_core::SimTime;
-
-fn main() {
-    // 4 B resolution over 0..4096, like the paper's sweep.
-    let step = 4usize;
-    let cfg = OffsetSweepConfig {
-        msg_len: 64,
-        offsets: (0..4096u64).step_by(step).collect(),
-        horizon: SimTime::from_micros(120),
-        ..OffsetSweepConfig::default()
-    };
-    let profile = DeviceProfile::connectx4();
-    let points = absolute_offset_sweep(&profile, &cfg);
-
-    println!("## Fig. 6 — ULI vs. absolute offset (64 B reads, CX-4, step {step} B)\n");
-    let means: Vec<f64> = points.iter().map(|p| p.uli.mean).collect();
-    // Zoomed view: the first 512 B at full 4 B resolution (the 8 B and
-    // 64 B drop structure).
-    println!("zoom 0–512 B   | {}", sparkline(&means[..512 / step]));
-    // Full range at 16 B granularity, one row per 2048 B row buffer.
-    let coarse: Vec<f64> = means.iter().step_by(4).cloned().collect();
-    let per_row = 2048 / (step * 4);
-    for (i, chunk) in coarse.chunks(per_row).enumerate() {
-        println!("{:>5} B row    | {}", i * 2048, sparkline(chunk));
-    }
-
-    let a64 = mean_where(&points, |o| o % 64 == 0);
-    let a8 = mean_where(&points, |o| o % 8 == 0 && o % 64 != 0);
-    let rest = mean_where(&points, |o| o % 8 != 0);
-    println!("\nmean ULI by alignment class:");
-    println!("  64 B-aligned : {a64:.1} ns   (deep drops)");
-    println!("   8 B-aligned : {a8:.1} ns   (stable drops)");
-    println!("   unaligned   : {rest:.1} ns");
-    let even_row = mean_where(&points, |o| (o / 2048) % 2 == 0 && o % 64 == 0);
-    let odd_row = mean_where(&points, |o| (o / 2048) % 2 == 1 && o % 64 == 0);
-    println!("  2048 B rows  : conflicting {even_row:.1} ns vs buffered {odd_row:.1} ns");
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::offset::Fig6AbsOffset)
 }

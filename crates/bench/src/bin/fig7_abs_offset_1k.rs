@@ -1,35 +1,8 @@
-//! Fig. 7: ULI vs. *absolute* address offset, 1024 B RDMA Reads, CX-4 —
-//! the offset pattern changes with message size but keeps the
-//! power-of-two periodicity.
+//! Fig. 7: ULI vs. absolute address offset, 1024 B RDMA Reads, CX-4.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::offset::Fig7AbsOffset1k`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::sparkline;
-use ragnar_core::re::offset::{absolute_offset_sweep, mean_where, OffsetSweepConfig};
-use rdma_verbs::DeviceProfile;
-use sim_core::SimTime;
-
-fn main() {
-    let step = 4usize;
-    let cfg = OffsetSweepConfig {
-        msg_len: 1024,
-        offsets: (0..4096u64).step_by(step).collect(),
-        horizon: SimTime::from_micros(250),
-        ..OffsetSweepConfig::default()
-    };
-    let profile = DeviceProfile::connectx4();
-    let points = absolute_offset_sweep(&profile, &cfg);
-
-    println!("## Fig. 7 — ULI vs. absolute offset (1024 B reads, CX-4)\n");
-    let means: Vec<f64> = points.iter().map(|p| p.uli.mean).collect();
-    println!("zoom 0–512 B   | {}", sparkline(&means[..512 / step]));
-    let coarse: Vec<f64> = means.iter().step_by(4).cloned().collect();
-    let per_row = 2048 / (step * 4);
-    for (i, chunk) in coarse.chunks(per_row).enumerate() {
-        println!("{:>5} B row    | {}", i * 2048, sparkline(chunk));
-    }
-    let a64 = mean_where(&points, |o| o % 64 == 0);
-    let rest = mean_where(&points, |o| o % 8 != 0);
-    println!("\n64 B-aligned mean {a64:.1} ns vs unaligned {rest:.1} ns");
-    println!("(1024 B reads span 16+ TPU tokens, so the relative drop is");
-    println!("shallower than Fig. 6's — matching the paper's observation that");
-    println!("the pattern varies with message size while keeping 2^k period.)");
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::offset::Fig7AbsOffset1k)
 }

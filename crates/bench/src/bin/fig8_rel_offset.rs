@@ -1,42 +1,8 @@
-//! Fig. 8: ULI vs. *relative* address offset between consecutive 64 B
-//! RDMA Reads, CX-4 — the prefetch-window interaction in the TPU.
+//! Fig. 8: ULI vs. relative address offset between consecutive 64 B RDMA Reads.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::offset::Fig8RelOffset`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::sparkline;
-use ragnar_core::re::offset::{relative_offset_sweep, OffsetSweepConfig};
-use rdma_verbs::DeviceProfile;
-use sim_core::SimTime;
-
-fn main() {
-    let step = 16usize;
-    let cfg = OffsetSweepConfig {
-        msg_len: 64,
-        offsets: (0..4096u64).step_by(step).collect(),
-        horizon: SimTime::from_micros(120),
-        ..OffsetSweepConfig::default()
-    };
-    let profile = DeviceProfile::connectx4();
-    let points = relative_offset_sweep(&profile, &cfg);
-
-    println!("## Fig. 8 — ULI vs. relative offset (64 B reads, CX-4)\n");
-    let means: Vec<f64> = points.iter().map(|p| p.uli.mean).collect();
-    let per_row = 2048 / step;
-    for (i, chunk) in means.chunks(per_row).enumerate() {
-        println!("{:>5} B | {}", i * 2048, sparkline(chunk));
-    }
-    let near: f64 = points
-        .iter()
-        .filter(|p| p.offset > 0 && p.offset <= 256)
-        .map(|p| p.uli.mean)
-        .sum::<f64>()
-        / points.iter().filter(|p| p.offset > 0 && p.offset <= 256).count() as f64;
-    let far: f64 = points
-        .iter()
-        .filter(|p| p.offset >= 1024)
-        .map(|p| p.uli.mean)
-        .sum::<f64>()
-        / points.iter().filter(|p| p.offset >= 1024).count() as f64;
-    println!("\nnear deltas (≤256 B, prefetch window): {near:.1} ns");
-    println!("far deltas  (≥1024 B)                : {far:.1} ns");
-    println!("\nThe relative effect differs from the absolute effect of Fig. 6 —");
-    println!("the mutual interaction among consecutive packets in the TPU.");
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::offset::Fig8RelOffset)
 }

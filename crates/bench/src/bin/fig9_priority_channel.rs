@@ -1,50 +1,8 @@
-//! Fig. 9: the Grain-I/II priority-based covert channel on CX-4/5/6,
-//! transmitting the paper's bitstream `1101111101010010` — the
-//! significant drop is bit 0, the slight drop bit 1.
+//! Fig. 9: the Grain-I/II priority-based covert channel on CX-4/5/6.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::covert::Fig9PriorityChannel`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::{fmt_bps, sparkline};
-use ragnar_core::covert::priority::{run, PriorityChannelConfig};
-use ragnar_core::covert::{parse_bits, FIG9_BITS};
-use rdma_verbs::DeviceKind;
-use sim_core::SimDuration;
-
-fn main() {
-    // The paper's channel runs at 1 s per bit (ethtool-granularity
-    // counters). Everything is time-scaled (DESIGN.md): rates ÷ 200,
-    // so the simulated second of each bit stays tractable while every
-    // contention ratio is preserved.
-    let paper_rate = std::env::args().any(|a| a == "--paper-rate");
-    let cfg = if paper_rate {
-        PriorityChannelConfig {
-            scale: 0.005,
-            bit_period: SimDuration::from_secs(1),
-            sample_interval: SimDuration::from_millis(100),
-            ..PriorityChannelConfig::default()
-        }
-    } else {
-        PriorityChannelConfig::default()
-    };
-    let bits = parse_bits(FIG9_BITS);
-    println!("## Fig. 9 — priority-based covert channel, bitstream {FIG9_BITS}\n");
-    for kind in DeviceKind::ALL {
-        let r = run(kind, &bits, &cfg);
-        let decoded: String = r
-            .report
-            .decoded
-            .iter()
-            .map(|&b| if b { '1' } else { '0' })
-            .collect();
-        println!("{kind}:");
-        println!("  rx bandwidth  {}", sparkline(&r.rx_bandwidth.values()));
-        println!("  bit levels    {}", sparkline(&r.report.levels));
-        println!(
-            "  decoded       {decoded}   errors {}  raw {}",
-            r.report.bit_errors,
-            fmt_bps(r.report.raw_bandwidth_bps),
-        );
-    }
-    if !paper_rate {
-        println!("\n(bit period {:?}-scaled for runtime; pass --paper-rate for the", cfg.bit_period);
-        println!(" paper's 1 s/bit setting, which reports ~1 bps as in Table V)");
-    }
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::covert::Fig9PriorityChannel)
 }

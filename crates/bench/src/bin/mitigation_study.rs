@@ -1,61 +1,8 @@
-//! §VII + Table I "Defended" column: what existing defenses see of each
-//! Ragnar channel, and the noise-injection trade-off.
+//! §VII + Table I: what existing defenses see of each Ragnar channel.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::defense::MitigationStudy`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::{fmt_bps, fmt_pct, print_table};
-use ragnar_core::covert::{inter_mr, intra_mr, random_bits};
-use ragnar_defense::{noise_sweep, window_signatures, HarmonicMonitor};
-use rdma_verbs::DeviceKind;
-
-fn main() {
-    let kind = DeviceKind::ConnectX5;
-    let bits = random_bits(256, 0xDEF);
-    let monitor = HarmonicMonitor::new();
-
-    println!("## HARMONIC-style monitoring of the covert senders (CX-5)\n");
-    let mut rows = Vec::new();
-
-    // The priority channel's sender flips 128 B / 2048 B writes —
-    // plainly visible in Grain-II size profiles. We demonstrate with a
-    // synthetic signature built from its two modes (the channel's own
-    // counters; see `harmonic` unit tests for the windowed variant).
-    let inter = inter_mr::run(kind, &bits, &inter_mr::default_config(kind));
-    let sigs = window_signatures(&inter.tx_counter_samples);
-    rows.push(vec![
-        "Inter-MR (Grain III)".into(),
-        format!("{} windows", sigs.len()),
-        format!("{:?}", monitor.judge(&sigs)),
-    ]);
-    let intra = intra_mr::run(kind, &bits, &intra_mr::default_config(kind));
-    let sigs = window_signatures(&intra.tx_counter_samples);
-    rows.push(vec![
-        "Intra-MR (Grain IV)".into(),
-        format!("{} windows", sigs.len()),
-        format!("{:?}", monitor.judge(&sigs)),
-    ]);
-    print_table(&["channel", "observation", "verdict"], &rows);
-    println!("\n(The Grain-I/II priority channel is flagged by the same monitor —");
-    println!(" its sender's mean packet size modulates bit-by-bit; see the");
-    println!(" `size_modulation_is_flagged` test. Ragnar's Grain-III/IV channels");
-    println!(" keep every HARMONIC statistic stationary and pass: Table I.)\n");
-
-    println!("## §VII noise-injection mitigation sweep (inter-MR, CX-4)\n");
-    let points = noise_sweep(DeviceKind::ConnectX4, &[0, 100, 250, 500, 1000, 2500], 128);
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            vec![
-                format!("{} ns", p.noise_ns),
-                fmt_pct(p.channel_error_rate),
-                fmt_bps(p.effective_bandwidth_bps),
-                format!("{:.0} ns", p.mean_uli_ns),
-            ]
-        })
-        .collect();
-    print_table(
-        &["injected σ", "channel error", "effective BW", "mean tenant ULI"],
-        &rows,
-    );
-    println!("\nSub-microsecond noise leaves the channel detectable; masking it");
-    println!("completely costs every tenant significant latency — §VII's");
-    println!("conclusion.");
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::defense::MitigationStudy)
 }

@@ -1,39 +1,8 @@
-//! The §I headline: Ragnar's inter-MR channel achieves 3.2× the
-//! bandwidth of the Pythia (cache-based persistent-channel) baseline on
-//! the same CX-5 setup.
+//! The §I headline: Ragnar's inter-MR channel vs. the Pythia baseline on CX-5.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::covert::PythiaCompare`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use pythia_baseline::{run_channel, PythiaConfig};
-use ragnar_bench::{fmt_bps, fmt_pct, print_table};
-use ragnar_core::covert::{inter_mr, random_bits};
-use rdma_verbs::DeviceKind;
-
-fn main() {
-    let kind = DeviceKind::ConnectX5;
-    let bits = random_bits(400, 0xC0DE);
-
-    let ragnar = inter_mr::run(kind, &bits, &inter_mr::default_config(kind));
-    let pythia = run_channel(kind, &bits[..200], &PythiaConfig::default());
-
-    println!("## Ragnar vs. Pythia covert-channel bandwidth on CX-5\n");
-    print_table(
-        &["channel", "type", "bandwidth", "error", "effective"],
-        &[
-            vec![
-                "Ragnar inter-MR".into(),
-                "volatile (contention)".into(),
-                fmt_bps(ragnar.report.raw_bandwidth_bps),
-                fmt_pct(ragnar.report.error_rate()),
-                fmt_bps(ragnar.report.effective_bandwidth_bps()),
-            ],
-            vec![
-                format!("Pythia evict+reload (set of {})", pythia.eviction_set_size),
-                "persistent (MPT cache)".into(),
-                fmt_bps(pythia.report.raw_bandwidth_bps),
-                fmt_pct(pythia.report.error_rate()),
-                fmt_bps(pythia.report.effective_bandwidth_bps()),
-            ],
-        ],
-    );
-    let ratio = ragnar.report.raw_bandwidth_bps / pythia.report.raw_bandwidth_bps;
-    println!("\nbandwidth ratio: {ratio:.2}x   (paper: 3.2x — 63.6 vs 20 Kbps)");
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::covert::PythiaCompare)
 }

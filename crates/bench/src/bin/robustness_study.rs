@@ -1,67 +1,8 @@
-//! Extension study: covert-channel robustness under conditions the paper
-//! only gestures at — bystander traffic from innocent tenants, loss on
-//! the fabric, and a receiver with no shared clock (asynchronous decode).
+//! Extension study: covert-channel robustness under bystander traffic and async decode.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::covert::RobustnessStudy`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::{fmt_pct, print_table};
-use ragnar_core::covert::sync::{async_decode, strip_preamble};
-use ragnar_core::covert::{inter_mr, parse_bits, random_bits, UliChannelConfig};
-use rdma_verbs::DeviceKind;
-
-fn main() {
-    let kind = DeviceKind::ConnectX5;
-    let bits = random_bits(256, 0xB0B);
-
-    println!("## Inter-MR channel robustness (CX-5, 256 random bits)\n");
-    let mut rows = Vec::new();
-
-    // Baseline.
-    let base = inter_mr::run(kind, &bits, &inter_mr::default_config(kind));
-    rows.push(vec![
-        "quiet fabric".into(),
-        fmt_pct(base.report.error_rate()),
-    ]);
-
-    // Bystander tenants of increasing weight.
-    for len in [256u64, 1024, 4096] {
-        let cfg = UliChannelConfig {
-            background_traffic_len: Some(len),
-            ..inter_mr::default_config(kind)
-        };
-        let run = inter_mr::run(kind, &bits, &cfg);
-        rows.push(vec![
-            format!("bystander flow, {len} B reads"),
-            fmt_pct(run.report.error_rate()),
-        ]);
-    }
-    print_table(&["condition", "bit error rate"], &rows);
-
-    println!("\n## Asynchronous receiver (clock recovery, CX-4)\n");
-    let preamble = parse_bits("10101010");
-    let payload = random_bits(128, 0xA5);
-    let mut framed = preamble.clone();
-    framed.extend(&payload);
-    let cfg = inter_mr::default_config(DeviceKind::ConnectX4);
-    let run = inter_mr::run(DeviceKind::ConnectX4, &framed, &cfg);
-    let samples: Vec<_> = run.rx_samples.iter().map(|s| (s.at, s.uli_ns)).collect();
-    let (decoded, clock) = async_decode(&samples, cfg.bit_period, true);
-    match strip_preamble(&decoded, &preamble) {
-        Some(got) => {
-            let n = got.len().min(payload.len());
-            let errors = got[..n]
-                .iter()
-                .zip(&payload[..n])
-                .filter(|(a, b)| a != b)
-                .count();
-            println!(
-                "phase recovered at {:.2} us into the capture; payload error rate {}/{n} ({:.2}%)",
-                clock.phase.as_micros_f64(),
-                errors,
-                errors as f64 / n as f64 * 100.0
-            );
-        }
-        None => println!("preamble not found — channel unusable without a shared clock"),
-    }
-    println!("\nThe volatile channel tolerates bystander tenants (the paper's");
-    println!("isolation-bypass claim) and needs no clock distribution —");
-    println!("only the nominal bit period.");
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::covert::RobustnessStudy)
 }

@@ -1,142 +1,8 @@
-//! Detector ROC study on live channel traffic: how much detection a
-//! HARMONIC-style monitor can buy at a given false-positive budget,
-//! against each Ragnar channel.
+//! Detector ROC study on live channel traffic (HARMONIC-style monitor).
+//!
+//! Thin wrapper over `ragnar_bench::experiments::defense::RocStudy`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::{fmt_pct, print_table};
-use ragnar_core::covert::{inter_mr, intra_mr, random_bits, UliChannelConfig};
-use ragnar_core::{CounterSampler, Testbed};
-use ragnar_defense::{detection_at_fpr, roc_sweep, window_signatures, WindowSignature};
-use ragnar_workloads::shuffle_join::{DbConfig, DbPhase, DbVictim, PhaseLog};
-use rdma_verbs::{
-    AccessFlags, ConnectOptions, DeviceKind, DeviceProfile, FlowId, TrafficClass,
-};
-use sim_core::{SimDuration, SimTime};
-use std::cell::RefCell;
-use std::rc::Rc;
-
-/// Honest-tenant signatures: a realistic mix of perfectly steady flows
-/// (half, modelled as a sender stuck on one symbol) and bursty
-/// database-style tenants with shuffle/join phases (half) — real
-/// workloads are not statistically flat.
-fn honest_population(kind: DeviceKind, n: usize) -> Vec<Vec<WindowSignature>> {
-    let mut out = Vec::new();
-    let bits_constant = vec![false; 128];
-    for i in 0..n / 2 {
-        let cfg = UliChannelConfig {
-            seed: 0xB0 + i as u64,
-            ..inter_mr::default_config(kind)
-        };
-        let run = inter_mr::run(kind, &bits_constant, &cfg);
-        out.push(window_signatures(&run.tx_counter_samples));
-    }
-    for i in 0..n - n / 2 {
-        out.push(db_tenant_signatures(kind, 0xD0 + i as u64));
-    }
-    out
-}
-
-/// A bursty (but honest) database tenant, observed through the same
-/// counter sampler the monitor uses.
-fn db_tenant_signatures(kind: DeviceKind, seed: u64) -> Vec<WindowSignature> {
-    let mut tb = Testbed::new(DeviceProfile::preset(kind), 1, seed);
-    let mr = tb.server_mr(8 << 20, AccessFlags::remote_all());
-    let qp = tb.connect_client(
-        0,
-        ConnectOptions {
-            tc: TrafficClass::new(0),
-            flow: FlowId(1),
-            max_send_queue: 8,
-        },
-    );
-    let log = Rc::new(RefCell::new(PhaseLog::default()));
-    let victim = tb.sim.add_app(Box::new(DbVictim::new(
-        qp,
-        DbConfig {
-            shuffle_msg_len: 8 * 1024,
-            join_msg_len: 2 * 1024,
-            rkey: mr.key,
-            remote_base: mr.base_va,
-            remote_len: mr.len,
-        },
-        vec![
-            DbPhase::Shuffle(SimDuration::from_micros(200)),
-            DbPhase::Idle(SimDuration::from_micros(100)),
-            DbPhase::Join {
-                rounds: 6,
-                burst: SimDuration::from_micros(30),
-                gap: SimDuration::from_micros(30),
-            },
-            DbPhase::Shuffle(SimDuration::from_micros(150)),
-        ],
-        log,
-    )));
-    tb.sim.own_qp(victim, qp);
-    let samples = Rc::new(RefCell::new(Vec::new()));
-    let host = tb.clients[0];
-    tb.sim.add_app(Box::new(CounterSampler::new(
-        host,
-        SimDuration::from_micros(60),
-        Rc::clone(&samples),
-    )));
-    tb.sim.run_until(SimTime::from_micros(820));
-    let s = samples.borrow().clone();
-    window_signatures(&s)
-}
-
-fn covert_population(
-    kind: DeviceKind,
-    n: usize,
-    which: &str,
-) -> Vec<Vec<WindowSignature>> {
-    (0..n)
-        .map(|i| {
-            let bits = random_bits(128, 0xABC + i as u64);
-            let samples = match which {
-                "inter" => {
-                    let cfg = UliChannelConfig {
-                        seed: 0x11 + i as u64,
-                        ..inter_mr::default_config(kind)
-                    };
-                    inter_mr::run(kind, &bits, &cfg).tx_counter_samples
-                }
-                _ => {
-                    let cfg = UliChannelConfig {
-                        seed: 0x22 + i as u64,
-                        ..intra_mr::default_config(kind)
-                    };
-                    intra_mr::run(kind, &bits, &cfg).tx_counter_samples
-                }
-            };
-            window_signatures(&samples)
-        })
-        .collect()
-}
-
-fn main() {
-    let kind = DeviceKind::ConnectX5;
-    let honest = honest_population(kind, 8);
-    let thresholds = [0.005, 0.01, 0.02, 0.05, 0.1, 0.2];
-
-    println!("## HARMONIC ROC vs. live Ragnar senders (CX-5, 8 tenants/side)\n");
-    for which in ["inter", "intra"] {
-        let covert = covert_population(kind, 8, which);
-        let points = roc_sweep(&covert, &honest, &thresholds);
-        println!("### {which}-MR channel sender\n");
-        let rows: Vec<Vec<String>> = points
-            .iter()
-            .map(|p| {
-                vec![
-                    format!("{:.3}", p.threshold),
-                    fmt_pct(p.detection_rate),
-                    fmt_pct(p.false_positive_rate),
-                ]
-            })
-            .collect();
-        print_table(&["CV threshold", "detection", "false positives"], &rows);
-        let at_zero = detection_at_fpr(&points, 0.0).unwrap_or(0.0);
-        println!("\nbest detection at 0% false positives: {}\n", fmt_pct(at_zero));
-    }
-    println!("A Grain-III/IV sender's counters are statistically identical to an");
-    println!("honest tenant's: detection is purchasable only with false positives");
-    println!("on innocent workloads — Table I's missing 'Defended' entry.");
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::defense::RocStudy)
 }

@@ -1,50 +1,8 @@
-//! Tables II & III: the simulated testbed and the CX-4/5/6 parameter
-//! sheet.
+//! Tables II & III: the simulated testbed and the CX-4/5/6 parameter sheet.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::tables::Table23`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::print_table;
-use rdma_verbs::{DeviceKind, DeviceProfile, HostSpec};
-
-fn main() {
-    println!("## Table II — simulated test environment\n");
-    let rows: Vec<Vec<String>> = HostSpec::testbed()
-        .into_iter()
-        .map(|h| {
-            vec![
-                h.name.to_string(),
-                h.processor.to_string(),
-                h.rnics
-                    .iter()
-                    .map(|k| k.name())
-                    .collect::<Vec<_>>()
-                    .join(","),
-                h.os.to_string(),
-                format!("{} GiB", h.ram_gib),
-            ]
-        })
-        .collect();
-    print_table(&["Host", "Processor", "RNIC", "OS", "RAM"], &rows);
-
-    println!("\n## Table III — network adapter parameter sheet\n");
-    let rows: Vec<Vec<String>> = DeviceKind::ALL
-        .iter()
-        .map(|&kind| {
-            let p = DeviceProfile::preset(kind);
-            let pcie = match kind {
-                DeviceKind::ConnectX4 | DeviceKind::ConnectX5 => "PCIe 3.0 x8",
-                DeviceKind::ConnectX6 => "PCIe 4.0 x16",
-            };
-            vec![
-                kind.name().to_string(),
-                format!("{} Gbps", p.port_rate_bps / 1_000_000_000),
-                pcie.to_string(),
-                format!("{} Gbps eff.", p.pcie_rate_bps / 1_000_000_000),
-                format!("{} banks", p.tpu_banks),
-                format!("{}x{}-way MPT", p.mpt_cache_entries, p.mpt_cache_ways),
-            ]
-        })
-        .collect();
-    print_table(
-        &["Feature", "Speed", "PCIe Interface", "PCIe eff.", "TPU", "MPT cache"],
-        &rows,
-    );
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::tables::Table23)
 }

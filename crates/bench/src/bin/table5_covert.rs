@@ -1,63 +1,8 @@
-//! Table V: design features and evaluations of the three covert channels
-//! on CX-4, CX-5 and CX-6 — bandwidth, error rate, effective bandwidth.
+//! Table V: design features and evaluations of the three covert channels.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::covert::Table5Covert`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
 
-use ragnar_bench::{fmt_bps, fmt_pct, print_table};
-use ragnar_core::covert::{inter_mr, intra_mr, priority, random_bits};
-use rdma_verbs::DeviceKind;
-
-fn main() {
-    let n_bits: usize = std::env::args()
-        .skip_while(|a| a != "--bits")
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
-    let bits = random_bits(n_bits, 0x7AB1E5);
-
-    println!("## Table V — covert-channel evaluation ({n_bits} random bits per cell)\n");
-    let mut rows = Vec::new();
-
-    // Grain-I+II: priority channel. At the paper's 1 s bit period the
-    // channel carries ~1 bps; the run here uses the time-scaled profile
-    // (see fig9) and reports the equivalent paper-setting bandwidth.
-    let pr_cfg = priority::PriorityChannelConfig::default();
-    let short = &bits[..16.min(bits.len())];
-    for kind in DeviceKind::ALL {
-        let r = priority::run(kind, short, &pr_cfg);
-        // Paper setting: 1 bit per second of (scaled) wall time.
-        let paper_equivalent_bps = 1.0 / (pr_cfg.bit_period.as_secs_f64() / 0.1);
-        rows.push(vec![
-            format!("Inter traffic-class (I+II) {kind}"),
-            fmt_bps(paper_equivalent_bps),
-            fmt_pct(r.report.error_rate()),
-            fmt_bps(paper_equivalent_bps * (1.0 - ragnar_core::covert::binary_entropy(r.report.error_rate()))),
-        ]);
-    }
-
-    for kind in DeviceKind::ALL {
-        let r = inter_mr::run(kind, &bits, &inter_mr::default_config(kind));
-        rows.push(vec![
-            format!("Inter MR (III) {kind}"),
-            fmt_bps(r.report.raw_bandwidth_bps),
-            fmt_pct(r.report.error_rate()),
-            fmt_bps(r.report.effective_bandwidth_bps()),
-        ]);
-    }
-    for kind in DeviceKind::ALL {
-        let r = intra_mr::run(kind, &bits, &intra_mr::default_config(kind));
-        rows.push(vec![
-            format!("Intra MR (IV) {kind}"),
-            fmt_bps(r.report.raw_bandwidth_bps),
-            fmt_pct(r.report.error_rate()),
-            fmt_bps(r.report.effective_bandwidth_bps()),
-        ]);
-    }
-    print_table(
-        &["Covert channel (grain) / RNIC", "Bandwidth", "Error rate", "Effective BW"],
-        &rows,
-    );
-
-    println!("\nPaper reference (Table V):");
-    println!("  priority: 1.0/1.1/1.1 bps at 0% error");
-    println!("  inter-MR: 31.8/63.6/84.3 Kbps at 5.92/3.98/7.59% error");
-    println!("  intra-MR: 32.2/31.5/81.3 Kbps at 6.95/4.84/4.08% error");
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::covert::Table5Covert)
 }

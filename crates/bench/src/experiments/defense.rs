@@ -1,0 +1,323 @@
+//! §VII: what existing defenses see of each Ragnar channel — the
+//! HARMONIC-style monitor, the noise-injection trade-off and the
+//! detector ROC study.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use ragnar_core::covert::{inter_mr, intra_mr, random_bits, UliChannelConfig};
+use ragnar_core::{CounterSampler, Testbed};
+use ragnar_defense::{
+    detection_at_fpr, noise_sweep, roc_sweep, window_signatures, HarmonicMonitor, WindowSignature,
+};
+use ragnar_harness::{Artifact, Cli, Config, Experiment, Outcome, RunRecord};
+use ragnar_workloads::shuffle_join::{DbConfig, DbPhase, DbVictim, PhaseLog};
+use rdma_verbs::{AccessFlags, ConnectOptions, DeviceKind, DeviceProfile, FlowId, TrafficClass};
+use sim_core::{SimDuration, SimTime};
+
+use crate::{fmt_bps, fmt_pct, fmt_table};
+
+/// §VII + Table I "Defended" column: HARMONIC-style monitoring of the
+/// covert senders plus the noise-injection mitigation sweep — one config
+/// per monitored channel and per noise level.
+pub struct MitigationStudy;
+
+const NOISE_LEVELS_NS: [u64; 6] = [0, 100, 250, 500, 1000, 2500];
+
+impl Experiment for MitigationStudy {
+    fn name(&self) -> &'static str {
+        "mitigation_study"
+    }
+
+    fn description(&self) -> &'static str {
+        "HARMONIC monitoring of the covert senders and the noise-injection trade-off"
+    }
+
+    fn params(&self, _cli: &Cli) -> Vec<Config> {
+        let mut configs = Vec::new();
+        for channel in ["inter_mr", "intra_mr"] {
+            configs.push(
+                Config::new()
+                    .with("part", "monitor")
+                    .with("channel", channel)
+                    .with("device", DeviceKind::ConnectX5.name())
+                    .with("bits", 256u64),
+            );
+        }
+        for noise_ns in NOISE_LEVELS_NS {
+            configs.push(
+                Config::new()
+                    .with("part", "noise")
+                    .with("noise_ns", noise_ns)
+                    .with("device", DeviceKind::ConnectX4.name())
+                    .with("bits", 128u64),
+            );
+        }
+        configs
+    }
+
+    fn run(&self, config: &Config, seed: u64) -> Result<Artifact, String> {
+        let kind = super::device_kind(config.str("device").ok_or("missing device")?)?;
+        let n_bits = config.u64("bits").ok_or("missing bits")? as usize;
+        match config.str("part") {
+            Some("monitor") => {
+                let bits = random_bits(n_bits, seed);
+                let monitor = HarmonicMonitor::new();
+                let (label, samples) = match config.str("channel") {
+                    Some("inter_mr") => {
+                        let cfg = UliChannelConfig {
+                            seed,
+                            ..inter_mr::default_config(kind)
+                        };
+                        (
+                            "Inter-MR (Grain III)",
+                            inter_mr::run(kind, &bits, &cfg).tx_counter_samples,
+                        )
+                    }
+                    Some("intra_mr") => {
+                        let cfg = UliChannelConfig {
+                            seed,
+                            ..intra_mr::default_config(kind)
+                        };
+                        (
+                            "Intra-MR (Grain IV)",
+                            intra_mr::run(kind, &bits, &cfg).tx_counter_samples,
+                        )
+                    }
+                    other => return Err(format!("unknown channel {other:?}")),
+                };
+                let sigs = window_signatures(&samples);
+                let row = [
+                    label.to_string(),
+                    format!("{} windows", sigs.len()),
+                    format!("{:?}", monitor.judge(&sigs)),
+                ];
+                Ok(Artifact::text(row.join("\t")))
+            }
+            Some("noise") => {
+                let noise_ns = config.u64("noise_ns").ok_or("missing noise_ns")?;
+                let points = noise_sweep(kind, &[noise_ns], n_bits);
+                let p = points.first().ok_or("empty noise sweep")?;
+                let row = [
+                    format!("{} ns", p.noise_ns),
+                    fmt_pct(p.channel_error_rate),
+                    fmt_bps(p.effective_bandwidth_bps),
+                    format!("{:.0} ns", p.mean_uli_ns),
+                ];
+                Ok(Artifact::text(row.join("\t"))
+                    .with_metric("channel_error_rate", p.channel_error_rate)
+                    .with_metric("effective_bandwidth_bps", p.effective_bandwidth_bps)
+                    .with_metric("mean_uli_ns", p.mean_uli_ns))
+            }
+            other => Err(format!("unknown part {other:?}")),
+        }
+    }
+
+    fn summarize(&self, records: &[RunRecord], out: &mut String) {
+        let (monitor, noise): (Vec<_>, Vec<_>) = records
+            .iter()
+            .partition(|r| r.config.str("part") == Some("monitor"));
+        out.push_str("## HARMONIC-style monitoring of the covert senders (CX-5)\n\n");
+        out.push_str(&fmt_table(
+            &["channel", "observation", "verdict"],
+            &super::tab_rows(monitor),
+        ));
+        out.push_str("\n(The Grain-I/II priority channel is flagged by the same monitor —\n");
+        out.push_str(" its sender's mean packet size modulates bit-by-bit; see the\n");
+        out.push_str(" `size_modulation_is_flagged` test. Ragnar's Grain-III/IV channels\n");
+        out.push_str(" keep every HARMONIC statistic stationary and pass: Table I.)\n\n");
+        out.push_str("## §VII noise-injection mitigation sweep (inter-MR, CX-4)\n\n");
+        out.push_str(&fmt_table(
+            &[
+                "injected σ",
+                "channel error",
+                "effective BW",
+                "mean tenant ULI",
+            ],
+            &super::tab_rows(noise),
+        ));
+        out.push_str("\nSub-microsecond noise leaves the channel detectable; masking it\n");
+        out.push_str("completely costs every tenant significant latency — §VII's\n");
+        out.push_str("conclusion.\n");
+    }
+}
+
+/// Honest-tenant signatures: a realistic mix of perfectly steady flows
+/// (half, modelled as a sender stuck on one symbol) and bursty
+/// database-style tenants with shuffle/join phases (half) — real
+/// workloads are not statistically flat.
+fn honest_population(kind: DeviceKind, n: usize, seed: u64) -> Vec<Vec<WindowSignature>> {
+    let mut out = Vec::new();
+    let bits_constant = vec![false; 128];
+    for i in 0..n / 2 {
+        let cfg = UliChannelConfig {
+            seed: seed ^ (0xB0 + i as u64),
+            ..inter_mr::default_config(kind)
+        };
+        let run = inter_mr::run(kind, &bits_constant, &cfg);
+        out.push(window_signatures(&run.tx_counter_samples));
+    }
+    for i in 0..n - n / 2 {
+        out.push(db_tenant_signatures(kind, seed ^ (0xD0 + i as u64)));
+    }
+    out
+}
+
+/// A bursty (but honest) database tenant, observed through the same
+/// counter sampler the monitor uses.
+fn db_tenant_signatures(kind: DeviceKind, seed: u64) -> Vec<WindowSignature> {
+    let mut tb = Testbed::new(DeviceProfile::preset(kind), 1, seed);
+    let mr = tb.server_mr(8 << 20, AccessFlags::remote_all());
+    let qp = tb.connect_client(
+        0,
+        ConnectOptions {
+            tc: TrafficClass::new(0),
+            flow: FlowId(1),
+            max_send_queue: 8,
+        },
+    );
+    let log = Rc::new(RefCell::new(PhaseLog::default()));
+    let victim = tb.sim.add_app(Box::new(DbVictim::new(
+        qp,
+        DbConfig {
+            shuffle_msg_len: 8 * 1024,
+            join_msg_len: 2 * 1024,
+            rkey: mr.key,
+            remote_base: mr.base_va,
+            remote_len: mr.len,
+        },
+        vec![
+            DbPhase::Shuffle(SimDuration::from_micros(200)),
+            DbPhase::Idle(SimDuration::from_micros(100)),
+            DbPhase::Join {
+                rounds: 6,
+                burst: SimDuration::from_micros(30),
+                gap: SimDuration::from_micros(30),
+            },
+            DbPhase::Shuffle(SimDuration::from_micros(150)),
+        ],
+        log,
+    )));
+    tb.sim.own_qp(victim, qp);
+    let samples = Rc::new(RefCell::new(Vec::new()));
+    let host = tb.clients[0];
+    tb.sim.add_app(Box::new(CounterSampler::new(
+        host,
+        SimDuration::from_micros(60),
+        Rc::clone(&samples),
+    )));
+    tb.sim.run_until(SimTime::from_micros(820));
+    let s = samples.borrow().clone();
+    window_signatures(&s)
+}
+
+fn covert_population(
+    kind: DeviceKind,
+    n: usize,
+    which: &str,
+    seed: u64,
+) -> Vec<Vec<WindowSignature>> {
+    (0..n)
+        .map(|i| {
+            let bits = random_bits(128, seed ^ (0xABC + i as u64));
+            let samples = match which {
+                "inter" => {
+                    let cfg = UliChannelConfig {
+                        seed: seed ^ (0x11 + i as u64),
+                        ..inter_mr::default_config(kind)
+                    };
+                    inter_mr::run(kind, &bits, &cfg).tx_counter_samples
+                }
+                _ => {
+                    let cfg = UliChannelConfig {
+                        seed: seed ^ (0x22 + i as u64),
+                        ..intra_mr::default_config(kind)
+                    };
+                    intra_mr::run(kind, &bits, &cfg).tx_counter_samples
+                }
+            };
+            window_signatures(&samples)
+        })
+        .collect()
+}
+
+/// Detector ROC study on live channel traffic: how much detection a
+/// HARMONIC-style monitor can buy at a given false-positive budget —
+/// one config per Ragnar channel.
+pub struct RocStudy;
+
+impl Experiment for RocStudy {
+    fn name(&self) -> &'static str {
+        "roc_study"
+    }
+
+    fn description(&self) -> &'static str {
+        "HARMONIC detector ROC against live inter/intra-MR senders (CX-5)"
+    }
+
+    fn params(&self, _cli: &Cli) -> Vec<Config> {
+        ["inter", "intra"]
+            .iter()
+            .map(|&which| {
+                Config::new()
+                    .with("channel", which)
+                    .with("device", DeviceKind::ConnectX5.name())
+                    .with("tenants", 8u64)
+            })
+            .collect()
+    }
+
+    fn run(&self, config: &Config, seed: u64) -> Result<Artifact, String> {
+        let kind = super::device_kind(config.str("device").ok_or("missing device")?)?;
+        let which = config.str("channel").ok_or("missing channel")?;
+        let tenants = config.u64("tenants").ok_or("missing tenants")? as usize;
+        let thresholds = [0.005, 0.01, 0.02, 0.05, 0.1, 0.2];
+
+        let honest = honest_population(kind, tenants, seed);
+        let covert = covert_population(kind, tenants, which, seed);
+        let points = roc_sweep(&covert, &honest, &thresholds);
+        let mut s = String::new();
+        writeln!(s, "### {which}-MR channel sender\n").ok();
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.3}", p.threshold),
+                    fmt_pct(p.detection_rate),
+                    fmt_pct(p.false_positive_rate),
+                ]
+            })
+            .collect();
+        s.push_str(&fmt_table(
+            &["CV threshold", "detection", "false positives"],
+            &rows,
+        ));
+        let at_zero = detection_at_fpr(&points, 0.0).unwrap_or(0.0);
+        writeln!(
+            s,
+            "\nbest detection at 0% false positives: {}\n",
+            fmt_pct(at_zero)
+        )
+        .ok();
+        Ok(Artifact::text(s).with_metric("detection_at_zero_fpr", at_zero))
+    }
+
+    fn summarize(&self, records: &[RunRecord], out: &mut String) {
+        let tenants = records
+            .first()
+            .and_then(|r| r.config.u64("tenants"))
+            .unwrap_or(8);
+        out.push_str(&format!(
+            "## HARMONIC ROC vs. live Ragnar senders (CX-5, {tenants} tenants/side)\n\n"
+        ));
+        for record in records {
+            if let Outcome::Done(artifact) = &record.outcome {
+                out.push_str(&artifact.rendered);
+            }
+        }
+        out.push_str("A Grain-III/IV sender's counters are statistically identical to an\n");
+        out.push_str("honest tenant's: detection is purchasable only with false positives\n");
+        out.push_str("on innocent workloads — Table I's missing 'Defended' entry.\n");
+    }
+}

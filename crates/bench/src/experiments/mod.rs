@@ -1,0 +1,113 @@
+//! The experiment behind every figure/table binary, as
+//! [`ragnar_harness::Experiment`] implementations.
+//!
+//! Each experiment declares its parameter space in `params` (one
+//! [`Config`](ragnar_harness::Config) per independently cacheable cell)
+//! and measures one cell in `run`; the harness handles scheduling,
+//! seeding, caching and the run manifest. `summarize` reassembles the
+//! exact report the old standalone binaries printed.
+
+pub mod contention;
+pub mod covert;
+pub mod defense;
+pub mod offset;
+pub mod side;
+pub mod tables;
+pub mod uli;
+
+use ragnar_harness::{Experiment, Outcome, RunRecord};
+use rdma_verbs::DeviceKind;
+
+/// Every experiment of the reproduction, in paper order.
+pub fn registry() -> Vec<&'static dyn Experiment> {
+    vec![
+        &tables::Table23,
+        &contention::Fig4Contention,
+        &uli::Fig5MrUli,
+        &offset::Fig6AbsOffset,
+        &offset::Fig7AbsOffset1k,
+        &offset::Fig8RelOffset,
+        &covert::Fig9PriorityChannel,
+        &uli::Fig10UliDecode,
+        &uli::Fig11InterMr,
+        &side::Fig12Fingerprint,
+        &side::Fig13Snoop,
+        &side::Fig13Classifier,
+        &covert::Table5Covert,
+        &covert::PythiaCompare,
+        &covert::CapacityStudy,
+        &covert::RobustnessStudy,
+        &contention::Ablations,
+        &defense::MitigationStudy,
+        &defense::RocStudy,
+    ]
+}
+
+/// Parses a device name stored in a config ("CX-4" … "CX-6").
+pub(crate) fn device_kind(name: &str) -> Result<DeviceKind, String> {
+    DeviceKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| format!("unknown device '{name}'"))
+}
+
+/// Splits each successful record's rendered fragment on tabs, yielding
+/// table rows in config order. Failed records are skipped (the harness
+/// already reports them).
+pub(crate) fn tab_rows<'r>(records: impl IntoIterator<Item = &'r RunRecord>) -> Vec<Vec<String>> {
+    records
+        .into_iter()
+        .filter_map(|r| match &r.outcome {
+            Outcome::Done(a) => Some(
+                a.rendered
+                    .trim_end_matches('\n')
+                    .split('\t')
+                    .map(str::to_string)
+                    .collect(),
+            ),
+            Outcome::Failed { .. } => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate experiment name");
+        assert_eq!(names.len(), 19);
+        assert!(names.contains(&"fig4_contention"));
+    }
+
+    #[test]
+    fn every_experiment_has_params_and_description() {
+        let cli = ragnar_harness::Cli::default();
+        for exp in registry() {
+            assert!(
+                !exp.description().is_empty(),
+                "{} lacks a description",
+                exp.name()
+            );
+            assert!(
+                !exp.params(&cli).is_empty(),
+                "{} has an empty parameter space",
+                exp.name()
+            );
+        }
+    }
+
+    #[test]
+    fn device_kind_roundtrip() {
+        for kind in DeviceKind::ALL {
+            assert_eq!(device_kind(kind.name()), Ok(kind));
+        }
+        assert!(device_kind("CX-9").is_err());
+    }
+}

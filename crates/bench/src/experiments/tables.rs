@@ -1,0 +1,83 @@
+//! Tables II & III: the simulated testbed and the CX-4/5/6 parameter
+//! sheet — a deterministic, seed-free report.
+
+use std::fmt::Write as _;
+
+use ragnar_harness::{Artifact, Cli, Config, Experiment};
+use rdma_verbs::{DeviceKind, DeviceProfile, HostSpec};
+
+use crate::fmt_table;
+
+/// Tables II and III of the paper.
+pub struct Table23;
+
+impl Experiment for Table23 {
+    fn name(&self) -> &'static str {
+        "table2_3"
+    }
+
+    fn description(&self) -> &'static str {
+        "simulated test environment and NIC parameter sheet"
+    }
+
+    fn params(&self, _cli: &Cli) -> Vec<Config> {
+        vec![Config::new().with("tables", "2+3")]
+    }
+
+    fn run(&self, _config: &Config, _seed: u64) -> Result<Artifact, String> {
+        let mut s = String::new();
+        writeln!(s, "## Table II — simulated test environment\n").ok();
+        let rows: Vec<Vec<String>> = HostSpec::testbed()
+            .into_iter()
+            .map(|h| {
+                vec![
+                    h.name.to_string(),
+                    h.processor.to_string(),
+                    h.rnics
+                        .iter()
+                        .map(|k| k.name())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    h.os.to_string(),
+                    format!("{} GiB", h.ram_gib),
+                ]
+            })
+            .collect();
+        s.push_str(&fmt_table(
+            &["Host", "Processor", "RNIC", "OS", "RAM"],
+            &rows,
+        ));
+
+        writeln!(s, "\n## Table III — network adapter parameter sheet\n").ok();
+        let rows: Vec<Vec<String>> = DeviceKind::ALL
+            .iter()
+            .map(|&kind| {
+                let p = DeviceProfile::preset(kind);
+                let pcie = match kind {
+                    DeviceKind::ConnectX4 | DeviceKind::ConnectX5 => "PCIe 3.0 x8",
+                    DeviceKind::ConnectX6 => "PCIe 4.0 x16",
+                };
+                vec![
+                    kind.name().to_string(),
+                    format!("{} Gbps", p.port_rate_bps / 1_000_000_000),
+                    pcie.to_string(),
+                    format!("{} Gbps eff.", p.pcie_rate_bps / 1_000_000_000),
+                    format!("{} banks", p.tpu_banks),
+                    format!("{}x{}-way MPT", p.mpt_cache_entries, p.mpt_cache_ways),
+                ]
+            })
+            .collect();
+        s.push_str(&fmt_table(
+            &[
+                "Feature",
+                "Speed",
+                "PCIe Interface",
+                "PCIe eff.",
+                "TPU",
+                "MPT cache",
+            ],
+            &rows,
+        ));
+        Ok(Artifact::text(s))
+    }
+}

@@ -1,10 +1,15 @@
-//! # ragnar-bench — experiment harness utilities
+//! # ragnar-bench — experiment implementations and report helpers
 //!
-//! Shared plotting/reporting helpers used by the per-figure binaries
-//! (`cargo run -p ragnar-bench --bin <experiment>`); see `DESIGN.md` §5
-//! for the experiment index.
+//! Every figure/table of the paper lives in [`experiments`] as a
+//! `ragnar_harness::Experiment`; the `src/bin/*` binaries are thin
+//! wrappers that hand one experiment to `ragnar_harness::run_main`
+//! (`cargo run -p ragnar-bench --bin <experiment> -- --help`). See
+//! `DESIGN.md` §5 for the experiment index and `EXPERIMENTS.md` for the
+//! shared CLI and cache layout.
 
 #![warn(missing_docs)]
+
+pub mod experiments;
 
 /// Renders values as a one-line ASCII sparkline (8 levels).
 ///
@@ -44,8 +49,8 @@ pub fn fmt_bps(bps: f64) -> String {
     }
 }
 
-/// Prints a markdown-style table.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+/// Renders a markdown-style table to a string (one trailing newline).
+pub fn fmt_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -60,17 +65,21 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             let w = widths.get(i).copied().unwrap_or(c.len());
             s.push_str(&format!(" {c:<w$} |"));
         }
+        s.push('\n');
         s
     };
-    println!(
-        "{}",
-        line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
-    );
+    let mut out = line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-    println!("{}", line(&sep));
+    out.push_str(&line(&sep));
     for row in rows {
-        println!("{}", line(row));
+        out.push_str(&line(row));
     }
+    out
+}
+
+/// Prints a markdown-style table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", fmt_table(headers, rows));
 }
 
 /// Formats a percentage.

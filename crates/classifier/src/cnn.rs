@@ -74,7 +74,9 @@ impl Conv1d {
             in_ch,
             out_ch,
             k,
-            w: (0..n).map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale).collect(),
+            w: (0..n)
+                .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+                .collect(),
             b: vec![0.0; out_ch],
             mw: vec![0.0; n],
             vw: vec![0.0; n],
@@ -139,8 +141,24 @@ impl Conv1d {
     }
 
     fn adam_step(&mut self, lr: f32, t: i32, batch: f32) {
-        adam(&mut self.w, &self.gw, &mut self.mw, &mut self.vw, lr, t, batch);
-        adam(&mut self.b, &self.gb, &mut self.mb, &mut self.vb, lr, t, batch);
+        adam(
+            &mut self.w,
+            &self.gw,
+            &mut self.mw,
+            &mut self.vw,
+            lr,
+            t,
+            batch,
+        );
+        adam(
+            &mut self.b,
+            &self.gb,
+            &mut self.mb,
+            &mut self.vb,
+            lr,
+            t,
+            batch,
+        );
     }
 }
 
@@ -176,12 +194,12 @@ pub struct CnnClassifier {
 }
 
 struct ForwardCache {
-    a1: Vec<f32>,      // conv1 post-ReLU
+    a1: Vec<f32>, // conv1 post-ReLU
     len1: usize,
-    pooled: Vec<f32>,  // after maxpool
+    pooled: Vec<f32>, // after maxpool
     argmax: Vec<usize>,
     len_p: usize,
-    a2: Vec<f32>,      // conv2 post-ReLU (the flattened features)
+    a2: Vec<f32>, // conv2 post-ReLU (the flattened features)
     logits: Vec<f32>,
 }
 
@@ -209,7 +227,9 @@ impl CnnClassifier {
         let mut net = CnnClassifier {
             conv1,
             conv2,
-            fc_w: (0..fc_n).map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale).collect(),
+            fc_w: (0..fc_n)
+                .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+                .collect(),
             fc_b: vec![0.0; classes],
             fc_mw: vec![0.0; fc_n],
             fc_vw: vec![0.0; fc_n],
@@ -250,8 +270,24 @@ impl CnnClassifier {
                 let bs = batch.len() as f32;
                 net.conv1.adam_step(cfg.learning_rate, step, bs);
                 net.conv2.adam_step(cfg.learning_rate, step, bs);
-                adam(&mut net.fc_w, &fc_gw, &mut net.fc_mw, &mut net.fc_vw, cfg.learning_rate, step, bs);
-                adam(&mut net.fc_b, &fc_gb, &mut net.fc_mb, &mut net.fc_vb, cfg.learning_rate, step, bs);
+                adam(
+                    &mut net.fc_w,
+                    &fc_gw,
+                    &mut net.fc_mw,
+                    &mut net.fc_vw,
+                    cfg.learning_rate,
+                    step,
+                    bs,
+                );
+                adam(
+                    &mut net.fc_b,
+                    &fc_gb,
+                    &mut net.fc_mb,
+                    &mut net.fc_vb,
+                    cfg.learning_rate,
+                    step,
+                    bs,
+                );
             }
         }
         net
@@ -285,13 +321,13 @@ impl CnnClassifier {
         a2.iter_mut().for_each(|v| *v = v.max(0.0));
         // Flatten → dense head.
         let mut logits = vec![0.0f32; self.classes];
-        for k in 0..self.classes {
+        for (k, logit) in logits.iter_mut().enumerate() {
             let mut acc = self.fc_b[k];
             let row = &self.fc_w[k * self.feat..(k + 1) * self.feat];
             for (w, x) in row.iter().zip(&a2) {
                 acc += w * x;
             }
-            logits[k] = acc;
+            *logit = acc;
         }
         ForwardCache {
             a1,
@@ -333,10 +369,9 @@ impl CnnClassifier {
         // Through maxpool (route to argmax) and conv1's ReLU.
         let c1 = self.conv1.out_ch;
         let mut da1 = vec![0.0f32; c1 * cache.len1];
-        for i in 0..c1 * cache.len_p {
-            let src = cache.argmax[i];
+        for (&src, &dp) in cache.argmax.iter().zip(&dpooled).take(c1 * cache.len_p) {
             if cache.a1[src] > 0.0 {
-                da1[src] += dpooled[i];
+                da1[src] += dp;
             }
         }
         dpooled.clear();
@@ -466,8 +501,8 @@ mod tests {
                 .collect();
             // Normalize like the dataset does.
             let mean = trace.iter().sum::<f32>() / trace.len() as f32;
-            let var = trace.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                / trace.len() as f32;
+            let var =
+                trace.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / trace.len() as f32;
             let std = var.sqrt().max(1e-9);
             let norm: Vec<f32> = trace.iter().map(|v| (v - mean) / std).collect();
             if clf.predict(&norm) == c {

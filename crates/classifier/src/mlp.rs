@@ -65,8 +65,7 @@ impl Dense {
     fn backward(&mut self, x: &[f32], dy: &[f32], dx: &mut Vec<f32>) {
         dx.clear();
         dx.resize(self.inputs, 0.0);
-        for o in 0..self.outputs {
-            let g = dy[o];
+        for (o, &g) in dy.iter().enumerate().take(self.outputs) {
             self.grad_b[o] += g;
             let row = &mut self.grad_w[o * self.inputs..(o + 1) * self.inputs];
             let wrow = &self.w[o * self.inputs..(o + 1) * self.inputs];

@@ -110,9 +110,7 @@ mod tests {
         for c in 0..classes {
             for s in 0..per_class {
                 let trace: Vec<f64> = (0..dim)
-                    .map(|i| {
-                        ((i + c * 8) as f64 * 0.4).sin() + 0.01 * (s as f64 % 3.0)
-                    })
+                    .map(|i| ((i + c * 8) as f64 * 0.4).sin() + 0.01 * (s as f64 % 3.0))
                     .collect();
                 d.push(&trace, c);
             }

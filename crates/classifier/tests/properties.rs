@@ -162,5 +162,8 @@ fn training_reduces_loss_on_learnable_problem() {
         p_long > p_short,
         "training must improve the true-class probability: {p_short} -> {p_long}"
     );
-    assert!(p_long > 0.9, "separable problem should be learned: {p_long}");
+    assert!(
+        p_long > 0.9,
+        "separable problem should be learned: {p_long}"
+    );
 }

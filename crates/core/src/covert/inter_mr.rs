@@ -89,7 +89,10 @@ mod tests {
             run.report.error_rate(),
             &run.report.levels[..8.min(run.report.levels.len())]
         );
-        assert!(run.report.raw_bandwidth_bps > 10e3, "should be tens of Kbps");
+        assert!(
+            run.report.raw_bandwidth_bps > 10e3,
+            "should be tens of Kbps"
+        );
     }
 
     #[test]

@@ -91,7 +91,11 @@ mod tests {
         let kind = DeviceKind::ConnectX5;
         let cfg = default_config(kind);
         assert_eq!(cfg.tx_msg_len, 512);
-        assert_eq!(one_offset(kind) % 8, 7, "one-offset is deliberately unaligned");
+        assert_eq!(
+            one_offset(kind) % 8,
+            7,
+            "one-offset is deliberately unaligned"
+        );
     }
 
     #[test]

@@ -69,8 +69,7 @@ pub fn parse_bits(s: &str) -> Vec<bool> {
 }
 
 /// Evaluation of one covert-channel run (one column of Table V).
-#[derive(Debug, Clone)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ChannelReport {
     /// Device the channel ran on.
     pub device: DeviceKind,
@@ -203,7 +202,10 @@ impl ModulatingSender {
         bit_period: SimDuration,
         start: SimTime,
     ) -> Self {
-        assert!(!qps.is_empty() && !bits.is_empty(), "sender needs QPs and bits");
+        assert!(
+            !qps.is_empty() && !bits.is_empty(),
+            "sender needs QPs and bits"
+        );
         assert!(
             matches!(opcode, Opcode::Read | Opcode::Write),
             "covert sender uses reads or writes"
@@ -330,12 +332,7 @@ mod tests {
             let v = if phase < 100 { 1.0 } else { 5.0 };
             samples.push((t, v));
         }
-        let folded = fold_by_phase(
-            &samples,
-            SimTime::ZERO,
-            SimDuration::from_nanos(200),
-            10,
-        );
+        let folded = fold_by_phase(&samples, SimTime::ZERO, SimDuration::from_nanos(200), 10);
         assert!(folded[..5].iter().all(|&v| (v - 1.0).abs() < 1e-9));
         assert!(folded[5..].iter().all(|&v| (v - 5.0).abs() < 1e-9));
     }

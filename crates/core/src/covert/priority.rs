@@ -13,9 +13,7 @@
 //! tractable with [`DeviceProfile::time_scaled`], which preserves every
 //! contention ratio (see `DESIGN.md`).
 
-use crate::covert::{
-    count_errors, threshold_decode, BitModes, ChannelReport, ModulatingSender,
-};
+use crate::covert::{count_errors, threshold_decode, BitModes, ChannelReport, ModulatingSender};
 use crate::measure::{AddressPattern, BandwidthSampler, FlowStats, SaturatingFlow, Target};
 use crate::testbed::Testbed;
 use rdma_verbs::{AccessFlags, DeviceKind, DeviceProfile, FlowId, Opcode, TrafficClass};

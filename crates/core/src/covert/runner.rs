@@ -63,7 +63,11 @@ pub(crate) fn run_uli_channel(
     modes_of: impl FnOnce(&MrHandle, &MrHandle) -> BitModes,
 ) -> UliRun {
     let profile = DeviceProfile::preset(kind);
-    let n_clients = if cfg.background_traffic_len.is_some() { 3 } else { 2 };
+    let n_clients = if cfg.background_traffic_len.is_some() {
+        3
+    } else {
+        2
+    };
     let mut tb = Testbed::new(profile, n_clients, cfg.seed);
     if cfg.mitigation_noise_ns > 0 {
         let server = tb.server;

@@ -48,7 +48,10 @@ pub fn recover_phase(
             best = RecoveredClock { phase, score };
         }
     }
-    assert!(best.score.is_finite(), "phase recovery found no usable windows");
+    assert!(
+        best.score.is_finite(),
+        "phase recovery found no usable windows"
+    );
     best
 }
 
@@ -147,14 +150,16 @@ pub fn strip_preamble(decoded: &[bool], preamble: &[bool]) -> Option<Vec<bool>> 
 mod tests {
     use super::*;
 
-    fn synth(bits: &[bool], period_ns: u64, phase_ns: u64, samples_per_bit: u64) -> Vec<(SimTime, f64)> {
+    fn synth(
+        bits: &[bool],
+        period_ns: u64,
+        phase_ns: u64,
+        samples_per_bit: u64,
+    ) -> Vec<(SimTime, f64)> {
         let mut out = Vec::new();
         for (i, &b) in bits.iter().enumerate() {
             for s in 0..samples_per_bit {
-                let t = phase_ns
-                    + i as u64 * period_ns
-                    + s * period_ns / samples_per_bit
-                    + 1; // strictly inside the bit
+                let t = phase_ns + i as u64 * period_ns + s * period_ns / samples_per_bit + 1; // strictly inside the bit
                 let v = if b { 100.0 } else { 40.0 } + (s % 3) as f64;
                 out.push((SimTime::from_nanos(t), v));
             }

@@ -164,7 +164,9 @@ impl SaturatingFlow {
         let t = self.pattern.target(self.seq);
         self.seq += 1;
         match self.opcode {
-            Opcode::Read => WorkRequest::read(self.seq, self.local_addr, t.addr, t.key, self.msg_len),
+            Opcode::Read => {
+                WorkRequest::read(self.seq, self.local_addr, t.addr, t.key, self.msg_len)
+            }
             Opcode::Write => {
                 WorkRequest::write(self.seq, self.local_addr, t.addr, t.key, self.msg_len)
             }
@@ -410,10 +412,7 @@ mod tests {
         let key = MrKey(1);
         let fixed = AddressPattern::Fixed(Target { key, addr: 100 });
         assert_eq!(fixed.target(5).addr, 100);
-        let cyc = AddressPattern::Cycle(vec![
-            Target { key, addr: 0 },
-            Target { key, addr: 64 },
-        ]);
+        let cyc = AddressPattern::Cycle(vec![Target { key, addr: 0 }, Target { key, addr: 64 }]);
         assert_eq!(cyc.target(0).addr, 0);
         assert_eq!(cyc.target(1).addr, 64);
         assert_eq!(cyc.target(2).addr, 0);
@@ -481,7 +480,8 @@ mod tests {
                 Rc::clone(&samples),
             )));
             tb.sim.own_qp(app, qp);
-            tb.sim.run_until(SimTime::from_micros(100 + 20 * depth as u64));
+            tb.sim
+                .run_until(SimTime::from_micros(100 + 20 * depth as u64));
             let s = samples.borrow();
             assert!(s.len() > 50, "expected many samples, got {}", s.len());
             // Discard warm-up, average the rest.

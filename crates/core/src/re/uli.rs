@@ -162,12 +162,8 @@ pub fn mr_uli_sweep(profile: &DeviceProfile, msg_sizes: &[u64], seed: u64) -> Ve
             );
             MrUliPoint {
                 msg_len,
-                same_mr: Summary::from_samples(
-                    &same.iter().map(|s| s.uli_ns).collect::<Vec<_>>(),
-                ),
-                diff_mr: Summary::from_samples(
-                    &diff.iter().map(|s| s.uli_ns).collect::<Vec<_>>(),
-                ),
+                same_mr: Summary::from_samples(&same.iter().map(|s| s.uli_ns).collect::<Vec<_>>()),
+                diff_mr: Summary::from_samples(&diff.iter().map(|s| s.uli_ns).collect::<Vec<_>>()),
             }
         })
         .collect()
@@ -203,7 +199,10 @@ mod tests {
         // The gap is the MR context reload; it matters most for small
         // messages where the TPU dominates the per-request cost.
         let small_gap = points[0].diff_mr.mean - points[0].same_mr.mean;
-        assert!(small_gap > 20.0, "context-switch gap too small: {small_gap} ns");
+        assert!(
+            small_gap > 20.0,
+            "context-switch gap too small: {small_gap} ns"
+        );
     }
 
     #[test]

@@ -9,15 +9,14 @@
 
 use crate::measure::{AddressPattern, BandwidthSampler, FlowStats, SaturatingFlow, Target};
 use crate::testbed::Testbed;
-use rdma_verbs::{AccessFlags, ConnectOptions, DeviceProfile, FlowId, Opcode, TrafficClass};
 use ragnar_workloads::shuffle_join::{DbConfig, DbPhase, DbVictim, PhaseLog};
+use rdma_verbs::{AccessFlags, ConnectOptions, DeviceProfile, FlowId, Opcode, TrafficClass};
 use sim_core::{pearson, SimDuration, SimTime, TimeSeries};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// The pattern classes Algorithm 1 distinguishes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Pattern {
     /// Sustained plateau-like depression.
     Shuffle,
@@ -83,8 +82,7 @@ impl CorrelationDetector {
         }
         // Tooth = dips that *recover* to baseline within the window with
         // real amplitude; plateau = sustained depression.
-        let amplitude_ok =
-            (hi - lo) > self.min_tooth_amplitude * self.baseline_bps && hi > thr;
+        let amplitude_ok = (hi - lo) > self.min_tooth_amplitude * self.baseline_bps && hi > thr;
         let mut best_r: f64 = 0.0;
         for &period in &self.tooth_periods {
             if period >= window.len() {
@@ -229,7 +227,8 @@ pub fn run(kind: rdma_verbs::DeviceKind, cfg: &FingerprintConfig) -> Fingerprint
     )));
 
     let total: SimDuration = cfg.phases.iter().map(DbPhase::duration).sum();
-    tb.sim.run_until(SimTime::ZERO + total + cfg.sample_interval * 2);
+    tb.sim
+        .run_until(SimTime::ZERO + total + cfg.sample_interval * 2);
 
     let monitor = series.borrow().clone();
     let truth = log.borrow().clone();

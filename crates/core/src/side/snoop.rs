@@ -10,15 +10,17 @@
 //! (step ❸) — the paper reports 95.6 % accuracy.
 
 use crate::testbed::Testbed;
+use ragnar_workloads::sherman::{value_from, ShermanTree, ShermanVictim, NODE_SIZE};
 use rdma_verbs::{
     AccessFlags, App, ConnectOptions, Cqe, Ctx, DeviceKind, DeviceProfile, FlowId, HostId,
     MrHandle, PostError, QpHandle, TrafficClass, WorkRequest,
 };
-use ragnar_workloads::sherman::{value_from, ShermanTree, ShermanVictim, NODE_SIZE};
 use sim_core::{SimRng, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
-use trace_classifier::{CnnClassifier, CnnConfig, Dataset, MlpClassifier, TemplateClassifier, TrainConfig};
+use trace_classifier::{
+    CnnClassifier, CnnConfig, Dataset, MlpClassifier, TemplateClassifier, TrainConfig,
+};
 
 /// Parameters of the snooping attack.
 #[derive(Debug, Clone)]
@@ -131,10 +133,7 @@ impl SweepProbe {
     /// Deterministic per-chunk idle gap (sub-µs, varied so consecutive
     /// re-phasings land at different relative phases).
     fn rephase_gap(&self) -> sim_core::SimDuration {
-        let salt = self
-            .seq
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .rotate_left(17);
+        let salt = self.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
         sim_core::SimDuration::from_nanos(300 + salt % 700)
     }
 }
@@ -183,9 +182,7 @@ impl App for SweepProbe {
                 self.fill(ctx);
             }
         }
-        if !self.draining
-            && self.outstanding == 0
-            && self.collected < self.warmup + self.per_offset
+        if !self.draining && self.outstanding == 0 && self.collected < self.warmup + self.per_offset
         {
             // Pipeline drained mid-chunk (re-phasing): idle briefly.
             let gap = self.rephase_gap();

@@ -62,7 +62,8 @@ impl Testbed {
 
     /// Registers a server-side MR (2 MiB huge-page aligned).
     pub fn server_mr(&mut self, len: u64, access: AccessFlags) -> MrHandle {
-        self.sim.register_mr(self.server, self.server_pd, len, access)
+        self.sim
+            .register_mr(self.server, self.server_pd, len, access)
     }
 
     /// Registers an MR on a client (for local buffers).

@@ -208,7 +208,9 @@ mod tests {
 
     #[test]
     fn idle_windows_ignored() {
-        let mut windows: Vec<_> = (0..5).map(|i| sig(i * 100, 100, 100 * 512, 100, 100)).collect();
+        let mut windows: Vec<_> = (0..5)
+            .map(|i| sig(i * 100, 100, 100 * 512, 100, 100))
+            .collect();
         // Idle windows with garbage sizes must not trigger.
         windows.push(sig(600, 1, 9000, 1, 1));
         assert_eq!(HarmonicMonitor::new().judge(&windows), Verdict::Clean);
@@ -216,19 +218,19 @@ mod tests {
 
     #[test]
     fn window_signatures_from_snapshots() {
-        let mut a = CounterSnapshot::default();
-        a.tx_bytes = 1000;
-        a.tx_packets = 10;
+        let mut a = CounterSnapshot {
+            tx_bytes: 1000,
+            tx_packets: 10,
+            ..CounterSnapshot::default()
+        };
         a.requests_per_opcode[Opcode::Read.index()] = 10;
         let mut b = a;
         b.tx_bytes = 3000;
         b.tx_packets = 20;
         b.requests_per_opcode[Opcode::Read.index()] = 25;
         b.tpu_lookups = 7;
-        let sigs = window_signatures(&[
-            (SimTime::from_micros(0), a),
-            (SimTime::from_micros(100), b),
-        ]);
+        let sigs =
+            window_signatures(&[(SimTime::from_micros(0), a), (SimTime::from_micros(100), b)]);
         assert_eq!(sigs.len(), 1);
         assert_eq!(sigs[0].requests_per_opcode[Opcode::Read.index()], 15);
         assert!((sigs[0].mean_tx_packet_size - 200.0).abs() < 1e-9);

@@ -39,8 +39,7 @@ pub fn noise_sweep(kind: DeviceKind, noise_levels_ns: &[u64], bits: usize) -> Ve
             let mean_uli = if run.rx_samples.is_empty() {
                 0.0
             } else {
-                run.rx_samples.iter().map(|s| s.uli_ns).sum::<f64>()
-                    / run.rx_samples.len() as f64
+                run.rx_samples.iter().map(|s| s.uli_ns).sum::<f64>() / run.rx_samples.len() as f64
             };
             NoisePoint {
                 noise_ns,

@@ -103,9 +103,7 @@ mod tests {
         let a = CounterSnapshot::default();
         let mut b = CounterSnapshot::default();
         b.rx_bytes_per_tc[3] = 10_000;
-        assert!(wd
-            .evaluate(&a, &b, SimDuration::from_millis(1))
-            .is_empty());
+        assert!(wd.evaluate(&a, &b, SimDuration::from_millis(1)).is_empty());
     }
 
     #[test]

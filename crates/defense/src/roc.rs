@@ -11,8 +11,7 @@
 use crate::harmonic::{HarmonicMonitor, Verdict, WindowSignature};
 
 /// One operating point of the detector.
-#[derive(Debug, Clone, Copy)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct RocPoint {
     /// Grain-II coefficient-of-variation threshold in force.
     pub threshold: f64,
@@ -128,7 +127,9 @@ mod tests {
         // honest tenant: at any threshold, detecting it costs the same
         // false-positive rate.
         let covert: Vec<_> = (0..10).map(|i| constant(512.0, 5.0 + i as f64)).collect();
-        let honest: Vec<_> = (10..20).map(|i| constant(512.0, 5.0 + (i - 10) as f64)).collect();
+        let honest: Vec<_> = (10..20)
+            .map(|i| constant(512.0, 5.0 + (i - 10) as f64))
+            .collect();
         let points = roc_sweep(&covert, &honest, &[0.001, 0.005, 0.02, 0.1, 0.5]);
         for p in &points {
             assert!(
@@ -142,9 +143,21 @@ mod tests {
     #[test]
     fn detection_at_fpr_picks_best_feasible() {
         let points = vec![
-            RocPoint { threshold: 0.1, detection_rate: 0.9, false_positive_rate: 0.3 },
-            RocPoint { threshold: 0.2, detection_rate: 0.7, false_positive_rate: 0.05 },
-            RocPoint { threshold: 0.4, detection_rate: 0.4, false_positive_rate: 0.0 },
+            RocPoint {
+                threshold: 0.1,
+                detection_rate: 0.9,
+                false_positive_rate: 0.3,
+            },
+            RocPoint {
+                threshold: 0.2,
+                detection_rate: 0.7,
+                false_positive_rate: 0.05,
+            },
+            RocPoint {
+                threshold: 0.4,
+                detection_rate: 0.4,
+                false_positive_rate: 0.0,
+            },
         ];
         assert_eq!(detection_at_fpr(&points, 0.1), Some(0.7));
         assert_eq!(detection_at_fpr(&points, 0.0), Some(0.4));

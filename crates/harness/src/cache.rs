@@ -1,0 +1,180 @@
+//! The content-addressed result store under `results/`.
+//!
+//! Every completed config writes one JSON file
+//! `results/<experiment>/cells/<cache-key>.json` holding the config,
+//! seed, versions and artifact. Because the file name is a hash of
+//! everything that determines the result, re-running a sweep turns
+//! already-computed cells into cache hits, and an interrupted sweep
+//! resumes from whatever finished — writes go through a temp file +
+//! rename so a kill mid-write never leaves a corrupt entry behind.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::experiment::{Artifact, Config};
+use crate::hash::content_hash;
+use crate::value::Value;
+
+/// On-disk layout version; part of every cache key, so bumping it
+/// invalidates all previous entries at once.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A deserialized cache entry.
+#[derive(Debug, Clone)]
+pub struct StoredRun {
+    /// The config that produced the artifact.
+    pub config: Config,
+    /// The seed it ran with.
+    pub seed: u64,
+    /// The artifact itself.
+    pub artifact: Artifact,
+    /// Hash of the artifact's canonical encoding.
+    pub artifact_hash: String,
+    /// Wall time of the original (non-cached) run, in ms.
+    pub elapsed_ms: f64,
+}
+
+/// A per-experiment content-addressed artifact store.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+    experiment: String,
+}
+
+impl ResultStore {
+    /// Opens (and creates) the store for `experiment` under `root`.
+    pub fn open(root: &Path, experiment: &str) -> io::Result<ResultStore> {
+        let dir = root.join(experiment).join("cells");
+        fs::create_dir_all(&dir)?;
+        Ok(ResultStore {
+            dir,
+            experiment: experiment.to_string(),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Loads the entry for `key`, if present and well-formed. A corrupt
+    /// entry (interrupted write on a non-atomic filesystem, manual
+    /// editing) is treated as a miss, not an error.
+    pub fn load(&self, key: &str) -> Option<StoredRun> {
+        let text = fs::read_to_string(self.path_for(key)).ok()?;
+        let v = Value::parse(&text).ok()?;
+        let artifact_value = v.get("artifact")?;
+        let artifact = Artifact::from_value(artifact_value)?;
+        let artifact_hash = content_hash(artifact_value.encode().as_bytes());
+        // Refuse entries whose recorded hash no longer matches the
+        // content — a truncated or tampered file must re-run.
+        if v.get("artifact_hash")?.as_str()? != artifact_hash {
+            return None;
+        }
+        Some(StoredRun {
+            config: Config::from_value(v.get("config")?)?,
+            seed: v.get("seed")?.as_i64()? as u64,
+            artifact,
+            artifact_hash,
+            elapsed_ms: v.get("elapsed_ms")?.as_f64()?,
+        })
+    }
+
+    /// Persists one completed config atomically and returns the
+    /// artifact's content hash.
+    pub fn store(
+        &self,
+        key: &str,
+        config: &Config,
+        seed: u64,
+        experiment_version: u32,
+        artifact: &Artifact,
+        elapsed_ms: f64,
+    ) -> io::Result<String> {
+        let artifact_value = artifact.to_value();
+        let artifact_hash = content_hash(artifact_value.encode().as_bytes());
+        let mut entry = Value::object();
+        entry.set("key", key);
+        entry.set("experiment", self.experiment.as_str());
+        entry.set("experiment_version", experiment_version);
+        entry.set("format_version", FORMAT_VERSION);
+        entry.set("config", Value::Object(config.entries().to_vec()));
+        entry.set("seed", seed);
+        entry.set("elapsed_ms", elapsed_ms);
+        entry.set("artifact_hash", artifact_hash.as_str());
+        entry.set("artifact", artifact_value);
+
+        let final_path = self.path_for(key);
+        let tmp_path = self.dir.join(format!(".{key}.{}.tmp", std::process::id()));
+        fs::write(&tmp_path, entry.encode())?;
+        fs::rename(&tmp_path, &final_path)?;
+        Ok(artifact_hash)
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|it| {
+                it.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ragnar-harness-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_load_roundtrip_and_miss() {
+        let root = scratch_dir("roundtrip");
+        let store = ResultStore::open(&root, "unit").expect("open");
+        assert!(store.is_empty());
+        let cfg = Config::new().with("x", 3u64);
+        let art = Artifact::text("hello\n").with_metric("v", 3u64);
+        store.store("k1", &cfg, 9, 1, &art, 1.5).expect("store");
+        let hit = store.load("k1").expect("hit");
+        assert_eq!(hit.artifact, art);
+        assert_eq!(hit.seed, 9);
+        assert_eq!(hit.config, cfg);
+        assert!(store.load("k2").is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        let root = scratch_dir("corrupt");
+        let store = ResultStore::open(&root, "unit").expect("open");
+        let cfg = Config::new();
+        let art = Artifact::text("hello");
+        store.store("k1", &cfg, 0, 1, &art, 0.1).expect("store");
+        // Truncate the file mid-entry, as an interrupted write would.
+        let path = store.dir().join("k1.json");
+        let text = fs::read_to_string(&path).expect("read");
+        fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+        assert!(store.load("k1").is_none());
+        // Tampering with content (hash mismatch) is also a miss.
+        fs::write(&path, text.replace("hello", "jellp")).expect("tamper");
+        assert!(store.load("k1").is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

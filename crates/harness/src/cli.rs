@@ -1,0 +1,275 @@
+//! The shared experiment CLI and the `run_main` entry point every
+//! figure/table binary delegates to.
+//!
+//! All experiments understand the same flags:
+//!
+//! ```text
+//! --seed <u64>      master seed (default 0; every config derives its own)
+//! --threads <n>     worker threads (default: available parallelism)
+//! --quick           smaller parameter space, where the experiment has one
+//! --force           recompute every config, ignoring the result cache
+//! --no-cache        neither read nor write the result cache
+//! --results <dir>   result-store root (default ./results)
+//! --help            usage
+//! ```
+//!
+//! Experiment-specific switches (fig4's `--full`, fig13's `--coarse`,
+//! table5's `--bits <n>`, …) are passed through and queried via
+//! [`Cli::flag`] / [`Cli::option_u64`] from `Experiment::params`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use crate::cache::ResultStore;
+use crate::executor::{self, ExecOptions};
+use crate::experiment::{Experiment, Outcome};
+use crate::manifest::Manifest;
+
+/// Parsed shared command line.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Master seed (`--seed`, default 0).
+    pub seed: u64,
+    /// Worker threads (`--threads`, default: available parallelism).
+    pub threads: usize,
+    /// Reduced parameter space (`--quick`).
+    pub quick: bool,
+    /// Ignore cache hits and recompute (`--force`).
+    pub force: bool,
+    /// Disable the result store entirely (`--no-cache`).
+    pub no_cache: bool,
+    /// Result-store root (`--results`, default `results`).
+    pub results_dir: PathBuf,
+    /// Unrecognised arguments, available to experiments.
+    extras: Vec<String>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            seed: 0,
+            threads: executor::default_threads(),
+            quick: false,
+            force: false,
+            no_cache: false,
+            results_dir: PathBuf::from("results"),
+            extras: Vec::new(),
+        }
+    }
+}
+
+/// A fatal CLI parse problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl Cli {
+    /// Parses from the process arguments.
+    pub fn parse_env() -> Result<Cli, CliError> {
+        Cli::parse(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit argument list (tests).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, CliError> {
+        let mut cli = Cli::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--seed" => cli.seed = take_u64(&mut it, "--seed")?,
+                "--threads" => {
+                    cli.threads = take_u64(&mut it, "--threads")?.clamp(1, 4096) as usize;
+                }
+                "--quick" => cli.quick = true,
+                "--force" => cli.force = true,
+                "--no-cache" => cli.no_cache = true,
+                "--results" => {
+                    cli.results_dir = PathBuf::from(take_value(&mut it, "--results")?);
+                }
+                _ => cli.extras.push(arg),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// Whether an experiment-specific boolean switch was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.extras.iter().any(|a| a == name)
+    }
+
+    /// The value of an experiment-specific `--name <u64>` option.
+    pub fn option_u64(&self, name: &str) -> Option<u64> {
+        let pos = self.extras.iter().position(|a| a == name)?;
+        self.extras.get(pos + 1)?.parse().ok()
+    }
+
+    /// Extra arguments that are not shared flags.
+    pub fn extras(&self) -> &[String] {
+        &self.extras
+    }
+}
+
+fn take_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, CliError> {
+    it.next()
+        .ok_or_else(|| CliError(format!("{flag} needs a value")))
+}
+
+fn take_u64(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, CliError> {
+    let raw = take_value(it, flag)?;
+    raw.parse()
+        .map_err(|_| CliError(format!("{flag} needs an integer, got '{raw}'")))
+}
+
+fn usage(exp: &dyn Experiment) -> String {
+    format!(
+        "{name} — {desc}\n\n\
+         usage: {name} [--seed <u64>] [--threads <n>] [--quick] [--force] [--no-cache]\n\
+         {pad}   [--results <dir>] [experiment-specific flags]\n\n\
+         Artifacts and the run manifest land in <results>/{name}/;\n\
+         see EXPERIMENTS.md for the per-experiment flags and cache-key scheme.",
+        name = exp.name(),
+        desc = exp.description(),
+        pad = " ".repeat(exp.name().len() + 7),
+    )
+}
+
+/// Runs `exp` end to end: parse CLI → build params → execute through the
+/// cache → summarize → persist the manifest. This is the whole `main` of
+/// every experiment binary.
+pub fn run_main(exp: &dyn Experiment) -> ExitCode {
+    let cli = match Cli::parse_env() {
+        Ok(cli) => cli,
+        Err(CliError(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", usage(exp));
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.flag("--help") || cli.flag("-h") {
+        println!("{}", usage(exp));
+        return ExitCode::SUCCESS;
+    }
+    match run_with_cli(exp, &cli) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Library-level entry: everything `run_main` does minus process
+/// concerns. Returns the number of failed configs. Used by binaries
+/// (via [`run_main`]) and integration tests alike.
+pub fn run_with_cli(exp: &dyn Experiment, cli: &Cli) -> Result<usize, String> {
+    let t_start = Instant::now();
+    let mut stages: Vec<(String, f64)> = Vec::new();
+
+    let t0 = Instant::now();
+    let configs = exp.params(cli);
+    stages.push(("params".into(), t0.elapsed().as_secs_f64() * 1e3));
+    if configs.is_empty() {
+        return Err(format!("experiment '{}' produced no configs", exp.name()));
+    }
+
+    let store = if cli.no_cache {
+        None
+    } else {
+        Some(
+            ResultStore::open(&cli.results_dir, exp.name())
+                .map_err(|e| format!("cannot open result store: {e}"))?,
+        )
+    };
+
+    let t0 = Instant::now();
+    let records = executor::execute(
+        exp,
+        &configs,
+        cli.seed,
+        store.as_ref(),
+        &ExecOptions {
+            threads: cli.threads,
+            force: cli.force,
+        },
+    );
+    stages.push(("execute".into(), t0.elapsed().as_secs_f64() * 1e3));
+
+    let t0 = Instant::now();
+    let mut report = String::new();
+    exp.summarize(&records, &mut report);
+    stages.push(("summarize".into(), t0.elapsed().as_secs_f64() * 1e3));
+
+    let manifest = Manifest::from_records(
+        exp.name(),
+        cli.seed,
+        cli.threads,
+        &records,
+        stages,
+        t_start.elapsed().as_secs_f64() * 1e3,
+    );
+    if !cli.no_cache {
+        manifest
+            .write(&cli.results_dir)
+            .map_err(|e| format!("cannot write manifest: {e}"))?;
+    }
+
+    print!("{report}");
+    println!("\n{}", manifest.summary_line());
+    for r in &records {
+        if let Outcome::Failed { message, panicked } = &r.outcome {
+            eprintln!(
+                "failed config [{}]: {}{}",
+                r.config.label(),
+                if *panicked { "panic: " } else { "" },
+                message
+            );
+        }
+    }
+    Ok(manifest.failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Cli {
+        Cli::parse(args.iter().map(|s| s.to_string())).expect("parse")
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let cli = parse(&[]);
+        assert_eq!(cli.seed, 0);
+        assert!(!cli.quick && !cli.force && !cli.no_cache);
+        assert_eq!(cli.results_dir, PathBuf::from("results"));
+
+        let cli = parse(&[
+            "--seed",
+            "42",
+            "--threads",
+            "3",
+            "--quick",
+            "--force",
+            "--no-cache",
+            "--results",
+            "/tmp/r",
+            "--full",
+            "--bits",
+            "256",
+        ]);
+        assert_eq!(cli.seed, 42);
+        assert_eq!(cli.threads, 3);
+        assert!(cli.quick && cli.force && cli.no_cache);
+        assert_eq!(cli.results_dir, PathBuf::from("/tmp/r"));
+        assert!(cli.flag("--full"));
+        assert!(!cli.flag("--coarse"));
+        assert_eq!(cli.option_u64("--bits"), Some(256));
+        assert_eq!(cli.option_u64("--missing"), None);
+    }
+
+    #[test]
+    fn bad_values_are_errors() {
+        assert!(Cli::parse(["--seed".to_string()]).is_err());
+        assert!(Cli::parse(["--threads".to_string(), "x".to_string()]).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! The parallel sweep executor.
+//!
+//! Configs are distributed round-robin over per-worker deques; workers
+//! drain their own queue first and then steal from siblings (crossbeam
+//! deque topology), so a straggler config never idles the rest of the
+//! pool. Determinism is preserved at any thread count because each
+//! config's seed is derived from the config's *content*
+//! ([`sim_core::derive_seed`] over its canonical encoding), never from
+//! scheduling order. A panicking config is caught, recorded as a
+//! failure, and the sweep continues — one bad combination in a
+//! 6000-cell grid costs one cell, not the run.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crossbeam::deque::{Stealer, Worker};
+
+use crate::cache::ResultStore;
+use crate::experiment::{Config, Experiment, Outcome, RunRecord};
+use crate::hash;
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker thread count (1 = run inline on the caller).
+    pub threads: usize,
+    /// Recompute every config even when a cache entry matches.
+    pub force: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: default_threads(),
+            force: false,
+        }
+    }
+}
+
+/// The machine's available parallelism (≥ 1).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Derives the seed for one config of one experiment.
+///
+/// Depends only on `(master_seed, experiment name, config content)`, so
+/// every schedule — any thread count, any steal pattern, a resumed
+/// partial sweep — hands the config the same seed.
+pub fn config_seed(master_seed: u64, experiment: &str, config: &Config) -> u64 {
+    sim_core::derive_seed(master_seed, &format!("{experiment}/{}", config.canonical()))
+}
+
+/// Runs every config of `exp`, in parallel, through the cache.
+///
+/// Records are returned in `configs` order regardless of scheduling.
+/// When `store` is `Some`, finished cells are persisted and matching
+/// cells are served from disk (unless `opts.force`).
+pub fn execute(
+    exp: &dyn Experiment,
+    configs: &[Config],
+    master_seed: u64,
+    store: Option<&ResultStore>,
+    opts: &ExecOptions,
+) -> Vec<RunRecord> {
+    let slots: Vec<Mutex<Option<RunRecord>>> = configs.iter().map(|_| Mutex::new(None)).collect();
+    let threads = opts.threads.clamp(1, configs.len().max(1));
+
+    // Per-worker deques seeded round-robin, plus every sibling's stealer.
+    let workers: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<usize>> = workers.iter().map(Worker::stealer).collect();
+    for (i, _) in configs.iter().enumerate() {
+        workers[i % threads].push(i);
+    }
+
+    // Panics inside `run` are part of normal sweep operation; silence
+    // the default hook's backtrace spew for the duration.
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let completed = AtomicUsize::new(0);
+
+    let run_one = |index: usize| {
+        let config = &configs[index];
+        let seed = config_seed(master_seed, exp.name(), config);
+        let key = hash::cache_key(
+            exp.name(),
+            &config.canonical(),
+            seed,
+            exp.version(),
+            crate::cache::FORMAT_VERSION,
+        );
+        let t0 = Instant::now();
+
+        if !opts.force {
+            if let Some(hit) = store.and_then(|s| s.load(&key)) {
+                let record = RunRecord {
+                    index,
+                    config: config.clone(),
+                    seed,
+                    cache_key: key,
+                    outcome: Outcome::Done(hit.artifact),
+                    from_cache: true,
+                    elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                };
+                *slots[index].lock().expect("slot poisoned") = Some(record);
+                completed.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+
+        let result = panic::catch_unwind(AssertUnwindSafe(|| exp.run(config, seed)));
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let outcome = match result {
+            Ok(Ok(artifact)) => {
+                if let Some(s) = store {
+                    // A failed persist degrades caching, not correctness.
+                    let _ = s.store(&key, config, seed, exp.version(), &artifact, elapsed_ms);
+                }
+                Outcome::Done(artifact)
+            }
+            Ok(Err(message)) => Outcome::Failed {
+                message,
+                panicked: false,
+            },
+            Err(payload) => Outcome::Failed {
+                message: panic_message(payload.as_ref()),
+                panicked: true,
+            },
+        };
+        let record = RunRecord {
+            index,
+            config: config.clone(),
+            seed,
+            cache_key: key,
+            outcome,
+            from_cache: false,
+            elapsed_ms,
+        };
+        *slots[index].lock().expect("slot poisoned") = Some(record);
+        completed.fetch_add(1, Ordering::Relaxed);
+    };
+
+    std::thread::scope(|scope| {
+        for worker in &workers {
+            scope.spawn(|| {
+                loop {
+                    // Own deque first, then steal from siblings.
+                    let task = worker
+                        .pop()
+                        .or_else(|| stealers.iter().find_map(|s| s.steal().success()));
+                    match task {
+                        Some(index) => run_one(index),
+                        None => {
+                            // All deques observed empty: if every config
+                            // is accounted for, we are done; otherwise a
+                            // sibling still holds in-flight work that
+                            // might never produce more tasks here, so
+                            // yield and re-scan.
+                            if completed.load(Ordering::Relaxed) >= configs.len() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    panic::set_hook(prev_hook);
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every config produces a record")
+        })
+        .collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::Cli;
+    use crate::experiment::Artifact;
+
+    struct Parity;
+
+    impl Experiment for Parity {
+        fn name(&self) -> &'static str {
+            "parity-unit"
+        }
+        fn params(&self, _cli: &Cli) -> Vec<Config> {
+            (0..64u64).map(|i| Config::new().with("i", i)).collect()
+        }
+        fn run(&self, config: &Config, seed: u64) -> Result<Artifact, String> {
+            let i = config.u64("i").expect("i");
+            if i == 13 {
+                panic!("unlucky combination");
+            }
+            if i == 21 {
+                return Err("known-bad cell".to_string());
+            }
+            Ok(Artifact::text(format!("cell {i}\n")).with_metric("seed", seed))
+        }
+    }
+
+    fn configs() -> Vec<Config> {
+        Parity.params(&Cli::default())
+    }
+
+    #[test]
+    fn records_in_order_with_isolated_failures() {
+        let cfgs = configs();
+        let records = execute(
+            &Parity,
+            &cfgs,
+            1,
+            None,
+            &ExecOptions {
+                threads: 8,
+                force: false,
+            },
+        );
+        assert_eq!(records.len(), 64);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.config.u64("i"), Some(i as u64));
+        }
+        match &records[13].outcome {
+            Outcome::Failed { message, panicked } => {
+                assert!(panicked);
+                assert!(message.contains("unlucky"));
+            }
+            other => panic!("expected panic failure, got {other:?}"),
+        }
+        match &records[21].outcome {
+            Outcome::Failed { message, panicked } => {
+                assert!(!panicked);
+                assert_eq!(message, "known-bad cell");
+            }
+            other => panic!("expected error failure, got {other:?}"),
+        }
+        assert_eq!(
+            records
+                .iter()
+                .filter(|r| matches!(r.outcome, Outcome::Done(_)))
+                .count(),
+            62
+        );
+    }
+
+    #[test]
+    fn seeds_depend_on_content_not_schedule() {
+        let cfgs = configs();
+        let serial = execute(
+            &Parity,
+            &cfgs,
+            7,
+            None,
+            &ExecOptions {
+                threads: 1,
+                force: false,
+            },
+        );
+        let parallel = execute(
+            &Parity,
+            &cfgs,
+            7,
+            None,
+            &ExecOptions {
+                threads: 8,
+                force: false,
+            },
+        );
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(
+                a.outcome.artifact().map(|x| x.to_value().encode()),
+                b.outcome.artifact().map(|x| x.to_value().encode()),
+            );
+        }
+        // Distinct master seeds shift every cell's seed.
+        let other = execute(
+            &Parity,
+            &cfgs,
+            8,
+            None,
+            &ExecOptions {
+                threads: 1,
+                force: false,
+            },
+        );
+        assert!(serial.iter().zip(&other).all(|(a, b)| a.seed != b.seed));
+    }
+}

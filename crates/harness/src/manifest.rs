@@ -1,0 +1,197 @@
+//! Run manifests: the per-invocation record of what a sweep did.
+//!
+//! One manifest is written per harness invocation to
+//! `results/<experiment>/manifest.json` (latest wins) and appended to
+//! `results/<experiment>/manifest-history.jsonl`, so both "what just
+//! happened" and "how did this change over time" stay answerable. The
+//! manifest carries wall time, per-stage timings, run/cached/failed
+//! counts and the run's artifact digest — the digest is how the
+//! determinism guarantee (same artifacts at any `--threads`) is
+//! checked end to end.
+
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::experiment::{Outcome, RunRecord};
+use crate::hash::content_hash;
+use crate::value::Value;
+
+/// Summary of one harness invocation.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Experiment name.
+    pub experiment: String,
+    /// Master seed the sweep ran with.
+    pub seed: u64,
+    /// Worker thread count used.
+    pub threads: usize,
+    /// Total configs in the sweep.
+    pub total: usize,
+    /// Configs actually executed this invocation.
+    pub executed: usize,
+    /// Configs served from the result cache.
+    pub cached: usize,
+    /// Configs that failed (error or panic).
+    pub failed: usize,
+    /// End-to-end wall time of the invocation, ms.
+    pub wall_ms: f64,
+    /// Per-stage wall timings `(stage, ms)` in execution order.
+    pub stages: Vec<(String, f64)>,
+    /// Hash over every artifact hash in config order — identical runs
+    /// produce identical digests, whatever the thread count.
+    pub artifact_digest: String,
+    /// Unix timestamp (ms) when the invocation started.
+    pub started_unix_ms: u64,
+}
+
+impl Manifest {
+    /// Builds a manifest from the sweep's records and timings.
+    pub fn from_records(
+        experiment: &str,
+        seed: u64,
+        threads: usize,
+        records: &[RunRecord],
+        stages: Vec<(String, f64)>,
+        wall_ms: f64,
+    ) -> Manifest {
+        let cached = records.iter().filter(|r| r.from_cache).count();
+        let failed = records
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Failed { .. }))
+            .count();
+        // Digest: artifact content hashes in config order, failures
+        // folded in by message so they also reproduce.
+        let mut material = String::new();
+        for r in records {
+            match &r.outcome {
+                Outcome::Done(a) => {
+                    material.push_str(&content_hash(a.to_value().encode().as_bytes()));
+                }
+                Outcome::Failed { message, .. } => {
+                    material.push_str("failed:");
+                    material.push_str(message);
+                }
+            }
+            material.push('\n');
+        }
+        Manifest {
+            experiment: experiment.to_string(),
+            seed,
+            threads,
+            total: records.len(),
+            executed: records.len() - cached,
+            cached,
+            failed,
+            wall_ms,
+            stages,
+            artifact_digest: content_hash(material.as_bytes()),
+            started_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+        }
+    }
+
+    /// The manifest as a JSON value.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        v.set("experiment", self.experiment.as_str());
+        v.set("seed", self.seed);
+        v.set("threads", self.threads);
+        v.set("configs_total", self.total);
+        v.set("configs_executed", self.executed);
+        v.set("configs_cached", self.cached);
+        v.set("configs_failed", self.failed);
+        v.set("wall_ms", self.wall_ms);
+        let mut stages = Value::object();
+        for (name, ms) in &self.stages {
+            stages.set(name, *ms);
+        }
+        v.set("stage_ms", stages);
+        v.set("artifact_digest", self.artifact_digest.as_str());
+        v.set("started_unix_ms", self.started_unix_ms);
+        v
+    }
+
+    /// Writes `manifest.json` (replace) and appends to
+    /// `manifest-history.jsonl` under `results/<experiment>/`.
+    pub fn write(&self, results_root: &Path) -> io::Result<()> {
+        let dir = results_root.join(&self.experiment);
+        std::fs::create_dir_all(&dir)?;
+        let encoded = self.to_value().encode();
+        std::fs::write(dir.join("manifest.json"), &encoded)?;
+        let mut history = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("manifest-history.jsonl"))?;
+        writeln!(history, "{encoded}")?;
+        Ok(())
+    }
+
+    /// One-line console summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "[{}] {} configs in {:.1} ms on {} threads — {} run, {} cached, {} failed; digest {}",
+            self.experiment,
+            self.total,
+            self.wall_ms,
+            self.threads,
+            self.executed,
+            self.cached,
+            self.failed,
+            &self.artifact_digest[..16.min(self.artifact_digest.len())],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Artifact, Config};
+
+    fn record(i: usize, rendered: &str, cached: bool) -> RunRecord {
+        RunRecord {
+            index: i,
+            config: Config::new().with("i", i as u64),
+            seed: i as u64,
+            cache_key: format!("k{i}"),
+            outcome: Outcome::Done(Artifact::text(rendered)),
+            from_cache: cached,
+            elapsed_ms: 1.0,
+        }
+    }
+
+    #[test]
+    fn counts_and_digest_are_content_based() {
+        let a = vec![record(0, "x", false), record(1, "y", true)];
+        let m1 = Manifest::from_records("unit", 1, 4, &a, vec![], 10.0);
+        assert_eq!((m1.total, m1.executed, m1.cached, m1.failed), (2, 1, 1, 0));
+        // Same artifacts, different scheduling metadata → same digest.
+        let b = vec![record(0, "x", true), record(1, "y", false)];
+        let m2 = Manifest::from_records("unit", 1, 1, &b, vec![], 99.0);
+        assert_eq!(m1.artifact_digest, m2.artifact_digest);
+        // Different artifact content → different digest.
+        let c = vec![record(0, "x", false), record(1, "z", false)];
+        let m3 = Manifest::from_records("unit", 1, 4, &c, vec![], 10.0);
+        assert_ne!(m1.artifact_digest, m3.artifact_digest);
+    }
+
+    #[test]
+    fn write_produces_manifest_and_history() {
+        let root =
+            std::env::temp_dir().join(format!("ragnar-harness-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let records = vec![record(0, "x", false)];
+        let m = Manifest::from_records("unit", 1, 1, &records, vec![("run".into(), 5.0)], 6.0);
+        m.write(&root).expect("write");
+        m.write(&root).expect("write twice");
+        let manifest = std::fs::read_to_string(root.join("unit/manifest.json")).expect("read");
+        let v = Value::parse(&manifest).expect("parse");
+        assert_eq!(v.get("configs_total").and_then(Value::as_i64), Some(1));
+        let history =
+            std::fs::read_to_string(root.join("unit/manifest-history.jsonl")).expect("read");
+        assert_eq!(history.lines().count(), 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

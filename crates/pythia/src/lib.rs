@@ -19,8 +19,8 @@
 use ragnar_core::covert::{count_errors, ChannelReport};
 use ragnar_core::Testbed;
 use rdma_verbs::{
-    AccessFlags, ConnectOptions, DeviceKind, DeviceProfile, FlowId, MrHandle, QpHandle,
-    Simulation, TrafficClass, WorkRequest,
+    AccessFlags, ConnectOptions, DeviceKind, DeviceProfile, FlowId, MrHandle, QpHandle, Simulation,
+    TrafficClass, WorkRequest,
 };
 use sim_core::{SimDuration, SimTime};
 
@@ -217,11 +217,8 @@ impl PythiaWorld {
                     break;
                 }
                 let hi = (lo + group_len).min(set.len());
-                let candidate: Vec<MrHandle> = set[..lo]
-                    .iter()
-                    .chain(&set[hi..])
-                    .copied()
-                    .collect();
+                let candidate: Vec<MrHandle> =
+                    set[..lo].iter().chain(&set[hi..]).copied().collect();
                 if !candidate.is_empty() && evicts(self, &candidate) {
                     set = candidate;
                     reduced = true;

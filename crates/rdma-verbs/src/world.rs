@@ -39,7 +39,11 @@ impl MrHandle {
     ///
     /// Panics if `offset` exceeds the region length.
     pub fn addr(&self, offset: u64) -> u64 {
-        assert!(offset <= self.len, "offset {offset} beyond MR length {}", self.len);
+        assert!(
+            offset <= self.len,
+            "offset {offset} beyond MR length {}",
+            self.len
+        );
         self.base_va + offset
     }
 }
@@ -145,14 +149,16 @@ impl World {
                         self.dropped_packets += 1;
                         continue;
                     }
-                    let prop = self.nics[host.0 as usize].profile().wire_propagation
-                        + self.switch_latency;
+                    let prop =
+                        self.nics[host.0 as usize].profile().wire_propagation + self.switch_latency;
                     let dst = pkt.dst;
-                    self.queue.schedule(at + prop, WorldEvent::Deliver(dst, pkt));
+                    self.queue
+                        .schedule(at + prop, WorldEvent::Deliver(dst, pkt));
                 }
                 NicAction::Complete { at, cqe } => match self.qp_owner.get(&(host, cqe.qp)) {
                     Some(&app) => {
-                        self.queue.schedule(at, WorldEvent::AppCqe { app, host, cqe });
+                        self.queue
+                            .schedule(at, WorldEvent::AppCqe { app, host, cqe });
                     }
                     None => self.orphan_cqes.push((host, cqe)),
                 },
@@ -381,7 +387,9 @@ impl Simulation {
 
     /// Writes into a host's memory.
     pub fn write_memory(&mut self, host: HostId, addr: u64, data: &[u8]) {
-        self.world.nics[host.0 as usize].memory_mut().write(addr, data);
+        self.world.nics[host.0 as usize]
+            .memory_mut()
+            .write(addr, data);
     }
 
     /// Reads from a host's memory.
@@ -543,7 +551,9 @@ impl Ctx<'_> {
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
         let at = self.now() + delay;
         let app = self.app;
-        self.world.queue.schedule(at, WorldEvent::Timer { app, token });
+        self.world
+            .queue
+            .schedule(at, WorldEvent::Timer { app, token });
     }
 
     /// Stops the event loop after the current callback returns.
@@ -563,7 +573,9 @@ impl Ctx<'_> {
 
     /// Writes into a host's memory.
     pub fn write_memory(&mut self, host: HostId, addr: u64, data: &[u8]) {
-        self.world.nics[host.0 as usize].memory_mut().write(addr, data);
+        self.world.nics[host.0 as usize]
+            .memory_mut()
+            .write(addr, data);
     }
 
     /// Reads from a host's memory.
@@ -591,7 +603,9 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    fn two_hosts(kind: fn() -> DeviceProfile) -> (Simulation, QpHandle, QpHandle, MrHandle, MrHandle) {
+    fn two_hosts(
+        kind: fn() -> DeviceProfile,
+    ) -> (Simulation, QpHandle, QpHandle, MrHandle, MrHandle) {
         let mut sim = Simulation::new(7);
         let a = sim.add_host(kind());
         let b = sim.add_host(kind());
@@ -607,8 +621,11 @@ mod tests {
     fn read_round_trip_returns_completion() {
         let (mut sim, qa, _qb, _mr_a, mr_b) = two_hosts(DeviceProfile::connectx5);
         sim.write_memory(mr_b.host, mr_b.addr(128), b"secret-data");
-        sim.post_send(qa, WorkRequest::read(9, 0x100000, mr_b.addr(128), mr_b.key, 11))
-            .expect("post");
+        sim.post_send(
+            qa,
+            WorkRequest::read(9, 0x100000, mr_b.addr(128), mr_b.key, 11),
+        )
+        .expect("post");
         sim.run_until(SimTime::from_millis(1));
         let done = sim.take_completions();
         assert_eq!(done.len(), 1);
@@ -630,7 +647,10 @@ mod tests {
         )
         .expect("post");
         sim.run_until(SimTime::from_millis(1));
-        assert_eq!(sim.read_memory(mr_a.host, mr_a.addr(0), 12), b"remote-bytes");
+        assert_eq!(
+            sim.read_memory(mr_a.host, mr_a.addr(0), 12),
+            b"remote-bytes"
+        );
     }
 
     #[test]
@@ -640,7 +660,13 @@ mod tests {
         sim.write_memory(mr_b.host, mr_b.addr(0), &payload);
         sim.post_send(
             qa,
-            WorkRequest::read(1, mr_a.addr(0), mr_b.addr(0), mr_b.key, payload.len() as u64),
+            WorkRequest::read(
+                1,
+                mr_a.addr(0),
+                mr_b.addr(0),
+                mr_b.key,
+                payload.len() as u64,
+            ),
         )
         .expect("post");
         sim.run_until(SimTime::from_millis(1));
@@ -660,7 +686,10 @@ mod tests {
         )
         .expect("post");
         sim.run_until(SimTime::from_millis(1));
-        assert_eq!(sim.read_memory(mr_b.host, mr_b.addr(4096), 10), b"hello rdma");
+        assert_eq!(
+            sim.read_memory(mr_b.host, mr_b.addr(4096), 10),
+            b"hello rdma"
+        );
         assert!(sim.take_completions()[0].1.status.is_ok());
     }
 
@@ -671,7 +700,13 @@ mod tests {
         sim.write_memory(mr_a.host, mr_a.addr(0), &payload);
         sim.post_send(
             qa,
-            WorkRequest::write(2, mr_a.addr(0), mr_b.addr(0), mr_b.key, payload.len() as u64),
+            WorkRequest::write(
+                2,
+                mr_a.addr(0),
+                mr_b.addr(0),
+                mr_b.key,
+                payload.len() as u64,
+            ),
         )
         .expect("post");
         sim.run_until(SimTime::from_millis(2));
@@ -731,8 +766,11 @@ mod tests {
         sim.run_until(SimTime::from_millis(1));
         assert_eq!(sim.take_completions().len(), 4);
         // After completion there is room again.
-        sim.post_send(qa, WorkRequest::read(10, 0x1000, mr_b.addr(0), mr_b.key, 64))
-            .expect("capacity restored");
+        sim.post_send(
+            qa,
+            WorkRequest::read(10, 0x1000, mr_b.addr(0), mr_b.key, 64),
+        )
+        .expect("capacity restored");
     }
 
     #[test]
@@ -875,7 +913,10 @@ mod tests {
         let min = warm.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = warm.iter().cloned().fold(0.0, f64::max);
         assert!(min > 0.0);
-        assert!(max - min < 500.0, "unloaded latency spread too wide: {min}..{max}");
+        assert!(
+            max - min < 500.0,
+            "unloaded latency spread too wide: {min}..{max}"
+        );
         // And the cold first access is visibly more expensive.
         assert!(lat[0] > min, "cold start should exceed steady state");
     }
@@ -930,8 +971,11 @@ mod tests {
     #[test]
     fn counters_track_traffic() {
         let (mut sim, qa, _qb, _mr_a, mr_b) = two_hosts(DeviceProfile::connectx5);
-        sim.post_send(qa, WorkRequest::read(1, 0x1000, mr_b.addr(0), mr_b.key, 1024))
-            .expect("post");
+        sim.post_send(
+            qa,
+            WorkRequest::read(1, 0x1000, mr_b.addr(0), mr_b.key, 1024),
+        )
+        .expect("post");
         sim.run_until(SimTime::from_millis(1));
         let a = sim.counters(qa.host);
         assert_eq!(a.requests_per_opcode[Opcode::Read.index()], 1);

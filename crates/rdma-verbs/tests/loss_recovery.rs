@@ -1,9 +1,7 @@
 //! Failure injection: packet loss on the fabric, recovered by the NICs'
 //! retransmission machinery.
 
-use rdma_verbs::{
-    AccessFlags, ConnectOptions, CqeStatus, DeviceProfile, Simulation, WorkRequest,
-};
+use rdma_verbs::{AccessFlags, ConnectOptions, CqeStatus, DeviceProfile, Simulation, WorkRequest};
 use sim_core::SimTime;
 
 fn lossy_pair(seed: u64, loss: f64) -> (Simulation, rdma_verbs::QpHandle, rdma_verbs::MrHandle) {
@@ -93,7 +91,10 @@ fn atomics_execute_exactly_once_under_loss() {
     let done = sim.take_completions();
     assert_eq!(done.len() as u64, n);
     assert!(done.iter().all(|(_, c)| c.status == CqeStatus::Success));
-    assert!(sim.nic(qp.host).counters().retransmits > 0, "loss exercised");
+    assert!(
+        sim.nic(qp.host).counters().retransmits > 0,
+        "loss exercised"
+    );
     assert_eq!(
         sim.nic(mr.host).memory().read_u64(mr.addr(0)),
         n,

@@ -18,17 +18,17 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u64..30_000, 1u64..2048, any::<u8>())
-            .prop_map(|(off, len, fill)| Op::Write { off, len, fill }),
+        (0u64..30_000, 1u64..2048, any::<u8>()).prop_map(|(off, len, fill)| Op::Write {
+            off,
+            len,
+            fill
+        }),
         (0u64..30_000, 1u64..2048).prop_map(|(off, len)| Op::Read { off, len }),
         (0u64..3_000, 1u64..100).prop_map(|(off, delta)| Op::FetchAdd {
             off: off * 8,
             delta
         }),
-        (0u64..3_000, 1u64..u64::MAX).prop_map(|(off, new)| Op::CmpSwapHit {
-            off: off * 8,
-            new
-        }),
+        (0u64..3_000, 1u64..u64::MAX).prop_map(|(off, new)| Op::CmpSwapHit { off: off * 8, new }),
     ]
 }
 
@@ -103,7 +103,7 @@ proptest! {
                 }
             }
             // Keep the queue shallow enough to never hit SendQueueFull.
-            if wr_id % 32 == 0 {
+            if wr_id.is_multiple_of(32) {
                 sim.run_until(SimTime::from_millis(wr_id));
             }
         }

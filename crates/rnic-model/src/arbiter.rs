@@ -275,11 +275,9 @@ impl EgressScheduler {
             self.burst_state = None;
             return None;
         }
-        let is_bulk_write = self.tx.queues[tc]
-            .front()
-            .is_some_and(|p| {
-                matches!(p.kind, PacketKind::WriteSeg) && p.total_len >= self.bulk_threshold
-            });
+        let is_bulk_write = self.tx.queues[tc].front().is_some_and(|p| {
+            matches!(p.kind, PacketKind::WriteSeg) && p.total_len >= self.bulk_threshold
+        });
         if !is_bulk_write {
             self.burst_state = None;
             return None;

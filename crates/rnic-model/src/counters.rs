@@ -114,8 +114,10 @@ impl CounterSnapshot {
         out.rx_bytes = self.rx_bytes.saturating_sub(earlier.rx_bytes);
         out.rx_packets = self.rx_packets.saturating_sub(earlier.rx_packets);
         for i in 0..TrafficClass::COUNT {
-            out.tx_bytes_per_tc[i] = self.tx_bytes_per_tc[i].saturating_sub(earlier.tx_bytes_per_tc[i]);
-            out.rx_bytes_per_tc[i] = self.rx_bytes_per_tc[i].saturating_sub(earlier.rx_bytes_per_tc[i]);
+            out.tx_bytes_per_tc[i] =
+                self.tx_bytes_per_tc[i].saturating_sub(earlier.tx_bytes_per_tc[i]);
+            out.rx_bytes_per_tc[i] =
+                self.rx_bytes_per_tc[i].saturating_sub(earlier.rx_bytes_per_tc[i]);
         }
         for i in 0..Opcode::COUNT {
             out.requests_per_opcode[i] =

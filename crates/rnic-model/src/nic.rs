@@ -395,7 +395,9 @@ impl Rnic {
     /// PCIe completion latency with arbitration jitter.
     fn pcie_delay(&mut self) -> SimDuration {
         let base = self.profile.pcie_latency.as_picos() as f64;
-        let j = self.rng.jitter_ps(self.profile.pcie_jitter_sigma.as_picos() as f64);
+        let j = self
+            .rng
+            .jitter_ps(self.profile.pcie_jitter_sigma.as_picos() as f64);
         SimDuration::from_picos((base + j).max(0.0).round() as u64)
     }
 
@@ -483,8 +485,8 @@ impl Rnic {
                 self.tx_issue(now, &mut out);
             }
             NicEvent::TxPuDone { qp, wqe } => {
-                let needs_gather = wqe.opcode.carries_request_payload()
-                    && wqe.len > self.profile.inline_threshold;
+                let needs_gather =
+                    wqe.opcode.carries_request_payload() && wqe.len > self.profile.inline_threshold;
                 if needs_gather {
                     self.counters.pcie_bytes += wqe.len;
                     let ser = SimDuration::serialization(wqe.len, self.profile.pcie_rate_bps);
@@ -578,11 +580,7 @@ impl Rnic {
             match self.issue_order.pop_front() {
                 None => return, // nothing pending
                 Some(qp) => {
-                    if self
-                        .qps
-                        .get(&qp)
-                        .is_some_and(|s| !s.sq.is_empty())
-                    {
+                    if self.qps.get(&qp).is_some_and(|s| !s.sq.is_empty()) {
                         break qp;
                     }
                 }
@@ -943,8 +941,7 @@ impl Rnic {
             let seq = wqe.seq;
             let state = self.qps.get_mut(&qp).expect("retransmit for unknown QP");
             state.retire_hold.insert(seq, (now, cqe));
-            loop {
-                let Some(state) = self.qps.get_mut(&qp) else { break };
+            while let Some(state) = self.qps.get_mut(&qp) {
                 let next = state.retire_seq;
                 let Some((ready, cqe)) = state.retire_hold.remove(&next) else {
                     break;
@@ -1013,7 +1010,10 @@ impl Rnic {
                 let delay = self.pcie_delay();
                 let res = self.pcie_down.reserve(now, ser);
                 let placed = self.responder_dma_fence(pkt.dst_qp, res.end + delay);
-                let fence = self.placement_fence.entry(pkt.dst_qp).or_insert(SimTime::ZERO);
+                let fence = self
+                    .placement_fence
+                    .entry(pkt.dst_qp)
+                    .or_insert(SimTime::ZERO);
                 *fence = fence.max_of(placed);
                 out.push(NicAction::Schedule {
                     at: placed,
@@ -1208,8 +1208,7 @@ impl Rnic {
             return;
         };
         state.retire_hold.insert(pkt.wqe_seq, (now, cqe));
-        loop {
-            let Some(state) = self.qps.get_mut(&pkt.dst_qp) else { break };
+        while let Some(state) = self.qps.get_mut(&pkt.dst_qp) {
             let next = state.retire_seq;
             let Some((ready, cqe)) = state.retire_hold.remove(&next) else {
                 break;

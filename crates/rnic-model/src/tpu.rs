@@ -242,6 +242,7 @@ impl TranslationUnit {
     ///
     /// Returns the [`NakReason`] if validation fails; volatile state is
     /// untouched in that case.
+    #[allow(clippy::too_many_arguments)]
     pub fn access(
         &mut self,
         now: SimTime,
@@ -380,20 +381,44 @@ mod tests {
         let (mut tpu, mut rng) = unit();
         // Unknown key.
         assert_eq!(
-            tpu.access(SimTime::ZERO, &mut rng, PdId(0), Opcode::Read, MrKey(9), 0x200000, 8)
-                .unwrap_err(),
+            tpu.access(
+                SimTime::ZERO,
+                &mut rng,
+                PdId(0),
+                Opcode::Read,
+                MrKey(9),
+                0x200000,
+                8
+            )
+            .unwrap_err(),
             NakReason::InvalidMrKey
         );
         // Wrong PD.
         assert_eq!(
-            tpu.access(SimTime::ZERO, &mut rng, PdId(5), Opcode::Read, MrKey(1), 0x200000, 8)
-                .unwrap_err(),
+            tpu.access(
+                SimTime::ZERO,
+                &mut rng,
+                PdId(5),
+                Opcode::Read,
+                MrKey(1),
+                0x200000,
+                8
+            )
+            .unwrap_err(),
             NakReason::PdMismatch
         );
         // Write to read-only MR.
         assert_eq!(
-            tpu.access(SimTime::ZERO, &mut rng, PdId(0), Opcode::Write, MrKey(2), 0x600000, 8)
-                .unwrap_err(),
+            tpu.access(
+                SimTime::ZERO,
+                &mut rng,
+                PdId(0),
+                Opcode::Write,
+                MrKey(2),
+                0x600000,
+                8
+            )
+            .unwrap_err(),
             NakReason::AccessDenied
         );
         // Out of bounds (one past the end).
@@ -412,8 +437,16 @@ mod tests {
         );
         // Below base.
         assert_eq!(
-            tpu.access(SimTime::ZERO, &mut rng, PdId(0), Opcode::Read, MrKey(1), 0x1FFFFF, 8)
-                .unwrap_err(),
+            tpu.access(
+                SimTime::ZERO,
+                &mut rng,
+                PdId(0),
+                Opcode::Read,
+                MrKey(1),
+                0x1FFFFF,
+                8
+            )
+            .unwrap_err(),
             NakReason::OutOfBounds
         );
     }
@@ -461,22 +494,49 @@ mod tests {
         let other = svc(&mut tpu, &mut rng, 2, 0x600000).breakdown;
         assert!(other.mr_switch > SimDuration::ZERO);
         let back = svc(&mut tpu, &mut rng, 1, 0x200080).breakdown;
-        assert!(back.mr_switch > SimDuration::ZERO, "single context slot ping-pongs");
+        assert!(
+            back.mr_switch > SimDuration::ZERO,
+            "single context slot ping-pongs"
+        );
     }
 
     #[test]
     fn tokens_spanned_counts() {
         let (mut tpu, mut rng) = unit();
         let one = tpu
-            .access(SimTime::ZERO, &mut rng, PdId(0), Opcode::Read, MrKey(1), 0x200000, 64)
+            .access(
+                SimTime::ZERO,
+                &mut rng,
+                PdId(0),
+                Opcode::Read,
+                MrKey(1),
+                0x200000,
+                64,
+            )
             .unwrap();
         assert_eq!(one.breakdown.tokens_spanned, 1);
         let crossing = tpu
-            .access(SimTime::ZERO, &mut rng, PdId(0), Opcode::Read, MrKey(1), 0x200020, 64)
+            .access(
+                SimTime::ZERO,
+                &mut rng,
+                PdId(0),
+                Opcode::Read,
+                MrKey(1),
+                0x200020,
+                64,
+            )
             .unwrap();
         assert_eq!(crossing.breakdown.tokens_spanned, 2);
         let big = tpu
-            .access(SimTime::ZERO, &mut rng, PdId(0), Opcode::Read, MrKey(1), 0x200000, 1024)
+            .access(
+                SimTime::ZERO,
+                &mut rng,
+                PdId(0),
+                Opcode::Read,
+                MrKey(1),
+                0x200000,
+                1024,
+            )
             .unwrap();
         assert_eq!(big.breakdown.tokens_spanned, 16);
         assert!(big.breakdown.extra_tokens > SimDuration::ZERO);
@@ -496,7 +556,15 @@ mod tests {
         assert!(b.reservation.start >= a.reservation.end);
         // Different bank → starts immediately.
         let c = tpu
-            .access(t, &mut rng, PdId(0), Opcode::Read, MrKey(1), 0x200000 + 64, 8)
+            .access(
+                t,
+                &mut rng,
+                PdId(0),
+                Opcode::Read,
+                MrKey(1),
+                0x200000 + 64,
+                8,
+            )
             .unwrap();
         assert_eq!(c.reservation.start, t);
     }
@@ -525,7 +593,15 @@ mod tests {
         assert!(tpu.deregister_mr(MrKey(1)));
         assert!(!tpu.deregister_mr(MrKey(1)));
         assert!(tpu
-            .access(SimTime::ZERO, &mut rng, PdId(0), Opcode::Read, MrKey(1), 0x200000, 8)
+            .access(
+                SimTime::ZERO,
+                &mut rng,
+                PdId(0),
+                Opcode::Read,
+                MrKey(1),
+                0x200000,
+                8
+            )
             .is_err());
     }
 

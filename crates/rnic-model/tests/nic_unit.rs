@@ -46,8 +46,15 @@ fn post_to_unknown_qp_is_rejected() {
         .expect_err("unknown QP");
     assert_eq!(err, PostError::UnknownQp);
     assert_eq!(
-        n.post_recv(QpNum(99), RecvWqe { wr_id: 1, local_addr: 0, len: 64 })
-            .expect_err("unknown QP"),
+        n.post_recv(
+            QpNum(99),
+            RecvWqe {
+                wr_id: 1,
+                local_addr: 0,
+                len: 64
+            }
+        )
+        .expect_err("unknown QP"),
         PostError::UnknownQp
     );
 }
@@ -58,7 +65,8 @@ fn send_queue_capacity_is_strict() {
     assert!(n.post_send(SimTime::ZERO, QpNum(1), wqe(1)).is_ok());
     assert!(n.post_send(SimTime::ZERO, QpNum(1), wqe(2)).is_ok());
     assert_eq!(
-        n.post_send(SimTime::ZERO, QpNum(1), wqe(3)).expect_err("full"),
+        n.post_send(SimTime::ZERO, QpNum(1), wqe(3))
+            .expect_err("full"),
         PostError::SendQueueFull
     );
     assert_eq!(n.outstanding(QpNum(1)), Some(2));
@@ -68,7 +76,9 @@ fn send_queue_capacity_is_strict() {
 #[test]
 fn post_returns_a_wqe_fetch_schedule() {
     let mut n = nic();
-    let actions = n.post_send(SimTime::from_micros(3), QpNum(1), wqe(1)).expect("post");
+    let actions = n
+        .post_send(SimTime::from_micros(3), QpNum(1), wqe(1))
+        .expect("post");
     assert_eq!(actions.len(), 1);
     match &actions[0] {
         NicAction::Schedule { at, .. } => {

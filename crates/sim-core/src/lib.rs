@@ -40,7 +40,7 @@ mod time;
 
 pub use queue::EventQueue;
 pub use resource::{BankedResource, LinkResource, Reservation, ServiceResource};
-pub use rng::SimRng;
+pub use rng::{derive_seed, SimRng};
 pub use stats::{
     linear_fit, pearson, percentile_sorted, LineFit, OnlineStats, Summary, TimeSeries,
 };

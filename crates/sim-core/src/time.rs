@@ -21,8 +21,19 @@ use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::ZERO + SimDuration::from_nanos(5);
 /// assert_eq!(t.as_picos(), 5_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in picoseconds.
@@ -35,8 +46,19 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_micros(2) + SimDuration::from_nanos(500);
 /// assert_eq!(d.as_nanos_f64(), 2_500.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -144,7 +166,10 @@ impl SimDuration {
     ///
     /// Panics if `ns` is negative or not finite.
     pub fn from_nanos_f64(ns: f64) -> Self {
-        assert!(ns.is_finite() && ns >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((ns * 1e3).round() as u64)
     }
 
@@ -203,7 +228,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -336,12 +364,21 @@ mod tests {
     #[test]
     fn serialization_time_exact() {
         // 64 B at 200 Gbps = 2.56 ns
-        assert_eq!(SimDuration::serialization(64, 200_000_000_000).as_picos(), 2_560);
+        assert_eq!(
+            SimDuration::serialization(64, 200_000_000_000).as_picos(),
+            2_560
+        );
         // 1500 B at 25 Gbps = 480 ns
-        assert_eq!(SimDuration::serialization(1500, 25_000_000_000).as_picos(), 480_000);
+        assert_eq!(
+            SimDuration::serialization(1500, 25_000_000_000).as_picos(),
+            480_000
+        );
         // Rounds up: 1 B at 3 bps.
         let d = SimDuration::serialization(1, 3);
-        assert_eq!(d.as_picos(), (8u128 * 1_000_000_000_000u128).div_ceil(3) as u64);
+        assert_eq!(
+            d.as_picos(),
+            (8u128 * 1_000_000_000_000u128).div_ceil(3) as u64
+        );
     }
 
     #[test]
@@ -367,8 +404,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            (1..=4).map(SimDuration::from_nanos).sum();
+        let total: SimDuration = (1..=4).map(SimDuration::from_nanos).sum();
         assert_eq!(total, SimDuration::from_nanos(10));
     }
 }

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use sim_core::{
-    linear_fit, pearson, percentile_sorted, EventQueue, OnlineStats, ServiceResource,
-    SimDuration, SimTime, Summary,
+    linear_fit, pearson, percentile_sorted, EventQueue, OnlineStats, ServiceResource, SimDuration,
+    SimTime, Summary,
 };
 
 proptest! {

@@ -255,12 +255,30 @@ pub enum OpResult {
 
 #[derive(Debug)]
 enum OpState {
-    Traverse { key: u64, level: u32 },
-    ScanLeaf { start: u64, limit: usize, acc: Vec<(u64, Value)> },
-    LockLeaf { key: u64, leaf_off: u64 },
-    WriteEntry { key: u64, leaf_off: u64 },
-    BumpCount { key: u64, leaf_off: u64 },
-    Unlock { key: u64 },
+    Traverse {
+        key: u64,
+        level: u32,
+    },
+    ScanLeaf {
+        start: u64,
+        limit: usize,
+        acc: Vec<(u64, Value)>,
+    },
+    LockLeaf {
+        key: u64,
+        leaf_off: u64,
+    },
+    WriteEntry {
+        key: u64,
+        leaf_off: u64,
+    },
+    BumpCount {
+        key: u64,
+        leaf_off: u64,
+    },
+    Unlock {
+        key: u64,
+    },
 }
 
 /// A compute-server client executing a queue of tree operations over
@@ -283,6 +301,7 @@ pub struct TreeClient {
 impl TreeClient {
     /// Creates a client. `mr` is the MS region holding the tree image at
     /// its base; `scratch` is a local buffer address for reads.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         qp: QpHandle,
         mr: MrHandle,
@@ -441,7 +460,11 @@ impl App for TreeClient {
                     }
                 }
             }
-            OpState::ScanLeaf { start, limit, mut acc } => {
+            OpState::ScanLeaf {
+                start,
+                limit,
+                mut acc,
+            } => {
                 let node = self.node_bytes(ctx);
                 let (_, count) = parse_header(&node);
                 let mut more = leaf_entries_from(&node, count, start);
@@ -574,6 +597,7 @@ pub struct ShermanVictim {
 
 impl ShermanVictim {
     /// Creates the victim.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         qp: QpHandle,
         mr: MrHandle,

@@ -212,9 +212,13 @@ mod tests {
     #[test]
     fn phase_log_lookup() {
         let mut log = PhaseLog::default();
-        log.intervals.push(("idle", SimTime::ZERO, SimTime::from_micros(10)));
         log.intervals
-            .push(("shuffle", SimTime::from_micros(10), SimTime::from_micros(30)));
+            .push(("idle", SimTime::ZERO, SimTime::from_micros(10)));
+        log.intervals.push((
+            "shuffle",
+            SimTime::from_micros(10),
+            SimTime::from_micros(30),
+        ));
         assert_eq!(log.label_at(SimTime::from_micros(5)), Some("idle"));
         assert_eq!(log.label_at(SimTime::from_micros(15)), Some("shuffle"));
         assert_eq!(log.label_at(SimTime::from_micros(35)), None);

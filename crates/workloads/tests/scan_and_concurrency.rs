@@ -41,13 +41,22 @@ fn range_scan_matches_reference() {
     let results = Rc::new(RefCell::new(Vec::new()));
     let ops = vec![
         // Mid-range scan crossing several leaves.
-        TreeOp::Scan { start: 500, limit: 40 },
+        TreeOp::Scan {
+            start: 500,
+            limit: 40,
+        },
         // Scan from before the first key.
         TreeOp::Scan { start: 0, limit: 5 },
         // Scan running off the end of the tree.
-        TreeOp::Scan { start: 5 * 295, limit: 100 },
+        TreeOp::Scan {
+            start: 5 * 295,
+            limit: 100,
+        },
         // Empty scan past every key.
-        TreeOp::Scan { start: 10_000, limit: 10 },
+        TreeOp::Scan {
+            start: 10_000,
+            limit: 10,
+        },
     ];
     let app = sim.add_app(Box::new(TreeClient::new(
         qps[0],

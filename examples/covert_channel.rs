@@ -13,10 +13,7 @@ use ragnar::verbs::DeviceKind;
 fn main() {
     let secret = "RAGNAR";
     // Encode ASCII to bits, MSB first.
-    let bit_string: String = secret
-        .bytes()
-        .map(|b| format!("{b:08b}"))
-        .collect();
+    let bit_string: String = secret.bytes().map(|b| format!("{b:08b}")).collect();
     let bits = parse_bits(&bit_string);
     println!("covert Tx encodes {:?} as {} bits", secret, bits.len());
 

@@ -24,11 +24,7 @@ fn main() {
     let mut last = None;
     for &(t, p) in &r.detections {
         if last != Some(p) {
-            println!(
-                "t = {:7.0} us: detector reports {:?}",
-                t.as_micros_f64(),
-                p
-            );
+            println!("t = {:7.0} us: detector reports {:?}", t.as_micros_f64(), p);
             last = Some(p);
         }
     }

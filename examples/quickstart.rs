@@ -6,10 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ragnar::verbs::{
-    AccessFlags, ConnectOptions, DeviceProfile, Simulation, WorkRequest,
-};
 use ragnar::sim::SimTime;
+use ragnar::verbs::{AccessFlags, ConnectOptions, DeviceProfile, Simulation, WorkRequest};
 
 fn main() {
     // A deterministic two-host fabric: everything is seeded, so this

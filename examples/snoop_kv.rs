@@ -46,5 +46,8 @@ fn main() {
         .map(|(i, _)| i as u64 * cfg.step)
         .expect("non-empty trace");
     println!("\nattacker's guess: offset {guess} B (truth: {secret_offset} B)");
-    assert_eq!(guess, secret_offset, "the offset effect gave the secret away");
+    assert_eq!(
+        guess, secret_offset,
+        "the offset effect gave the secret away"
+    );
 }

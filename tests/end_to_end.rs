@@ -9,10 +9,10 @@ use ragnar::attacks::side::snoop::{collect_pools, mean_trace, SnoopConfig};
 use ragnar::attacks::Testbed;
 use ragnar::classifier::{Dataset, MlpClassifier, TrainConfig};
 use ragnar::defense::{window_signatures, HarmonicMonitor, Verdict};
+use ragnar::sim::SimTime;
 use ragnar::verbs::{
     AccessFlags, ConnectOptions, DeviceKind, DeviceProfile, Opcode, Simulation, WorkRequest,
 };
-use ragnar::sim::SimTime;
 
 #[test]
 fn full_stack_data_movement() {
@@ -30,8 +30,11 @@ fn full_stack_data_movement() {
     sim.write_memory(a, la.addr(0), b"ordered");
     sim.post_send(qp, WorkRequest::write(1, la.addr(0), rb.addr(0), rb.key, 7))
         .expect("post write");
-    sim.post_send(qp, WorkRequest::read(2, la.addr(4096), rb.addr(0), rb.key, 7))
-        .expect("post read");
+    sim.post_send(
+        qp,
+        WorkRequest::read(2, la.addr(4096), rb.addr(0), rb.key, 7),
+    )
+    .expect("post read");
     sim.run_until(SimTime::from_millis(1));
     assert_eq!(sim.read_memory(a, la.addr(4096), 7), b"ordered");
     assert_eq!(sim.take_completions().len(), 2);
@@ -51,13 +54,22 @@ fn write_read_ordering_is_robust_across_seeds() {
         let rb = sim.register_mr(b, pd_b, 1 << 21, AccessFlags::remote_all());
         let (qp, _) = sim.connect(a, pd_a, b, pd_b, ConnectOptions::default());
         sim.write_memory(a, la.addr(0), b"fence!");
-        sim.post_send(qp, WorkRequest::write(1, la.addr(0), rb.addr(64), rb.key, 6))
-            .expect("post");
-        sim.post_send(qp, WorkRequest::read(2, la.addr(8192), rb.addr(64), rb.key, 6))
-            .expect("post");
+        sim.post_send(
+            qp,
+            WorkRequest::write(1, la.addr(0), rb.addr(64), rb.key, 6),
+        )
+        .expect("post");
+        sim.post_send(
+            qp,
+            WorkRequest::read(2, la.addr(8192), rb.addr(64), rb.key, 6),
+        )
+        .expect("post");
         // And an atomic behind them, also ordered.
-        sim.post_send(qp, WorkRequest::fetch_add(3, la.addr(16384), rb.addr(1024), rb.key, 1))
-            .expect("post");
+        sim.post_send(
+            qp,
+            WorkRequest::fetch_add(3, la.addr(16384), rb.addr(1024), rb.key, 1),
+        )
+        .expect("post");
         sim.run_until(SimTime::from_millis(1));
         assert_eq!(
             sim.read_memory(a, la.addr(8192), 6),
@@ -258,7 +270,10 @@ fn async_receiver_decodes_without_shared_clock() {
     let (decoded, _clock) = async_decode(&samples, cfg.bit_period, true);
     let got = strip_preamble(&decoded, &preamble).expect("preamble located in async decode");
     let n = got.len().min(payload.len());
-    assert!(n + 2 >= payload.len(), "almost all payload windows recovered");
+    assert!(
+        n + 2 >= payload.len(),
+        "almost all payload windows recovered"
+    );
     let errors = got[..n]
         .iter()
         .zip(&payload[..n])

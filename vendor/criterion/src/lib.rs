@@ -1,0 +1,134 @@
+//! Offline vendored stand-in for the `criterion` benchmark framework.
+//!
+//! Supports the API the `ragnar-bench` benches use — `benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros. Instead of
+//! criterion's full statistical pipeline it warms each benchmark up once
+//! and reports the mean wall time over the configured sample count —
+//! enough to compare hot paths release-to-release offline.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once to warm up, then `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = std::hint::black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let _ = std::hint::black_box(f());
+            self.elapsed.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            elapsed: Vec::new(),
+        };
+        f(&mut b);
+        let n = b.elapsed.len().max(1);
+        let mean = b.elapsed.iter().sum::<Duration>() / n as u32;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(e)) if mean.as_secs_f64() > 0.0 => {
+                format!("  ({:.0} elem/s)", e as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(by)) if mean.as_secs_f64() > 0.0 => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    by as f64 / mean.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{}: {:>12.3?} per iter over {} samples{}",
+            self.name, name, mean, n, rate
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` the harness-less bench binary is run with
+            // test-runner flags; skip the actual measurement then.
+            if std::env::args().any(|a| a == "--test" || a == "--list") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

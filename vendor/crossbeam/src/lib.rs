@@ -1,0 +1,155 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! Implements the `deque` work-stealing API surface the experiment
+//! harness's executor uses (`Injector`, `Worker`, `Stealer`, `Steal`).
+//! The real crate's lock-free Chase–Lev deques are replaced by mutexed
+//! ring buffers — same semantics, and the coarser locking is invisible
+//! here because harness tasks are whole experiment configs (milliseconds
+//! of work per lock acquisition, not nanoseconds).
+
+#![warn(missing_docs)]
+
+pub mod deque {
+    //! Work-stealing double-ended queues (mutex-backed stand-in).
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// A race was lost; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Extracts the task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A global FIFO injector queue shared by all workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.q.lock().expect("injector poisoned").push_back(task);
+        }
+
+        /// Steals one task from the front of the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().expect("injector poisoned").is_empty()
+        }
+    }
+
+    /// A worker-local FIFO deque with an associated [`Stealer`].
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker deque.
+        pub fn new_fifo() -> Self {
+            Worker {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the local end.
+        pub fn push(&self, task: T) {
+            self.q.lock().expect("worker poisoned").push_back(task);
+        }
+
+        /// Pops a task from the local end (FIFO order).
+        pub fn pop(&self) -> Option<T> {
+            self.q.lock().expect("worker poisoned").pop_front()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().expect("worker poisoned").is_empty()
+        }
+
+        /// Creates a [`Stealer`] handle other workers can steal through.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { q: self.q.clone() }
+        }
+    }
+
+    /// A handle for stealing tasks from another worker's deque.
+    #[derive(Debug, Clone)]
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the opposite end of the owner's deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().expect("stealer poisoned").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_fifo_and_steal_opposite_end() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(s.steal(), Steal::Success(3));
+            assert_eq!(w.pop(), Some(2));
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push("a");
+            inj.push("b");
+            assert_eq!(inj.steal(), Steal::Success("a"));
+            assert_eq!(inj.steal(), Steal::Success("b"));
+            assert!(inj.is_empty());
+        }
+    }
+}

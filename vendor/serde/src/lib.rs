@@ -1,0 +1,17 @@
+//! Offline vendored stand-in for the `serde` facade crate.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names plus the derive
+//! macros (which expand to nothing — see `vendor/serde_derive`). The
+//! workspace keeps its types annotated for serialization-readiness while
+//! the experiment harness does its own JSON encoding, so marker traits
+//! are all that is required to compile offline.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
