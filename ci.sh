@@ -16,4 +16,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test (workspace)"
 cargo test -q --workspace --offline
 
+echo "== cargo bench --no-run (benches stay compilable)"
+cargo bench --no-run --workspace --offline
+
 echo "CI OK"

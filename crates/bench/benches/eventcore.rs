@@ -1,0 +1,131 @@
+//! A/B benches of the event core: the hierarchical [`CalendarQueue`]
+//! against the heap-based [`ReferenceQueue`] ordering oracle, on raw
+//! schedule/pop churn with a large in-flight population and on a full
+//! NIC packet storm through the verbs stack.
+//!
+//! The measured numbers (and the CalendarQueue/ReferenceQueue speedup
+//! ratio) are recorded in `BENCH_eventcore.json` at the repo root;
+//! re-run with `cargo bench --bench eventcore` after engine changes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rdma_verbs::{
+    AccessFlags, ConnectOptions, DeviceProfile, QueueBackend, Simulation, WorkRequest,
+};
+use sim_core::{CalendarQueue, EventSchedule, ReferenceQueue, SimDuration, SimRng, SimTime};
+use std::hint::black_box;
+
+/// Steady-state population held in the queue during churn.
+const IN_FLIGHT: u64 = 100_000;
+/// Pop+reschedule operations per iteration.
+const CHURN_OPS: u64 = 200_000;
+
+/// Schedule/pop churn at a steady population of [`IN_FLIGHT`] events:
+/// each op pops the earliest event and reschedules it at a pseudo-random
+/// offset up to ~1 µs ahead — the regime the NIC model's in-flight
+/// packet and completion events live in. Identical op sequence for both
+/// backends (same seed), so the timing difference is pure queue cost.
+fn churn<Q: EventSchedule<u64>>(mut q: Q) -> u64 {
+    let mut rng = SimRng::seed_from(42);
+    let mut t = SimTime::ZERO;
+    for i in 0..IN_FLIGHT {
+        t += SimDuration::from_picos(rng.uniform_range(1, 20_000));
+        q.schedule(t, i);
+    }
+    let mut acc = 0u64;
+    for _ in 0..CHURN_OPS {
+        let (at, v) = q.pop().expect("population stays constant");
+        acc = acc.wrapping_add(v);
+        q.schedule(
+            at + SimDuration::from_picos(rng.uniform_range(1, 1_000_000)),
+            v,
+        );
+    }
+    while let Some((_, v)) = q.pop() {
+        acc = acc.wrapping_add(v);
+    }
+    acc
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eventcore_churn_100k");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(CHURN_OPS));
+    g.bench_function("calendar", |b| {
+        b.iter(|| black_box(churn(CalendarQueue::<u64>::new())))
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| black_box(churn(ReferenceQueue::<u64>::new())))
+    });
+    g.finish();
+}
+
+/// Full-stack packet storm: 4 QPs saturating one responder with small
+/// reads for 300 µs of simulated time, per backend. Measures the queue's
+/// share of end-to-end simulation throughput.
+fn storm(backend: QueueBackend) -> u64 {
+    let mut sim = Simulation::with_backend(1, backend);
+    let requester = sim.add_host(DeviceProfile::connectx5());
+    let responder = sim.add_host(DeviceProfile::connectx5());
+    let pd_r = sim.alloc_pd(requester);
+    let pd_s = sim.alloc_pd(responder);
+    let mr = sim.register_mr(responder, pd_s, 1 << 21, AccessFlags::remote_all());
+    let qps: Vec<_> = (0..4)
+        .map(|_| {
+            sim.connect(
+                requester,
+                pd_r,
+                responder,
+                pd_s,
+                ConnectOptions {
+                    max_send_queue: 64,
+                    ..ConnectOptions::default()
+                },
+            )
+            .0
+        })
+        .collect();
+    let mut wr_id = 0u64;
+    for &qp in &qps {
+        for _ in 0..64 {
+            wr_id += 1;
+            sim.post_send(
+                qp,
+                WorkRequest::read(wr_id, 0x1000, mr.addr(0), mr.key, 256),
+            )
+            .expect("post");
+        }
+    }
+    let mut done = 0u64;
+    while sim.now() < SimTime::from_micros(300) {
+        sim.run_until(SimTime::from_micros(300));
+        let completions = sim.take_completions();
+        if completions.is_empty() {
+            break;
+        }
+        for _ in completions {
+            done += 1;
+            wr_id += 1;
+            let qp = qps[(done % qps.len() as u64) as usize];
+            let _ = sim.post_send(
+                qp,
+                WorkRequest::read(wr_id, 0x1000, mr.addr(0), mr.key, 256),
+            );
+        }
+    }
+    done
+}
+
+fn bench_storm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eventcore_nic_storm");
+    g.sample_size(10);
+    g.bench_function("calendar", |b| {
+        b.iter(|| black_box(storm(QueueBackend::Calendar)))
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| black_box(storm(QueueBackend::Reference)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_churn, bench_storm);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Golden determinism tests: pinned fixed-seed artifact digests.
+//!
+//! Each test runs one experiment's quick-mode sweep at master seed 0
+//! with the cache disabled, folds every artifact's canonical encoding
+//! into one content hash, and compares against a digest pinned in this
+//! file. The pinned values were captured with the `ReferenceQueue`
+//! backend before the calendar queue became the default
+//! (`EventQueue` alias in sim-core), so these tests are the acceptance
+//! gate for the queue swap: any drift in event ordering — backend
+//! change, scheduler change, thread count — shows up as a digest
+//! mismatch.
+//!
+//! If a digest changes because the *experiment itself* legitimately
+//! changed, re-pin it by running the test and copying the digest from
+//! the failure message — and bump `sim_core::ENGINE_VERSION` (or the
+//! experiment's `version()`) so stale caches are invalidated. The
+//! workflow is documented in EXPERIMENTS.md.
+
+use ragnar_bench::experiments::{contention, covert, uli};
+use ragnar_harness::executor::{self, ExecOptions};
+use ragnar_harness::hash::content_hash;
+use ragnar_harness::{Cli, Experiment, Outcome};
+
+/// Quick-mode CLI at a fixed seed, as `<bin> --quick --seed 0` would
+/// parse it, plus experiment-specific extras.
+fn quick_cli(extras: &[&str]) -> Cli {
+    let mut args = vec!["--quick".to_string(), "--seed".to_string(), "0".to_string()];
+    args.extend(extras.iter().map(|s| s.to_string()));
+    Cli::parse(args).expect("cli parses")
+}
+
+/// Runs the experiment's full quick-mode sweep (no cache, forced) and
+/// digests all artifacts in config order.
+fn artifact_digest(exp: &dyn Experiment, threads: usize, extras: &[&str]) -> String {
+    let cli = quick_cli(extras);
+    let configs = exp.params(&cli);
+    let records = executor::execute(
+        exp,
+        &configs,
+        cli.seed,
+        None,
+        &ExecOptions {
+            threads,
+            force: true,
+        },
+    );
+    let mut material = String::new();
+    for r in &records {
+        match &r.outcome {
+            Outcome::Done(a) => {
+                material.push_str(&a.to_value().encode());
+                material.push('\n');
+            }
+            Outcome::Failed { message, .. } => {
+                panic!("config [{}] failed: {message}", r.config.label())
+            }
+        }
+    }
+    content_hash(material.as_bytes())
+}
+
+/// Asserts the digest is pinned AND thread-count invariant.
+fn assert_golden(exp: &dyn Experiment, extras: &[&str], pinned: &str) {
+    let single = artifact_digest(exp, 1, extras);
+    assert_eq!(
+        single,
+        pinned,
+        "{} quick-mode digest drifted (was the event order changed? \
+         re-pin only for intentional experiment changes)",
+        exp.name()
+    );
+    let parallel = artifact_digest(exp, 4, extras);
+    assert_eq!(
+        single,
+        parallel,
+        "{} digest differs between --threads 1 and --threads 4",
+        exp.name()
+    );
+}
+
+#[test]
+fn fig4_contention_quick_digest_pinned() {
+    assert_golden(
+        &contention::Fig4Contention,
+        &[],
+        GOLDEN_FIG4_CONTENTION_QUICK_SEED0,
+    );
+}
+
+#[test]
+fn fig5_mr_uli_quick_digest_pinned() {
+    assert_golden(&uli::Fig5MrUli, &[], GOLDEN_FIG5_MR_ULI_QUICK_SEED0);
+}
+
+#[test]
+fn table5_covert_quick_digest_pinned() {
+    // 80 bits per channel keeps the quick gate fast; the error-rate
+    // claims of the paper are covered by the fidelity tests at full
+    // length.
+    assert_golden(
+        &covert::Table5Covert,
+        &["--bits", "80"],
+        GOLDEN_TABLE5_COVERT_QUICK_SEED0,
+    );
+}
+
+/// Pinned digests, captured at master seed 0 with the ReferenceQueue
+/// backend (pre-calendar engine) and identical under the calendar
+/// queue.
+const GOLDEN_FIG4_CONTENTION_QUICK_SEED0: &str = "1b17dd9b64584f994538ce521501af66";
+const GOLDEN_FIG5_MR_ULI_QUICK_SEED0: &str = "26562aed89784d7becfe780cf259eb7a";
+const GOLDEN_TABLE5_COVERT_QUICK_SEED0: &str = "bc6d71c0b219cde00862d55fa1ce7590";

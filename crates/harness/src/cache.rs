@@ -102,6 +102,7 @@ impl ResultStore {
         entry.set("key", key);
         entry.set("experiment", self.experiment.as_str());
         entry.set("experiment_version", experiment_version);
+        entry.set("engine_version", sim_core::ENGINE_VERSION);
         entry.set("format_version", FORMAT_VERSION);
         entry.set("config", Value::Object(config.entries().to_vec()));
         entry.set("seed", seed);

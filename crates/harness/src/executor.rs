@@ -91,6 +91,7 @@ pub fn execute(
             &config.canonical(),
             seed,
             exp.version(),
+            sim_core::ENGINE_VERSION,
             crate::cache::FORMAT_VERSION,
         );
         let t0 = Instant::now();

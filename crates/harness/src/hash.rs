@@ -2,10 +2,15 @@
 //!
 //! Cache entries are addressed by a 128-bit FNV-1a-style hash over the
 //! canonical JSON encodings of (experiment name, config, seed,
-//! experiment code version, store format version). 128 bits come from
-//! two independent 64-bit streams with distinct offset bases — far past
-//! birthday-collision range for any realistic sweep size, with no
-//! dependency on a crypto crate.
+//! experiment code version, engine version, store format version).
+//! 128 bits come from two independent 64-bit streams with distinct
+//! offset bases — far past birthday-collision range for any realistic
+//! sweep size, with no dependency on a crypto crate.
+//!
+//! The engine version (`sim_core::ENGINE_VERSION`) is part of the key
+//! so that changes to the simulation core itself — like the calendar
+//! queue replacing the global heap — turn every cell cached under the
+//! old engine into a miss instead of silently serving stale results.
 
 /// 64-bit FNV-1a with a caller-chosen offset basis.
 fn fnv1a64(basis: u64, bytes: &[u8]) -> u64 {
@@ -27,15 +32,21 @@ pub fn content_hash(bytes: &[u8]) -> String {
 }
 
 /// Builds the cache key for one (experiment, config, seed) cell.
+///
+/// `engine_version` is the simulation-core generation
+/// ([`sim_core::ENGINE_VERSION`]); the executor always passes the
+/// current one, so results computed by an older engine can never be
+/// returned as hits.
 pub fn cache_key(
     experiment: &str,
     config_canonical: &str,
     seed: u64,
     experiment_version: u32,
+    engine_version: u32,
     format_version: u32,
 ) -> String {
     let material = format!(
-        "{experiment}\u{0}{config_canonical}\u{0}{seed}\u{0}v{experiment_version}\u{0}f{format_version}"
+        "{experiment}\u{0}{config_canonical}\u{0}{seed}\u{0}v{experiment_version}\u{0}e{engine_version}\u{0}f{format_version}"
     );
     content_hash(material.as_bytes())
 }
@@ -46,15 +57,32 @@ mod tests {
 
     #[test]
     fn stable_and_input_sensitive() {
-        let k = cache_key("fig4", r#"{"a":1}"#, 7, 1, 1);
-        assert_eq!(k, cache_key("fig4", r#"{"a":1}"#, 7, 1, 1));
+        let k = cache_key("fig4", r#"{"a":1}"#, 7, 1, 1, 1);
+        assert_eq!(k, cache_key("fig4", r#"{"a":1}"#, 7, 1, 1, 1));
         assert_eq!(k.len(), 32);
         // Every component of the key material matters.
-        assert_ne!(k, cache_key("fig5", r#"{"a":1}"#, 7, 1, 1));
-        assert_ne!(k, cache_key("fig4", r#"{"a":2}"#, 7, 1, 1));
-        assert_ne!(k, cache_key("fig4", r#"{"a":1}"#, 8, 1, 1));
-        assert_ne!(k, cache_key("fig4", r#"{"a":1}"#, 7, 2, 1));
-        assert_ne!(k, cache_key("fig4", r#"{"a":1}"#, 7, 1, 2));
+        assert_ne!(k, cache_key("fig5", r#"{"a":1}"#, 7, 1, 1, 1));
+        assert_ne!(k, cache_key("fig4", r#"{"a":2}"#, 7, 1, 1, 1));
+        assert_ne!(k, cache_key("fig4", r#"{"a":1}"#, 8, 1, 1, 1));
+        assert_ne!(k, cache_key("fig4", r#"{"a":1}"#, 7, 2, 1, 1));
+        assert_ne!(k, cache_key("fig4", r#"{"a":1}"#, 7, 1, 2, 1));
+        assert_ne!(k, cache_key("fig4", r#"{"a":1}"#, 7, 1, 1, 2));
+    }
+
+    #[test]
+    fn engine_bump_invalidates_heap_era_keys() {
+        // Results cached under the heap-based engine (version 1) must be
+        // misses for the calendar engine (version 2) and onward.
+        let heap_era = cache_key("fig4_contention", r#"{"n":4}"#, 0, 1, 1, 1);
+        let current = cache_key(
+            "fig4_contention",
+            r#"{"n":4}"#,
+            0,
+            1,
+            sim_core::ENGINE_VERSION,
+            1,
+        );
+        assert_ne!(heap_era, current);
     }
 
     #[test]

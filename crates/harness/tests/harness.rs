@@ -166,6 +166,7 @@ fn interrupted_sweep_resumes_incrementally() {
             &config.canonical(),
             seed,
             exp.version(),
+            sim_core::ENGINE_VERSION,
             ragnar_harness::cache::FORMAT_VERSION,
         );
         store
@@ -180,6 +181,52 @@ fn interrupted_sweep_resumes_incrementally() {
     assert_eq!(exp.runs.load(Ordering::SeqCst), 10);
     assert_eq!(manifest_field(&results, "configs_cached"), 5);
     assert_eq!(manifest_field(&results, "configs_executed"), 5);
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn engine_version_bump_invalidates_heap_era_cells() {
+    // Regression test for the calendar-queue swap: results persisted
+    // under a previous simulation-engine generation (keys built with an
+    // older `ENGINE_VERSION`) must be treated as misses, never served as
+    // hits to the current engine.
+    let results = temp_results("engine-bump");
+    let exp = Counted::new(4);
+    let store = ResultStore::open(&results, exp.name()).expect("open store");
+    let full = cli(&results, 1, 3);
+    for config in &exp.params(&full) {
+        let seed = ragnar_harness::config_seed(3, exp.name(), config);
+        let artifact = exp.run(config, seed).expect("run");
+        // Key as the heap-era engine (version 1) would have computed it.
+        let stale_key = ragnar_harness::hash::cache_key(
+            exp.name(),
+            &config.canonical(),
+            seed,
+            exp.version(),
+            sim_core::ENGINE_VERSION - 1,
+            ragnar_harness::cache::FORMAT_VERSION,
+        );
+        store
+            .store(&stale_key, config, seed, exp.version(), &artifact, 0.5)
+            .expect("store stale cell");
+    }
+    assert_eq!(exp.runs.load(Ordering::SeqCst), 4);
+    assert_eq!(store.len(), 4, "heap-era cells are on disk");
+
+    // The current engine must re-execute every cell.
+    run_with_cli(&exp, &full).expect("run under current engine");
+    assert_eq!(
+        exp.runs.load(Ordering::SeqCst),
+        8,
+        "all heap-era cells must miss"
+    );
+    assert_eq!(manifest_field(&results, "configs_cached"), 0);
+    assert_eq!(manifest_field(&results, "configs_executed"), 4);
+
+    // And the re-run persisted fresh cells under current-engine keys.
+    run_with_cli(&exp, &full).expect("second run hits");
+    assert_eq!(exp.runs.load(Ordering::SeqCst), 8);
+    assert_eq!(manifest_field(&results, "configs_cached"), 4);
     let _ = std::fs::remove_dir_all(&results);
 }
 

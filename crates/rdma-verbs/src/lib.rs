@@ -19,7 +19,7 @@ mod world;
 mod wr;
 
 pub use host::HostSpec;
-pub use world::{App, AppId, ConnectOptions, Ctx, MrHandle, QpHandle, Simulation};
+pub use world::{App, AppId, ConnectOptions, Ctx, MrHandle, QpHandle, QueueBackend, Simulation};
 pub use wr::WorkRequest;
 
 // Re-export the identifiers callers need to interact with the NIC layer.

@@ -6,8 +6,74 @@ use rnic_model::{
     AccessFlags, Cqe, DeviceProfile, HostMemory, MrEntry, MrKey, NicAction, NicCounters, NicEvent,
     Packet, PdId, PostError, QpConfig, QpNum, RecvWqe, Rnic, TrafficClass,
 };
-use sim_core::{EventQueue, SimDuration, SimRng, SimTime};
+use sim_core::{CalendarQueue, ReferenceQueue, SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
+
+/// Selects the event-queue backend of a [`Simulation`].
+///
+/// Both backends are observationally equivalent (sim-core's differential
+/// suite proves it); the calendar queue is the fast default, while the
+/// reference heap remains available for A/B validation runs and
+/// benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// Hierarchical calendar queue — the hot path (default).
+    #[default]
+    Calendar,
+    /// `BinaryHeap`-based ordering oracle.
+    Reference,
+}
+
+/// The world's event queue, dispatching to the selected backend.
+///
+/// An enum rather than a generic parameter so that [`Ctx`] and [`App`]
+/// stay object-safe and non-generic for every experiment binary.
+#[derive(Debug)]
+enum WorldQueue {
+    Calendar(CalendarQueue<WorldEvent>),
+    Reference(ReferenceQueue<WorldEvent>),
+}
+
+impl WorldQueue {
+    fn new(backend: QueueBackend) -> Self {
+        match backend {
+            QueueBackend::Calendar => WorldQueue::Calendar(CalendarQueue::new()),
+            QueueBackend::Reference => WorldQueue::Reference(ReferenceQueue::new()),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        match self {
+            WorldQueue::Calendar(q) => q.now(),
+            WorldQueue::Reference(q) => q.now(),
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, event: WorldEvent) {
+        match self {
+            WorldQueue::Calendar(q) => {
+                q.schedule(at, event);
+            }
+            WorldQueue::Reference(q) => {
+                q.schedule(at, event);
+            }
+        }
+    }
+
+    fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, WorldEvent)> {
+        match self {
+            WorldQueue::Calendar(q) => q.pop_before(deadline),
+            WorldQueue::Reference(q) => q.pop_before(deadline),
+        }
+    }
+
+    fn events_processed(&self) -> u64 {
+        match self {
+            WorldQueue::Calendar(q) => q.events_processed(),
+            WorldQueue::Reference(q) => q.events_processed(),
+        }
+    }
+}
 
 /// Identifies an application registered with the [`Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -113,7 +179,12 @@ pub trait App {
 
 /// State shared by the fabric: NICs, routing, allocators.
 struct World {
-    queue: EventQueue<WorldEvent>,
+    queue: WorldQueue,
+    /// Reusable action buffer: NIC dispatches append into this instead
+    /// of allocating a fresh `Vec` per event (the queue swap removed the
+    /// per-event cell allocation; this removes the per-event action
+    /// allocation).
+    scratch: Vec<NicAction>,
     nics: Vec<Rnic>,
     qp_owner: HashMap<(HostId, QpNum), AppId>,
     switch_latency: SimDuration,
@@ -138,8 +209,18 @@ impl World {
         self.queue.now()
     }
 
-    fn apply_actions(&mut self, host: HostId, actions: Vec<NicAction>) {
-        for action in actions {
+    /// Routes a NIC event into the NIC and applies the resulting
+    /// actions, reusing the world's scratch buffer.
+    fn dispatch_nic(&mut self, host: HostId, event: NicEvent) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let now = self.now();
+        self.nics[host.0 as usize].handle_into(now, event, &mut scratch);
+        self.apply_actions(host, &mut scratch);
+        self.scratch = scratch;
+    }
+
+    fn apply_actions(&mut self, host: HostId, actions: &mut Vec<NicAction>) {
+        for action in actions.drain(..) {
             match action {
                 NicAction::Schedule { at, event } => {
                     self.queue.schedule(at, WorldEvent::Nic(host, event));
@@ -167,10 +248,16 @@ impl World {
     }
 
     fn post_send(&mut self, qp: QpHandle, wr: WorkRequest) -> Result<(), PostError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
         let now = self.now();
-        let actions = self.nics[qp.host.0 as usize].post_send(now, qp.qp, wr.into_wqe())?;
-        self.apply_actions(qp.host, actions);
-        Ok(())
+        let res =
+            self.nics[qp.host.0 as usize].post_send_into(now, qp.qp, wr.into_wqe(), &mut scratch);
+        if res.is_ok() {
+            self.apply_actions(qp.host, &mut scratch);
+        }
+        scratch.clear();
+        self.scratch = scratch;
+        res
     }
 }
 
@@ -211,11 +298,20 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Creates an empty fabric with a deterministic seed.
+    /// Creates an empty fabric with a deterministic seed and the default
+    /// (calendar) queue backend.
     pub fn new(seed: u64) -> Self {
+        Self::with_backend(seed, QueueBackend::default())
+    }
+
+    /// Creates an empty fabric with an explicit queue backend — used by
+    /// differential validation runs and the event-core benchmarks.
+    /// Results are identical across backends for a given seed.
+    pub fn with_backend(seed: u64, backend: QueueBackend) -> Self {
         Simulation {
             world: World {
-                queue: EventQueue::new(),
+                queue: WorldQueue::new(backend),
+                scratch: Vec::new(),
                 nics: Vec::new(),
                 qp_owner: HashMap::new(),
                 switch_latency: SimDuration::from_nanos(200),
@@ -479,15 +575,11 @@ impl Simulation {
             processed += 1;
             match event {
                 WorldEvent::Nic(host, ev) => {
-                    let now = self.world.now();
-                    let actions = self.world.nics[host.0 as usize].handle(now, ev);
-                    self.world.apply_actions(host, actions);
+                    self.world.dispatch_nic(host, ev);
                 }
                 WorldEvent::Deliver(host, pkt) => {
-                    let now = self.world.now();
-                    let actions = self.world.nics[host.0 as usize]
-                        .handle(now, NicEvent::IngressArrival { pkt });
-                    self.world.apply_actions(host, actions);
+                    self.world
+                        .dispatch_nic(host, NicEvent::IngressArrival { pkt });
                 }
                 WorldEvent::Timer { app, token } => {
                     self.with_app(app, |a, ctx| a.on_timer(ctx, token));
@@ -946,6 +1038,37 @@ mod tests {
         }));
         sim.run();
         assert_eq!(*fired.borrow(), vec![2, 1]);
+    }
+
+    #[test]
+    fn backends_agree_end_to_end() {
+        // The same workload on both queue backends must produce
+        // bit-identical completion timestamps and event counts — the
+        // whole-simulation corollary of sim-core's differential suite.
+        let run = |backend: QueueBackend| {
+            let mut sim = Simulation::with_backend(7, backend);
+            let a = sim.add_host(DeviceProfile::connectx5());
+            let b = sim.add_host(DeviceProfile::connectx5());
+            let pd_a = sim.alloc_pd(a);
+            let pd_b = sim.alloc_pd(b);
+            let mr_b = sim.register_mr(b, pd_b, 2 * 1024 * 1024, AccessFlags::remote_all());
+            let (qa, _qb) = sim.connect(a, pd_a, b, pd_b, ConnectOptions::default());
+            for i in 0..40 {
+                sim.post_send(
+                    qa,
+                    WorkRequest::read(i, 0x1000, mr_b.addr(64 * (i % 16)), mr_b.key, 64 + 8 * i),
+                )
+                .expect("post");
+            }
+            sim.run_until(SimTime::from_millis(2));
+            let stamps: Vec<(u64, u64)> = sim
+                .take_completions()
+                .iter()
+                .map(|(_, c)| (c.wr_id, c.completed_at.as_picos()))
+                .collect();
+            (stamps, sim.events_processed())
+        };
+        assert_eq!(run(QueueBackend::Calendar), run(QueueBackend::Reference));
     }
 
     #[test]

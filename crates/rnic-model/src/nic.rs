@@ -417,8 +417,27 @@ impl Rnic {
         &mut self,
         now: SimTime,
         qp: QpNum,
-        mut wqe: Wqe,
+        wqe: Wqe,
     ) -> Result<Vec<NicAction>, PostError> {
+        let mut out = Vec::new();
+        self.post_send_into(now, qp, wqe, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`post_send`](Self::post_send): appends
+    /// the pipeline actions to `out` (the event loop reuses one scratch
+    /// buffer across all dispatches). `out` is untouched on error.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`post_send`](Self::post_send).
+    pub fn post_send_into(
+        &mut self,
+        now: SimTime,
+        qp: QpNum,
+        mut wqe: Wqe,
+        out: &mut Vec<NicAction>,
+    ) -> Result<(), PostError> {
         let state = self.qps.get_mut(&qp).ok_or(PostError::UnknownQp)?;
         if state.outstanding >= state.config.max_send_queue {
             return Err(PostError::SendQueueFull);
@@ -445,10 +464,11 @@ impl Rnic {
         let fence = self.wqe_fetch_fence.entry(qp).or_insert(SimTime::ZERO);
         ready = ready.max_of(*fence);
         *fence = ready;
-        Ok(vec![NicAction::Schedule {
+        out.push(NicAction::Schedule {
             at: ready,
             event: NicEvent::WqeFetched { qp, wqe },
-        }])
+        });
+        Ok(())
     }
 
     /// Posts a receive WQE (for inbound Sends).
@@ -471,6 +491,19 @@ impl Rnic {
     /// condition.
     pub fn handle(&mut self, now: SimTime, event: NicEvent) -> Vec<NicAction> {
         let mut out = Vec::new();
+        self.handle_into(now, event, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`handle`](Self::handle): appends the
+    /// follow-up actions to `out`, so the event loop can reuse one
+    /// scratch buffer for every dispatch instead of allocating a fresh
+    /// `Vec` per event.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`handle`](Self::handle).
+    pub fn handle_into(&mut self, now: SimTime, event: NicEvent, out: &mut Vec<NicAction>) {
         match event {
             NicEvent::WqeFetched { qp, wqe } => {
                 let state = self.qps.get_mut(&qp).expect("WQE for unknown QP");
@@ -478,11 +511,11 @@ impl Rnic {
                     self.issue_order.push_back(qp);
                 }
                 state.sq.push_back(wqe);
-                self.schedule_tx_issue(now, now, &mut out);
+                self.schedule_tx_issue(now, now, out);
             }
             NicEvent::TxIssue => {
                 self.tx_issue_scheduled = false;
-                self.tx_issue(now, &mut out);
+                self.tx_issue(now, out);
             }
             NicEvent::TxPuDone { qp, wqe } => {
                 let needs_gather =
@@ -512,14 +545,14 @@ impl Rnic {
                 // and this event was inserted before any later WQE's
                 // RequestReady, so enqueueing directly preserves FIFO
                 // order at equal timestamps.
-                self.enqueue_request(now, qp, wqe, &mut out);
+                self.enqueue_request(now, qp, wqe, out);
             }
             NicEvent::RequestReady { qp, wqe } => {
-                self.enqueue_request(now, qp, wqe, &mut out);
+                self.enqueue_request(now, qp, wqe, out);
             }
             NicEvent::EgressDone => {
                 self.egress.complete_transmission();
-                self.kick_egress(now, &mut out);
+                self.kick_egress(now, out);
             }
             NicEvent::IngressArrival { pkt } => {
                 let res = self.ingress.transmit(now, pkt.wire_bytes());
@@ -538,10 +571,10 @@ impl Rnic {
                     event: NicEvent::RxPuDone { pkt },
                 });
             }
-            NicEvent::RxPuDone { pkt } => self.rx_pu_done(now, pkt, &mut out),
-            NicEvent::TpuDone { pkt } => self.tpu_done(now, pkt, &mut out),
-            NicEvent::DmaDone { pkt } => self.dma_done(now, pkt, &mut out),
-            NicEvent::AtomicExecDone { pkt } => self.atomic_done(now, pkt, &mut out),
+            NicEvent::RxPuDone { pkt } => self.rx_pu_done(now, pkt, out),
+            NicEvent::TpuDone { pkt } => self.tpu_done(now, pkt, out),
+            NicEvent::DmaDone { pkt } => self.dma_done(now, pkt, out),
+            NicEvent::AtomicExecDone { pkt } => self.atomic_done(now, pkt, out),
             NicEvent::CqeWrite { cqe } => {
                 if !cqe.is_recv {
                     if let Some(state) = self.qps.get_mut(&cqe.qp) {
@@ -552,10 +585,9 @@ impl Rnic {
                 out.push(NicAction::Complete { at: now, cqe });
             }
             NicEvent::RetransmitCheck { qp, msg_id } => {
-                self.retransmit_check(now, qp, msg_id, &mut out);
+                self.retransmit_check(now, qp, msg_id, out);
             }
         }
-        out
     }
 
     fn schedule_tx_issue(&mut self, now: SimTime, at: SimTime, out: &mut Vec<NicAction>) {

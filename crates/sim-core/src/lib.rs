@@ -2,12 +2,20 @@
 //!
 //! The foundation of the Ragnar reproduction: a picosecond-resolution
 //! simulation clock ([`SimTime`], [`SimDuration`]), a deterministic
-//! future-event list ([`EventQueue`]), seeded randomness ([`SimRng`]),
+//! future-event list (the [`EventSchedule`] trait with two backends —
+//! the hot-path hierarchical [`CalendarQueue`] and the heap-based
+//! [`ReferenceQueue`] ordering oracle; [`EventQueue`] aliases the
+//! default backend), seeded randomness ([`SimRng`]),
 //! queueing primitives for contended hardware resources
 //! ([`ServiceResource`], [`BankedResource`], [`LinkResource`]), and the
 //! statistics used by the paper's measurement methodology
 //! ([`OnlineStats`], [`Summary`], [`pearson`], [`linear_fit`],
 //! [`TimeSeries`]).
+//!
+//! Both queue backends guarantee the same total event order — earliest
+//! timestamp first, FIFO among equal timestamps — which is what makes
+//! every experiment bit-reproducible from its seed regardless of
+//! backend or thread count (see `tests/differential.rs`).
 //!
 //! Everything in this crate is intentionally domain-agnostic: the RNIC
 //! microarchitecture lives in `rnic-model`, and the verbs software stack in
@@ -32,13 +40,30 @@
 
 #![warn(missing_docs)]
 
+mod calendar;
 mod queue;
 mod resource;
 mod rng;
 mod stats;
 mod time;
 
-pub use queue::EventQueue;
+pub use calendar::CalendarQueue;
+pub use queue::{EventHandle, EventSchedule, ReferenceQueue};
+
+/// The default event-queue backend used by the simulation hot path.
+///
+/// Aliases [`CalendarQueue`]; [`ReferenceQueue`] remains available as
+/// the ordering oracle for differential tests and A/B benchmarks.
+pub type EventQueue<E> = CalendarQueue<E>;
+
+/// Version of the event-core engine, threaded into harness cache keys.
+///
+/// Bump this whenever a change to the engine could alter event ordering
+/// or artifact bytes (it shouldn't — that is what the differential and
+/// golden tests pin — but cached results from before the change must
+/// still be treated as misses). History: 1 = global `BinaryHeap` event
+/// queue, 2 = hierarchical calendar queue.
+pub const ENGINE_VERSION: u32 = 2;
 pub use resource::{BankedResource, LinkResource, Reservation, ServiceResource};
 pub use rng::{derive_seed, SimRng};
 pub use stats::{
