@@ -19,4 +19,10 @@ cargo test -q --workspace --offline
 echo "== cargo bench --no-run (benches stay compilable)"
 cargo bench --no-run --workspace --offline
 
+echo "== chaos smoke: seeded fault plans through fig4_contention"
+for chaos_seed in 1 2 3; do
+    cargo run --release --offline -p ragnar-bench --bin fig4_contention -- \
+        --quick --no-cache --chaos-seed "$chaos_seed" > /dev/null
+done
+
 echo "CI OK"

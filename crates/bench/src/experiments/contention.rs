@@ -158,7 +158,7 @@ impl Experiment for Fig4Contention {
                 }
             }
         }
-        configs
+        super::chaos_configs(configs, cli)
     }
 
     fn run(&self, config: &Config, seed: u64) -> Result<Artifact, String> {
@@ -167,6 +167,7 @@ impl Experiment for Fig4Contention {
         let profile = DeviceProfile::connectx4();
         let pair_cfg = PairConfig {
             seed,
+            fault_plan: super::chaos_plan(config)?,
             ..PairConfig::default()
         };
         let o = measure_pair(&profile, a, b, &pair_cfg);

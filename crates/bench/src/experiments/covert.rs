@@ -136,13 +136,14 @@ impl Experiment for Table5Covert {
                 );
             }
         }
-        configs
+        super::chaos_configs(configs, cli)
     }
 
     fn run(&self, config: &Config, seed: u64) -> Result<Artifact, String> {
         let kind = super::device_kind(config.str("device").ok_or("missing device")?)?;
         let n_bits = config.u64("bits").ok_or("missing bits")? as usize;
         let bits = random_bits(n_bits, seed);
+        let fault_plan = super::chaos_plan(config)?;
         let row = match config.str("channel") {
             // Grain-I+II: at the paper's 1 s bit period the channel
             // carries ~1 bps; the run here uses the time-scaled profile
@@ -151,6 +152,7 @@ impl Experiment for Table5Covert {
             Some("priority") => {
                 let pr_cfg = PriorityChannelConfig {
                     seed,
+                    fault_plan,
                     ..PriorityChannelConfig::default()
                 };
                 let short = &bits[..16.min(bits.len())];
@@ -167,6 +169,7 @@ impl Experiment for Table5Covert {
             Some("inter_mr") => {
                 let cfg = UliChannelConfig {
                     seed,
+                    fault_plan,
                     ..inter_mr::default_config(kind)
                 };
                 let r = inter_mr::run(kind, &bits, &cfg);
@@ -180,6 +183,7 @@ impl Experiment for Table5Covert {
             Some("intra_mr") => {
                 let cfg = UliChannelConfig {
                     seed,
+                    fault_plan,
                     ..intra_mr::default_config(kind)
                 };
                 let r = intra_mr::run(kind, &bits, &cfg);

@@ -15,8 +15,8 @@ pub mod side;
 pub mod tables;
 pub mod uli;
 
-use ragnar_harness::{Experiment, Outcome, RunRecord};
-use rdma_verbs::DeviceKind;
+use ragnar_harness::{Cli, Config, Experiment, Outcome, RunRecord};
+use rdma_verbs::{DeviceKind, FaultPlan, PlanParams};
 
 /// Every experiment of the reproduction, in paper order.
 pub fn registry() -> Vec<&'static dyn Experiment> {
@@ -41,6 +41,46 @@ pub fn registry() -> Vec<&'static dyn Experiment> {
         &defense::MitigationStudy,
         &defense::RocStudy,
     ]
+}
+
+/// Threads the shared chaos flags into a config, so fault plans become
+/// part of the cache key (a chaos run never collides with a clean run).
+/// `--chaos-plan` files are inlined as text — the key captures the plan
+/// *content*, not the path; `--chaos-seed` stores the seed and the plan
+/// is regenerated deterministically at run time.
+///
+/// # Panics
+///
+/// Panics if the `--chaos-plan` file cannot be read (params has no error
+/// channel; a missing plan file is a fatal CLI mistake).
+pub(crate) fn chaos_configs(configs: Vec<Config>, cli: &Cli) -> Vec<Config> {
+    if cli.chaos_plan.is_none() && cli.chaos_seed.is_none() {
+        return configs;
+    }
+    let text = cli.chaos_plan.as_ref().map(|path| {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read --chaos-plan {}: {e}", path.display()))
+    });
+    configs
+        .into_iter()
+        .map(|c| match &text {
+            Some(t) => c.with("chaos_plan", t.as_str()),
+            None => c.with("chaos_seed", cli.chaos_seed.expect("checked above")),
+        })
+        .collect()
+}
+
+/// Reconstructs the fault plan recorded by [`chaos_configs`], if any.
+pub(crate) fn chaos_plan(config: &Config) -> Result<Option<FaultPlan>, String> {
+    if let Some(text) = config.str("chaos_plan") {
+        return FaultPlan::parse(text)
+            .map(Some)
+            .map_err(|e| format!("invalid chaos plan: {e}"));
+    }
+    if let Some(seed) = config.u64("chaos_seed") {
+        return Ok(Some(FaultPlan::generate(seed, &PlanParams::default())));
+    }
+    Ok(None)
 }
 
 /// Parses a device name stored in a config ("CX-4" … "CX-6").

@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 
 use ragnar_core::covert::inter_mr::{default_config, run};
 use ragnar_core::covert::{fold_by_phase, parse_bits, UliChannelConfig};
-use ragnar_core::re::uli::mr_uli_sweep;
+use ragnar_core::re::uli::mr_uli_sweep_with_faults;
 use ragnar_harness::{Artifact, Cli, Config, Experiment, Outcome, RunRecord};
 use rdma_verbs::{DeviceKind, DeviceProfile};
 
@@ -24,14 +24,19 @@ impl Experiment for Fig5MrUli {
         "ULI vs. same/different remote MR vs. message size (Grain III)"
     }
 
-    fn params(&self, _cli: &Cli) -> Vec<Config> {
-        vec![Config::new().with("device", DeviceKind::ConnectX4.name())]
+    fn params(&self, cli: &Cli) -> Vec<Config> {
+        super::chaos_configs(
+            vec![Config::new().with("device", DeviceKind::ConnectX4.name())],
+            cli,
+        )
     }
 
     fn run(&self, config: &Config, seed: u64) -> Result<Artifact, String> {
         let kind = super::device_kind(config.str("device").ok_or("missing device")?)?;
         let sizes = [64u64, 128, 256, 512, 1024, 2048, 4096, 8192];
-        let points = mr_uli_sweep(&DeviceProfile::preset(kind), &sizes, seed);
+        let plan = super::chaos_plan(config)?;
+        let points =
+            mr_uli_sweep_with_faults(&DeviceProfile::preset(kind), &sizes, seed, plan.as_ref());
         let mut s = String::new();
         writeln!(
             s,

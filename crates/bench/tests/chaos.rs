@@ -1,0 +1,66 @@
+//! Chaos determinism through the harness: a seeded fault plan must give
+//! bit-identical artifacts at any thread count, must actually perturb
+//! the experiment, and different chaos seeds must give different
+//! fabrics. The companion guarantee — that *no* chaos flags leave the
+//! golden digests untouched — is pinned in `golden.rs`.
+
+use ragnar_bench::experiments::contention;
+use ragnar_harness::executor::{self, ExecOptions};
+use ragnar_harness::hash::content_hash;
+use ragnar_harness::{Cli, Experiment, Outcome};
+
+/// Quick-mode digest of fig4 with the given extra flags (mirrors
+/// `golden.rs`, minus the pinning).
+fn digest(threads: usize, extras: &[&str]) -> String {
+    let mut args = vec!["--quick".to_string(), "--seed".to_string(), "0".to_string()];
+    args.extend(extras.iter().map(|s| s.to_string()));
+    let cli = Cli::parse(args).expect("cli parses");
+    let exp = &contention::Fig4Contention;
+    let configs = exp.params(&cli);
+    let records = executor::execute(
+        exp,
+        &configs,
+        cli.seed,
+        None,
+        &ExecOptions {
+            threads,
+            force: true,
+        },
+    );
+    let mut material = String::new();
+    for r in &records {
+        match &r.outcome {
+            Outcome::Done(a) => {
+                material.push_str(&a.to_value().encode());
+                material.push('\n');
+            }
+            Outcome::Failed { message, .. } => {
+                panic!(
+                    "config [{}] failed under chaos: {message}",
+                    r.config.label()
+                )
+            }
+        }
+    }
+    content_hash(material.as_bytes())
+}
+
+#[test]
+fn chaos_runs_are_thread_invariant_and_distinct() {
+    let clean = digest(1, &[]);
+    let chaos_single = digest(1, &["--chaos-seed", "7"]);
+    let chaos_parallel = digest(4, &["--chaos-seed", "7"]);
+    assert_eq!(
+        chaos_single, chaos_parallel,
+        "chaos seed 7 digest differs between --threads 1 and --threads 4"
+    );
+    assert_ne!(
+        chaos_single, clean,
+        "a seeded fault plan must perturb fig4's artifacts"
+    );
+    let other = digest(1, &["--chaos-seed", "8"]);
+    assert_ne!(
+        other, chaos_single,
+        "different chaos seeds must give different fabrics"
+    );
+}

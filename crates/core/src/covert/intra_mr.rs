@@ -40,6 +40,7 @@ pub fn default_config(kind: DeviceKind) -> UliChannelConfig {
         high_is_one: false,
         mitigation_noise_ns: 0,
         background_traffic_len: None,
+        fault_plan: None,
         seed: 0x17A4,
     }
 }

@@ -25,7 +25,7 @@ pub mod sync;
 pub use runner::{UliChannelConfig, UliRun};
 
 use crate::measure::AddressPattern;
-use rdma_verbs::{App, Cqe, Ctx, DeviceKind, HostId, Opcode, PostError, QpHandle, WorkRequest};
+use rdma_verbs::{App, Cqe, Ctx, DeviceKind, HostId, Opcode, QpHandle, VerbsError, WorkRequest};
 use sim_core::{SimDuration, SimTime};
 
 /// Binary entropy `H₂(p)` in bits.
@@ -251,7 +251,7 @@ impl ModulatingSender {
                 };
                 match ctx.post_send(qp, wr) {
                     Ok(()) => {}
-                    Err(PostError::SendQueueFull) => {
+                    Err(VerbsError::SendQueueFull) | Err(VerbsError::QpInError) => {
                         self.seq -= 1;
                         break;
                     }

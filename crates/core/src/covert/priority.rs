@@ -41,6 +41,8 @@ pub struct PriorityChannelConfig {
     pub tx_depth: usize,
     /// Bandwidth-counter sampling interval.
     pub sample_interval: SimDuration,
+    /// Optional fault plan installed on the fabric (robustness runs).
+    pub fault_plan: Option<rdma_verbs::FaultPlan>,
     /// Seed.
     pub seed: u64,
 }
@@ -56,6 +58,7 @@ impl Default for PriorityChannelConfig {
             rx_depth: 2,
             tx_depth: 32,
             sample_interval: SimDuration::from_millis(10),
+            fault_plan: None,
             seed: 0xF19,
         }
     }
@@ -76,6 +79,9 @@ pub struct PriorityRun {
 pub fn run(kind: DeviceKind, bits: &[bool], cfg: &PriorityChannelConfig) -> PriorityRun {
     let profile = DeviceProfile::preset(kind).time_scaled(cfg.scale);
     let mut tb = Testbed::new(profile, 2, cfg.seed);
+    if let Some(plan) = &cfg.fault_plan {
+        tb.sim.install_fault_plan(plan);
+    }
     let mr_tx = tb.server_mr(4 << 20, AccessFlags::remote_all());
     let mr_rx = tb.server_mr(1 << 21, AccessFlags::remote_all());
 

@@ -35,6 +35,9 @@ pub struct UliChannelConfig {
     /// of this size against its own server MR — the robustness scenario:
     /// covert channels must survive bystander traffic.
     pub background_traffic_len: Option<u64>,
+    /// Optional fault plan installed on the fabric (robustness runs:
+    /// channels must degrade, not wedge, under injected faults).
+    pub fault_plan: Option<rdma_verbs::FaultPlan>,
     /// Seed.
     pub seed: u64,
 }
@@ -69,6 +72,9 @@ pub(crate) fn run_uli_channel(
         2
     };
     let mut tb = Testbed::new(profile, n_clients, cfg.seed);
+    if let Some(plan) = &cfg.fault_plan {
+        tb.sim.install_fault_plan(plan);
+    }
     if cfg.mitigation_noise_ns > 0 {
         let server = tb.server;
         tb.sim

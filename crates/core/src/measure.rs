@@ -1,7 +1,7 @@
 //! Measurement drivers shared by every experiment: saturating traffic
 //! generators, the ULI probe of §IV-C, and bandwidth samplers.
 
-use rdma_verbs::{App, Cqe, Ctx, HostId, MrKey, Opcode, PostError, QpHandle, WorkRequest};
+use rdma_verbs::{App, Cqe, Ctx, HostId, MrKey, Opcode, QpHandle, VerbsError, WorkRequest};
 use sim_core::{SimDuration, SimTime, TimeSeries};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -188,7 +188,7 @@ impl SaturatingFlow {
             let wr = self.request();
             match ctx.post_send(qp, wr) {
                 Ok(()) => {}
-                Err(PostError::SendQueueFull) => {
+                Err(VerbsError::SendQueueFull) | Err(VerbsError::QpInError) => {
                     // Undo the sequence advance for the rejected request so
                     // patterns stay phase-accurate.
                     self.seq -= 1;
@@ -293,7 +293,7 @@ impl UliProbe {
                 self.inflight_addr.insert(wr_id, t.addr);
                 true
             }
-            Err(PostError::SendQueueFull) => {
+            Err(VerbsError::SendQueueFull) | Err(VerbsError::QpInError) => {
                 self.seq -= 1;
                 false
             }

@@ -9,7 +9,9 @@
 
 use crate::measure::{AddressPattern, FlowStats, SaturatingFlow};
 use crate::testbed::Testbed;
-use rdma_verbs::{AccessFlags, ConnectOptions, DeviceProfile, FlowId, Opcode, TrafficClass};
+use rdma_verbs::{
+    AccessFlags, ConnectOptions, DeviceProfile, FaultPlan, FlowId, Opcode, TrafficClass,
+};
 use sim_core::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -61,7 +63,7 @@ impl FlowSpec {
 }
 
 /// Measurement parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PairConfig {
     /// Settling time before the measurement window.
     pub warmup: SimDuration,
@@ -71,6 +73,8 @@ pub struct PairConfig {
     pub seed: u64,
     /// Per-QP send-queue depth of the generators.
     pub depth: usize,
+    /// Optional fault plan installed on the fabric (robustness runs).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for PairConfig {
@@ -80,6 +84,7 @@ impl Default for PairConfig {
             window: SimDuration::from_micros(250),
             seed: 0xF1604,
             depth: 32,
+            fault_plan: None,
         }
     }
 }
@@ -120,6 +125,9 @@ impl PairOutcome {
 /// the measurement window, in bits per second.
 pub fn run_flows(profile: &DeviceProfile, specs: &[FlowSpec], cfg: &PairConfig) -> Vec<f64> {
     let mut tb = Testbed::new(profile.clone(), 1, cfg.seed);
+    if let Some(plan) = &cfg.fault_plan {
+        tb.sim.install_fault_plan(plan);
+    }
     let mut stats_all = Vec::new();
     for (i, spec) in specs.iter().enumerate() {
         let tc = TrafficClass::new(i as u8);
@@ -308,11 +316,11 @@ pub fn grid_over(
             v
         };
         for (start, chunk) in chunks {
-            let pair_cfg = cfg.pair;
+            let pair_cfg = cfg.pair.clone();
             scope.spawn(move || {
                 for (i, slot) in chunk.iter_mut().enumerate() {
                     let (a, b) = combos[start + i];
-                    let mut c = pair_cfg;
+                    let mut c = pair_cfg.clone();
                     c.seed = pair_cfg.seed.wrapping_add((start + i) as u64);
                     let outcome = measure_pair(profile, a, b, &c);
                     *slot = Some(GridCell { a, b, outcome });
@@ -334,6 +342,7 @@ mod tests {
             window: SimDuration::from_micros(150),
             seed: 42,
             depth: 32,
+            fault_plan: None,
         }
     }
 

@@ -96,6 +96,7 @@ mod tests {
             window: SimDuration::from_micros(120),
             seed: 9,
             depth: 32,
+            fault_plan: None,
         }
     }
 

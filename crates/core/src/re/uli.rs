@@ -9,7 +9,7 @@
 
 use crate::measure::{AddressPattern, Target, UliProbe, UliSample};
 use crate::testbed::Testbed;
-use rdma_verbs::{AccessFlags, DeviceProfile, FlowId, TrafficClass};
+use rdma_verbs::{AccessFlags, DeviceProfile, FaultPlan, FlowId, TrafficClass};
 use sim_core::{linear_fit, LineFit, SimTime, Summary};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -38,7 +38,36 @@ pub fn probe_uli(
     warmup_samples: usize,
     seed: u64,
 ) -> Vec<UliSample> {
+    probe_uli_with_faults(
+        profile,
+        depth,
+        msg_len,
+        pattern_of,
+        horizon,
+        warmup_samples,
+        seed,
+        None,
+    )
+}
+
+/// [`probe_uli`] with an optional fault plan installed on the fabric —
+/// used by the robustness suite to check that ULI statistics degrade
+/// gracefully (rather than wedging) under packet loss and reordering.
+#[allow(clippy::too_many_arguments)]
+pub fn probe_uli_with_faults(
+    profile: &DeviceProfile,
+    depth: usize,
+    msg_len: u64,
+    pattern_of: impl FnOnce(&mut Testbed) -> AddressPattern,
+    horizon: SimTime,
+    warmup_samples: usize,
+    seed: u64,
+    fault_plan: Option<&FaultPlan>,
+) -> Vec<UliSample> {
     let mut tb = Testbed::new(profile.clone(), 1, seed);
+    if let Some(plan) = fault_plan {
+        tb.sim.install_fault_plan(plan);
+    }
     let pattern = pattern_of(&mut tb);
     let qp = tb.connect_client_with(0, TrafficClass::new(0), FlowId(1), depth);
     let samples = Rc::new(RefCell::new(Vec::new()));
@@ -112,12 +141,23 @@ pub struct MrUliPoint {
 /// (alternating reads, 2 QPs in the paper; one probe QP here since the
 /// pattern alternation is what matters).
 pub fn mr_uli_sweep(profile: &DeviceProfile, msg_sizes: &[u64], seed: u64) -> Vec<MrUliPoint> {
+    mr_uli_sweep_with_faults(profile, msg_sizes, seed, None)
+}
+
+/// [`mr_uli_sweep`] with an optional fault plan installed on every probe
+/// fabric.
+pub fn mr_uli_sweep_with_faults(
+    profile: &DeviceProfile,
+    msg_sizes: &[u64],
+    seed: u64,
+    fault_plan: Option<&FaultPlan>,
+) -> Vec<MrUliPoint> {
     let depth = 8;
     msg_sizes
         .iter()
         .enumerate()
         .map(|(i, &msg_len)| {
-            let same = probe_uli(
+            let same = probe_uli_with_faults(
                 profile,
                 depth,
                 msg_len,
@@ -137,8 +177,9 @@ pub fn mr_uli_sweep(profile: &DeviceProfile, msg_sizes: &[u64], seed: u64) -> Ve
                 SimTime::from_micros(800),
                 40,
                 seed.wrapping_add(2 * i as u64),
+                fault_plan,
             );
-            let diff = probe_uli(
+            let diff = probe_uli_with_faults(
                 profile,
                 depth,
                 msg_len,
@@ -159,6 +200,7 @@ pub fn mr_uli_sweep(profile: &DeviceProfile, msg_sizes: &[u64], seed: u64) -> Ve
                 SimTime::from_micros(800),
                 40,
                 seed.wrapping_add(2 * i as u64 + 1),
+                fault_plan,
             );
             MrUliPoint {
                 msg_len,

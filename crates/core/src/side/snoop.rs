@@ -13,7 +13,7 @@ use crate::testbed::Testbed;
 use ragnar_workloads::sherman::{value_from, ShermanTree, ShermanVictim, NODE_SIZE};
 use rdma_verbs::{
     AccessFlags, App, ConnectOptions, Cqe, Ctx, DeviceKind, DeviceProfile, FlowId, HostId,
-    MrHandle, PostError, QpHandle, TrafficClass, WorkRequest,
+    MrHandle, QpHandle, TrafficClass, VerbsError, WorkRequest,
 };
 use sim_core::{SimRng, SimTime};
 use std::cell::RefCell;
@@ -116,7 +116,7 @@ impl SweepProbe {
                 self.outstanding += 1;
                 true
             }
-            Err(PostError::SendQueueFull) => false,
+            Err(VerbsError::SendQueueFull) | Err(VerbsError::QpInError) => false,
             Err(e) => panic!("probe post failed: {e}"),
         }
     }

@@ -10,6 +10,9 @@
 //! --force           recompute every config, ignoring the result cache
 //! --no-cache        neither read nor write the result cache
 //! --results <dir>   result-store root (default ./results)
+//! --chaos-seed <u64>  generate + install a seeded fault plan (experiments
+//!                     that support fault injection; changes cache keys)
+//! --chaos-plan <file> install a fault plan from a serialized plan file
 //! --help            usage
 //! ```
 //!
@@ -41,6 +44,12 @@ pub struct Cli {
     pub no_cache: bool,
     /// Result-store root (`--results`, default `results`).
     pub results_dir: PathBuf,
+    /// Chaos seed for a generated fault plan (`--chaos-seed`). `None`
+    /// (default) disables fault injection entirely.
+    pub chaos_seed: Option<u64>,
+    /// Path to a serialized fault-plan file (`--chaos-plan`); takes
+    /// precedence over `--chaos-seed` in experiments that support both.
+    pub chaos_plan: Option<PathBuf>,
     /// Unrecognised arguments, available to experiments.
     extras: Vec<String>,
 }
@@ -54,6 +63,8 @@ impl Default for Cli {
             force: false,
             no_cache: false,
             results_dir: PathBuf::from("results"),
+            chaos_seed: None,
+            chaos_plan: None,
             extras: Vec::new(),
         }
     }
@@ -84,6 +95,10 @@ impl Cli {
                 "--no-cache" => cli.no_cache = true,
                 "--results" => {
                     cli.results_dir = PathBuf::from(take_value(&mut it, "--results")?);
+                }
+                "--chaos-seed" => cli.chaos_seed = Some(take_u64(&mut it, "--chaos-seed")?),
+                "--chaos-plan" => {
+                    cli.chaos_plan = Some(PathBuf::from(take_value(&mut it, "--chaos-plan")?));
                 }
                 _ => cli.extras.push(arg),
             }
@@ -123,7 +138,8 @@ fn usage(exp: &dyn Experiment) -> String {
     format!(
         "{name} — {desc}\n\n\
          usage: {name} [--seed <u64>] [--threads <n>] [--quick] [--force] [--no-cache]\n\
-         {pad}   [--results <dir>] [experiment-specific flags]\n\n\
+         {pad}   [--results <dir>] [--chaos-seed <u64>] [--chaos-plan <file>]\n\
+         {pad}   [experiment-specific flags]\n\n\
          Artifacts and the run manifest land in <results>/{name}/;\n\
          see EXPERIMENTS.md for the per-experiment flags and cache-key scheme.",
         name = exp.name(),
@@ -242,6 +258,8 @@ mod tests {
         assert_eq!(cli.seed, 0);
         assert!(!cli.quick && !cli.force && !cli.no_cache);
         assert_eq!(cli.results_dir, PathBuf::from("results"));
+        assert_eq!(cli.chaos_seed, None);
+        assert_eq!(cli.chaos_plan, None);
 
         let cli = parse(&[
             "--seed",
@@ -253,6 +271,10 @@ mod tests {
             "--no-cache",
             "--results",
             "/tmp/r",
+            "--chaos-seed",
+            "9",
+            "--chaos-plan",
+            "/tmp/plan.txt",
             "--full",
             "--bits",
             "256",
@@ -261,6 +283,8 @@ mod tests {
         assert_eq!(cli.threads, 3);
         assert!(cli.quick && cli.force && cli.no_cache);
         assert_eq!(cli.results_dir, PathBuf::from("/tmp/r"));
+        assert_eq!(cli.chaos_seed, Some(9));
+        assert_eq!(cli.chaos_plan, Some(PathBuf::from("/tmp/plan.txt")));
         assert!(cli.flag("--full"));
         assert!(!cli.flag("--coarse"));
         assert_eq!(cli.option_u64("--bits"), Some(256));
@@ -271,5 +295,6 @@ mod tests {
     fn bad_values_are_errors() {
         assert!(Cli::parse(["--seed".to_string()]).is_err());
         assert!(Cli::parse(["--threads".to_string(), "x".to_string()]).is_err());
+        assert!(Cli::parse(["--chaos-seed".to_string(), "x".to_string()]).is_err());
     }
 }

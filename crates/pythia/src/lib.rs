@@ -149,7 +149,7 @@ impl PythiaWorld {
                         waiting += 1;
                         break;
                     }
-                    Err(rdma_verbs::PostError::SendQueueFull) => {
+                    Err(rdma_verbs::VerbsError::SendQueueFull) => {
                         // Drain some completions, then retry.
                         self.sim().run_until(SimTime::MAX);
                         waiting -= self.sim().take_completions().len();

@@ -19,11 +19,19 @@ mod world;
 mod wr;
 
 pub use host::HostSpec;
-pub use world::{App, AppId, ConnectOptions, Ctx, MrHandle, QpHandle, QueueBackend, Simulation};
+pub use world::{
+    App, AppId, ConnectOptions, Ctx, MrHandle, QpHandle, QueueBackend, Simulation, VerbsError,
+};
 pub use wr::WorkRequest;
 
 // Re-export the identifiers callers need to interact with the NIC layer.
 pub use rnic_model::{
     AccessFlags, Cqe, CqeStatus, DeviceKind, DeviceProfile, FlowId, HostId, MrKey, NakReason,
-    Opcode, PdId, PostError, QpNum, RecvWqe, TrafficClass,
+    Opcode, PdId, PostError, QpNum, QpTransport, RecvWqe, TrafficClass,
+};
+
+// Re-export the fault-injection vocabulary so experiment crates can build
+// and install plans without depending on the chaos crate directly.
+pub use ragnar_chaos::{
+    FabricStats, FaultEvent, FaultKind, FaultPlan, InjectorStats, LinkSelector, PlanParams,
 };

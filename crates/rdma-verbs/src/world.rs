@@ -2,12 +2,79 @@
 //! event loop that also dispatches application callbacks.
 
 use crate::wr::WorkRequest;
+use ragnar_chaos::{FabricStats, FaultInjector, FaultPlan, InjectorStats};
 use rnic_model::{
     AccessFlags, Cqe, DeviceProfile, HostMemory, MrEntry, MrKey, NicAction, NicCounters, NicEvent,
-    Packet, PdId, PostError, QpConfig, QpNum, RecvWqe, Rnic, TrafficClass,
+    Packet, PdId, PostError, QpConfig, QpNum, QpTransport, RecvWqe, ResetError, Rnic, TrafficClass,
 };
 use sim_core::{CalendarQueue, ReferenceQueue, SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
+
+/// Typed error for the user-facing [`Simulation`] and [`Ctx`] verbs APIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerbsError {
+    /// The handle references a host that was never added to the fabric.
+    UnknownHost(HostId),
+    /// The handle references a QP the NIC does not know.
+    UnknownQp,
+    /// The QP is in the Error state; recover it with
+    /// [`Simulation::recover_qp`] first.
+    QpInError,
+    /// The send queue is full (`max_send_queue` WQEs outstanding).
+    SendQueueFull,
+    /// An offset/length pair fell outside a memory region.
+    MrOutOfBounds {
+        /// Requested offset into the region.
+        offset: u64,
+        /// The region's registered length.
+        len: u64,
+    },
+    /// [`Simulation::recover_qp`] called on a QP that is not in Error.
+    NotInErrorState,
+    /// Flushed completions are still draining; run the simulation and
+    /// poll them before recovering the QP.
+    CompletionsPending,
+}
+
+impl core::fmt::Display for VerbsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VerbsError::UnknownHost(h) => write!(f, "unknown host {}", h.0),
+            VerbsError::UnknownQp => f.write_str("unknown queue pair"),
+            VerbsError::QpInError => f.write_str("queue pair is in the Error state"),
+            VerbsError::SendQueueFull => f.write_str("send queue full"),
+            VerbsError::MrOutOfBounds { offset, len } => {
+                write!(f, "offset {offset} beyond MR length {len}")
+            }
+            VerbsError::NotInErrorState => f.write_str("queue pair is not in the Error state"),
+            VerbsError::CompletionsPending => {
+                f.write_str("flushed completions still pending; drain the CQ before recovery")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerbsError {}
+
+impl From<PostError> for VerbsError {
+    fn from(e: PostError) -> Self {
+        match e {
+            PostError::UnknownQp => VerbsError::UnknownQp,
+            PostError::SendQueueFull => VerbsError::SendQueueFull,
+            PostError::QpInError => VerbsError::QpInError,
+        }
+    }
+}
+
+impl From<ResetError> for VerbsError {
+    fn from(e: ResetError) -> Self {
+        match e {
+            ResetError::UnknownQp => VerbsError::UnknownQp,
+            ResetError::NotInError => VerbsError::NotInErrorState,
+            ResetError::CompletionsPending => VerbsError::CompletionsPending,
+        }
+    }
+}
 
 /// Selects the event-queue backend of a [`Simulation`].
 ///
@@ -112,6 +179,22 @@ impl MrHandle {
         );
         self.base_va + offset
     }
+
+    /// Fallible variant of [`MrHandle::addr`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerbsError::MrOutOfBounds`] instead of panicking when
+    /// `offset` exceeds the region length.
+    pub fn try_addr(&self, offset: u64) -> Result<u64, VerbsError> {
+        if offset > self.len {
+            return Err(VerbsError::MrOutOfBounds {
+                offset,
+                len: self.len,
+            });
+        }
+        Ok(self.base_va + offset)
+    }
 }
 
 /// A connected queue-pair endpoint.
@@ -152,9 +235,22 @@ impl Default for ConnectOptions {
 #[derive(Debug)]
 enum WorldEvent {
     Nic(HostId, NicEvent),
-    Deliver(HostId, Packet),
-    Timer { app: AppId, token: u64 },
-    AppCqe { app: AppId, host: HostId, cqe: Cqe },
+    Deliver {
+        host: HostId,
+        pkt: Packet,
+        /// The fault injector flipped payload bits in flight; the
+        /// receiver's ICRC check discards the packet on arrival.
+        corrupt: bool,
+    },
+    Timer {
+        app: AppId,
+        token: u64,
+    },
+    AppCqe {
+        app: AppId,
+        host: HostId,
+        cqe: Cqe,
+    },
 }
 
 /// An event-driven application (attacker, victim, or measurement driver).
@@ -200,6 +296,12 @@ struct World {
     /// (deterministic given the seed). Zero by default.
     loss_rate: f64,
     dropped_packets: u64,
+    /// Deterministic fault injector evaluated at the wire hop; `None`
+    /// (the default) leaves the fabric untouched and every RNG stream
+    /// bit-identical to a chaos-free run.
+    injector: Option<FaultInjector>,
+    /// Fabric-wide packet conservation ledger for the chaos oracles.
+    fabric: FabricStats,
 }
 
 const HUGE_PAGE: u64 = 2 * 1024 * 1024;
@@ -226,15 +328,46 @@ impl World {
                     self.queue.schedule(at, WorldEvent::Nic(host, event));
                 }
                 NicAction::Transmit { at, pkt } => {
+                    self.fabric.sent += 1;
+                    // Legacy uniform loss draws from the world RNG first so
+                    // that chaos-free runs keep their exact RNG stream.
                     if self.loss_rate > 0.0 && self.rng.chance(self.loss_rate) {
-                        self.dropped_packets += 1;
+                        self.note_wire_drop(host, pkt.dst);
                         continue;
                     }
                     let prop =
                         self.nics[host.0 as usize].profile().wire_propagation + self.switch_latency;
                     let dst = pkt.dst;
-                    self.queue
-                        .schedule(at + prop, WorldEvent::Deliver(dst, pkt));
+                    let mut corrupt = false;
+                    let mut deliver_at = at + prop;
+                    if let Some(inj) = self.injector.as_mut() {
+                        let v = inj.verdict(at, host, dst);
+                        if v.drop {
+                            self.note_wire_drop(host, dst);
+                            continue;
+                        }
+                        corrupt = v.corrupt;
+                        deliver_at += v.extra_delay;
+                        if v.duplicate {
+                            self.fabric.duplicates += 1;
+                            self.queue.schedule(
+                                deliver_at + self.switch_latency,
+                                WorldEvent::Deliver {
+                                    host: dst,
+                                    pkt: pkt.clone(),
+                                    corrupt,
+                                },
+                            );
+                        }
+                    }
+                    self.queue.schedule(
+                        deliver_at,
+                        WorldEvent::Deliver {
+                            host: dst,
+                            pkt,
+                            corrupt,
+                        },
+                    );
                 }
                 NicAction::Complete { at, cqe } => match self.qp_owner.get(&(host, cqe.qp)) {
                     Some(&app) => {
@@ -244,6 +377,16 @@ impl World {
                     None => self.orphan_cqes.push((host, cqe)),
                 },
             }
+        }
+    }
+
+    /// Records a wire drop with per-direction NIC attribution.
+    fn note_wire_drop(&mut self, src: HostId, dst: HostId) {
+        self.dropped_packets += 1;
+        self.fabric.dropped += 1;
+        self.nics[src.0 as usize].counters_mut().wire_tx_dropped += 1;
+        if let Some(nic) = self.nics.get_mut(dst.0 as usize) {
+            nic.counters_mut().wire_rx_dropped += 1;
         }
     }
 
@@ -325,6 +468,8 @@ impl Simulation {
                 rng: SimRng::derive(seed, "world"),
                 loss_rate: 0.0,
                 dropped_packets: 0,
+                injector: None,
+                fabric: FabricStats::default(),
             },
             apps: Vec::new(),
             started_count: 0,
@@ -499,19 +644,81 @@ impl Simulation {
     }
 
     /// Sets the fabric's packet-loss probability (0 disables; default).
-    /// Lost messages are recovered by the NICs' retransmission timers.
+    /// Lost messages are recovered by the NICs' retransmission timers;
+    /// `1.0` (total loss) exercises retry exhaustion.
     ///
     /// # Panics
     ///
-    /// Panics if `rate` is outside `[0, 1)`.
+    /// Panics if `rate` is outside `[0, 1]`.
     pub fn set_loss_rate(&mut self, rate: f64) {
-        assert!((0.0..1.0).contains(&rate), "loss rate out of range");
+        assert!((0.0..=1.0).contains(&rate), "loss rate out of range");
         self.world.loss_rate = rate;
     }
 
-    /// Packets dropped by the fabric so far.
+    /// Packets dropped by the fabric so far (uniform loss plus injected
+    /// faults; ICRC discards are counted separately).
     pub fn dropped_packets(&self) -> u64 {
         self.world.dropped_packets
+    }
+
+    /// Installs a deterministic fault plan, replacing any previous one.
+    /// The injector draws from its own RNG stream, so installing (or
+    /// not installing) a plan never perturbs workload randomness.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        self.world.injector = Some(FaultInjector::new(plan.clone()));
+    }
+
+    /// Removes the installed fault plan, if any.
+    pub fn clear_fault_plan(&mut self) {
+        self.world.injector = None;
+    }
+
+    /// Fabric-wide packet conservation ledger (sent, delivered, dropped,
+    /// ICRC-discarded, duplicated). At quiescence
+    /// `sent + duplicates == delivered + dropped + icrc_dropped`.
+    pub fn fabric_stats(&self) -> FabricStats {
+        self.world.fabric
+    }
+
+    /// Per-fault-kind injection counts, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<InjectorStats> {
+        self.world.injector.as_ref().map(|inj| inj.stats())
+    }
+
+    /// Order-sensitive digest of every injection decision so far — equal
+    /// digests mean bit-identical fault traces. `None` without a plan.
+    pub fn fault_trace_digest(&self) -> Option<u64> {
+        self.world.injector.as_ref().map(|inj| inj.trace_digest())
+    }
+
+    /// Whether `qp` sits in the Error state (fatal transport failure;
+    /// posts are rejected until [`Simulation::recover_qp`]).
+    pub fn qp_in_error(&self, qp: QpHandle) -> bool {
+        self.world
+            .nics
+            .get(qp.host.0 as usize)
+            .and_then(|nic| nic.qp_transport(qp.qp))
+            == Some(QpTransport::Error)
+    }
+
+    /// Resets an Error-state QP back to Ready — the simulator's stand-in
+    /// for the verbs `ERR → RESET → INIT → RTR → RTS` modify-QP ladder.
+    /// Flushed completions must be drained (run the simulation and poll
+    /// the CQ) before recovery succeeds.
+    ///
+    /// # Errors
+    ///
+    /// [`VerbsError::UnknownHost`]/[`VerbsError::UnknownQp`] for stale
+    /// handles, [`VerbsError::NotInErrorState`] for a healthy QP, and
+    /// [`VerbsError::CompletionsPending`] while flushes are in flight.
+    pub fn recover_qp(&mut self, qp: QpHandle) -> Result<(), VerbsError> {
+        let nic = self
+            .world
+            .nics
+            .get_mut(qp.host.0 as usize)
+            .ok_or(VerbsError::UnknownHost(qp.host))?;
+        nic.reset_qp(qp.qp)?;
+        Ok(())
     }
 
     /// Posts a work request from outside any app (handy in tests and
@@ -519,18 +726,28 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Propagates [`PostError`] from the NIC.
-    pub fn post_send(&mut self, qp: QpHandle, wr: WorkRequest) -> Result<(), PostError> {
-        self.world.post_send(qp, wr)
+    /// [`VerbsError::UnknownHost`] for a stale handle, otherwise the
+    /// NIC's [`PostError`] mapped into [`VerbsError`].
+    pub fn post_send(&mut self, qp: QpHandle, wr: WorkRequest) -> Result<(), VerbsError> {
+        if qp.host.0 as usize >= self.world.nics.len() {
+            return Err(VerbsError::UnknownHost(qp.host));
+        }
+        self.world.post_send(qp, wr).map_err(VerbsError::from)
     }
 
     /// Posts a receive WQE.
     ///
     /// # Errors
     ///
-    /// Propagates [`PostError`] from the NIC.
-    pub fn post_recv(&mut self, qp: QpHandle, recv: RecvWqe) -> Result<(), PostError> {
-        self.world.nics[qp.host.0 as usize].post_recv(qp.qp, recv)
+    /// [`VerbsError::UnknownHost`] for a stale handle, otherwise the
+    /// NIC's [`PostError`] mapped into [`VerbsError`].
+    pub fn post_recv(&mut self, qp: QpHandle, recv: RecvWqe) -> Result<(), VerbsError> {
+        let nic = self
+            .world
+            .nics
+            .get_mut(qp.host.0 as usize)
+            .ok_or(VerbsError::UnknownHost(qp.host))?;
+        nic.post_recv(qp.qp, recv).map_err(VerbsError::from)
     }
 
     /// Completions delivered on QPs not owned by any app, in delivery
@@ -577,9 +794,19 @@ impl Simulation {
                 WorldEvent::Nic(host, ev) => {
                     self.world.dispatch_nic(host, ev);
                 }
-                WorldEvent::Deliver(host, pkt) => {
-                    self.world
-                        .dispatch_nic(host, NicEvent::IngressArrival { pkt });
+                WorldEvent::Deliver { host, pkt, corrupt } => {
+                    if corrupt {
+                        // The ICRC check rejects the mangled payload; the
+                        // requester's retransmission timer recovers it.
+                        self.world.fabric.icrc_dropped += 1;
+                        self.world.nics[host.0 as usize]
+                            .counters_mut()
+                            .icrc_rx_dropped += 1;
+                    } else {
+                        self.world.fabric.delivered += 1;
+                        self.world
+                            .dispatch_nic(host, NicEvent::IngressArrival { pkt });
+                    }
                 }
                 WorldEvent::Timer { app, token } => {
                     self.with_app(app, |a, ctx| a.on_timer(ctx, token));
@@ -624,19 +851,53 @@ impl Ctx<'_> {
     ///
     /// # Errors
     ///
-    /// Propagates [`PostError`] from the NIC (notably
-    /// [`PostError::SendQueueFull`], which attack loops use for pacing).
-    pub fn post_send(&mut self, qp: QpHandle, wr: WorkRequest) -> Result<(), PostError> {
-        self.world.post_send(qp, wr)
+    /// The NIC's [`PostError`] mapped into [`VerbsError`] (notably
+    /// [`VerbsError::SendQueueFull`], which attack loops use for pacing,
+    /// and [`VerbsError::QpInError`] after a fatal transport failure).
+    pub fn post_send(&mut self, qp: QpHandle, wr: WorkRequest) -> Result<(), VerbsError> {
+        if qp.host.0 as usize >= self.world.nics.len() {
+            return Err(VerbsError::UnknownHost(qp.host));
+        }
+        self.world.post_send(qp, wr).map_err(VerbsError::from)
     }
 
     /// Posts a receive WQE.
     ///
     /// # Errors
     ///
-    /// Propagates [`PostError`] from the NIC.
-    pub fn post_recv(&mut self, qp: QpHandle, recv: RecvWqe) -> Result<(), PostError> {
-        self.world.nics[qp.host.0 as usize].post_recv(qp.qp, recv)
+    /// The NIC's [`PostError`] mapped into [`VerbsError`].
+    pub fn post_recv(&mut self, qp: QpHandle, recv: RecvWqe) -> Result<(), VerbsError> {
+        let nic = self
+            .world
+            .nics
+            .get_mut(qp.host.0 as usize)
+            .ok_or(VerbsError::UnknownHost(qp.host))?;
+        nic.post_recv(qp.qp, recv).map_err(VerbsError::from)
+    }
+
+    /// Whether `qp` sits in the Error state.
+    pub fn qp_in_error(&self, qp: QpHandle) -> bool {
+        self.world
+            .nics
+            .get(qp.host.0 as usize)
+            .and_then(|nic| nic.qp_transport(qp.qp))
+            == Some(QpTransport::Error)
+    }
+
+    /// Resets an Error-state QP back to Ready (see
+    /// [`Simulation::recover_qp`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulation::recover_qp`].
+    pub fn recover_qp(&mut self, qp: QpHandle) -> Result<(), VerbsError> {
+        let nic = self
+            .world
+            .nics
+            .get_mut(qp.host.0 as usize)
+            .ok_or(VerbsError::UnknownHost(qp.host))?;
+        nic.reset_qp(qp.qp)?;
+        Ok(())
     }
 
     /// Fires `on_timer(token)` after `delay`.
@@ -854,7 +1115,7 @@ mod tests {
         let err = sim
             .post_send(qa, WorkRequest::read(9, 0x1000, mr_b.addr(0), mr_b.key, 64))
             .expect_err("queue is full");
-        assert_eq!(err, PostError::SendQueueFull);
+        assert_eq!(err, VerbsError::SendQueueFull);
         sim.run_until(SimTime::from_millis(1));
         assert_eq!(sim.take_completions().len(), 4);
         // After completion there is room again.

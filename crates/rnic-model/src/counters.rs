@@ -45,6 +45,26 @@ pub struct NicCounters {
     pub naks_sent: u64,
     /// Messages retransmitted after a timeout (loss recovery).
     pub retransmits: u64,
+    /// Outbound packets lost on the wire after leaving this NIC
+    /// (per-direction attribution of fabric drops).
+    pub wire_tx_dropped: u64,
+    /// Inbound packets lost on the wire before reaching this NIC.
+    pub wire_rx_dropped: u64,
+    /// Inbound packets discarded by the ICRC check (payload corruption).
+    pub icrc_rx_dropped: u64,
+    /// Inbound data segments discarded for arriving out of order
+    /// (go-back-N: the requester must retransmit the whole message).
+    pub rx_out_of_order_dropped: u64,
+    /// Inbound packets discarded as duplicates (replayed requests or
+    /// responses to already-completed messages).
+    pub rx_duplicate_dropped: u64,
+    /// Receiver-not-ready NAKs absorbed by the retry budget.
+    pub rnr_naks: u64,
+    /// WQEs flushed with [`crate::CqeStatus::Flushed`] when a QP entered
+    /// the Error state.
+    pub wqes_flushed: u64,
+    /// QPs that transitioned into the Error state.
+    pub qp_fatal_errors: u64,
     /// Per-flow transmitted payload bytes (Grain-III bookkeeping for
     /// experiments and the HARMONIC detector).
     pub tx_payload_per_flow: HashMap<FlowId, u64>,

@@ -123,6 +123,10 @@ pub struct DeviceProfile {
     /// Retransmission attempts before the WQE completes with
     /// [`crate::CqeStatus::RetryExceeded`].
     pub max_retries: u32,
+    /// Receiver-not-ready NAKs tolerated per message before the QP
+    /// errors out (the verbs `rnr_retry` budget; not time-scaled — it is
+    /// a count, not a rate).
+    pub rnr_retry_limit: u32,
     /// Send-queue capacity per QP (max WQEs outstanding).
     pub max_send_queue: usize,
     /// CQE DMA write time (completion delivery).
@@ -165,6 +169,7 @@ impl DeviceProfile {
             tx_strict_priority: true,
             retransmit_timeout: SimDuration::from_micros(100),
             max_retries: 7,
+            rnr_retry_limit: 3,
             max_send_queue: 256,
             cqe_delivery: SimDuration::from_nanos(250),
         }
@@ -205,6 +210,7 @@ impl DeviceProfile {
             tx_strict_priority: true,
             retransmit_timeout: SimDuration::from_micros(100),
             max_retries: 7,
+            rnr_retry_limit: 3,
             max_send_queue: 256,
             cqe_delivery: SimDuration::from_nanos(200),
         }
@@ -245,6 +251,7 @@ impl DeviceProfile {
             tx_strict_priority: true,
             retransmit_timeout: SimDuration::from_micros(100),
             max_retries: 7,
+            rnr_retry_limit: 3,
             max_send_queue: 256,
             cqe_delivery: SimDuration::from_nanos(160),
         }

@@ -56,7 +56,7 @@ pub use cache::SetAssocCache;
 pub use counters::{CounterSnapshot, NicCounters};
 pub use device::{DeviceKind, DeviceProfile};
 pub use memory::HostMemory;
-pub use nic::{NicAction, NicEvent, PostError, QpConfig, Rnic};
+pub use nic::{NicAction, NicEvent, PostError, QpConfig, QpTransport, ResetError, Rnic};
 pub use noc::NocActivation;
 pub use packet::{segment_count, Cqe, CqeStatus, Packet, PacketKind, RecvWqe, Wqe};
 pub use tpu::{MrEntry, TpuAccess, TpuBreakdown, TranslationUnit};

@@ -56,9 +56,22 @@ pub struct QpConfig {
     pub max_send_queue: usize,
 }
 
+/// Transport state of an RC queue pair (the RTS/Error slice of the verbs
+/// QP state machine that matters to the datapath).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpTransport {
+    /// Ready to send: WQEs flow through the pipeline normally.
+    Ready,
+    /// A fatal transport error occurred (retry exhaustion, RNR budget
+    /// exhaustion). Posted work flushes with [`CqeStatus::Flushed`]; new
+    /// posts are rejected until [`Rnic::reset_qp`].
+    Error,
+}
+
 #[derive(Debug)]
 struct QpState {
     config: QpConfig,
+    transport: QpTransport,
     sq: VecDeque<Wqe>,
     outstanding: usize,
     recv_queue: VecDeque<RecvWqe>,
@@ -79,6 +92,8 @@ pub enum PostError {
     UnknownQp,
     /// The send queue is full (`max_send_queue` outstanding).
     SendQueueFull,
+    /// The QP is in the Error state; [`Rnic::reset_qp`] it first.
+    QpInError,
 }
 
 impl core::fmt::Display for PostError {
@@ -86,11 +101,38 @@ impl core::fmt::Display for PostError {
         match self {
             PostError::UnknownQp => f.write_str("unknown queue pair"),
             PostError::SendQueueFull => f.write_str("send queue full"),
+            PostError::QpInError => f.write_str("queue pair is in the Error state"),
         }
     }
 }
 
 impl std::error::Error for PostError {}
+
+/// Why a [`Rnic::reset_qp`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResetError {
+    /// The QP number is unknown.
+    UnknownQp,
+    /// The QP is not in the Error state (nothing to recover from).
+    NotInError,
+    /// Flushed completions are still draining; poll them first so no
+    /// completion is lost across the reset.
+    CompletionsPending,
+}
+
+impl core::fmt::Display for ResetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ResetError::UnknownQp => f.write_str("unknown queue pair"),
+            ResetError::NotInError => f.write_str("queue pair is not in the Error state"),
+            ResetError::CompletionsPending => {
+                f.write_str("flushed completions still pending; drain the CQ before reset")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResetError {}
 
 /// Internal pipeline events of one NIC.
 #[derive(Debug, Clone)]
@@ -200,9 +242,32 @@ pub enum NicAction {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum AssemblyState {
-    Receiving(u32),
+    /// Segments are being assembled in order. `next_seg` is the segment
+    /// index the responder (or requester, for responses) will accept
+    /// next; `placed` counts segments whose host-memory DMA finished.
+    Receiving {
+        next_seg: u32,
+        placed: u32,
+    },
     Failed,
 }
+
+/// A requester message awaiting its response, for retransmission.
+#[derive(Debug, Clone)]
+struct Inflight {
+    qp: QpNum,
+    wqe: Wqe,
+    /// Timeout retransmissions performed so far.
+    retries: u32,
+    /// Receiver-not-ready NAKs absorbed so far.
+    rnr_retries: u32,
+}
+
+/// Exponential-backoff cap: the retransmission timeout doubles per retry
+/// up to `timeout << RETRY_BACKOFF_CAP`.
+const RETRY_BACKOFF_CAP: u32 = 5;
+/// Bounded replay caches (atomic results, completed inbound messages).
+const REPLAY_CACHE_CAP: usize = 1024;
 
 /// One simulated RDMA NIC plus its host memory.
 #[derive(Debug)]
@@ -245,14 +310,19 @@ pub struct Rnic {
     /// scheduler in WQE order (a gathered write cannot be overtaken by a
     /// later inline op).
     requester_order: HashMap<QpNum, SimTime>,
-    /// In-flight messages awaiting completion, for retransmission:
-    /// `msg_id -> (qp, wqe, retries)`.
-    inflight: HashMap<u64, (QpNum, Wqe, u32)>,
+    /// In-flight messages awaiting completion, for retransmission.
+    inflight: HashMap<u64, Inflight>,
     /// Responder replay cache for atomics: a retransmitted atomic must
     /// not execute twice (RC exactly-once semantics), so the old value is
     /// replayed from here. Bounded FIFO per NIC.
     atomic_replay: HashMap<(HostId, u64), u64>,
     atomic_replay_order: VecDeque<(HostId, u64)>,
+    /// Responder replay cache for writes/sends: a message retransmitted
+    /// because its Ack was lost must not complete (or write a recv WQE)
+    /// twice; replays are dropped and the last segment re-Acked. Bounded
+    /// FIFO per NIC.
+    completed_inbound: std::collections::HashSet<(HostId, u64)>,
+    completed_inbound_order: VecDeque<(HostId, u64)>,
 }
 
 impl Rnic {
@@ -297,6 +367,8 @@ impl Rnic {
             inflight: HashMap::new(),
             atomic_replay: HashMap::new(),
             atomic_replay_order: VecDeque::new(),
+            completed_inbound: std::collections::HashSet::new(),
+            completed_inbound_order: VecDeque::new(),
             profile,
         }
     }
@@ -321,6 +393,7 @@ impl Rnic {
             num,
             QpState {
                 config,
+                transport: QpTransport::Ready,
                 sq: VecDeque::new(),
                 outstanding: 0,
                 recv_queue: VecDeque::new(),
@@ -360,6 +433,39 @@ impl Rnic {
     /// Counters (Grain-I/II/III observables).
     pub fn counters(&self) -> &NicCounters {
         &self.counters
+    }
+
+    /// Mutable counters — the fabric attributes wire-level drops
+    /// (loss, link-down, ICRC) to the NICs on either end of the link.
+    pub fn counters_mut(&mut self) -> &mut NicCounters {
+        &mut self.counters
+    }
+
+    /// Transport state of a QP, or `None` if it does not exist.
+    pub fn qp_transport(&self, qp: QpNum) -> Option<QpTransport> {
+        self.qps.get(&qp).map(|s| s.transport)
+    }
+
+    /// Recovers a QP from the Error state (the verbs
+    /// `Error → Reset → Init → RTR → RTS` cycle collapsed to one step —
+    /// the simulator has no modify-qp latency model).
+    ///
+    /// # Errors
+    ///
+    /// [`ResetError::UnknownQp`] if the QP does not exist,
+    /// [`ResetError::NotInError`] if it is not in the Error state, and
+    /// [`ResetError::CompletionsPending`] while flushed completions are
+    /// still draining (resetting then would lose them).
+    pub fn reset_qp(&mut self, qp: QpNum) -> Result<(), ResetError> {
+        let state = self.qps.get_mut(&qp).ok_or(ResetError::UnknownQp)?;
+        if state.transport != QpTransport::Error {
+            return Err(ResetError::NotInError);
+        }
+        if state.outstanding != 0 {
+            return Err(ResetError::CompletionsPending);
+        }
+        state.transport = QpTransport::Ready;
+        Ok(())
     }
 
     /// Host memory (for MR initialization and result inspection).
@@ -439,6 +545,9 @@ impl Rnic {
         out: &mut Vec<NicAction>,
     ) -> Result<(), PostError> {
         let state = self.qps.get_mut(&qp).ok_or(PostError::UnknownQp)?;
+        if state.transport == QpTransport::Error {
+            return Err(PostError::QpInError);
+        }
         if state.outstanding >= state.config.max_send_queue {
             return Err(PostError::SendQueueFull);
         }
@@ -475,9 +584,13 @@ impl Rnic {
     ///
     /// # Errors
     ///
-    /// [`PostError::UnknownQp`] if the QP does not exist.
+    /// [`PostError::UnknownQp`] if the QP does not exist;
+    /// [`PostError::QpInError`] if it is in the Error state.
     pub fn post_recv(&mut self, qp: QpNum, recv: RecvWqe) -> Result<(), PostError> {
         let state = self.qps.get_mut(&qp).ok_or(PostError::UnknownQp)?;
+        if state.transport == QpTransport::Error {
+            return Err(PostError::QpInError);
+        }
         state.recv_queue.push_back(recv);
         Ok(())
     }
@@ -507,6 +620,11 @@ impl Rnic {
         match event {
             NicEvent::WqeFetched { qp, wqe } => {
                 let state = self.qps.get_mut(&qp).expect("WQE for unknown QP");
+                if state.transport == QpTransport::Error {
+                    // The QP failed while this WQE was in its PCIe fetch.
+                    self.flush_send_wqe(now, qp, &wqe, out);
+                    return;
+                }
                 if state.sq.is_empty() {
                     self.issue_order.push_back(qp);
                 }
@@ -518,6 +636,10 @@ impl Rnic {
                 self.tx_issue(now, out);
             }
             NicEvent::TxPuDone { qp, wqe } => {
+                if self.qp_in_error(qp) {
+                    self.flush_send_wqe(now, qp, &wqe, out);
+                    return;
+                }
                 let needs_gather =
                     wqe.opcode.carries_request_payload() && wqe.len > self.profile.inline_threshold;
                 if needs_gather {
@@ -648,10 +770,121 @@ impl Rnic {
         }
     }
 
+    fn qp_in_error(&self, qp: QpNum) -> bool {
+        self.qps
+            .get(&qp)
+            .is_some_and(|s| s.transport == QpTransport::Error)
+    }
+
+    /// Completes a WQE with [`CqeStatus::Flushed`] through the ordered
+    /// retirement path (the QP entered the Error state before this WQE
+    /// reached the wire).
+    fn flush_send_wqe(&mut self, now: SimTime, qp: QpNum, wqe: &Wqe, out: &mut Vec<NicAction>) {
+        self.counters.wqes_flushed += 1;
+        let cqe = Cqe {
+            qp,
+            wr_id: wqe.wr_id,
+            status: CqeStatus::Flushed,
+            opcode: wqe.opcode,
+            byte_len: wqe.len,
+            posted_at: wqe.posted_at,
+            completed_at: now,
+            is_recv: false,
+            atomic_old_value: 0,
+        };
+        self.retire_ordered(now, qp, wqe.seq, cqe, out);
+    }
+
+    /// Transitions a QP to the Error state: the WQE that hit the fatal
+    /// condition completes with `status`, and everything else queued or
+    /// in flight on the QP flushes with [`CqeStatus::Flushed`] (send and
+    /// receive queues both, matching verbs error semantics).
+    fn fail_qp(
+        &mut self,
+        now: SimTime,
+        qp: QpNum,
+        trigger_msg: u64,
+        status: CqeStatus,
+        out: &mut Vec<NicAction>,
+    ) {
+        if let Some(entry) = self.inflight.remove(&trigger_msg) {
+            self.assembly.remove(&(self.host, trigger_msg));
+            let cqe = Cqe {
+                qp,
+                wr_id: entry.wqe.wr_id,
+                status,
+                opcode: entry.wqe.opcode,
+                byte_len: entry.wqe.len,
+                posted_at: entry.wqe.posted_at,
+                completed_at: now,
+                is_recv: false,
+                atomic_old_value: 0,
+            };
+            self.retire_ordered(now, qp, entry.wqe.seq, cqe, out);
+        }
+        let Some(state) = self.qps.get_mut(&qp) else {
+            return;
+        };
+        if state.transport == QpTransport::Error {
+            return;
+        }
+        state.transport = QpTransport::Error;
+        self.counters.qp_fatal_errors += 1;
+        let state = self.qps.get_mut(&qp).expect("state just accessed");
+        let queued: Vec<Wqe> = state.sq.drain(..).collect();
+        let recvs: Vec<RecvWqe> = state.recv_queue.drain(..).collect();
+        // Other messages of this QP still on the wire flush too; their
+        // pending RetransmitCheck timers will find no inflight entry.
+        let mut wire: Vec<(u64, Wqe)> = self
+            .inflight
+            .iter()
+            .filter(|(_, e)| e.qp == qp)
+            .map(|(&m, e)| (m, e.wqe.clone()))
+            .collect();
+        wire.sort_by_key(|(_, w)| w.seq);
+        for (m, _) in &wire {
+            self.inflight.remove(m);
+            self.assembly.remove(&(self.host, *m));
+        }
+        for (_, w) in &wire {
+            self.flush_send_wqe(now, qp, w, out);
+        }
+        for w in &queued {
+            self.flush_send_wqe(now, qp, w, out);
+        }
+        for r in recvs {
+            self.counters.wqes_flushed += 1;
+            let cqe = Cqe {
+                qp,
+                wr_id: r.wr_id,
+                status: CqeStatus::Flushed,
+                opcode: Opcode::Send,
+                byte_len: r.len,
+                posted_at: now,
+                completed_at: now,
+                is_recv: true,
+                atomic_old_value: 0,
+            };
+            self.schedule_cqe_write(now, cqe, out);
+        }
+    }
+
     fn enqueue_request(&mut self, now: SimTime, qp: QpNum, wqe: Wqe, out: &mut Vec<NicAction>) {
+        if self.qp_in_error(qp) {
+            self.flush_send_wqe(now, qp, &wqe, out);
+            return;
+        }
         let msg_id = self.next_msg_id();
         // Arm the retransmission machinery for this message.
-        self.inflight.insert(msg_id, (qp, wqe.clone(), 0));
+        self.inflight.insert(
+            msg_id,
+            Inflight {
+                qp,
+                wqe: wqe.clone(),
+                retries: 0,
+                rnr_retries: 0,
+            },
+        );
         out.push(NicAction::Schedule {
             at: now + self.profile.retransmit_timeout,
             event: NicEvent::RetransmitCheck { qp, msg_id },
@@ -824,7 +1057,24 @@ impl Rnic {
             }
             PacketKind::WriteSeg => {
                 let key = (pkt.src, pkt.msg_id);
+                if self.drop_replayed_inbound(now, &pkt, out) {
+                    return;
+                }
                 if pkt.seg_idx == 0 {
+                    if let Some(AssemblyState::Receiving { next_seg, .. }) =
+                        self.assembly.get_mut(&key)
+                    {
+                        // Go-back-N restart of a message we already
+                        // validated: accept from the top without a second
+                        // TPU lookup.
+                        *next_seg = 1;
+                        let at = self.responder_fence(pkt.dst_qp, now);
+                        out.push(NicAction::Schedule {
+                            at,
+                            event: NicEvent::TpuDone { pkt },
+                        });
+                        return;
+                    }
                     let pd = self.qp_pd(pkt.dst_qp);
                     match self.tpu.access(
                         now,
@@ -837,7 +1087,13 @@ impl Rnic {
                     ) {
                         Ok(access) => {
                             self.counters.tpu_lookups += 1;
-                            self.assembly.insert(key, AssemblyState::Receiving(0));
+                            self.assembly.insert(
+                                key,
+                                AssemblyState::Receiving {
+                                    next_seg: 1,
+                                    placed: 0,
+                                },
+                            );
                             let at = self.responder_fence(pkt.dst_qp, access.reservation.end);
                             out.push(NicAction::Schedule {
                                 at,
@@ -852,7 +1108,7 @@ impl Rnic {
                         }
                     }
                 } else {
-                    match self.assembly.get(&key) {
+                    match self.assembly.get_mut(&key) {
                         Some(AssemblyState::Failed) => {
                             // Message already NAK'd; drop the segment,
                             // clear state on the last one.
@@ -860,26 +1116,61 @@ impl Rnic {
                                 self.assembly.remove(&key);
                             }
                         }
-                        _ => {
+                        Some(AssemblyState::Receiving { next_seg, .. })
+                            if *next_seg == pkt.seg_idx =>
+                        {
+                            *next_seg = pkt.seg_idx + 1;
                             let at = self.responder_fence(pkt.dst_qp, now);
                             out.push(NicAction::Schedule {
                                 at,
                                 event: NicEvent::TpuDone { pkt },
                             });
                         }
+                        _ => {
+                            // A gap (earlier segment lost/reordered) or a
+                            // segment for an unknown message: go-back-N —
+                            // drop and let the requester's timer resend.
+                            self.counters.rx_out_of_order_dropped += 1;
+                        }
                     }
                 }
             }
             PacketKind::SendSeg => {
                 let key = (pkt.src, pkt.msg_id);
+                if self.drop_replayed_inbound(now, &pkt, out) {
+                    return;
+                }
                 if pkt.seg_idx == 0 {
+                    if let Some(AssemblyState::Receiving { next_seg, .. }) =
+                        self.assembly.get_mut(&key)
+                    {
+                        // Restart of a send we already matched to a recv
+                        // WQE: keep the claimed recv, accept from the top.
+                        *next_seg = 1;
+                        let at = self.responder_fence(pkt.dst_qp, now);
+                        out.push(NicAction::Schedule {
+                            at,
+                            event: NicEvent::TpuDone { pkt },
+                        });
+                        return;
+                    }
+                    // A replay of a previously NAK'd send retries the
+                    // match: the application may have posted a receive
+                    // since (that is what the rnr_retry budget buys).
+                    self.assembly.remove(&key);
                     let recv = self
                         .qps
                         .get_mut(&pkt.dst_qp)
                         .and_then(|s| s.recv_queue.pop_front());
                     match recv {
                         Some(r) if r.len >= pkt.total_len => {
-                            self.assembly.insert(key, AssemblyState::Receiving(0));
+                            self.assembly.insert(
+                                key,
+                                AssemblyState::Receiving {
+                                    next_seg: 1,
+                                    placed: 0,
+                                },
+                            );
                             self.recv_targets.insert(key, r);
                             let at = self.responder_fence(pkt.dst_qp, now);
                             out.push(NicAction::Schedule {
@@ -900,24 +1191,57 @@ impl Rnic {
                         }
                     }
                 } else {
-                    match self.assembly.get(&key) {
+                    match self.assembly.get_mut(&key) {
                         Some(AssemblyState::Failed) => {
                             if pkt.is_last_segment() {
                                 self.assembly.remove(&key);
                                 self.recv_targets.remove(&key);
                             }
                         }
-                        _ => {
+                        Some(AssemblyState::Receiving { next_seg, .. })
+                            if *next_seg == pkt.seg_idx =>
+                        {
+                            *next_seg = pkt.seg_idx + 1;
                             let at = self.responder_fence(pkt.dst_qp, now);
                             out.push(NicAction::Schedule {
                                 at,
                                 event: NicEvent::TpuDone { pkt },
                             });
                         }
+                        _ => {
+                            self.counters.rx_out_of_order_dropped += 1;
+                        }
                     }
                 }
             }
             PacketKind::ReadResp | PacketKind::AtomicResp => {
+                if !self.inflight.contains_key(&pkt.msg_id) {
+                    // Late or duplicate response: the message already
+                    // completed (or was flushed). Dropping here keeps the
+                    // exactly-once completion contract.
+                    self.counters.rx_duplicate_dropped += 1;
+                    return;
+                }
+                let key = (self.host, pkt.msg_id);
+                let accept = match self
+                    .assembly
+                    .entry(key)
+                    .or_insert(AssemblyState::Receiving {
+                        next_seg: 0,
+                        placed: 0,
+                    }) {
+                    AssemblyState::Receiving { next_seg, .. } if *next_seg == pkt.seg_idx => {
+                        *next_seg = pkt.seg_idx + 1;
+                        true
+                    }
+                    _ => false,
+                };
+                if !accept {
+                    // Gap in the response stream: go-back-N — the timer
+                    // will redrive the whole request.
+                    self.counters.rx_out_of_order_dropped += 1;
+                    return;
+                }
                 // Requester side: DMA the payload down to host memory.
                 self.counters.pcie_bytes += pkt.payload.len() as u64;
                 let ser = SimDuration::serialization(
@@ -931,12 +1255,78 @@ impl Rnic {
                     event: NicEvent::DmaDone { pkt },
                 });
             }
-            PacketKind::Ack | PacketKind::Nak(_) => {
-                let status = match pkt.kind {
-                    PacketKind::Nak(reason) => CqeStatus::RemoteError(reason),
-                    _ => CqeStatus::Success,
-                };
-                self.deliver_cqe(now, &pkt, status, false, 0, out);
+            PacketKind::Ack | PacketKind::Nak(_) => self.requester_response(now, &pkt, out),
+        }
+    }
+
+    /// Requester-side handling of an Ack or Nak for one of our messages.
+    fn requester_response(&mut self, now: SimTime, pkt: &Packet, out: &mut Vec<NicAction>) {
+        let Some(entry) = self.inflight.get_mut(&pkt.msg_id) else {
+            // Duplicate/late response for a message that already
+            // completed (its Ack beat this copy, or it was flushed).
+            self.counters.rx_duplicate_dropped += 1;
+            return;
+        };
+        match pkt.kind {
+            PacketKind::Nak(NakReason::ReceiveNotPosted) => {
+                // Receiver-not-ready: the responder had no recv WQE yet.
+                // Absorb the NAK within the rnr_retry budget and let the
+                // retransmission timer redrive the message — the peer may
+                // post a receive in the meantime.
+                if entry.rnr_retries < self.profile.rnr_retry_limit {
+                    entry.rnr_retries += 1;
+                    self.counters.rnr_naks += 1;
+                    return;
+                }
+                let qp = entry.qp;
+                self.fail_qp(
+                    now,
+                    qp,
+                    pkt.msg_id,
+                    CqeStatus::RemoteError(NakReason::ReceiveNotPosted),
+                    out,
+                );
+            }
+            PacketKind::Nak(reason) => {
+                // Protection NAK (bounds, rkey, PD): complete this WR with
+                // the error but keep the QP usable — access violations are
+                // the *probe* mechanism of the paper's snooping attack,
+                // not a transport failure.
+                self.deliver_cqe(now, pkt, CqeStatus::RemoteError(reason), false, 0, out);
+            }
+            _ => self.deliver_cqe(now, pkt, CqeStatus::Success, false, 0, out),
+        }
+    }
+
+    /// Responder check for write/send segments: true when the packet
+    /// belongs to a message that already completed — a replay caused by a
+    /// lost Ack. The data (and any recv WQE consumption) must not be
+    /// applied twice; re-Acking the last segment stops the requester.
+    fn drop_replayed_inbound(
+        &mut self,
+        now: SimTime,
+        pkt: &Packet,
+        out: &mut Vec<NicAction>,
+    ) -> bool {
+        let key = (pkt.src, pkt.msg_id);
+        if !self.completed_inbound.contains(&key) {
+            return false;
+        }
+        self.counters.rx_duplicate_dropped += 1;
+        if pkt.is_last_segment() {
+            self.respond(now, pkt, PacketKind::Ack, Bytes::new());
+            self.kick_egress(now, out);
+        }
+        true
+    }
+
+    fn note_completed_inbound(&mut self, key: (HostId, u64)) {
+        if self.completed_inbound.insert(key) {
+            self.completed_inbound_order.push_back(key);
+            while self.completed_inbound_order.len() > REPLAY_CACHE_CAP {
+                if let Some(evict) = self.completed_inbound_order.pop_front() {
+                    self.completed_inbound.remove(&evict);
+                }
             }
         }
     }
@@ -951,46 +1341,28 @@ impl Rnic {
 
     /// Fires when a message's retransmission timer expires.
     fn retransmit_check(&mut self, now: SimTime, qp: QpNum, msg_id: u64, out: &mut Vec<NicAction>) {
-        let Some((_, wqe, retries)) = self.inflight.get(&msg_id).cloned() else {
+        let Some(entry) = self.inflight.get(&msg_id).cloned() else {
             return; // completed in time
         };
-        if retries >= self.profile.max_retries {
-            self.inflight.remove(&msg_id);
-            // Reset any partial reassembly of the response.
-            self.assembly.remove(&(self.host, msg_id));
-            let cqe = Cqe {
-                qp,
-                wr_id: wqe.wr_id,
-                status: CqeStatus::RetryExceeded,
-                opcode: wqe.opcode,
-                byte_len: wqe.len,
-                posted_at: wqe.posted_at,
-                completed_at: now,
-                is_recv: false,
-                atomic_old_value: 0,
-            };
-            // Deliver through the ordered retirement path.
-            let seq = wqe.seq;
-            let state = self.qps.get_mut(&qp).expect("retransmit for unknown QP");
-            state.retire_hold.insert(seq, (now, cqe));
-            while let Some(state) = self.qps.get_mut(&qp) {
-                let next = state.retire_seq;
-                let Some((ready, cqe)) = state.retire_hold.remove(&next) else {
-                    break;
-                };
-                state.retire_seq += 1;
-                let at = ready.max_of(state.retire_clock);
-                state.retire_clock = at;
-                self.schedule_cqe_write(at, cqe, out);
-            }
+        if entry.retries >= self.profile.max_retries {
+            // Retry budget exhausted: fatal transport error for the QP.
+            self.fail_qp(now, qp, msg_id, CqeStatus::RetryExceeded, out);
             return;
         }
-        self.inflight.insert(msg_id, (qp, wqe.clone(), retries + 1));
+        let retries = entry.retries + 1;
+        let wqe = entry.wqe.clone();
+        self.inflight.insert(msg_id, Inflight { retries, ..entry });
         self.counters.retransmits += 1;
-        // Drop partial response state and resend the whole message.
+        // Drop partial response state and resend the whole message; the
+        // next check backs off exponentially (IB-style retry pacing) so
+        // repeated losses don't flood the fabric.
         self.assembly.remove(&(self.host, msg_id));
+        let backoff = self
+            .profile
+            .retransmit_timeout
+            .mul_f64((1u64 << retries.min(RETRY_BACKOFF_CAP)) as f64);
         out.push(NicAction::Schedule {
-            at: now + self.profile.retransmit_timeout,
+            at: now + backoff,
             event: NicEvent::RetransmitCheck { qp, msg_id },
         });
         self.send_request_packets(now, qp, wqe, msg_id, out);
@@ -1101,18 +1473,14 @@ impl Rnic {
                     self.mem.write(addr, &data);
                 }
                 let key = (self.host, pkt.msg_id);
-                let done = {
-                    let entry = self
-                        .assembly
-                        .entry(key)
-                        .or_insert(AssemblyState::Receiving(0));
-                    match entry {
-                        AssemblyState::Receiving(n) => {
-                            *n += 1;
-                            *n == pkt.seg_cnt
-                        }
-                        AssemblyState::Failed => true,
+                let done = match self.assembly.get_mut(&key) {
+                    Some(AssemblyState::Receiving { placed, .. }) => {
+                        *placed += 1;
+                        *placed == pkt.seg_cnt
                     }
+                    // Assembly cleared between acceptance and DMA (a
+                    // timeout resend or a QP flush): don't complete.
+                    _ => false,
                 };
                 if done {
                     self.assembly.remove(&key);
@@ -1131,21 +1499,20 @@ impl Rnic {
 
     fn finish_inbound_segment(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<NicAction>) {
         let key = (pkt.src, pkt.msg_id);
-        let done = {
-            let entry = self
-                .assembly
-                .entry(key)
-                .or_insert(AssemblyState::Receiving(0));
-            match entry {
-                AssemblyState::Receiving(n) => {
-                    *n += 1;
-                    *n == pkt.seg_cnt
-                }
-                AssemblyState::Failed => false,
+        // Segments are accepted strictly in order and responder DMAs are
+        // fenced per QP, so the whole message is placed exactly when the
+        // last segment's DMA lands while the assembly is still live.
+        let done = match self.assembly.get_mut(&key) {
+            Some(AssemblyState::Receiving { placed, .. }) => {
+                *placed += 1;
+                pkt.is_last_segment()
             }
+            // Already completed (a replayed tail) or NAK'd.
+            _ => false,
         };
         if done {
             self.assembly.remove(&key);
+            self.note_completed_inbound(key);
             self.counters.responder_ops_per_opcode[pkt.opcode.index()] += 1;
             self.respond(now, &pkt, PacketKind::Ack, Bytes::new());
             self.kick_egress(now, out);
@@ -1189,7 +1556,7 @@ impl Rnic {
             };
             self.atomic_replay.insert(replay_key, old);
             self.atomic_replay_order.push_back(replay_key);
-            while self.atomic_replay_order.len() > 1024 {
+            while self.atomic_replay_order.len() > REPLAY_CACHE_CAP {
                 if let Some(evict) = self.atomic_replay_order.pop_front() {
                     self.atomic_replay.remove(&evict);
                 }
@@ -1214,9 +1581,11 @@ impl Rnic {
         atomic_old: u64,
         out: &mut Vec<NicAction>,
     ) {
-        if !is_recv {
-            // Message finished: disarm retransmission.
-            self.inflight.remove(&pkt.msg_id);
+        if !is_recv && self.inflight.remove(&pkt.msg_id).is_none() {
+            // The message already completed (duplicate Ack) or was
+            // flushed: never deliver a second completion for one WR.
+            self.counters.rx_duplicate_dropped += 1;
+            return;
         }
         let cqe = Cqe {
             qp: pkt.dst_qp,
@@ -1233,14 +1602,25 @@ impl Rnic {
             self.schedule_cqe_write(now, cqe, out);
             return;
         }
-        // RC retirement: send completions are delivered strictly in post
-        // order per QP, so a fast later op waits for its predecessors.
-        let Some(state) = self.qps.get_mut(&pkt.dst_qp) else {
-            self.schedule_cqe_write(now, cqe, out);
+        self.retire_ordered(now, pkt.dst_qp, pkt.wqe_seq, cqe, out);
+    }
+
+    /// RC retirement: send completions are delivered strictly in post
+    /// order per QP, so a fast later op waits for its predecessors.
+    fn retire_ordered(
+        &mut self,
+        ready: SimTime,
+        qp: QpNum,
+        seq: u64,
+        cqe: Cqe,
+        out: &mut Vec<NicAction>,
+    ) {
+        let Some(state) = self.qps.get_mut(&qp) else {
+            self.schedule_cqe_write(ready, cqe, out);
             return;
         };
-        state.retire_hold.insert(pkt.wqe_seq, (now, cqe));
-        while let Some(state) = self.qps.get_mut(&pkt.dst_qp) {
+        state.retire_hold.insert(seq, (ready, cqe));
+        while let Some(state) = self.qps.get_mut(&qp) {
             let next = state.retire_seq;
             let Some((ready, cqe)) = state.retire_hold.remove(&next) else {
                 break;

@@ -644,7 +644,8 @@ impl ShermanVictim {
                 ),
             ) {
                 Ok(()) => self.accesses += 1,
-                Err(rdma_verbs::PostError::SendQueueFull) => break,
+                Err(rdma_verbs::VerbsError::SendQueueFull)
+                | Err(rdma_verbs::VerbsError::QpInError) => break,
                 Err(e) => panic!("victim file read failed: {e}"),
             }
         }
@@ -668,7 +669,9 @@ impl ShermanVictim {
                 self.accesses += 1;
                 true
             }
-            Err(rdma_verbs::PostError::SendQueueFull) => false,
+            Err(rdma_verbs::VerbsError::SendQueueFull) | Err(rdma_verbs::VerbsError::QpInError) => {
+                false
+            }
             Err(e) => panic!("victim index read failed: {e}"),
         }
     }

@@ -6,7 +6,7 @@
 //! pattern). Fig. 12 shows exactly these two shapes in the attacker's
 //! monitored bandwidth.
 
-use rdma_verbs::{App, Cqe, Ctx, HostId, MrKey, PostError, QpHandle, WorkRequest};
+use rdma_verbs::{App, Cqe, Ctx, HostId, MrKey, QpHandle, VerbsError, WorkRequest};
 use sim_core::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -150,7 +150,7 @@ impl DbVictim {
             let wr = WorkRequest::write(self.seq, 0x9000, addr, self.cfg.rkey, self.msg_len);
             match ctx.post_send(self.qp, wr) {
                 Ok(()) => {}
-                Err(PostError::SendQueueFull) => break,
+                Err(VerbsError::SendQueueFull) | Err(VerbsError::QpInError) => break,
                 Err(e) => panic!("victim post failed: {e}"),
             }
         }

@@ -6,6 +6,8 @@
 //! * [`sim`] — deterministic discrete-event engine ([`sim_core`]).
 //! * [`nic`] — the RNIC microarchitecture model ([`rnic_model`]).
 //! * [`verbs`] — the verbs-style RDMA software stack ([`rdma_verbs`]).
+//! * [`chaos`] — deterministic fault plans, the wire-level injector and
+//!   the transport invariant oracles ([`ragnar_chaos`]).
 //! * [`attacks`] — reverse-engineering benchmarks, covert channels and
 //!   side channels ([`ragnar_core`]).
 //! * [`classifier`] — pure-Rust trace classifiers ([`trace_classifier`]).
@@ -21,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub use ragnar_chaos as chaos;
 pub use ragnar_core as attacks;
 pub use ragnar_defense as defense;
 pub use ragnar_workloads as workloads;
