@@ -13,6 +13,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== cargo clippy (telemetry crate, standalone)"
+cargo clippy -p ragnar-telemetry --all-targets --offline -- -D warnings
+
 echo "== cargo test (workspace)"
 cargo test -q --workspace --offline
 
@@ -24,5 +27,22 @@ for chaos_seed in 1 2 3; do
     cargo run --release --offline -p ragnar-bench --bin fig4_contention -- \
         --quick --no-cache --chaos-seed "$chaos_seed" > /dev/null
 done
+
+echo "== trace smoke: fig4_contention --trace emits valid JSON, digest unchanged"
+trace_out=$(cargo run --release --offline -p ragnar-bench --bin fig4_contention -- \
+    --quick --no-cache --trace /tmp/ragnar-ci-trace.json)
+baseline_out=$(cargo run --release --offline -p ragnar-bench --bin fig4_contention -- \
+    --quick --no-cache)
+# The trace file must exist, be non-trivial, and read as a Chrome
+# trace_event document.
+test -s /tmp/ragnar-ci-trace.json
+grep -q '"traceEvents":\[' /tmp/ragnar-ci-trace.json
+grep -q '"ph":"X"' /tmp/ragnar-ci-trace.json
+# Tracing must not move the artifact digest on the manifest line.
+trace_digest=$(printf '%s\n' "$trace_out" | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
+baseline_digest=$(printf '%s\n' "$baseline_out" | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
+test -n "$trace_digest"
+test "$trace_digest" = "$baseline_digest"
+rm -f /tmp/ragnar-ci-trace.json
 
 echo "CI OK"

@@ -25,6 +25,7 @@ fn digest(threads: usize, extras: &[&str]) -> String {
         &ExecOptions {
             threads,
             force: true,
+            ..Default::default()
         },
     );
     let mut material = String::new();

@@ -42,6 +42,7 @@ fn artifact_digest(exp: &dyn Experiment, threads: usize, extras: &[&str]) -> Str
         &ExecOptions {
             threads,
             force: true,
+            ..Default::default()
         },
     );
     let mut material = String::new();

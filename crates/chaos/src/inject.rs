@@ -3,6 +3,7 @@
 //! digest.
 
 use crate::plan::{FaultKind, FaultPlan};
+use ragnar_telemetry::{ActorId, Target, Tracer};
 use rnic_model::HostId;
 use sim_core::{SimDuration, SimRng, SimTime};
 
@@ -60,6 +61,7 @@ pub struct FaultInjector {
     rng: SimRng,
     stats: InjectorStats,
     digest: u64,
+    tracer: Tracer,
 }
 
 impl FaultInjector {
@@ -67,11 +69,23 @@ impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Self {
         let rng = SimRng::derive(plan.seed, "chaos-inject");
         let digest = 0xCBF2_9CE4_8422_2325 ^ plan_fingerprint(&plan);
+        let tracer = ragnar_telemetry::tracer();
+        tracer.instant(
+            Target::Chaos,
+            "plan_installed",
+            ActorId::GLOBAL,
+            0,
+            &[
+                ("seed", plan.seed.into()),
+                ("events", plan.events.len().into()),
+            ],
+        );
         FaultInjector {
             plan,
             rng,
             stats: InjectorStats::default(),
             digest,
+            tracer,
         }
     }
 
@@ -140,6 +154,21 @@ impl FaultInjector {
         }
         if v.is_fault() {
             self.fold(at, src, dst, &v);
+            if self.tracer.enabled(Target::Chaos) {
+                self.tracer.instant(
+                    Target::Chaos,
+                    "fault",
+                    ActorId::device(src.0),
+                    at.as_picos(),
+                    &[
+                        ("dst", u64::from(dst.0).into()),
+                        ("drop", v.drop.into()),
+                        ("corrupt", v.corrupt.into()),
+                        ("duplicate", v.duplicate.into()),
+                        ("extra_delay_ps", v.extra_delay.as_picos().into()),
+                    ],
+                );
+            }
         }
         v
     }

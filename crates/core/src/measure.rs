@@ -1,6 +1,7 @@
 //! Measurement drivers shared by every experiment: saturating traffic
 //! generators, the ULI probe of §IV-C, and bandwidth samplers.
 
+use ragnar_telemetry as telemetry;
 use rdma_verbs::{App, Cqe, Ctx, HostId, MrKey, Opcode, QpHandle, VerbsError, WorkRequest};
 use sim_core::{SimDuration, SimTime, TimeSeries};
 use std::cell::RefCell;
@@ -257,6 +258,8 @@ pub struct UliProbe {
     seq: u64,
     inflight_addr: std::collections::HashMap<u64, u64>,
     samples: Rc<RefCell<Vec<UliSample>>>,
+    tracer: telemetry::Tracer,
+    metrics: telemetry::Metrics,
 }
 
 impl UliProbe {
@@ -280,6 +283,8 @@ impl UliProbe {
             seq: 0,
             inflight_addr: std::collections::HashMap::new(),
             samples,
+            tracer: telemetry::tracer(),
+            metrics: telemetry::metrics(),
         }
     }
 
@@ -311,9 +316,23 @@ impl App for UliProbe {
         let addr = self.inflight_addr.remove(&cqe.wr_id).unwrap_or(0);
         if cqe.status.is_ok() {
             let lat = cqe.latency().as_nanos_f64();
+            let uli = lat / self.depth as f64;
+            if self.metrics.enabled() {
+                self.metrics.record_ns("uli_ns", uli);
+                self.metrics.record_ns("uli_latency_ns", lat);
+            }
+            if self.tracer.enabled(telemetry::Target::Core) {
+                self.tracer.instant(
+                    telemetry::Target::Core,
+                    "uli_sample",
+                    telemetry::ActorId::qp(self.qp.host.0, self.qp.qp.0),
+                    cqe.completed_at.as_picos(),
+                    &[("uli_ns", uli.into()), ("addr", addr.into())],
+                );
+            }
             self.samples.borrow_mut().push(UliSample {
                 at: cqe.completed_at,
-                uli_ns: lat / self.depth as f64,
+                uli_ns: uli,
                 latency_ns: lat,
                 addr,
             });

@@ -9,6 +9,7 @@
 //! population of honest workloads.
 
 use crate::harmonic::{HarmonicMonitor, Verdict, WindowSignature};
+use ragnar_telemetry::{ActorId, Target};
 
 /// One operating point of the detector.
 #[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
@@ -38,6 +39,7 @@ pub fn roc_sweep(
         !covert.is_empty() && !honest.is_empty(),
         "both populations must be non-empty"
     );
+    let tracer = ragnar_telemetry::tracer();
     thresholds
         .iter()
         .map(|&threshold| {
@@ -53,11 +55,25 @@ pub fn roc_sweep(
                     .count() as f64
                     / series.len() as f64
             };
-            RocPoint {
+            let point = RocPoint {
                 threshold,
                 detection_rate: flagged(covert),
                 false_positive_rate: flagged(honest),
+            };
+            if tracer.enabled(Target::Defense) {
+                tracer.instant(
+                    Target::Defense,
+                    "roc_point",
+                    ActorId::GLOBAL,
+                    0,
+                    &[
+                        ("threshold", point.threshold.into()),
+                        ("detection_rate", point.detection_rate.into()),
+                        ("false_positive_rate", point.false_positive_rate.into()),
+                    ],
+                );
             }
+            point
         })
         .collect()
 }

@@ -117,12 +117,25 @@ impl ResultStore {
         Ok(artifact_hash)
     }
 
-    /// Number of entries currently stored.
+    /// Writes a cell's metrics report next to its entry as
+    /// `<key>.metrics.json`. Sidecars are observational output — they are
+    /// never read back, never hashed, and never count as cache entries.
+    pub fn store_metrics(&self, key: &str, json: &str) -> io::Result<()> {
+        fs::write(self.dir.join(format!("{key}.metrics.json")), json)
+    }
+
+    /// Number of entries currently stored (metrics sidecars excluded).
     pub fn len(&self) -> usize {
         fs::read_dir(&self.dir)
             .map(|it| {
                 it.filter_map(Result::ok)
-                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .filter(|e| {
+                        let path = e.path();
+                        path.extension().is_some_and(|x| x == "json")
+                            && !path.file_stem().is_some_and(|s| {
+                                Path::new(s).extension().is_some_and(|x| x == "metrics")
+                            })
+                    })
                     .count()
             })
             .unwrap_or(0)
@@ -158,6 +171,13 @@ mod tests {
         assert_eq!(hit.seed, 9);
         assert_eq!(hit.config, cfg);
         assert!(store.load("k2").is_none());
+        // Metrics sidecars land next to the cell but are not entries.
+        assert_eq!(store.len(), 1);
+        store
+            .store_metrics("k1", "{\"counters\":{}}")
+            .expect("sidecar");
+        assert!(store.dir().join("k1.metrics.json").exists());
+        assert_eq!(store.len(), 1);
         let _ = fs::remove_dir_all(&root);
     }
 

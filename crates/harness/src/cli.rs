@@ -13,6 +13,12 @@
 //! --chaos-seed <u64>  generate + install a seeded fault plan (experiments
 //!                     that support fault injection; changes cache keys)
 //! --chaos-plan <file> install a fault plan from a serialized plan file
+//! --trace <path>    write a Perfetto/Chrome trace_event JSON timeline of
+//!                   the whole run (telemetry; never changes cache keys)
+//! --trace-filter <targets>  comma-separated layer filter for --trace
+//!                   (sim-core,rnic-model,rdma-verbs,chaos,core,defense,
+//!                   harness; default all)
+//! --metrics         collect per-cell metrics reports next to each cell
 //! --help            usage
 //! ```
 //!
@@ -20,14 +26,16 @@
 //! table5's `--bits <n>`, …) are passed through and queried via
 //! [`Cli::flag`] / [`Cli::option_u64`] from `Experiment::params`.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 use crate::cache::ResultStore;
-use crate::executor::{self, ExecOptions};
-use crate::experiment::{Experiment, Outcome};
+use crate::executor::{self, ExecOptions, TelemetrySpec};
+use crate::experiment::{Experiment, Outcome, RunRecord};
 use crate::manifest::Manifest;
+use crate::value::Value;
+use ragnar_telemetry::{chrome_trace_json, TargetSet, TraceCell};
 
 /// Parsed shared command line.
 #[derive(Debug, Clone)]
@@ -50,6 +58,17 @@ pub struct Cli {
     /// Path to a serialized fault-plan file (`--chaos-plan`); takes
     /// precedence over `--chaos-seed` in experiments that support both.
     pub chaos_plan: Option<PathBuf>,
+    /// Where to write the Perfetto/Chrome trace JSON (`--trace`). `None`
+    /// (default) disables tracing. Excluded from configs and cache keys
+    /// by construction: parsed into this dedicated field, never into
+    /// `extras` where `Experiment::params` could fold it into a config.
+    pub trace: Option<PathBuf>,
+    /// Comma-separated trace-target filter (`--trace-filter`), validated
+    /// in [`run_with_cli`]. `None` traces every layer.
+    pub trace_filter: Option<String>,
+    /// Collect per-cell metrics reports (`--metrics`). Also excluded
+    /// from cache keys by construction.
+    pub metrics: bool,
     /// Unrecognised arguments, available to experiments.
     extras: Vec<String>,
 }
@@ -65,6 +84,9 @@ impl Default for Cli {
             results_dir: PathBuf::from("results"),
             chaos_seed: None,
             chaos_plan: None,
+            trace: None,
+            trace_filter: None,
+            metrics: false,
             extras: Vec::new(),
         }
     }
@@ -100,6 +122,11 @@ impl Cli {
                 "--chaos-plan" => {
                     cli.chaos_plan = Some(PathBuf::from(take_value(&mut it, "--chaos-plan")?));
                 }
+                "--trace" => cli.trace = Some(PathBuf::from(take_value(&mut it, "--trace")?)),
+                "--trace-filter" => {
+                    cli.trace_filter = Some(take_value(&mut it, "--trace-filter")?);
+                }
+                "--metrics" => cli.metrics = true,
                 _ => cli.extras.push(arg),
             }
         }
@@ -139,6 +166,7 @@ fn usage(exp: &dyn Experiment) -> String {
         "{name} — {desc}\n\n\
          usage: {name} [--seed <u64>] [--threads <n>] [--quick] [--force] [--no-cache]\n\
          {pad}   [--results <dir>] [--chaos-seed <u64>] [--chaos-plan <file>]\n\
+         {pad}   [--trace <path>] [--trace-filter <targets>] [--metrics]\n\
          {pad}   [experiment-specific flags]\n\n\
          Artifacts and the run manifest land in <results>/{name}/;\n\
          see EXPERIMENTS.md for the per-experiment flags and cache-key scheme.",
@@ -197,6 +225,11 @@ pub fn run_with_cli(exp: &dyn Experiment, cli: &Cli) -> Result<usize, String> {
         )
     };
 
+    let filter = match &cli.trace_filter {
+        Some(spec) => TargetSet::parse(spec).map_err(|e| format!("--trace-filter: {e}"))?,
+        None => TargetSet::ALL,
+    };
+
     let t0 = Instant::now();
     let records = executor::execute(
         exp,
@@ -206,9 +239,28 @@ pub fn run_with_cli(exp: &dyn Experiment, cli: &Cli) -> Result<usize, String> {
         &ExecOptions {
             threads: cli.threads,
             force: cli.force,
+            telemetry: TelemetrySpec {
+                trace: cli.trace.is_some(),
+                filter,
+                metrics: cli.metrics,
+            },
         },
     );
     stages.push(("execute".into(), t0.elapsed().as_secs_f64() * 1e3));
+
+    if let Some(path) = &cli.trace {
+        write_trace(&records, path)?;
+    }
+    if cli.metrics {
+        if let Some(s) = &store {
+            for r in &records {
+                if let Some(m) = r.telemetry.as_ref().and_then(|t| t.metrics.as_ref()) {
+                    // A failed sidecar write degrades observability only.
+                    let _ = s.store_metrics(&r.cache_key, &m.to_json());
+                }
+            }
+        }
+    }
 
     let t0 = Instant::now();
     let mut report = String::new();
@@ -233,7 +285,7 @@ pub fn run_with_cli(exp: &dyn Experiment, cli: &Cli) -> Result<usize, String> {
     println!("\n{}", manifest.summary_line());
     for r in &records {
         if let Outcome::Failed { message, panicked } = &r.outcome {
-            eprintln!(
+            ragnar_telemetry::warn!(
                 "failed config [{}]: {}{}",
                 r.config.label(),
                 if *panicked { "panic: " } else { "" },
@@ -242,6 +294,33 @@ pub fn run_with_cli(exp: &dyn Experiment, cli: &Cli) -> Result<usize, String> {
         }
     }
     Ok(manifest.failed)
+}
+
+/// Merges per-cell trace events (config order) into one Chrome
+/// `trace_event` JSON document, self-validates it, and writes it out.
+fn write_trace(records: &[RunRecord], path: &Path) -> Result<(), String> {
+    let cells: Vec<TraceCell<'_>> = records
+        .iter()
+        .filter_map(|r| {
+            r.telemetry.as_ref().map(|t| TraceCell {
+                label: r.config.label(),
+                index: r.index,
+                events: &t.events,
+            })
+        })
+        .collect();
+    let events: usize = cells.iter().map(|c| c.events.len()).sum();
+    let json = chrome_trace_json(&cells);
+    // The exporter is hand-rolled; refuse to ship malformed output.
+    Value::parse(&json).map_err(|e| format!("internal: trace JSON failed validation: {e}"))?;
+    std::fs::write(path, &json)
+        .map_err(|e| format!("cannot write trace to {}: {e}", path.display()))?;
+    println!(
+        "trace: {events} events from {} cells -> {}",
+        cells.len(),
+        path.display()
+    );
+    Ok(())
 }
 
 #[cfg(test)]

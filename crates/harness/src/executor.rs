@@ -16,10 +16,52 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crossbeam::deque::{Stealer, Worker};
+use ragnar_telemetry::{Session, TargetSet};
 
 use crate::cache::ResultStore;
 use crate::experiment::{Config, Experiment, Outcome, RunRecord};
 use crate::hash;
+
+/// Events buffered per traced cell before the ring starts evicting the
+/// oldest (evictions are counted and reported, never silent).
+pub const TRACE_RING_CAPACITY: usize = 1 << 20;
+
+/// What the executor should observe about each cell. Telemetry never
+/// enters configs or cache keys — it is an observer, not an input.
+#[derive(Debug, Clone)]
+pub struct TelemetrySpec {
+    /// Buffer structured trace events per cell.
+    pub trace: bool,
+    /// Which layers' events to accept when tracing.
+    pub filter: TargetSet,
+    /// Collect a per-cell metrics report.
+    pub metrics: bool,
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        TelemetrySpec {
+            trace: false,
+            filter: TargetSet::ALL,
+            metrics: false,
+        }
+    }
+}
+
+impl TelemetrySpec {
+    /// Whether any observation is requested.
+    pub fn enabled(&self) -> bool {
+        self.trace || self.metrics
+    }
+
+    fn session(&self) -> Session {
+        if self.trace {
+            Session::ring(self.filter, TRACE_RING_CAPACITY, self.metrics)
+        } else {
+            Session::metrics_only()
+        }
+    }
+}
 
 /// Executor tuning knobs.
 #[derive(Debug, Clone)]
@@ -28,6 +70,11 @@ pub struct ExecOptions {
     pub threads: usize,
     /// Recompute every config even when a cache entry matches.
     pub force: bool,
+    /// Per-cell observation. When enabled, cache reads are bypassed so
+    /// every cell actually executes under its session (telemetry can
+    /// only observe work that happens); cache writes still refresh the
+    /// store, and keys are unchanged — artifacts are telemetry-invariant.
+    pub telemetry: TelemetrySpec,
 }
 
 impl Default for ExecOptions {
@@ -35,6 +82,7 @@ impl Default for ExecOptions {
         ExecOptions {
             threads: default_threads(),
             force: false,
+            telemetry: TelemetrySpec::default(),
         }
     }
 }
@@ -96,7 +144,7 @@ pub fn execute(
         );
         let t0 = Instant::now();
 
-        if !opts.force {
+        if !opts.force && !opts.telemetry.enabled() {
             if let Some(hit) = store.and_then(|s| s.load(&key)) {
                 let record = RunRecord {
                     index,
@@ -106,6 +154,7 @@ pub fn execute(
                     outcome: Outcome::Done(hit.artifact),
                     from_cache: true,
                     elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    telemetry: None,
                 };
                 *slots[index].lock().expect("slot poisoned") = Some(record);
                 completed.fetch_add(1, Ordering::Relaxed);
@@ -113,7 +162,18 @@ pub fn execute(
             }
         }
 
-        let result = panic::catch_unwind(AssertUnwindSafe(|| exp.run(config, seed)));
+        let (result, telemetry) = if opts.telemetry.enabled() {
+            let session = opts.telemetry.session();
+            let guard = session.install();
+            let result = panic::catch_unwind(AssertUnwindSafe(|| exp.run(config, seed)));
+            drop(guard);
+            (result, Some(session.finish()))
+        } else {
+            (
+                panic::catch_unwind(AssertUnwindSafe(|| exp.run(config, seed))),
+                None,
+            )
+        };
         let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
         let outcome = match result {
             Ok(Ok(artifact)) => {
@@ -140,6 +200,7 @@ pub fn execute(
             outcome,
             from_cache: false,
             elapsed_ms,
+            telemetry,
         };
         *slots[index].lock().expect("slot poisoned") = Some(record);
         completed.fetch_add(1, Ordering::Relaxed);
@@ -235,7 +296,7 @@ mod tests {
             None,
             &ExecOptions {
                 threads: 8,
-                force: false,
+                ..Default::default()
             },
         );
         assert_eq!(records.len(), 64);
@@ -276,7 +337,7 @@ mod tests {
             None,
             &ExecOptions {
                 threads: 1,
-                force: false,
+                ..Default::default()
             },
         );
         let parallel = execute(
@@ -286,7 +347,7 @@ mod tests {
             None,
             &ExecOptions {
                 threads: 8,
-                force: false,
+                ..Default::default()
             },
         );
         for (a, b) in serial.iter().zip(&parallel) {
@@ -304,7 +365,7 @@ mod tests {
             None,
             &ExecOptions {
                 threads: 1,
-                force: false,
+                ..Default::default()
             },
         );
         assert!(serial.iter().zip(&other).all(|(a, b)| a.seed != b.seed));

@@ -192,6 +192,10 @@ pub struct RunRecord {
     pub from_cache: bool,
     /// Wall time spent producing (or loading) the artifact, in ms.
     pub elapsed_ms: f64,
+    /// What the cell's telemetry session observed (`None` when telemetry
+    /// was off or the artifact came from the cache). Never part of the
+    /// artifact or its digest.
+    pub telemetry: Option<ragnar_telemetry::SessionReport>,
 }
 
 /// A reproducible experiment: the unit the harness schedules, caches

@@ -43,6 +43,27 @@ pub struct Manifest {
     pub artifact_digest: String,
     /// Unix timestamp (ms) when the invocation started.
     pub started_unix_ms: u64,
+    /// Per-cell wall-time / cache-hit / event-count stats, config order.
+    pub cells: Vec<CellStat>,
+    /// Telemetry events accepted across all cells (0 with telemetry off).
+    pub telemetry_events: u64,
+}
+
+/// One cell's slice of the manifest.
+#[derive(Debug, Clone)]
+pub struct CellStat {
+    /// The config's human label.
+    pub label: String,
+    /// Whether the artifact came from the result cache.
+    pub from_cache: bool,
+    /// Wall time producing (or loading) the artifact, ms.
+    pub elapsed_ms: f64,
+    /// Telemetry events the cell's session accepted.
+    pub events: u64,
+    /// Events evicted from the trace ring (0 unless the cell overflowed).
+    pub dropped_events: u64,
+    /// Samples recorded across the cell's metrics histograms.
+    pub metric_samples: u64,
 }
 
 impl Manifest {
@@ -75,6 +96,31 @@ impl Manifest {
             }
             material.push('\n');
         }
+        let cells: Vec<CellStat> = records
+            .iter()
+            .map(|r| {
+                let (events, dropped, samples) = match &r.telemetry {
+                    Some(t) => (
+                        t.total_events,
+                        t.dropped_events,
+                        t.metrics
+                            .as_ref()
+                            .map(|m| m.histogram_samples())
+                            .unwrap_or(0),
+                    ),
+                    None => (0, 0, 0),
+                };
+                CellStat {
+                    label: r.config.label(),
+                    from_cache: r.from_cache,
+                    elapsed_ms: r.elapsed_ms,
+                    events,
+                    dropped_events: dropped,
+                    metric_samples: samples,
+                }
+            })
+            .collect();
+        let telemetry_events = cells.iter().map(|c| c.events).sum();
         Manifest {
             experiment: experiment.to_string(),
             seed,
@@ -90,6 +136,17 @@ impl Manifest {
                 .duration_since(UNIX_EPOCH)
                 .map(|d| d.as_millis() as u64)
                 .unwrap_or(0),
+            cells,
+            telemetry_events,
+        }
+    }
+
+    /// Fraction of configs served from the cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.cached as f64 / self.total as f64
         }
     }
 
@@ -111,6 +168,23 @@ impl Manifest {
         v.set("stage_ms", stages);
         v.set("artifact_digest", self.artifact_digest.as_str());
         v.set("started_unix_ms", self.started_unix_ms);
+        v.set("cache_hit_rate", self.cache_hit_rate());
+        v.set("telemetry_events", self.telemetry_events);
+        let cells: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let mut cell = Value::object();
+                cell.set("label", c.label.as_str());
+                cell.set("from_cache", c.from_cache);
+                cell.set("elapsed_ms", c.elapsed_ms);
+                cell.set("events", c.events);
+                cell.set("dropped_events", c.dropped_events);
+                cell.set("metric_samples", c.metric_samples);
+                cell
+            })
+            .collect();
+        v.set("cells", Value::Array(cells));
         v
     }
 
@@ -131,17 +205,22 @@ impl Manifest {
 
     /// One-line console summary.
     pub fn summary_line(&self) -> String {
-        format!(
-            "[{}] {} configs in {:.1} ms on {} threads — {} run, {} cached, {} failed; digest {}",
+        let mut line = format!(
+            "[{}] {} configs in {:.1} ms on {} threads — {} run, {} cached ({:.0}% hit), {} failed; digest {}",
             self.experiment,
             self.total,
             self.wall_ms,
             self.threads,
             self.executed,
             self.cached,
+            self.cache_hit_rate() * 100.0,
             self.failed,
             &self.artifact_digest[..16.min(self.artifact_digest.len())],
-        )
+        );
+        if self.telemetry_events > 0 {
+            line.push_str(&format!("; {} trace events", self.telemetry_events));
+        }
+        line
     }
 }
 
@@ -159,6 +238,7 @@ mod tests {
             outcome: Outcome::Done(Artifact::text(rendered)),
             from_cache: cached,
             elapsed_ms: 1.0,
+            telemetry: None,
         }
     }
 

@@ -401,13 +401,27 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.err("unknown escape")),
                     }
                 }
+                _ if b < 0x80 => out.push(b as char),
                 _ => {
-                    // Re-decode UTF-8 starting at this byte.
+                    // Multi-byte UTF-8: the leading byte fixes the
+                    // sequence length, so validate just that window —
+                    // validating the whole remaining input here made
+                    // parsing quadratic in document size.
                     let start = self.pos - 1;
-                    let s = std::str::from_utf8(&self.bytes[start..])
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8")),
+                    };
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(self.err("invalid UTF-8"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| self.err("invalid UTF-8"))?;
                     let c = s.chars().next().expect("non-empty");
-                    self.pos = start + c.len_utf8();
+                    self.pos = end;
                     out.push(c);
                 }
             }

@@ -3,6 +3,7 @@
 
 use crate::wr::WorkRequest;
 use ragnar_chaos::{FabricStats, FaultInjector, FaultPlan, InjectorStats};
+use ragnar_telemetry::{ActorId, ArgValue, Metrics, Target, Tracer};
 use rnic_model::{
     AccessFlags, Cqe, DeviceProfile, HostMemory, MrEntry, MrKey, NicAction, NicCounters, NicEvent,
     Packet, PdId, PostError, QpConfig, QpNum, QpTransport, RecvWqe, ResetError, Rnic, TrafficClass,
@@ -302,6 +303,10 @@ struct World {
     injector: Option<FaultInjector>,
     /// Fabric-wide packet conservation ledger for the chaos oracles.
     fabric: FabricStats,
+    /// Ambient telemetry handles captured at construction; disabled
+    /// handles cost one branch per use.
+    tracer: Tracer,
+    metrics: Metrics,
 }
 
 const HUGE_PAGE: u64 = 2 * 1024 * 1024;
@@ -360,6 +365,19 @@ impl World {
                             );
                         }
                     }
+                    if self.tracer.enabled(Target::RdmaVerbs) {
+                        self.tracer.span(
+                            Target::RdmaVerbs,
+                            "wire_hop",
+                            ActorId::device(host.0),
+                            at.as_picos(),
+                            (deliver_at - at).as_picos(),
+                            &[
+                                ("dst", u64::from(dst.0).into()),
+                                ("msg_id", pkt.msg_id.into()),
+                            ],
+                        );
+                    }
                     self.queue.schedule(
                         deliver_at,
                         WorldEvent::Deliver {
@@ -369,14 +387,54 @@ impl World {
                         },
                     );
                 }
-                NicAction::Complete { at, cqe } => match self.qp_owner.get(&(host, cqe.qp)) {
-                    Some(&app) => {
-                        self.queue
-                            .schedule(at, WorldEvent::AppCqe { app, host, cqe });
+                NicAction::Complete { at, cqe } => {
+                    if self.metrics.enabled() {
+                        self.metrics
+                            .record_ns("qp_completion_ns", cqe.latency().as_nanos_f64());
+                        self.metrics.counter_add(
+                            if cqe.status.is_ok() {
+                                "cqe.success"
+                            } else {
+                                "cqe.failed"
+                            },
+                            1,
+                        );
                     }
-                    None => self.orphan_cqes.push((host, cqe)),
-                },
+                    if self.tracer.enabled(Target::RdmaVerbs) {
+                        self.tracer.instant(
+                            Target::RdmaVerbs,
+                            "cqe",
+                            ActorId::qp(host.0, cqe.qp.0),
+                            at.as_picos(),
+                            &[
+                                ("status", ArgValue::Str(cqe.status.name())),
+                                ("opcode", ArgValue::Str(cqe.opcode.name())),
+                            ],
+                        );
+                    }
+                    match self.qp_owner.get(&(host, cqe.qp)) {
+                        Some(&app) => {
+                            self.queue
+                                .schedule(at, WorldEvent::AppCqe { app, host, cqe });
+                        }
+                        None => self.orphan_cqes.push((host, cqe)),
+                    }
+                }
             }
+        }
+    }
+
+    /// Marks a successful QP Error → Ready transition in the trace.
+    fn trace_qp_recover(&mut self, qp: QpHandle) {
+        if self.tracer.enabled(Target::RdmaVerbs) {
+            let now = self.now();
+            self.tracer.instant(
+                Target::RdmaVerbs,
+                "qp_recover",
+                ActorId::qp(qp.host.0, qp.qp.0),
+                now.as_picos(),
+                &[],
+            );
         }
     }
 
@@ -470,6 +528,8 @@ impl Simulation {
                 dropped_packets: 0,
                 injector: None,
                 fabric: FabricStats::default(),
+                tracer: ragnar_telemetry::tracer(),
+                metrics: ragnar_telemetry::metrics(),
             },
             apps: Vec::new(),
             started_count: 0,
@@ -718,6 +778,7 @@ impl Simulation {
             .get_mut(qp.host.0 as usize)
             .ok_or(VerbsError::UnknownHost(qp.host))?;
         nic.reset_qp(qp.qp)?;
+        self.world.trace_qp_recover(qp);
         Ok(())
     }
 
@@ -830,6 +891,28 @@ impl Simulation {
     }
 }
 
+impl Drop for Simulation {
+    /// Folds this fabric's NIC counters into the ambient metrics
+    /// registry, so every experiment — including ones that build their
+    /// `Simulation` internally — contributes per-direction drop
+    /// attribution and event-core churn without explicit plumbing.
+    fn drop(&mut self) {
+        let m = &self.world.metrics;
+        if !m.enabled() {
+            return;
+        }
+        m.counter_add("sim.events_processed", self.world.queue.events_processed());
+        m.counter_add("wire.dropped_packets", self.world.dropped_packets);
+        for nic in &self.world.nics {
+            for (name, v) in nic.counters().snapshot().metric_entries() {
+                if v != 0 {
+                    m.counter_add(&format!("nic.{name}"), v);
+                }
+            }
+        }
+    }
+}
+
 /// The capability handle passed to application callbacks.
 pub struct Ctx<'a> {
     world: &'a mut World,
@@ -897,6 +980,7 @@ impl Ctx<'_> {
             .get_mut(qp.host.0 as usize)
             .ok_or(VerbsError::UnknownHost(qp.host))?;
         nic.reset_qp(qp.qp)?;
+        self.world.trace_qp_recover(qp);
         Ok(())
     }
 

@@ -12,6 +12,7 @@
 //! NIC — which is exactly why the paper's Grain-IV attacks are stealthy.
 
 use crate::types::{FlowId, Opcode, TrafficClass};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Monotonic counters for one NIC.
@@ -76,7 +77,8 @@ impl NicCounters {
         Self::default()
     }
 
-    /// Snapshot for windowed rate computation.
+    /// Snapshot for windowed rate computation and the per-cell metrics
+    /// report.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
             tx_bytes: self.tx_bytes,
@@ -88,6 +90,17 @@ impl NicCounters {
             requests_per_opcode: self.requests_per_opcode,
             tpu_lookups: self.tpu_lookups,
             pcie_bytes: self.pcie_bytes,
+            naks_sent: self.naks_sent,
+            retransmits: self.retransmits,
+            rnr_naks: self.rnr_naks,
+            wire_tx_dropped: self.wire_tx_dropped,
+            wire_rx_dropped: self.wire_rx_dropped,
+            icrc_rx_dropped: self.icrc_rx_dropped,
+            rx_out_of_order_dropped: self.rx_out_of_order_dropped,
+            rx_duplicate_dropped: self.rx_duplicate_dropped,
+            wqes_flushed: self.wqes_flushed,
+            qp_fatal_errors: self.qp_fatal_errors,
+            cqes_delivered: self.cqes_delivered,
         }
     }
 
@@ -101,8 +114,10 @@ impl NicCounters {
     }
 }
 
-/// A point-in-time copy of the rate-relevant counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// A point-in-time copy of the rate-relevant counters, including the
+/// per-direction dropped-packet attribution and retry/NAK budget
+/// observables of the error-state machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CounterSnapshot {
     /// Transmitted wire bytes.
     pub tx_bytes: u64,
@@ -122,6 +137,28 @@ pub struct CounterSnapshot {
     pub tpu_lookups: u64,
     /// PCIe DMA bytes.
     pub pcie_bytes: u64,
+    /// NAKs generated.
+    pub naks_sent: u64,
+    /// Timeout retransmissions.
+    pub retransmits: u64,
+    /// Receiver-not-ready NAKs absorbed.
+    pub rnr_naks: u64,
+    /// Outbound packets lost on the wire after leaving this NIC.
+    pub wire_tx_dropped: u64,
+    /// Inbound packets lost on the wire before reaching this NIC.
+    pub wire_rx_dropped: u64,
+    /// Inbound packets discarded by the ICRC check.
+    pub icrc_rx_dropped: u64,
+    /// Inbound segments discarded for arriving out of order.
+    pub rx_out_of_order_dropped: u64,
+    /// Inbound packets discarded as duplicates.
+    pub rx_duplicate_dropped: u64,
+    /// WQEs flushed when a QP entered the Error state.
+    pub wqes_flushed: u64,
+    /// QPs that transitioned into the Error state.
+    pub qp_fatal_errors: u64,
+    /// Completions delivered.
+    pub cqes_delivered: u64,
 }
 
 impl CounterSnapshot {
@@ -145,7 +182,46 @@ impl CounterSnapshot {
         }
         out.tpu_lookups = self.tpu_lookups.saturating_sub(earlier.tpu_lookups);
         out.pcie_bytes = self.pcie_bytes.saturating_sub(earlier.pcie_bytes);
+        out.naks_sent = self.naks_sent.saturating_sub(earlier.naks_sent);
+        out.retransmits = self.retransmits.saturating_sub(earlier.retransmits);
+        out.rnr_naks = self.rnr_naks.saturating_sub(earlier.rnr_naks);
+        out.wire_tx_dropped = self.wire_tx_dropped.saturating_sub(earlier.wire_tx_dropped);
+        out.wire_rx_dropped = self.wire_rx_dropped.saturating_sub(earlier.wire_rx_dropped);
+        out.icrc_rx_dropped = self.icrc_rx_dropped.saturating_sub(earlier.icrc_rx_dropped);
+        out.rx_out_of_order_dropped = self
+            .rx_out_of_order_dropped
+            .saturating_sub(earlier.rx_out_of_order_dropped);
+        out.rx_duplicate_dropped = self
+            .rx_duplicate_dropped
+            .saturating_sub(earlier.rx_duplicate_dropped);
+        out.wqes_flushed = self.wqes_flushed.saturating_sub(earlier.wqes_flushed);
+        out.qp_fatal_errors = self.qp_fatal_errors.saturating_sub(earlier.qp_fatal_errors);
+        out.cqes_delivered = self.cqes_delivered.saturating_sub(earlier.cqes_delivered);
         out
+    }
+
+    /// The scalar counters as stable `(name, value)` pairs — the shape
+    /// the telemetry metrics registry folds into the per-cell report.
+    /// Per-TC and per-opcode arrays are deliberately aggregate-only
+    /// here; the full breakdown stays on [`NicCounters`].
+    pub fn metric_entries(&self) -> [(&'static str, u64); 15] {
+        [
+            ("tx_bytes", self.tx_bytes),
+            ("tx_packets", self.tx_packets),
+            ("rx_bytes", self.rx_bytes),
+            ("rx_packets", self.rx_packets),
+            ("tpu_lookups", self.tpu_lookups),
+            ("pcie_bytes", self.pcie_bytes),
+            ("naks_sent", self.naks_sent),
+            ("retransmits", self.retransmits),
+            ("rnr_naks", self.rnr_naks),
+            ("wire_tx_dropped", self.wire_tx_dropped),
+            ("wire_rx_dropped", self.wire_rx_dropped),
+            ("icrc_rx_dropped", self.icrc_rx_dropped),
+            ("rx_out_of_order_dropped", self.rx_out_of_order_dropped),
+            ("rx_duplicate_dropped", self.rx_duplicate_dropped),
+            ("qp_fatal_errors", self.qp_fatal_errors),
+        ]
     }
 }
 
@@ -167,6 +243,37 @@ mod tests {
         assert_eq!(d.tx_bytes, 250);
         assert_eq!(d.tx_packets, 5);
         assert_eq!(d.tx_bytes_per_tc[3], 50);
+    }
+
+    #[test]
+    fn snapshot_carries_error_and_drop_attribution() {
+        let mut c = NicCounters::new();
+        c.naks_sent = 3;
+        c.retransmits = 2;
+        c.wire_tx_dropped = 5;
+        c.wire_rx_dropped = 4;
+        c.icrc_rx_dropped = 1;
+        c.qp_fatal_errors = 1;
+        let early = c.snapshot();
+        c.naks_sent = 7;
+        c.wire_tx_dropped = 9;
+        let d = c.snapshot().delta(&early);
+        assert_eq!(d.naks_sent, 4);
+        assert_eq!(d.wire_tx_dropped, 4);
+        assert_eq!(d.retransmits, 0);
+        let entries = early.metric_entries();
+        let get = |name: &str| {
+            entries
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| *v)
+                .expect("entry")
+        };
+        assert_eq!(get("naks_sent"), 3);
+        assert_eq!(get("wire_tx_dropped"), 5);
+        assert_eq!(get("wire_rx_dropped"), 4);
+        assert_eq!(get("icrc_rx_dropped"), 1);
+        assert_eq!(get("qp_fatal_errors"), 1);
     }
 
     #[test]

@@ -28,9 +28,10 @@ use crate::device::DeviceProfile;
 use crate::memory::HostMemory;
 use crate::noc::NocActivation;
 use crate::packet::{segment_count, Cqe, CqeStatus, Packet, PacketKind, RecvWqe, Wqe};
-use crate::tpu::{MrEntry, TranslationUnit};
+use crate::tpu::{MrEntry, TpuAccess, TranslationUnit};
 use crate::types::{wire, FlowId, HostId, MrKey, NakReason, Opcode, PdId, QpNum, TrafficClass};
 use bytes::Bytes;
+use ragnar_telemetry::{ActorId, ArgValue, Target, Tracer};
 use sim_core::{LinkResource, ServiceResource, SimDuration, SimRng, SimTime};
 use std::collections::{HashMap, VecDeque};
 
@@ -323,6 +324,9 @@ pub struct Rnic {
     /// FIFO per NIC.
     completed_inbound: std::collections::HashSet<(HostId, u64)>,
     completed_inbound_order: VecDeque<(HostId, u64)>,
+    /// Ambient telemetry handle captured at construction; disabled
+    /// outside a tracing session (one branch per instrumentation site).
+    tracer: Tracer,
 }
 
 impl Rnic {
@@ -370,6 +374,62 @@ impl Rnic {
             completed_inbound: std::collections::HashSet::new(),
             completed_inbound_order: VecDeque::new(),
             profile,
+            tracer: ragnar_telemetry::tracer(),
+        }
+    }
+
+    /// Whether datapath tracing is enabled — the per-site guard.
+    #[inline]
+    fn trace_on(&self) -> bool {
+        self.tracer.enabled(Target::RnicModel)
+    }
+
+    /// Telemetry actor for one of this NIC's QPs.
+    fn actor(&self, qp: QpNum) -> ActorId {
+        ActorId::qp(self.host.0, qp.0)
+    }
+
+    /// Records a pipeline-stage span covering `start..end` on `qp`.
+    fn trace_stage(&self, name: &'static str, qp: QpNum, start: SimTime, end: SimTime) {
+        self.tracer.span(
+            Target::RnicModel,
+            name,
+            self.actor(qp),
+            start.as_picos(),
+            (end - start).as_picos(),
+            &[],
+        );
+    }
+
+    /// Records a TPU translation span with the microarchitectural cost
+    /// components that matter for the paper's ULI channel as args.
+    fn trace_tpu(&self, pkt: &Packet, access: &TpuAccess) {
+        let r = access.reservation;
+        self.tracer.span(
+            Target::RnicModel,
+            "tpu",
+            self.actor(pkt.dst_qp),
+            r.start.as_picos(),
+            (r.end - r.start).as_picos(),
+            &[
+                ("opcode", ArgValue::Str(pkt.opcode.name())),
+                ("mr_switch_ps", access.breakdown.mr_switch.as_picos().into()),
+                ("row_miss_ps", access.breakdown.row_miss.as_picos().into()),
+                ("mr_offset", access.mr_offset.into()),
+            ],
+        );
+    }
+
+    /// Records a NAK instant on the responder QP.
+    fn trace_nak(&self, now: SimTime, pkt: &Packet, reason: NakReason) {
+        if self.trace_on() {
+            self.tracer.instant(
+                Target::RnicModel,
+                "nak",
+                self.actor(pkt.dst_qp),
+                now.as_picos(),
+                &[("reason", ArgValue::Str(reason.name()))],
+            );
         }
     }
 
@@ -688,6 +748,9 @@ impl Rnic {
                 self.counters.rx_packets += 1;
                 self.counters.rx_bytes_per_tc[pkt.tc.index()] += pkt.wire_bytes();
                 let res = self.rx_pu.reserve(now, self.profile.rx_pu_service);
+                if self.trace_on() {
+                    self.trace_stage("rx_pu", pkt.dst_qp, res.start, res.end);
+                }
                 out.push(NicAction::Schedule {
                     at: res.end,
                     event: NicEvent::RxPuDone { pkt },
@@ -761,6 +824,16 @@ impl Rnic {
             service = service.mul_f64(self.profile.noc_speedup);
         }
         let res = self.tx_pu.reserve(now, service);
+        if self.trace_on() {
+            self.tracer.span(
+                Target::RnicModel,
+                "tx_pu",
+                self.actor(qp),
+                res.start.as_picos(),
+                (res.end - res.start).as_picos(),
+                &[("opcode", ArgValue::Str(wqe.opcode.name()))],
+            );
+        }
         out.push(NicAction::Schedule {
             at: res.end,
             event: NicEvent::TxPuDone { qp, wqe },
@@ -830,6 +903,18 @@ impl Rnic {
         }
         state.transport = QpTransport::Error;
         self.counters.qp_fatal_errors += 1;
+        if self.trace_on() {
+            self.tracer.instant(
+                Target::RnicModel,
+                "qp_error",
+                self.actor(qp),
+                now.as_picos(),
+                &[
+                    ("status", ArgValue::Str(status.name())),
+                    ("trigger_msg", trigger_msg.into()),
+                ],
+            );
+        }
         let state = self.qps.get_mut(&qp).expect("state just accessed");
         let queued: Vec<Wqe> = state.sq.drain(..).collect();
         let recvs: Vec<RecvWqe> = state.recv_queue.drain(..).collect();
@@ -1042,6 +1127,9 @@ impl Rnic {
                 ) {
                     Ok(access) => {
                         self.counters.tpu_lookups += 1;
+                        if self.trace_on() {
+                            self.trace_tpu(&pkt, &access);
+                        }
                         let at = self.responder_fence(pkt.dst_qp, access.reservation.end);
                         out.push(NicAction::Schedule {
                             at,
@@ -1050,6 +1138,7 @@ impl Rnic {
                     }
                     Err(reason) => {
                         self.counters.naks_sent += 1;
+                        self.trace_nak(now, &pkt, reason);
                         self.respond(now, &pkt, PacketKind::Nak(reason), Bytes::new());
                         self.kick_egress(now, out);
                     }
@@ -1102,6 +1191,7 @@ impl Rnic {
                         }
                         Err(reason) => {
                             self.counters.naks_sent += 1;
+                            self.trace_nak(now, &pkt, reason);
                             self.assembly.insert(key, AssemblyState::Failed);
                             self.respond(now, &pkt, PacketKind::Nak(reason), Bytes::new());
                             self.kick_egress(now, out);
@@ -1180,6 +1270,7 @@ impl Rnic {
                         }
                         _ => {
                             self.counters.naks_sent += 1;
+                            self.trace_nak(now, &pkt, NakReason::ReceiveNotPosted);
                             self.assembly.insert(key, AssemblyState::Failed);
                             self.respond(
                                 now,
@@ -1275,7 +1366,17 @@ impl Rnic {
                 // post a receive in the meantime.
                 if entry.rnr_retries < self.profile.rnr_retry_limit {
                     entry.rnr_retries += 1;
+                    let qp = entry.qp;
                     self.counters.rnr_naks += 1;
+                    if self.trace_on() {
+                        self.tracer.instant(
+                            Target::RnicModel,
+                            "rnr_nak",
+                            self.actor(qp),
+                            now.as_picos(),
+                            &[("msg_id", pkt.msg_id.into())],
+                        );
+                    }
                     return;
                 }
                 let qp = entry.qp;
@@ -1353,6 +1454,18 @@ impl Rnic {
         let wqe = entry.wqe.clone();
         self.inflight.insert(msg_id, Inflight { retries, ..entry });
         self.counters.retransmits += 1;
+        if self.trace_on() {
+            self.tracer.instant(
+                Target::RnicModel,
+                "retransmit",
+                self.actor(qp),
+                now.as_picos(),
+                &[
+                    ("msg_id", msg_id.into()),
+                    ("retries", u64::from(retries).into()),
+                ],
+            );
+        }
         // Drop partial response state and resend the whole message; the
         // next check backs off exponentially (IB-style retry pacing) so
         // repeated losses don't flood the fabric.

@@ -91,6 +91,17 @@ pub enum Opcode {
 }
 
 impl Opcode {
+    /// The opcode's lowercase name (telemetry event args, tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Read => "read",
+            Opcode::Write => "write",
+            Opcode::Send => "send",
+            Opcode::AtomicFetchAdd => "fetch_add",
+            Opcode::AtomicCmpSwap => "cmp_swap",
+        }
+    }
+
     /// All opcodes, for sweep enumeration.
     pub const ALL: [Opcode; 5] = [
         Opcode::Read,
@@ -205,6 +216,19 @@ pub enum NakReason {
     PdMismatch,
     /// A Send arrived but no receive WQE was posted.
     ReceiveNotPosted,
+}
+
+impl NakReason {
+    /// Short stable name (telemetry event args).
+    pub fn name(self) -> &'static str {
+        match self {
+            NakReason::InvalidMrKey => "invalid_mr_key",
+            NakReason::OutOfBounds => "out_of_bounds",
+            NakReason::AccessDenied => "access_denied",
+            NakReason::PdMismatch => "pd_mismatch",
+            NakReason::ReceiveNotPosted => "receive_not_posted",
+        }
+    }
 }
 
 impl fmt::Display for NakReason {

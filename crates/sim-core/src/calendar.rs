@@ -50,6 +50,7 @@
 
 use crate::queue::{EventHandle, EventSchedule};
 use crate::time::SimTime;
+use ragnar_telemetry::{ActorId, Target, Tracer};
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
@@ -132,6 +133,10 @@ pub struct CalendarQueue<E> {
     seq: u64,
     now: SimTime,
     popped: u64,
+    /// Ambient telemetry handle captured at construction; disabled
+    /// outside a tracing session, where it costs one branch per
+    /// [`Self::TELEMETRY_STRIDE`] operations.
+    tracer: Tracer,
 }
 
 impl<E> Default for CalendarQueue<E> {
@@ -173,6 +178,27 @@ impl<E> CalendarQueue<E> {
             seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            tracer: ragnar_telemetry::tracer(),
+        }
+    }
+
+    /// Pops/schedules between queue-depth counter samples (power of
+    /// two): dense enough for a depth timeline, sparse enough that the
+    /// trace stays a small fraction of the event count.
+    pub const TELEMETRY_STRIDE: u64 = 1 << 10;
+
+    /// Emits a `queue_depth` counter sample every
+    /// [`Self::TELEMETRY_STRIDE`]-th call when tracing is enabled.
+    #[inline]
+    fn sample_depth(&self, tick: u64) {
+        if tick & (Self::TELEMETRY_STRIDE - 1) == 0 && self.tracer.enabled(Target::SimCore) {
+            self.tracer.counter(
+                Target::SimCore,
+                "queue_depth",
+                ActorId::GLOBAL,
+                self.now.as_picos(),
+                self.live as f64,
+            );
         }
     }
 
@@ -217,6 +243,7 @@ impl<E> CalendarQueue<E> {
         let slot = self.alloc(at, seq, event);
         self.place(slot, at.as_picos(), seq);
         self.live += 1;
+        self.sample_depth(seq);
         EventHandle { seq, slot }
     }
 
@@ -269,6 +296,7 @@ impl<E> CalendarQueue<E> {
             debug_assert!(at >= self.now, "event queue time went backwards");
             self.now = at;
             self.popped += 1;
+            self.sample_depth(self.popped);
             return Some((at, event));
         }
     }

@@ -1,0 +1,186 @@
+//! Event sinks: the [`Collector`] trait and its three implementations.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+use crate::json;
+
+/// An event sink. Implementations must be cheap per call — the tracer
+/// serializes access, so `record` runs under a mutex.
+pub trait Collector: Send {
+    /// Accepts one event.
+    fn record(&mut self, event: Event);
+    /// Flushes buffered output (streaming sinks).
+    fn flush(&mut self) {}
+}
+
+/// Discards everything — the explicit no-op sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    fn record(&mut self, _event: Event) {}
+}
+
+/// Shared state behind a [`RingCollector`], so the owning
+/// [`Session`](crate::Session) can drain events after the run.
+#[derive(Debug, Default)]
+pub(crate) struct RingState {
+    pub(crate) events: VecDeque<Event>,
+    pub(crate) dropped: u64,
+}
+
+/// A bounded in-memory ring: keeps the most recent `capacity` events and
+/// counts the overflow, so a pathological cell bounds its own memory
+/// instead of the whole sweep's.
+#[derive(Debug, Clone)]
+pub struct RingCollector {
+    state: Arc<Mutex<RingState>>,
+    capacity: usize,
+}
+
+impl RingCollector {
+    /// Creates a ring keeping at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> RingCollector {
+        RingCollector {
+            state: Arc::new(Mutex::new(RingState::default())),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub(crate) fn state(&self) -> Arc<Mutex<RingState>> {
+        Arc::clone(&self.state)
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("ring poisoned").events.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("ring poisoned").dropped
+    }
+
+    /// Removes and returns every buffered event, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        self.state
+            .lock()
+            .expect("ring poisoned")
+            .events
+            .drain(..)
+            .collect()
+    }
+}
+
+impl Collector for RingCollector {
+    fn record(&mut self, event: Event) {
+        let mut state = self.state.lock().expect("ring poisoned");
+        if state.events.len() >= self.capacity {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        state.events.push_back(event);
+    }
+}
+
+/// Streams each event as one line of JSON (JSONL) to a writer — for
+/// traces too large to buffer, or live tailing.
+pub struct StreamCollector<W: Write + Send> {
+    out: W,
+    written: u64,
+    errored: bool,
+}
+
+impl<W: Write + Send> StreamCollector<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> StreamCollector<W> {
+        StreamCollector {
+            out,
+            written: 0,
+            errored: false,
+        }
+    }
+
+    /// Lines successfully written.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write + Send> Collector for StreamCollector<W> {
+    fn record(&mut self, event: Event) {
+        if self.errored {
+            return;
+        }
+        let mut line = String::with_capacity(128);
+        json::event_object(&event, &mut line);
+        line.push('\n');
+        // A sink error disables the stream rather than failing the run:
+        // telemetry must never change experiment outcomes.
+        if self.out.write_all(line.as_bytes()).is_err() {
+            self.errored = true;
+        } else {
+            self.written += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ActorId, EventKind, Target};
+
+    fn ev(i: u64) -> Event {
+        Event {
+            target: Target::Harness,
+            name: "t",
+            actor: ActorId::GLOBAL,
+            ts_ps: i,
+            kind: EventKind::Instant,
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let mut ring = RingCollector::new(3);
+        for i in 0..5 {
+            ring.record(ev(i));
+        }
+        assert_eq!(ring.dropped(), 2);
+        let events = ring.drain();
+        assert_eq!(
+            events.iter().map(|e| e.ts_ps).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn stream_writes_one_line_per_event() {
+        let mut sink = StreamCollector::new(Vec::new());
+        sink.record(ev(7));
+        sink.record(ev(8));
+        assert_eq!(sink.written(), 2);
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"ts_ps\":7"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Log-linear HDR-style histograms.
+//!
+//! Values (non-negative integers; the metrics registry feeds it
+//! picoseconds) land in buckets laid out like HdrHistogram's: exact
+//! buckets below [`Histogram::SUB_BUCKETS`], then `SUB_BUCKETS` linear
+//! sub-buckets per power-of-two magnitude. Relative quantile error is
+//! bounded by `1 / SUB_BUCKETS` (~3.1%); min, max, count and sum are
+//! tracked exactly.
+
+/// A log-linear histogram over `u64` values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Linear sub-buckets per power-of-two magnitude; also the exact
+    /// range floor. Controls the `1/SUB_BUCKETS` relative error bound.
+    pub const SUB_BUCKETS: u64 = 32;
+    const SUB_BITS: u32 = 5;
+    /// Index space: magnitudes 5..=63 each contribute `SUB_BUCKETS`
+    /// buckets on top of the exact low range.
+    const BUCKETS: usize = (64 - Self::SUB_BITS as usize) * Self::SUB_BUCKETS as usize;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; Self::BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < Self::SUB_BUCKETS {
+            value as usize
+        } else {
+            let mag = 63 - value.leading_zeros();
+            let sub = (value >> (mag - Self::SUB_BITS)) - Self::SUB_BUCKETS;
+            ((mag - Self::SUB_BITS + 1) as u64 * Self::SUB_BUCKETS + sub) as usize
+        }
+    }
+
+    /// The lower edge of bucket `idx` — the value `index` maps back to.
+    fn bucket_low(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < Self::SUB_BUCKETS {
+            idx
+        } else {
+            let group = idx / Self::SUB_BUCKETS;
+            let sub = idx % Self::SUB_BUCKETS;
+            (Self::SUB_BUCKETS + sub) << (group - 1)
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Recorded sample count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact minimum (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, within the bucket error
+    /// bound; exact at the extremes (clamped to the observed min/max).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_low(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Summary quantiles for the metrics report.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// A point summary of one histogram: count, exact extremes and mean,
+/// bounded-error p50/p90/p99.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact minimum.
+    pub min: u64,
+    /// Exact maximum.
+    pub max: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Median (bounded relative error).
+    pub p50: u64,
+    /// 90th percentile (bounded relative error).
+    pub p90: u64,
+    /// 99th percentile (bounded relative error).
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_monotone_and_low_edge_inverts() {
+        let mut prev = 0usize;
+        for v in (0..4096u64).chain([1 << 20, (1 << 20) + 12345, u64::MAX / 2, u64::MAX]) {
+            let idx = Histogram::index(v);
+            assert!(idx >= prev || v < 4096, "index not monotone at {v}");
+            prev = idx.max(prev);
+            let low = Histogram::bucket_low(idx);
+            assert!(low <= v, "low edge {low} above value {v}");
+            // The bucket's low edge maps back to the same bucket.
+            assert_eq!(Histogram::index(low), idx);
+        }
+    }
+
+    #[test]
+    fn exact_below_sub_buckets() {
+        let mut h = Histogram::new();
+        for v in 0..Histogram::SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), Histogram::SUB_BUCKETS - 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), Histogram::SUB_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        // Uniform ramp over a wide dynamic range: every quantile estimate
+        // must land within 1/SUB_BUCKETS relative error of the true value.
+        let mut h = Histogram::new();
+        let n = 100_000u64;
+        for i in 0..n {
+            h.record(1_000 + i * 37); // ~1e3 .. ~3.7e6
+        }
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let rank = ((q * n as f64).ceil() as u64).max(1);
+            let truth = 1_000 + (rank - 1) * 37;
+            let est = h.quantile(q);
+            let rel = (est as f64 - truth as f64).abs() / truth as f64;
+            assert!(
+                rel <= 1.0 / Histogram::SUB_BUCKETS as f64 + 1e-9,
+                "q={q}: est {est} vs true {truth} (rel err {rel:.4})"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 1_000 + (n - 1) * 37);
+        assert_eq!(h.count(), n);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max, s.p50, s.p99), (0, 0, 0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+    }
+}

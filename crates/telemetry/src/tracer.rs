@@ -1,0 +1,193 @@
+//! The cloneable [`Tracer`] handle instrumentation points hold.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::collector::Collector;
+use crate::event::{ActorId, ArgValue, Event, EventKind, Target, TargetSet};
+
+struct TracerShared {
+    filter: TargetSet,
+    collector: Mutex<Box<dyn Collector>>,
+    recorded: AtomicU64,
+}
+
+/// A handle to one tracing session. Instrumented types capture a clone
+/// at construction; a disabled handle (the default) makes every
+/// operation a single branch on a `None`.
+///
+/// Callers building argument vectors should guard on
+/// [`Tracer::enabled`] first so the disabled path allocates nothing:
+///
+/// ```
+/// # use ragnar_telemetry::{Tracer, Target, ActorId};
+/// let tracer = Tracer::disabled();
+/// if tracer.enabled(Target::RdmaVerbs) {
+///     tracer.span(Target::RdmaVerbs, "wire", ActorId::device(0), 0, 100,
+///                 &[("bytes", 64u64.into())]);
+/// }
+/// ```
+#[derive(Clone, Default)]
+pub struct Tracer {
+    shared: Option<Arc<TracerShared>>,
+}
+
+impl Tracer {
+    /// A handle that records nothing.
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// A handle feeding `collector`, keeping only `filter`'s targets.
+    pub fn new(filter: TargetSet, collector: Box<dyn Collector>) -> Tracer {
+        Tracer {
+            shared: Some(Arc::new(TracerShared {
+                filter,
+                collector: Mutex::new(collector),
+                recorded: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Whether events for `target` are recorded — the hot-path guard.
+    #[inline]
+    pub fn enabled(&self, target: Target) -> bool {
+        match &self.shared {
+            Some(shared) => shared.filter.contains(target),
+            None => false,
+        }
+    }
+
+    /// Events accepted by the filter so far.
+    pub fn events_recorded(&self) -> u64 {
+        self.shared
+            .as_ref()
+            .map_or(0, |s| s.recorded.load(Ordering::Relaxed))
+    }
+
+    /// Records a raw event.
+    pub fn record(&self, event: Event) {
+        if let Some(shared) = &self.shared {
+            if !shared.filter.contains(event.target) {
+                return;
+            }
+            shared.recorded.fetch_add(1, Ordering::Relaxed);
+            shared
+                .collector
+                .lock()
+                .expect("collector poisoned")
+                .record(event);
+        }
+    }
+
+    /// Records a span: work on `actor` starting at `ts_ps` for `dur_ps`.
+    pub fn span(
+        &self,
+        target: Target,
+        name: &'static str,
+        actor: ActorId,
+        ts_ps: u64,
+        dur_ps: u64,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        if self.enabled(target) {
+            self.record(Event {
+                target,
+                name,
+                actor,
+                ts_ps,
+                kind: EventKind::Span { dur_ps },
+                args: args.to_vec(),
+            });
+        }
+    }
+
+    /// Records an instant marker.
+    pub fn instant(
+        &self,
+        target: Target,
+        name: &'static str,
+        actor: ActorId,
+        ts_ps: u64,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        if self.enabled(target) {
+            self.record(Event {
+                target,
+                name,
+                actor,
+                ts_ps,
+                kind: EventKind::Instant,
+                args: args.to_vec(),
+            });
+        }
+    }
+
+    /// Records a sampled counter value (a Perfetto counter track).
+    pub fn counter(
+        &self,
+        target: Target,
+        name: &'static str,
+        actor: ActorId,
+        ts_ps: u64,
+        value: f64,
+    ) {
+        if self.enabled(target) {
+            self.record(Event {
+                target,
+                name,
+                actor,
+                ts_ps,
+                kind: EventKind::counter(value),
+                args: Vec::new(),
+            });
+        }
+    }
+
+    /// Flushes the underlying collector.
+    pub fn flush(&self) {
+        if let Some(shared) = &self.shared {
+            shared.collector.lock().expect("collector poisoned").flush();
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.shared {
+            Some(shared) => f
+                .debug_struct("Tracer")
+                .field("filter", &shared.filter)
+                .field("recorded", &shared.recorded.load(Ordering::Relaxed))
+                .finish(),
+            None => f.write_str("Tracer(disabled)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::RingCollector;
+
+    #[test]
+    fn filter_drops_unselected_targets() {
+        let ring = RingCollector::new(16);
+        let tracer = Tracer::new(TargetSet::EMPTY.with(Target::Chaos), Box::new(ring.clone()));
+        assert!(tracer.enabled(Target::Chaos));
+        assert!(!tracer.enabled(Target::SimCore));
+        tracer.instant(Target::Chaos, "fault", ActorId::GLOBAL, 1, &[]);
+        tracer.instant(Target::SimCore, "depth", ActorId::GLOBAL, 2, &[]);
+        assert_eq!(tracer.events_recorded(), 1);
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        tracer.span(Target::Harness, "x", ActorId::GLOBAL, 0, 1, &[]);
+        assert_eq!(tracer.events_recorded(), 0);
+        assert!(!tracer.enabled(Target::Harness));
+    }
+}
