@@ -16,6 +16,9 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo clippy (telemetry crate, standalone)"
 cargo clippy -p ragnar-telemetry --all-targets --offline -- -D warnings
 
+echo "== cargo clippy (topology crate, standalone)"
+cargo clippy -p ragnar-topology --all-targets --offline -- -D warnings
+
 echo "== cargo test (workspace)"
 cargo test -q --workspace --offline
 
@@ -44,5 +47,15 @@ baseline_digest=$(printf '%s\n' "$baseline_out" | sed -n 's/.*digest \([0-9a-f]*
 test -n "$trace_digest"
 test "$trace_digest" = "$baseline_digest"
 rm -f /tmp/ragnar-ci-trace.json
+
+echo "== cluster smoke: noisy_neighbor digest is thread-count invariant"
+nn_t1=$(cargo run --release --offline -p ragnar-bench --bin noisy_neighbor -- \
+    --quick --no-cache --threads 1)
+nn_t4=$(cargo run --release --offline -p ragnar-bench --bin noisy_neighbor -- \
+    --quick --no-cache --threads 4)
+nn_t1_digest=$(printf '%s\n' "$nn_t1" | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
+nn_t4_digest=$(printf '%s\n' "$nn_t4" | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
+test -n "$nn_t1_digest"
+test "$nn_t1_digest" = "$nn_t4_digest"
 
 echo "CI OK"

@@ -1,0 +1,9 @@
+//! Bankrupt-style covert channel through a remote memory server's
+//! row-buffer state, crossing a leaf-spine fabric.
+//!
+//! Thin wrapper over `ragnar_bench::experiments::cluster::BankruptCovert`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
+
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::cluster::BankruptCovert)
+}

@@ -1,0 +1,9 @@
+//! Noisy-neighbor exhaustion: victim p99 latency vs. attacker QP count
+//! on a 256-host leaf-spine fabric (override with `--topology`).
+//!
+//! Thin wrapper over `ragnar_bench::experiments::cluster::NoisyNeighbor`; all
+//! scheduling, caching and reporting lives in `ragnar_harness`.
+
+fn main() -> std::process::ExitCode {
+    ragnar_harness::run_main(&ragnar_bench::experiments::cluster::NoisyNeighbor)
+}

@@ -7,6 +7,7 @@
 //! seeding, caching and the run manifest. `summarize` reassembles the
 //! exact report the old standalone binaries printed.
 
+pub mod cluster;
 pub mod contention;
 pub mod covert;
 pub mod defense;
@@ -40,6 +41,8 @@ pub fn registry() -> Vec<&'static dyn Experiment> {
         &contention::Ablations,
         &defense::MitigationStudy,
         &defense::RocStudy,
+        &cluster::NoisyNeighbor,
+        &cluster::BankruptCovert,
     ]
 }
 
@@ -83,6 +86,32 @@ pub(crate) fn chaos_plan(config: &Config) -> Result<Option<FaultPlan>, String> {
     Ok(None)
 }
 
+/// Threads `--topology` into each config, so the fabric is part of
+/// every cache key (a leaf-spine run never collides with a
+/// point-to-point run, and two spellings of the same fabric share
+/// cells — the CLI validated and canonicalized the spec at parse
+/// time). Absent flag ⇒ configs untouched ⇒ legacy digests untouched.
+pub(crate) fn topology_configs(configs: Vec<Config>, cli: &Cli) -> Vec<Config> {
+    let Some(spec) = &cli.topology else {
+        return configs;
+    };
+    configs
+        .into_iter()
+        .map(|c| c.with("topology", spec.as_str()))
+        .collect()
+}
+
+/// Rebuilds the fabric recorded by [`topology_configs`] (`None` for
+/// legacy point-to-point cells).
+pub(crate) fn topology_from(config: &Config) -> Result<Option<rdma_verbs::Topology>, String> {
+    match config.str("topology") {
+        Some(s) => rdma_verbs::Topology::from_spec(s)
+            .map(Some)
+            .map_err(|e| e.to_string()),
+        None => Ok(None),
+    }
+}
+
 /// Parses a device name stored in a config ("CX-4" … "CX-6").
 pub(crate) fn device_kind(name: &str) -> Result<DeviceKind, String> {
     DeviceKind::ALL
@@ -122,8 +151,10 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "duplicate experiment name");
-        assert_eq!(names.len(), 19);
+        assert_eq!(names.len(), 21);
         assert!(names.contains(&"fig4_contention"));
+        assert!(names.contains(&"noisy_neighbor"));
+        assert!(names.contains(&"bankrupt_covert"));
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Determinism tests for the cluster-scale scenarios: the artifact
+//! digest of a fixed-seed sweep must not depend on the worker thread
+//! count. Unlike `golden.rs` nothing is pinned — these experiments are
+//! new, so the invariant under test is scheduling-independence, not
+//! historical stability.
+
+use ragnar_bench::experiments::cluster;
+use ragnar_harness::executor::{self, ExecOptions};
+use ragnar_harness::hash::content_hash;
+use ragnar_harness::{Cli, Experiment, Outcome};
+
+/// Runs the experiment's quick-mode sweep (no cache, forced) at master
+/// seed 0 and digests all artifacts in config order.
+fn artifact_digest(exp: &dyn Experiment, threads: usize, extras: &[&str]) -> String {
+    let mut args = vec!["--quick".to_string(), "--seed".to_string(), "0".to_string()];
+    args.extend(extras.iter().map(|s| s.to_string()));
+    let cli = Cli::parse(args).expect("cli parses");
+    let configs = exp.params(&cli);
+    let records = executor::execute(
+        exp,
+        &configs,
+        cli.seed,
+        None,
+        &ExecOptions {
+            threads,
+            force: true,
+            ..Default::default()
+        },
+    );
+    let mut material = String::new();
+    for r in &records {
+        match &r.outcome {
+            Outcome::Done(a) => {
+                material.push_str(&a.to_value().encode());
+                material.push('\n');
+            }
+            Outcome::Failed { message, .. } => {
+                panic!("config [{}] failed: {message}", r.config.label())
+            }
+        }
+    }
+    content_hash(material.as_bytes())
+}
+
+#[test]
+fn noisy_neighbor_digest_is_thread_invariant() {
+    // A pod small enough for the debug-build test budget; the CI smoke
+    // run exercises the default 256-host fabric through the binary.
+    let extras = ["--topology", "leaf-spine:hosts=32,leaves=4,spines=2"];
+    let single = artifact_digest(&cluster::NoisyNeighbor, 1, &extras);
+    let parallel = artifact_digest(&cluster::NoisyNeighbor, 4, &extras);
+    assert_eq!(
+        single, parallel,
+        "noisy_neighbor digest differs between --threads 1 and --threads 4"
+    );
+}
+
+#[test]
+fn bankrupt_covert_digest_is_thread_invariant() {
+    let extras = ["--bits", "24"];
+    let single = artifact_digest(&cluster::BankruptCovert, 1, &extras);
+    let parallel = artifact_digest(&cluster::BankruptCovert, 4, &extras);
+    assert_eq!(
+        single, parallel,
+        "bankrupt_covert digest differs between --threads 1 and --threads 4"
+    );
+}

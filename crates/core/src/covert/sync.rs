@@ -146,6 +146,45 @@ pub fn strip_preamble(decoded: &[bool], preamble: &[bool]) -> Option<Vec<bool>> 
         .map(|i| decoded[i + preamble.len()..].to_vec())
 }
 
+/// Like [`strip_preamble`], but tolerant of a corrupted or clipped
+/// preamble: scans every alignment — including ones where the head of
+/// the preamble fell off the front of the capture — and scores each as
+/// matching bits minus mismatching bits over the overlap (clipped bits
+/// score zero). The earliest alignment with the highest score wins if
+/// its score reaches `min_score`; random data scores about zero, so a
+/// threshold a little under the preamble length keeps false locks
+/// unlikely while riding out single-bit decode errors.
+pub fn strip_preamble_fuzzy(
+    decoded: &[bool],
+    preamble: &[bool],
+    min_score: usize,
+) -> Option<Vec<bool>> {
+    if preamble.is_empty() || decoded.is_empty() {
+        return None;
+    }
+    let len = preamble.len() as i64;
+    let n = decoded.len() as i64;
+    let mut best: Option<(i64, i64)> = None; // (score, offset)
+    for o in -(len - 1)..n {
+        let mut score = 0i64;
+        for (i, &p) in preamble.iter().enumerate() {
+            let j = o + i as i64;
+            if (0..n).contains(&j) {
+                score += if decoded[j as usize] == p { 1 } else { -1 };
+            }
+        }
+        if best.is_none_or(|(s, _)| score > s) {
+            best = Some((score, o));
+        }
+    }
+    let (score, o) = best?;
+    if score < min_score as i64 {
+        return None;
+    }
+    let start = (o + len).clamp(0, n) as usize;
+    Some(decoded[start..].to_vec())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +204,41 @@ mod tests {
             }
         }
         out
+    }
+
+    #[test]
+    fn fuzzy_preamble_survives_one_bit_error() {
+        let preamble = [true, true, true, false, false, true, false];
+        let payload = [true, false, false, true, true, false];
+        let mut framed: Vec<bool> = preamble.to_vec();
+        framed.extend(payload);
+        framed[3] = true; // corrupt one preamble bit
+        assert_eq!(strip_preamble(&framed, &preamble), None);
+        assert_eq!(
+            strip_preamble_fuzzy(&framed, &preamble, 5),
+            Some(payload.to_vec())
+        );
+    }
+
+    #[test]
+    fn fuzzy_preamble_survives_clipped_head() {
+        let preamble = [true, true, true, false, false, true, false];
+        let payload = [false, true, true, false, true];
+        let mut clipped: Vec<bool> = preamble[1..].to_vec(); // first window lost
+        clipped.extend(payload);
+        assert_eq!(
+            strip_preamble_fuzzy(&clipped, &preamble, 5),
+            Some(payload.to_vec())
+        );
+    }
+
+    #[test]
+    fn fuzzy_preamble_rejects_noise() {
+        let preamble = [true, true, true, false, false, true, false];
+        let silence = vec![false; 32];
+        assert_eq!(strip_preamble_fuzzy(&silence, &preamble, 5), None);
+        assert_eq!(strip_preamble_fuzzy(&[], &preamble, 1), None);
+        assert_eq!(strip_preamble_fuzzy(&silence, &[], 1), None);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! taxonomy (§II-D) notes this catches Grain-I floods but is blind to
 //! everything finer.
 
+use ragnar_topology::{LinkId, PortCounters};
 use rnic_model::{CounterSnapshot, TrafficClass};
 use sim_core::{SimDuration, SimTime};
 
@@ -70,6 +71,47 @@ impl PfcWatchdog {
         }
         out
     }
+
+    /// Evaluates one counter window across a whole fabric's links:
+    /// for each port whose per-TC ingress rate exceeded its share,
+    /// returns the link plus the pause to apply upstream of it. The
+    /// snapshots come from `Simulation::link_counters` (or
+    /// `FabricRuntime::all_counters`) at the window edges, indexed by
+    /// [`LinkId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window or mismatched snapshot lengths.
+    pub fn evaluate_ports(
+        &self,
+        earlier: &[PortCounters],
+        later: &[PortCounters],
+        window: SimDuration,
+    ) -> Vec<(LinkId, PauseDecision)> {
+        assert!(!window.is_zero(), "empty window");
+        assert_eq!(
+            earlier.len(),
+            later.len(),
+            "snapshots must cover the same links"
+        );
+        let mut out = Vec::new();
+        for (i, (e, l)) in earlier.iter().zip(later).enumerate() {
+            for tc in 0..TrafficClass::COUNT {
+                let bytes = l.rx_bytes_per_tc[tc] - e.rx_bytes_per_tc[tc];
+                let bps = bytes as f64 * 8.0 / window.as_secs_f64();
+                if bps > self.share_limit * self.port_rate_bps as f64 {
+                    out.push((
+                        LinkId(i as u32),
+                        PauseDecision {
+                            tc: TrafficClass::new(tc as u8),
+                            duration: self.pause,
+                        },
+                    ));
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Convenience: applies decisions to an RNIC at `now`.
@@ -110,5 +152,33 @@ mod tests {
     #[should_panic(expected = "share limit")]
     fn invalid_share_rejected() {
         let _ = PfcWatchdog::new(25_000_000_000, 1.5);
+    }
+
+    #[test]
+    fn port_sweep_flags_only_the_hot_link() {
+        let wd = PfcWatchdog::new(100_000_000_000, 0.5);
+        let earlier = vec![PortCounters::default(); 4];
+        let mut later = vec![PortCounters::default(); 4];
+        // Link 2, TC1 floods: 80 Gbps over a 1 ms window.
+        later[2].rx_bytes_per_tc[1] = 10_000_000;
+        // Link 0 hums along well under the share.
+        later[0].rx_bytes_per_tc[1] = 100_000;
+        let decisions = wd.evaluate_ports(&earlier, &later, SimDuration::from_millis(1));
+        assert_eq!(decisions.len(), 1);
+        let (link, d) = decisions[0];
+        assert_eq!(link, LinkId(2));
+        assert_eq!(d.tc, TrafficClass::new(1));
+        assert_eq!(d.duration, wd.pause);
+    }
+
+    #[test]
+    #[should_panic(expected = "same links")]
+    fn mismatched_port_snapshots_rejected() {
+        let wd = PfcWatchdog::new(100_000_000_000, 0.5);
+        let _ = wd.evaluate_ports(
+            &[PortCounters::default()],
+            &[PortCounters::default(); 2],
+            SimDuration::from_millis(1),
+        );
     }
 }

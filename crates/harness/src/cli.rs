@@ -13,6 +13,10 @@
 //! --chaos-seed <u64>  generate + install a seeded fault plan (experiments
 //!                     that support fault injection; changes cache keys)
 //! --chaos-plan <file> install a fault plan from a serialized plan file
+//! --topology <spec> run on a multi-hop fabric (`p2p:hosts=N`,
+//!                   `leaf-spine:hosts=H,leaves=L,spines=S`,
+//!                   `fat-tree:k=K`; experiments that support fabrics;
+//!                   canonicalized into configs, so it changes cache keys)
 //! --trace <path>    write a Perfetto/Chrome trace_event JSON timeline of
 //!                   the whole run (telemetry; never changes cache keys)
 //! --trace-filter <targets>  comma-separated layer filter for --trace
@@ -36,6 +40,7 @@ use crate::experiment::{Experiment, Outcome, RunRecord};
 use crate::manifest::Manifest;
 use crate::value::Value;
 use ragnar_telemetry::{chrome_trace_json, TargetSet, TraceCell};
+use ragnar_topology::TopologySpec;
 
 /// Parsed shared command line.
 #[derive(Debug, Clone)]
@@ -58,6 +63,11 @@ pub struct Cli {
     /// Path to a serialized fault-plan file (`--chaos-plan`); takes
     /// precedence over `--chaos-seed` in experiments that support both.
     pub chaos_plan: Option<PathBuf>,
+    /// Fabric spec (`--topology`), validated at parse time and held in
+    /// canonical spelling so every cell keyed on it shares one form.
+    /// `None` (default) keeps the legacy point-to-point wire — and its
+    /// pinned digests — untouched.
+    pub topology: Option<String>,
     /// Where to write the Perfetto/Chrome trace JSON (`--trace`). `None`
     /// (default) disables tracing. Excluded from configs and cache keys
     /// by construction: parsed into this dedicated field, never into
@@ -84,6 +94,7 @@ impl Default for Cli {
             results_dir: PathBuf::from("results"),
             chaos_seed: None,
             chaos_plan: None,
+            topology: None,
             trace: None,
             trace_filter: None,
             metrics: false,
@@ -121,6 +132,16 @@ impl Cli {
                 "--chaos-seed" => cli.chaos_seed = Some(take_u64(&mut it, "--chaos-seed")?),
                 "--chaos-plan" => {
                     cli.chaos_plan = Some(PathBuf::from(take_value(&mut it, "--chaos-plan")?));
+                }
+                "--topology" => {
+                    // Validate and canonicalize at the CLI boundary, so a
+                    // typo is a usage error (not a mid-sweep panic) and
+                    // every downstream consumer — cache keys above all —
+                    // sees one spelling per fabric.
+                    let raw = take_value(&mut it, "--topology")?;
+                    let spec = TopologySpec::parse(&raw)
+                        .map_err(|e| CliError(format!("--topology: {e}")))?;
+                    cli.topology = Some(spec.canonical());
                 }
                 "--trace" => cli.trace = Some(PathBuf::from(take_value(&mut it, "--trace")?)),
                 "--trace-filter" => {
@@ -166,7 +187,8 @@ fn usage(exp: &dyn Experiment) -> String {
         "{name} — {desc}\n\n\
          usage: {name} [--seed <u64>] [--threads <n>] [--quick] [--force] [--no-cache]\n\
          {pad}   [--results <dir>] [--chaos-seed <u64>] [--chaos-plan <file>]\n\
-         {pad}   [--trace <path>] [--trace-filter <targets>] [--metrics]\n\
+         {pad}   [--topology <spec>] [--trace <path>] [--trace-filter <targets>]\n\
+         {pad}   [--metrics]\n\
          {pad}   [experiment-specific flags]\n\n\
          Artifacts and the run manifest land in <results>/{name}/;\n\
          see EXPERIMENTS.md for the per-experiment flags and cache-key scheme.",
@@ -339,6 +361,7 @@ mod tests {
         assert_eq!(cli.results_dir, PathBuf::from("results"));
         assert_eq!(cli.chaos_seed, None);
         assert_eq!(cli.chaos_plan, None);
+        assert_eq!(cli.topology, None);
 
         let cli = parse(&[
             "--seed",
@@ -354,6 +377,8 @@ mod tests {
             "9",
             "--chaos-plan",
             "/tmp/plan.txt",
+            "--topology",
+            "leaf-spine:hosts=256,leaves=8,spines=4",
             "--full",
             "--bits",
             "256",
@@ -364,6 +389,11 @@ mod tests {
         assert_eq!(cli.results_dir, PathBuf::from("/tmp/r"));
         assert_eq!(cli.chaos_seed, Some(9));
         assert_eq!(cli.chaos_plan, Some(PathBuf::from("/tmp/plan.txt")));
+        // Stored canonicalized: the default gbps is made explicit.
+        assert_eq!(
+            cli.topology.as_deref(),
+            Some("leaf-spine:hosts=256,leaves=8,spines=4,gbps=100")
+        );
         assert!(cli.flag("--full"));
         assert!(!cli.flag("--coarse"));
         assert_eq!(cli.option_u64("--bits"), Some(256));
@@ -375,5 +405,12 @@ mod tests {
         assert!(Cli::parse(["--seed".to_string()]).is_err());
         assert!(Cli::parse(["--threads".to_string(), "x".to_string()]).is_err());
         assert!(Cli::parse(["--chaos-seed".to_string(), "x".to_string()]).is_err());
+        assert!(Cli::parse(["--topology".to_string()]).is_err());
+        assert!(Cli::parse(["--topology".to_string(), "ring:n=8".to_string()]).is_err());
+        assert!(Cli::parse([
+            "--topology".to_string(),
+            "leaf-spine:hosts=7,leaves=3,spines=2".to_string()
+        ])
+        .is_err());
     }
 }

@@ -35,3 +35,10 @@ pub use rnic_model::{
 pub use ragnar_chaos::{
     FabricStats, FaultEvent, FaultKind, FaultPlan, InjectorStats, LinkSelector, PlanParams,
 };
+
+// Re-export the fabric vocabulary for the same reason: experiments build
+// a `Topology` and hand it to `Simulation::with_topology`.
+pub use ragnar_topology::{
+    FabricRuntime, FlowKey, Link, LinkId, NodeId, PfcPortConfig, PortCounters, Route, SpecError,
+    Topology, TopologySpec,
+};

@@ -4,6 +4,9 @@
 use crate::wr::WorkRequest;
 use ragnar_chaos::{FabricStats, FaultInjector, FaultPlan, InjectorStats};
 use ragnar_telemetry::{ActorId, ArgValue, Metrics, Target, Tracer};
+use ragnar_topology::{
+    FabricRuntime, FlowKey, LinkId, NodeId, PfcPortConfig, PortCounters, Route, Topology,
+};
 use rnic_model::{
     AccessFlags, Cqe, DeviceProfile, HostMemory, MrEntry, MrKey, NicAction, NicCounters, NicEvent,
     Packet, PdId, PostError, QpConfig, QpNum, QpTransport, RecvWqe, ResetError, Rnic, TrafficClass,
@@ -243,6 +246,15 @@ enum WorldEvent {
         /// receiver's ICRC check discards the packet on arrival.
         corrupt: bool,
     },
+    /// A packet crossing one physical link of its ECMP route (only
+    /// scheduled when a topology is installed; the point-to-point world
+    /// keeps the single-hop `Deliver` path untouched).
+    Hop {
+        route: Route,
+        hop: u8,
+        pkt: Packet,
+        corrupt: bool,
+    },
     Timer {
         app: AppId,
         token: u64,
@@ -303,6 +315,10 @@ struct World {
     injector: Option<FaultInjector>,
     /// Fabric-wide packet conservation ledger for the chaos oracles.
     fabric: FabricStats,
+    /// Multi-hop fabric state when a [`Topology`] is installed. `None`
+    /// (the default) keeps the legacy single-switch wire path — and its
+    /// digests — bit-identical.
+    fabric_rt: Option<FabricRuntime>,
     /// Ambient telemetry handles captured at construction; disabled
     /// handles cost one branch per use.
     tracer: Tracer,
@@ -334,6 +350,28 @@ impl World {
                 }
                 NicAction::Transmit { at, pkt } => {
                     self.fabric.sent += 1;
+                    if let Some(rt) = self.fabric_rt.as_ref() {
+                        // Fabric mode: ECMP-route the flow and walk the
+                        // links hop by hop. Loss/chaos verdicts happen
+                        // per hop, where the packet physically is.
+                        if self.loss_rate > 0.0 && self.rng.chance(self.loss_rate) {
+                            let up = rt.topology().host_uplink(pkt.src);
+                            self.note_link_drop(up, pkt.src, pkt.dst);
+                            continue;
+                        }
+                        let key = FlowKey::new(pkt.src, pkt.dst, pkt.src_qp.0, pkt.dst_qp.0);
+                        let route = rt.topology().route(pkt.src, pkt.dst, key);
+                        self.queue.schedule(
+                            at,
+                            WorldEvent::Hop {
+                                route,
+                                hop: 0,
+                                pkt,
+                                corrupt: false,
+                            },
+                        );
+                        continue;
+                    }
                     // Legacy uniform loss draws from the world RNG first so
                     // that chaos-free runs keep their exact RNG stream.
                     if self.loss_rate > 0.0 && self.rng.chance(self.loss_rate) {
@@ -438,13 +476,133 @@ impl World {
         }
     }
 
-    /// Records a wire drop with per-direction NIC attribution.
+    /// Records a wire drop with per-direction NIC attribution (legacy
+    /// single-switch path, where the endpoint pair *is* the link).
     fn note_wire_drop(&mut self, src: HostId, dst: HostId) {
         self.dropped_packets += 1;
         self.fabric.dropped += 1;
         self.nics[src.0 as usize].counters_mut().wire_tx_dropped += 1;
         if let Some(nic) = self.nics.get_mut(dst.0 as usize) {
             nic.counters_mut().wire_rx_dropped += 1;
+        }
+    }
+
+    /// Records a drop at the physical link it happened on. The link's
+    /// ledger always advances; the per-NIC wire counters only when the
+    /// link actually touches that NIC — a drop three hops into the
+    /// fabric is neither the sender's egress loss nor the receiver's
+    /// ingress loss, so endpoint counters must not claim it.
+    fn note_link_drop(&mut self, link: LinkId, src: HostId, dst: HostId) {
+        self.dropped_packets += 1;
+        self.fabric.dropped += 1;
+        let rt = self.fabric_rt.as_mut().expect("fabric mode");
+        rt.note_link_drop(link);
+        let l = *rt.topology().link(link);
+        if l.src == NodeId::Host(src.0) {
+            self.nics[src.0 as usize].counters_mut().wire_tx_dropped += 1;
+        }
+        if l.dst == NodeId::Host(dst.0) {
+            if let Some(nic) = self.nics.get_mut(dst.0 as usize) {
+                nic.counters_mut().wire_rx_dropped += 1;
+            }
+        }
+    }
+
+    /// Carries a packet across hop `hop` of its route: per-hop chaos
+    /// verdict, serialization behind the link's queue and pause gate,
+    /// then either the next hop or final delivery.
+    fn hop_packet(&mut self, route: Route, hop: u8, pkt: Packet, corrupt: bool) {
+        let now = self.now();
+        let link = route.hop(hop as usize).expect("hop within route");
+        let mut corrupt = corrupt;
+        let mut start = now;
+        let mut duplicate = false;
+        if let Some(inj) = self.injector.as_mut() {
+            // The same endpoint-pair plan selectors as the legacy wire
+            // apply, evaluated once per traversed link, so loss
+            // compounds along the path the way real fabrics lose
+            // packets.
+            let v = inj.verdict(now, pkt.src, pkt.dst);
+            if v.drop {
+                self.note_link_drop(link, pkt.src, pkt.dst);
+                return;
+            }
+            corrupt |= v.corrupt;
+            start += v.extra_delay;
+            // Duplication happens where the packet enters the fabric;
+            // honoring it at every hop would multiply copies.
+            duplicate = v.duplicate && hop == 0;
+        }
+        let bytes = pkt.wire_bytes();
+        let rt = self.fabric_rt.as_mut().expect("fabric mode");
+        let out = rt.traverse(start, &route, hop as usize, bytes, pkt.tc);
+        if let Some(up) = out.paused_upstream {
+            if self.metrics.enabled() {
+                self.metrics.counter_add("fabric.pfc_xoff", 1);
+            }
+            if self.tracer.enabled(Target::RdmaVerbs) {
+                self.tracer.instant(
+                    Target::RdmaVerbs,
+                    "pfc_xoff",
+                    ActorId::device(pkt.src.0),
+                    now.as_picos(),
+                    &[
+                        ("paused_link", u64::from(up.0).into()),
+                        ("congested_link", u64::from(link.0).into()),
+                        ("tc", u64::from(pkt.tc.0).into()),
+                    ],
+                );
+            }
+        }
+        if self.tracer.enabled(Target::RdmaVerbs) {
+            self.tracer.span(
+                Target::RdmaVerbs,
+                "wire_hop",
+                ActorId::device(pkt.src.0),
+                start.as_picos(),
+                (out.arrival - start).as_picos(),
+                &[
+                    ("link", u64::from(link.0).into()),
+                    ("hop", u64::from(hop).into()),
+                    ("dst", u64::from(pkt.dst.0).into()),
+                    ("msg_id", pkt.msg_id.into()),
+                ],
+            );
+        }
+        if duplicate {
+            self.fabric.duplicates += 1;
+            let rt = self.fabric_rt.as_mut().expect("fabric mode");
+            let dup = rt.traverse(start, &route, hop as usize, bytes, pkt.tc);
+            self.queue.schedule(
+                dup.arrival,
+                WorldEvent::Hop {
+                    route,
+                    hop: hop + 1,
+                    pkt: pkt.clone(),
+                    corrupt,
+                },
+            );
+        }
+        let next = hop + 1;
+        if usize::from(next) == route.len() {
+            self.queue.schedule(
+                out.arrival,
+                WorldEvent::Deliver {
+                    host: pkt.dst,
+                    pkt,
+                    corrupt,
+                },
+            );
+        } else {
+            self.queue.schedule(
+                out.arrival,
+                WorldEvent::Hop {
+                    route,
+                    hop: next,
+                    pkt,
+                    corrupt,
+                },
+            );
         }
     }
 
@@ -528,6 +686,7 @@ impl Simulation {
                 dropped_packets: 0,
                 injector: None,
                 fabric: FabricStats::default(),
+                fabric_rt: None,
                 tracer: ragnar_telemetry::tracer(),
                 metrics: ragnar_telemetry::metrics(),
             },
@@ -536,8 +695,48 @@ impl Simulation {
         }
     }
 
+    /// Creates a fabric routed over a multi-hop [`Topology`] instead of
+    /// the hardcoded single switch: packets take ECMP-selected per-flow
+    /// paths, serialize behind per-link queues, and (when `pfc` is set)
+    /// generate PFC back-pressure at congested switch egresses.
+    ///
+    /// Host *n* added via [`Simulation::add_host`] occupies slot *n* of
+    /// the topology; add no more hosts than the topology declares.
+    pub fn with_topology(seed: u64, topo: Topology, pfc: Option<PfcPortConfig>) -> Self {
+        let mut sim = Self::new(seed);
+        sim.world.fabric_rt = Some(FabricRuntime::new(topo, pfc));
+        sim
+    }
+
+    /// The installed topology, if this is a multi-hop fabric.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.world.fabric_rt.as_ref().map(|rt| rt.topology())
+    }
+
+    /// Per-link ingress counters (`None` without a topology).
+    pub fn link_counters(&self, link: LinkId) -> Option<&PortCounters> {
+        self.world.fabric_rt.as_ref().map(|rt| rt.counters(link))
+    }
+
+    /// Silences one fabric link's transmitter for a traffic class — the
+    /// per-port enforcement half of a PFC defense. No-op without a
+    /// topology.
+    pub fn pause_link(&mut self, link: LinkId, tc: TrafficClass, duration: SimDuration) {
+        let until = self.world.now() + duration;
+        if let Some(rt) = self.world.fabric_rt.as_mut() {
+            rt.pause_link(link, tc, until);
+        }
+    }
+
     /// Adds a host with the given RNIC profile; hosts are numbered from 0.
     pub fn add_host(&mut self, profile: DeviceProfile) -> HostId {
+        if let Some(rt) = &self.world.fabric_rt {
+            assert!(
+                self.world.nics.len() < rt.topology().num_hosts() as usize,
+                "topology {} has no port for another host",
+                rt.topology().spec().canonical()
+            );
+        }
         let id = HostId(self.world.nics.len() as u32);
         // Derive per-NIC seeds from the world RNG stream deterministically.
         let seed = self.world.rng.next_u64();
@@ -869,6 +1068,14 @@ impl Simulation {
                             .dispatch_nic(host, NicEvent::IngressArrival { pkt });
                     }
                 }
+                WorldEvent::Hop {
+                    route,
+                    hop,
+                    pkt,
+                    corrupt,
+                } => {
+                    self.world.hop_packet(route, hop, pkt, corrupt);
+                }
                 WorldEvent::Timer { app, token } => {
                     self.with_app(app, |a, ctx| a.on_timer(ctx, token));
                 }
@@ -903,6 +1110,15 @@ impl Drop for Simulation {
         }
         m.counter_add("sim.events_processed", self.world.queue.events_processed());
         m.counter_add("wire.dropped_packets", self.world.dropped_packets);
+        if let Some(rt) = &self.world.fabric_rt {
+            let (mut drops, mut pauses) = (0, 0);
+            for c in rt.all_counters() {
+                drops += c.dropped;
+                pauses += c.pauses_taken;
+            }
+            m.counter_add("fabric.link_dropped", drops);
+            m.counter_add("fabric.pfc_pauses", pauses);
+        }
         for nic in &self.world.nics {
             for (name, v) in nic.counters().snapshot().metric_entries() {
                 if v != 0 {
@@ -1030,6 +1246,27 @@ impl Ctx<'_> {
     pub fn pause_traffic_class(&mut self, host: HostId, tc: TrafficClass, duration: SimDuration) {
         let until = self.now() + duration;
         self.world.nics[host.0 as usize].pause_tc(tc, until);
+    }
+
+    /// The installed topology, if this is a multi-hop fabric.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.world.fabric_rt.as_ref().map(|rt| rt.topology())
+    }
+
+    /// Per-link ingress counters (`None` without a topology) — what a
+    /// per-port watchdog app samples.
+    pub fn link_counters(&self, link: LinkId) -> Option<&PortCounters> {
+        self.world.fabric_rt.as_ref().map(|rt| rt.counters(link))
+    }
+
+    /// Silences one fabric link's transmitter for a traffic class — the
+    /// per-port enforcement half of a PFC defense app. No-op without a
+    /// topology.
+    pub fn pause_link(&mut self, link: LinkId, tc: TrafficClass, duration: SimDuration) {
+        let until = self.now() + duration;
+        if let Some(rt) = self.world.fabric_rt.as_mut() {
+            rt.pause_link(link, tc, until);
+        }
     }
 }
 
@@ -1434,6 +1671,177 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    /// A leaf-spine fabric with one connected QP pair between hosts in
+    /// different leaves (the cross-fabric case: 4-hop routes).
+    fn fabric_pair(
+        seed: u64,
+        pfc: Option<ragnar_topology::PfcPortConfig>,
+    ) -> (Simulation, QpHandle, MrHandle) {
+        let topo = Topology::from_spec("leaf-spine:hosts=8,leaves=2,spines=2").expect("build");
+        let mut sim = Simulation::with_topology(seed, topo, pfc);
+        let hosts: Vec<HostId> = (0..8)
+            .map(|_| sim.add_host(DeviceProfile::connectx5()))
+            .collect();
+        let (a, b) = (hosts[0], hosts[7]);
+        let pd_a = sim.alloc_pd(a);
+        let pd_b = sim.alloc_pd(b);
+        let mr_b = sim.register_mr(b, pd_b, 2 * 1024 * 1024, AccessFlags::remote_all());
+        let (qa, _qb) = sim.connect(a, pd_a, b, pd_b, ConnectOptions::default());
+        (sim, qa, mr_b)
+    }
+
+    #[test]
+    fn fabric_read_round_trip() {
+        let (mut sim, qa, mr_b) = fabric_pair(11, None);
+        sim.write_memory(mr_b.host, mr_b.addr(0), b"cross-fabric");
+        sim.post_send(
+            qa,
+            WorkRequest::read(1, 0x100000, mr_b.addr(0), mr_b.key, 12),
+        )
+        .expect("post");
+        sim.run_until(SimTime::from_millis(1));
+        let done = sim.take_completions();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].1.status.is_ok());
+        assert_eq!(sim.read_memory(qa.host, 0x100000, 12), b"cross-fabric");
+        // The route's links carried traffic; counters prove the packets
+        // crossed the spine tier rather than a magic direct wire.
+        let topo = sim.topology().expect("topology installed");
+        let route = topo.route(
+            qa.host,
+            mr_b.host,
+            FlowKey::new(qa.host, mr_b.host, qa.qp.0, qa.peer_qp.0),
+        );
+        assert_eq!(route.len(), 4);
+        for link in route.links() {
+            assert!(
+                sim.link_counters(*link).expect("counters").rx_packets > 0,
+                "link {link:?} saw no packets"
+            );
+        }
+    }
+
+    #[test]
+    fn fabric_runs_are_deterministic() {
+        let run = |seed| {
+            let (mut sim, qa, mr_b) = fabric_pair(seed, None);
+            for i in 0..20 {
+                sim.post_send(
+                    qa,
+                    WorkRequest::read(i, 0x100000, mr_b.addr(64 * i), mr_b.key, 64),
+                )
+                .expect("post");
+            }
+            sim.run_until(SimTime::from_millis(1));
+            sim.take_completions()
+                .iter()
+                .map(|(_, c)| c.completed_at.as_picos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "per-NIC jitter must still vary by seed");
+    }
+
+    #[test]
+    fn fabric_loss_attributes_to_the_dropping_link() {
+        let (mut sim, qa, mr_b) = fabric_pair(5, None);
+        sim.set_loss_rate(1.0);
+        sim.post_send(
+            qa,
+            WorkRequest::read(1, 0x100000, mr_b.addr(0), mr_b.key, 64),
+        )
+        .expect("post");
+        sim.run_until(SimTime::from_micros(200));
+        assert!(sim.dropped_packets() > 0);
+        // Total loss fires at transmit: every drop happens on the
+        // sender's uplink and is attributed there — and to the sender's
+        // NIC, but never to the receiver, which the packets never reached.
+        let uplink = sim.topology().expect("topo").host_uplink(qa.host);
+        assert_eq!(
+            sim.link_counters(uplink).expect("counters").dropped,
+            sim.dropped_packets()
+        );
+        assert_eq!(sim.counters(qa.host).wire_tx_dropped, sim.dropped_packets());
+        assert_eq!(sim.counters(mr_b.host).wire_rx_dropped, 0);
+    }
+
+    #[test]
+    fn fabric_mid_path_chaos_drops_skip_endpoint_counters() {
+        use ragnar_chaos::{FaultEvent, FaultKind, LinkSelector};
+        let (mut sim, qa, mr_b) = fabric_pair(5, None);
+        let mut plan = FaultPlan::empty(9);
+        plan.events.push(FaultEvent {
+            link: LinkSelector::Any,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1),
+            kind: FaultKind::LossBurst { rate: 0.4 },
+        });
+        sim.install_fault_plan(&plan);
+        for i in 0..50 {
+            sim.post_send(
+                qa,
+                WorkRequest::read(i, 0x100000, mr_b.addr(0), mr_b.key, 64),
+            )
+            .expect("post");
+        }
+        sim.run_until(SimTime::from_millis(5));
+        let topo_links = sim.topology().expect("topo").links().len();
+        let ledger: u64 = (0..topo_links)
+            .map(|l| {
+                sim.link_counters(LinkId(l as u32))
+                    .expect("counters")
+                    .dropped
+            })
+            .sum();
+        assert_eq!(
+            ledger,
+            sim.dropped_packets(),
+            "every drop must land on exactly one physical link"
+        );
+        // Per-hop verdicts mean some drops occur mid-fabric; those are
+        // visible in the ledger but charged to neither endpoint NIC.
+        let endpoint_attributed = sim.counters(qa.host).wire_tx_dropped
+            + sim.counters(mr_b.host).wire_tx_dropped
+            + sim.counters(qa.host).wire_rx_dropped
+            + sim.counters(mr_b.host).wire_rx_dropped;
+        assert!(
+            endpoint_attributed < ledger,
+            "mid-path drops leaked into endpoint counters: {endpoint_attributed} vs {ledger}"
+        );
+    }
+
+    #[test]
+    fn fabric_pfc_backpressure_pauses_and_still_completes() {
+        let pfc = ragnar_topology::PfcPortConfig {
+            xoff_bytes: 4096,
+            pause: SimDuration::from_micros(1),
+        };
+        let (mut sim, qa, mr_b) = fabric_pair(13, Some(pfc));
+        // Saturate the shared path: large reads stream responses
+        // through the spine toward host 0.
+        for i in 0..64 {
+            sim.post_send(
+                qa,
+                WorkRequest::read(i, 0x100000, mr_b.addr(0), mr_b.key, 16 * 1024),
+            )
+            .expect("post");
+        }
+        sim.run_until(SimTime::from_millis(20));
+        let done = sim.take_completions();
+        assert_eq!(done.len(), 64, "PFC must stall, not lose, traffic");
+        assert!(done.iter().all(|(_, c)| c.status.is_ok()));
+        let topo_links = sim.topology().expect("topo").links().len();
+        let pauses: u64 = (0..topo_links)
+            .map(|l| {
+                sim.link_counters(LinkId(l as u32))
+                    .expect("counters")
+                    .pauses_taken
+            })
+            .sum();
+        assert!(pauses > 0, "saturated fabric should emit XOFF");
+        assert_eq!(sim.dropped_packets(), 0);
     }
 
     #[test]

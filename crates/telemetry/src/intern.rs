@@ -1,0 +1,45 @@
+//! Decimal-string interning for the exporters' hot loops.
+//!
+//! A trace export renders the same handful of pid/tid integers once per
+//! event — millions of `to_string` calls that each allocate, all
+//! producing one of a few dozen distinct strings. The interner formats
+//! each value the first time it appears and hands out borrowed slices
+//! after that. Rendering is unchanged byte for byte; only the
+//! allocation count drops.
+
+use std::collections::HashMap;
+
+/// Memoized decimal renderings of `u64` values.
+#[derive(Debug, Default)]
+pub struct DecimalInterner {
+    cache: HashMap<u64, Box<str>>,
+}
+
+impl DecimalInterner {
+    pub fn new() -> DecimalInterner {
+        DecimalInterner::default()
+    }
+
+    /// The decimal form of `n`, formatted at most once per interner.
+    pub fn get(&mut self, n: u64) -> &str {
+        self.cache
+            .entry(n)
+            .or_insert_with(|| n.to_string().into_boxed_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_to_string_and_caches() {
+        let mut interner = DecimalInterner::new();
+        for n in [0u64, 1, 42, u64::MAX, 42, 0] {
+            assert_eq!(interner.get(n), n.to_string());
+        }
+        // Repeat lookups hand back the same allocation, not a new one.
+        let first = interner.get(42).as_ptr();
+        assert_eq!(first, interner.get(42).as_ptr());
+    }
+}

@@ -51,6 +51,7 @@
 mod collector;
 mod event;
 mod histogram;
+mod intern;
 mod json;
 mod metrics;
 mod perfetto;

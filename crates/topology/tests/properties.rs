@@ -1,0 +1,79 @@
+//! Property tests for ECMP selection (the determinism contract the
+//! scenario digests rest on): pure-function determinism, permutation
+//! stability of the equal-cost set, and non-degenerate spread across
+//! uplinks.
+
+use proptest::prelude::*;
+use ragnar_topology::{ecmp, FlowKey, Topology};
+use rnic_model::HostId;
+use sim_core::SimRng;
+use std::collections::HashSet;
+
+fn fabrics() -> Vec<Topology> {
+    [
+        "leaf-spine:hosts=16,leaves=4,spines=2",
+        "leaf-spine:hosts=256,leaves=8,spines=4",
+        "fat-tree:k=4",
+    ]
+    .iter()
+    .map(|s| Topology::from_spec(s).expect("build"))
+    .collect()
+}
+
+proptest! {
+    /// Selection is a pure function of the flow tuple: recomputing it —
+    /// including via the allocating enumerate-then-select path a
+    /// different thread might take — always lands on the same route.
+    #[test]
+    fn selection_is_deterministic(
+        src in 0u32..16, dst in 0u32..16, src_qp in 0u32..1024, dst_qp in 0u32..1024
+    ) {
+        for topo in fabrics() {
+            let (src, dst) = (src % topo.num_hosts(), dst % topo.num_hosts());
+            if src == dst { continue; }
+            let key = FlowKey::new(HostId(src), HostId(dst), src_qp, dst_qp);
+            let direct = topo.route(HostId(src), HostId(dst), key);
+            prop_assert_eq!(direct, topo.route(HostId(src), HostId(dst), key));
+            let mut candidates = topo.equal_cost_routes(HostId(src), HostId(dst));
+            prop_assert_eq!(direct, ecmp::select(key, &mut candidates),
+                "direct O(1) routing must agree with enumerate-then-select");
+            prop_assert!(candidates.contains(&direct));
+        }
+    }
+
+    /// Shuffling the equal-cost candidate set (as a host-id relabeling
+    /// of the control plane would) never changes the selected route.
+    #[test]
+    fn selection_is_permutation_stable(
+        src_qp in 0u32..4096, dst_qp in 0u32..4096, shuffle_seed in 0u64..1_000
+    ) {
+        for topo in fabrics() {
+            let (src, dst) = (HostId(0), HostId(topo.num_hosts() - 1));
+            let key = FlowKey::new(src, dst, src_qp, dst_qp);
+            let mut canonical = topo.equal_cost_routes(src, dst);
+            let mut shuffled = canonical.clone();
+            SimRng::seed_from(shuffle_seed).shuffle(&mut shuffled);
+            prop_assert_eq!(
+                ecmp::select(key, &mut canonical),
+                ecmp::select(key, &mut shuffled),
+                "candidate order leaked into path selection"
+            );
+        }
+    }
+
+    /// The hash spreads: a modest population of flows between two fixed
+    /// hosts touches every equal-cost uplink (no degenerate funnelling
+    /// onto one spine).
+    #[test]
+    fn selection_spreads_over_uplinks(qp_base in 0u32..100_000) {
+        for topo in fabrics() {
+            let (src, dst) = (HostId(0), HostId(topo.num_hosts() - 1));
+            let n_paths = topo.equal_cost_routes(src, dst).len();
+            let chosen: HashSet<_> = (0..64)
+                .map(|i| topo.route(src, dst, FlowKey::new(src, dst, qp_base + i, qp_base + i + 1)))
+                .collect();
+            prop_assert_eq!(chosen.len(), n_paths,
+                "64 flows covered {} of {} equal-cost paths", chosen.len(), n_paths);
+        }
+    }
+}
