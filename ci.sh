@@ -58,4 +58,20 @@ nn_t4_digest=$(printf '%s\n' "$nn_t4" | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p'
 test -n "$nn_t1_digest"
 test "$nn_t1_digest" = "$nn_t4_digest"
 
+echo "== cargo clippy (pdes crate, standalone)"
+cargo clippy -p pdes --all-targets --offline -- -D warnings
+
+echo "== PDES determinism smoke: noisy_neighbor digest is worker-count invariant"
+nn_w1=$(cargo run --release --offline -p ragnar-bench --bin noisy_neighbor -- \
+    --quick --no-cache --workers 1)
+nn_w8=$(cargo run --release --offline -p ragnar-bench --bin noisy_neighbor -- \
+    --quick --no-cache --workers 8)
+nn_w1_digest=$(printf '%s\n' "$nn_w1" | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
+nn_w8_digest=$(printf '%s\n' "$nn_w8" | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
+test -n "$nn_w1_digest"
+test "$nn_w1_digest" = "$nn_w8_digest"
+# The sequential oracle (workers 1) and the thread-invariance run above
+# must also agree with each other.
+test "$nn_w1_digest" = "$nn_t1_digest"
+
 echo "CI OK"

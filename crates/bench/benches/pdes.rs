@@ -1,0 +1,135 @@
+//! PDES engine A/B: the sequential oracle against the conservative-sync
+//! parallel engine at 8 workers, on two regimes:
+//!
+//! - `pdes_nic_storm` — a 2-host closed-loop packet storm driven by a
+//!   send app homed on the requester. Only two partition groups exist
+//!   and every packet crosses between them, so the window is pinned to
+//!   the link lookahead; the ratio measures round/merge overhead on a
+//!   tightly coupled worst case.
+//! - `pdes_noisy_neighbor` — the paper-scale 256-host noisy-neighbor
+//!   quick cell (64 attacker QPs, no PFC), where tenant pairs fan out
+//!   into many independent groups and the NIC-model work parallelizes.
+//!
+//! The measured numbers (and the workers-8/sequential speedup ratio)
+//! are recorded in `BENCH_pdes.json` at the repo root; re-run with
+//! `cargo bench --bench pdes` after engine changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ragnar_bench::experiments::cluster::NoisyNeighbor;
+use ragnar_harness::{Config, Experiment};
+use rdma_verbs::{
+    AccessFlags, App, ConnectOptions, Cqe, Ctx, DeviceProfile, HostId, QpHandle, Simulation,
+    WorkRequest,
+};
+use sim_core::SimTime;
+use std::hint::black_box;
+
+/// Closed-loop requester: keeps every send queue full, reposting each
+/// completion immediately — the app-driven equivalent of the
+/// `eventcore` bench's driver-loop storm.
+struct StormApp {
+    qps: Vec<QpHandle>,
+    mr: rdma_verbs::MrHandle,
+    wr_id: u64,
+    done: u64,
+}
+
+impl StormApp {
+    fn post(&mut self, ctx: &mut Ctx<'_>, qp: QpHandle) {
+        self.wr_id += 1;
+        let wr = WorkRequest::read(self.wr_id, 0x1000, self.mr.addr(0), self.mr.key, 256);
+        let _ = ctx.post_send(qp, wr);
+    }
+}
+
+impl App for StormApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for i in 0..self.qps.len() {
+            let qp = self.qps[i];
+            for _ in 0..64 {
+                self.post(ctx, qp);
+            }
+        }
+    }
+
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_>, _host: HostId, _cqe: Cqe) {
+        self.done += 1;
+        let qp = self.qps[(self.done % self.qps.len() as u64) as usize];
+        self.post(ctx, qp);
+    }
+}
+
+/// Runs the storm for 300 µs of simulated time and returns events
+/// processed (identical at every worker count — the engines are
+/// bit-equivalent, so only wall-clock differs).
+fn storm(workers: usize) -> u64 {
+    let mut sim = Simulation::new(1);
+    let requester = sim.add_host(DeviceProfile::connectx5());
+    let responder = sim.add_host(DeviceProfile::connectx5());
+    let pd_r = sim.alloc_pd(requester);
+    let pd_s = sim.alloc_pd(responder);
+    let mr = sim.register_mr(responder, pd_s, 1 << 21, AccessFlags::remote_all());
+    let qps: Vec<_> = (0..4)
+        .map(|_| {
+            sim.connect(
+                requester,
+                pd_r,
+                responder,
+                pd_s,
+                ConnectOptions {
+                    max_send_queue: 64,
+                    ..ConnectOptions::default()
+                },
+            )
+            .0
+        })
+        .collect();
+    let app = sim.add_send_app(Box::new(StormApp {
+        qps: qps.clone(),
+        mr,
+        wr_id: 0,
+        done: 0,
+    }));
+    for qp in qps {
+        sim.own_qp(app, qp);
+    }
+    sim.set_app_scope(app, &[requester]);
+    sim.run_until_workers(SimTime::from_micros(300), workers)
+}
+
+fn bench_storm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pdes_nic_storm");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| b.iter(|| black_box(storm(1))));
+    g.bench_function("workers8", |b| b.iter(|| black_box(storm(8))));
+    g.finish();
+}
+
+/// The 256-host noisy-neighbor quick cell, run through the experiment
+/// itself so the bench measures exactly what the harness executes.
+fn noisy_cell(workers: usize) -> f64 {
+    pdes::set_ambient_workers(workers);
+    let config = Config::new()
+        .with("topology", "leaf-spine:hosts=256,leaves=8,spines=4")
+        .with("attacker_qps", 64u64)
+        .with("pfc", false)
+        .with("placement_seed", 0u64);
+    let artifact = NoisyNeighbor.run(&config, 0).expect("cell runs");
+    pdes::set_ambient_workers(1);
+    artifact
+        .metrics
+        .get("victim_p99_ns")
+        .and_then(|v| v.as_f64())
+        .expect("victim p99 present")
+}
+
+fn bench_noisy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pdes_noisy_neighbor_256");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| b.iter(|| black_box(noisy_cell(1))));
+    g.bench_function("workers8", |b| b.iter(|| black_box(noisy_cell(8))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_storm, bench_noisy);
+criterion_main!(benches);

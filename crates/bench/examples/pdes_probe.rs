@@ -1,0 +1,27 @@
+//! One-shot wall-clock probe for the PDES noisy cell (debug aid).
+use ragnar_bench::experiments::cluster::NoisyNeighbor;
+use ragnar_harness::{Config, Experiment};
+use std::time::Instant;
+
+fn main() {
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    pdes::set_ambient_workers(workers);
+    let config = Config::new()
+        .with("topology", "leaf-spine:hosts=256,leaves=8,spines=4")
+        .with("attacker_qps", 64u64)
+        .with("pfc", false)
+        .with("placement_seed", 0u64);
+    let t = Instant::now();
+    let artifact = NoisyNeighbor.run(&config, 0).expect("cell runs");
+    eprintln!("workers={workers} elapsed={:?}", t.elapsed());
+    eprintln!(
+        "p99={:?}",
+        artifact
+            .metrics
+            .get("victim_p99_ns")
+            .and_then(|v| v.as_f64())
+    );
+}

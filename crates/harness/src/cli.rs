@@ -6,6 +6,10 @@
 //! ```text
 //! --seed <u64>      master seed (default 0; every config derives its own)
 //! --threads <n>     worker threads (default: available parallelism)
+//! --workers <n>     PDES workers per simulation (default 1: sequential
+//!                   engine; N>1 runs eligible scenarios on the
+//!                   conservative-sync parallel engine — bit-identical
+//!                   results, so never part of cache keys)
 //! --quick           smaller parameter space, where the experiment has one
 //! --force           recompute every config, ignoring the result cache
 //! --no-cache        neither read nor write the result cache
@@ -49,6 +53,14 @@ pub struct Cli {
     pub seed: u64,
     /// Worker threads (`--threads`, default: available parallelism).
     pub threads: usize,
+    /// PDES workers per simulation (`--workers`, default 1 = the
+    /// sequential engine). Like `--threads` and `--trace`, excluded
+    /// from configs and cache keys by construction: parsed into this
+    /// dedicated field, never into `extras` where `Experiment::params`
+    /// could fold it into a config — the parallel engine is
+    /// bit-identical to the sequential one, so cached results are
+    /// interchangeable across worker counts.
+    pub workers: usize,
     /// Reduced parameter space (`--quick`).
     pub quick: bool,
     /// Ignore cache hits and recompute (`--force`).
@@ -88,6 +100,7 @@ impl Default for Cli {
         Cli {
             seed: 0,
             threads: executor::default_threads(),
+            workers: 1,
             quick: false,
             force: false,
             no_cache: false,
@@ -122,6 +135,9 @@ impl Cli {
                 "--seed" => cli.seed = take_u64(&mut it, "--seed")?,
                 "--threads" => {
                     cli.threads = take_u64(&mut it, "--threads")?.clamp(1, 4096) as usize;
+                }
+                "--workers" => {
+                    cli.workers = take_u64(&mut it, "--workers")?.clamp(1, 512) as usize;
                 }
                 "--quick" => cli.quick = true,
                 "--force" => cli.force = true,
@@ -185,7 +201,8 @@ fn take_u64(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, Cl
 fn usage(exp: &dyn Experiment) -> String {
     format!(
         "{name} — {desc}\n\n\
-         usage: {name} [--seed <u64>] [--threads <n>] [--quick] [--force] [--no-cache]\n\
+         usage: {name} [--seed <u64>] [--threads <n>] [--workers <n>] [--quick]\n\
+         {pad}   [--force] [--no-cache]\n\
          {pad}   [--results <dir>] [--chaos-seed <u64>] [--chaos-plan <file>]\n\
          {pad}   [--topology <spec>] [--trace <path>] [--trace-filter <targets>]\n\
          {pad}   [--metrics]\n\
@@ -228,6 +245,10 @@ pub fn run_main(exp: &dyn Experiment) -> ExitCode {
 /// concerns. Returns the number of failed configs. Used by binaries
 /// (via [`run_main`]) and integration tests alike.
 pub fn run_with_cli(exp: &dyn Experiment, cli: &Cli) -> Result<usize, String> {
+    // Publish the PDES worker count ambiently: scenario code reads it at
+    // its `run_until_workers` call sites, keeping `Experiment::run`
+    // signatures — and, by construction, cache keys — untouched.
+    pdes::set_ambient_workers(cli.workers);
     let t_start = Instant::now();
     let mut stages: Vec<(String, f64)> = Vec::new();
 
@@ -368,6 +389,8 @@ mod tests {
             "42",
             "--threads",
             "3",
+            "--workers",
+            "8",
             "--quick",
             "--force",
             "--no-cache",
@@ -385,6 +408,7 @@ mod tests {
         ]);
         assert_eq!(cli.seed, 42);
         assert_eq!(cli.threads, 3);
+        assert_eq!(cli.workers, 8);
         assert!(cli.quick && cli.force && cli.no_cache);
         assert_eq!(cli.results_dir, PathBuf::from("/tmp/r"));
         assert_eq!(cli.chaos_seed, Some(9));
@@ -404,6 +428,8 @@ mod tests {
     fn bad_values_are_errors() {
         assert!(Cli::parse(["--seed".to_string()]).is_err());
         assert!(Cli::parse(["--threads".to_string(), "x".to_string()]).is_err());
+        assert!(Cli::parse(["--workers".to_string(), "x".to_string()]).is_err());
+        assert!(Cli::parse(["--workers".to_string()]).is_err());
         assert!(Cli::parse(["--chaos-seed".to_string(), "x".to_string()]).is_err());
         assert!(Cli::parse(["--topology".to_string()]).is_err());
         assert!(Cli::parse(["--topology".to_string(), "ring:n=8".to_string()]).is_err());
@@ -412,5 +438,40 @@ mod tests {
             "leaf-spine:hosts=7,leaves=3,spines=2".to_string()
         ])
         .is_err());
+    }
+}
+
+#[cfg(test)]
+mod workers_key_exclusion {
+    use super::*;
+
+    /// `--workers` must never reach cache keys. The only key material an
+    /// experiment can fold into configs is the dedicated shared fields
+    /// plus `extras`; this pins the flag (and its value) landing in the
+    /// dedicated field with `extras` left empty — exclusion by
+    /// construction, not by every experiment's discipline.
+    #[test]
+    fn workers_flag_never_lands_in_extras() {
+        let cli = Cli::parse(
+            ["--workers", "8", "--seed", "3"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .expect("parse");
+        assert_eq!(cli.workers, 8);
+        assert!(cli.extras().is_empty(), "--workers leaked into extras");
+        assert!(!cli.flag("--workers"));
+        assert_eq!(cli.option_u64("--workers"), None);
+    }
+
+    /// Defaults to the sequential engine; out-of-band values clamp
+    /// instead of erroring.
+    #[test]
+    fn workers_defaults_and_clamps() {
+        assert_eq!(Cli::parse(Vec::<String>::new()).expect("parse").workers, 1);
+        let lo = Cli::parse(["--workers".to_string(), "0".to_string()]).expect("parse");
+        assert_eq!(lo.workers, 1);
+        let hi = Cli::parse(["--workers".to_string(), "99999".to_string()]).expect("parse");
+        assert_eq!(hi.workers, 512);
     }
 }

@@ -1,0 +1,106 @@
+//! The actor abstraction both engines execute: independent state
+//! machines exchanging timestamped messages, with a declared minimum
+//! cross-actor latency (the *lookahead*) that makes conservative
+//! parallel windows safe.
+
+use sim_core::{SimDuration, SimTime};
+
+use crate::digest::Digest64;
+
+/// The source slot reserved for events injected from outside any actor
+/// (initial stimuli). Real actors use their index; `u32::MAX` can never
+/// collide because actor counts are far below it.
+pub const INJECTED_SRC: u32 = u32::MAX;
+
+/// The deterministic merge key: events are globally ordered by
+/// timestamp, then by source actor, then by per-source sequence number.
+/// Identical on both engines, so the total order — and every digest
+/// derived from it — is independent of worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Delivery timestamp.
+    pub at: SimTime,
+    /// Source actor index ([`INJECTED_SRC`] for injected events).
+    pub src: u32,
+    /// Per-source emission sequence number.
+    pub seq: u64,
+}
+
+impl EventKey {
+    /// Folds the key into an order digest.
+    #[inline]
+    pub fn fold_into(&self, d: &mut Digest64) {
+        d.fold(self.at.as_picos());
+        d.fold(u64::from(self.src));
+        d.fold(self.seq);
+    }
+}
+
+/// One simulated entity (a host, a NIC, a switch port group). Actors
+/// only interact through messages; the engine owns delivery order.
+pub trait Actor: Send {
+    /// The message type exchanged between actors of this simulation.
+    type Msg: Send;
+
+    /// Handles one message at simulated time `now`. New messages go
+    /// through `out`; cross-actor sends must respect the lookahead.
+    fn on_event(&mut self, now: SimTime, msg: Self::Msg, out: &mut Outbox<Self::Msg>);
+
+    /// Folds the actor's observable final state into `d`. Used by the
+    /// differential suite to compare end states across engines.
+    fn state_digest(&self, d: &mut Digest64);
+}
+
+/// The send surface handed to [`Actor::on_event`]. Enforces the
+/// conservative-synchronization contract at the source: a cross-actor
+/// message may never arrive sooner than `lookahead` after emission,
+/// which is exactly what lets the parallel engine process a whole
+/// window `[W, W + lookahead)` without inter-worker communication.
+pub struct Outbox<M> {
+    now: SimTime,
+    src: u32,
+    lookahead: SimDuration,
+    pub(crate) sends: Vec<(u32, SimTime, M)>,
+}
+
+impl<M> Outbox<M> {
+    pub(crate) fn new(now: SimTime, src: u32, lookahead: SimDuration) -> Outbox<M> {
+        Outbox {
+            now,
+            src,
+            lookahead,
+            sends: Vec::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The index of the actor being executed.
+    pub fn self_idx(&self) -> u32 {
+        self.src
+    }
+
+    /// Sends `msg` to actor `dst`, arriving `delay` from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is another actor and `delay` is below the
+    /// engine lookahead — such a send would make conservative windows
+    /// unsound, so it is rejected loudly rather than silently racing.
+    pub fn send(&mut self, dst: u32, delay: SimDuration, msg: M) {
+        if dst != self.src {
+            assert!(
+                delay >= self.lookahead,
+                "cross-actor send {} -> {} with delay {}ps below lookahead {}ps",
+                self.src,
+                dst,
+                delay.as_picos(),
+                self.lookahead.as_picos()
+            );
+        }
+        self.sends.push((dst, self.now + delay, msg));
+    }
+}

@@ -1,0 +1,289 @@
+//! The conservative-synchronization parallel engine.
+//!
+//! Actors are sharded contiguously across workers. Execution proceeds
+//! in *windows*: with `t0` the earliest pending timestamp across all
+//! shards and `L` the lookahead, every event in `[t0, t0 + L)` can be
+//! processed without inter-worker communication, because any
+//! cross-actor message emitted inside the window arrives at
+//! `now + delay >= t0 + L` — at or after the window end (the [`Outbox`]
+//! contract). Self-sends may arrive sooner and are inlined into the
+//! shard's local heap.
+//!
+//! Between windows the coordinator routes cross-actor messages into the
+//! destination shards. Merge order is deterministic by construction:
+//! every event carries an [`EventKey`] `(timestamp, src actor, per-src
+//! seq)` assigned at emission, and each shard processes its events in
+//! strict key order — so the per-actor event streams, and every digest
+//! over them, are bit-identical to the sequential oracle for any worker
+//! count.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sim_core::{SimDuration, SimTime};
+
+use crate::actor::{Actor, EventKey, Outbox, INJECTED_SRC};
+use crate::digest::Digest64;
+use crate::pool;
+use crate::sequential::combine;
+
+struct Item<M> {
+    key: EventKey,
+    dst: u32,
+    msg: M,
+}
+
+impl<M> PartialEq for Item<M> {
+    fn eq(&self, other: &Item<M>) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for Item<M> {}
+impl<M> PartialOrd for Item<M> {
+    fn partial_cmp(&self, other: &Item<M>) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Item<M> {
+    fn cmp(&self, other: &Item<M>) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+struct Slot<A> {
+    actor: A,
+    order: Digest64,
+    processed: u64,
+    out_seq: u64,
+}
+
+struct Shard<A: Actor> {
+    /// Global index of `slots[0]`.
+    base: u32,
+    slots: Vec<Slot<A>>,
+    heap: BinaryHeap<Reverse<Item<A::Msg>>>,
+    lookahead: SimDuration,
+    now: SimTime,
+}
+
+impl<A: Actor> Shard<A> {
+    /// Processes every pending event with `at < wend` in key order.
+    /// Returns messages bound for other actors (arrival `>= wend` by
+    /// the lookahead contract, so routing between windows is safe).
+    fn run_window(&mut self, wend: SimTime) -> Vec<Item<A::Msg>> {
+        let mut outbound = Vec::new();
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.key.at >= wend {
+                break;
+            }
+            let Reverse(item) = self.heap.pop().expect("peeked");
+            self.now = item.key.at;
+            let local = (item.dst - self.base) as usize;
+            let slot = &mut self.slots[local];
+            item.key.fold_into(&mut slot.order);
+            slot.processed += 1;
+            let mut out = Outbox::new(item.key.at, item.dst, self.lookahead);
+            slot.actor.on_event(item.key.at, item.msg, &mut out);
+            for (to, at, msg) in out.sends {
+                let key = EventKey {
+                    at,
+                    src: item.dst,
+                    seq: self.slots[local].out_seq,
+                };
+                self.slots[local].out_seq += 1;
+                debug_assert!(at >= item.key.at, "send into the past");
+                let next = Item { key, dst: to, msg };
+                if to == item.dst {
+                    self.heap.push(Reverse(next));
+                } else {
+                    outbound.push(next);
+                }
+            }
+        }
+        outbound
+    }
+
+    fn head_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(i)| i.key.at)
+    }
+}
+
+/// The parallel engine. Construct with the same actors, lookahead and
+/// injections as a [`SequentialEngine`](crate::SequentialEngine) and
+/// every digest matches, for any `workers >= 1`.
+pub struct ParallelEngine<A: Actor> {
+    shards: Vec<Shard<A>>,
+    workers: usize,
+    injected_seq: u64,
+    now: SimTime,
+}
+
+impl<A: Actor> ParallelEngine<A> {
+    /// Builds an engine over `actors`, sharded across `workers`
+    /// threads (clamped to `1..=actors.len()` shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead` is zero: a conservative window of width
+    /// zero can never make progress.
+    pub fn new(actors: Vec<A>, lookahead: SimDuration, workers: usize) -> ParallelEngine<A> {
+        assert!(
+            !lookahead.is_zero(),
+            "conservative PDES requires a positive lookahead"
+        );
+        let n = actors.len().max(1);
+        let workers = workers.clamp(1, n);
+        let shard_count = workers;
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut actors = actors.into_iter();
+        let mut base = 0u32;
+        for s in 0..shard_count {
+            // Balanced contiguous chunks: first (n % shards) get one extra.
+            let len = n / shard_count + usize::from(s < n % shard_count);
+            let slots: Vec<Slot<A>> = actors
+                .by_ref()
+                .take(len)
+                .map(|actor| Slot {
+                    actor,
+                    order: Digest64::new(),
+                    processed: 0,
+                    out_seq: 0,
+                })
+                .collect();
+            let taken = slots.len() as u32;
+            shards.push(Shard {
+                base,
+                slots,
+                heap: BinaryHeap::new(),
+                lookahead,
+                now: SimTime::ZERO,
+            });
+            base += taken;
+        }
+        ParallelEngine {
+            shards,
+            workers,
+            injected_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn shard_of(&self, dst: u32) -> usize {
+        self.shards
+            .partition_point(|s| s.base + s.slots.len() as u32 <= dst)
+    }
+
+    /// Injects an external stimulus for actor `dst` at time `at`.
+    /// Injection order defines the tiebreak among equal timestamps,
+    /// exactly as on the sequential engine.
+    pub fn inject(&mut self, dst: u32, at: SimTime, msg: A::Msg) {
+        let key = EventKey {
+            at,
+            src: INJECTED_SRC,
+            seq: self.injected_seq,
+        };
+        self.injected_seq += 1;
+        let s = self.shard_of(dst);
+        self.shards[s].heap.push(Reverse(Item { key, dst, msg }));
+    }
+
+    /// Runs every event with `at <= until` across the worker pool;
+    /// returns events processed by this call.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let before: u64 = self.events_processed();
+        let until_excl = SimTime::from_picos(until.as_picos().saturating_add(1));
+        let lookahead = self.shards[0].lookahead;
+        let shards = std::mem::take(&mut self.shards);
+        let shards = pool::scoped(
+            self.workers,
+            |_, (mut shard, wend): (Shard<A>, SimTime)| {
+                let outbound = shard.run_window(wend);
+                (shard, outbound)
+            },
+            |run| {
+                let mut shards = shards;
+                while let Some(t0) = shards.iter().filter_map(Shard::head_at).min() {
+                    if t0 > until {
+                        break;
+                    }
+                    let wend = (t0 + lookahead).min(until_excl);
+                    let jobs: Vec<(Shard<A>, SimTime)> =
+                        shards.drain(..).map(|s| (s, wend)).collect();
+                    let mut outbound = Vec::new();
+                    for (shard, mut sends) in run(jobs) {
+                        shards.push(shard);
+                        outbound.append(&mut sends);
+                    }
+                    for item in outbound {
+                        let s = shards
+                            .partition_point(|sh| sh.base + sh.slots.len() as u32 <= item.dst);
+                        shards[s].heap.push(Reverse(item));
+                    }
+                }
+                shards
+            },
+        );
+        self.shards = shards;
+        self.now = self
+            .shards
+            .iter()
+            .map(|s| s.now)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        self.events_processed() - before
+    }
+
+    /// Total events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| s.slots.iter())
+            .map(|s| s.processed)
+            .sum()
+    }
+
+    /// The current simulated time (latest event run on any shard).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Digest of the processed-event key streams, per actor, combined
+    /// in actor order — compare against the sequential oracle.
+    pub fn order_digest(&self) -> u64 {
+        let per_actor: Vec<Digest64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.slots.iter())
+            .map(|s| s.order)
+            .collect();
+        combine(&per_actor)
+    }
+
+    /// Digest of every actor's final observable state, in actor order.
+    pub fn state_digest(&self) -> u64 {
+        let actors: Vec<&A> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.slots.iter())
+            .map(|s| &s.actor)
+            .collect();
+        let mut d = Digest64::new();
+        for a in actors {
+            let mut s = Digest64::new();
+            a.state_digest(&mut s);
+            d.absorb(&s);
+        }
+        d.value()
+    }
+
+    /// Runs actors to completion through `f` on the borrowed slice —
+    /// not exposed; kept for future in-place inspection.
+    #[doc(hidden)]
+    pub fn for_each_actor(&self, mut f: impl FnMut(u32, &A)) {
+        for s in &self.shards {
+            for (i, slot) in s.slots.iter().enumerate() {
+                f(s.base + i as u32, &slot.actor);
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! A minimal scoped worker pool built on `std::thread::scope` and
+//! `std::sync::mpsc` — no unsafe, no external crates.
+//!
+//! Jobs and results are *owned values* shuttled over channels
+//! (ownership ping-pong): the coordinator moves a shard of mutable
+//! state into a job, a worker mutates it, and the result moves back.
+//! Rust's ownership rules then prove data-race freedom without locks
+//! around the simulation state itself.
+
+use std::sync::mpsc;
+
+/// Runs `drive` with a `run_round` function that executes a batch of
+/// jobs across `workers` threads and returns the results **in job
+/// submission order** (the deterministic merge point — result order
+/// never depends on thread scheduling).
+///
+/// `work(worker_idx, job)` runs on one of the pool threads. Workers
+/// live for the whole call, so per-round thread spawn cost is zero.
+///
+/// # Panics
+///
+/// A panicking worker poisons the round: the coordinator panics too
+/// and `std::thread::scope` propagates the original payload.
+pub fn scoped<In, Out, W, F, R>(workers: usize, work: W, drive: F) -> R
+where
+    In: Send,
+    Out: Send,
+    W: Fn(usize, In) -> Out + Sync,
+    F: FnOnce(&mut dyn FnMut(Vec<In>) -> Vec<Out>) -> R,
+{
+    let workers = workers.max(1);
+    std::thread::scope(|s| {
+        let work = &work;
+        let (done_tx, done_rx) = mpsc::channel::<(usize, Out)>();
+        let mut job_txs = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::channel::<(usize, In)>();
+            job_txs.push(tx);
+            let done = done_tx.clone();
+            s.spawn(move || {
+                while let Ok((idx, job)) = rx.recv() {
+                    // A closed done channel means the coordinator is
+                    // unwinding; just stop.
+                    if done.send((idx, work(w, job))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+        let mut run_round = |jobs: Vec<In>| -> Vec<Out> {
+            let n = jobs.len();
+            for (idx, job) in jobs.into_iter().enumerate() {
+                job_txs[idx % workers]
+                    .send((idx, job))
+                    .expect("pool worker exited early");
+            }
+            let mut slots: Vec<Option<Out>> = (0..n).map(|_| None).collect();
+            for _ in 0..n {
+                let (idx, out) = done_rx.recv().expect("pool worker panicked");
+                slots[idx] = Some(out);
+            }
+            slots
+                .into_iter()
+                .map(|o| o.expect("duplicate job index"))
+                .collect()
+        };
+        drive(&mut run_round)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_submission_order() {
+        let out = scoped(
+            4,
+            |_, x: u64| x * 2,
+            |run| {
+                let a = run((0..100).collect());
+                let b = run((100..110).collect());
+                (a, b)
+            },
+        );
+        assert_eq!(out.0, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(out.1, (100..110).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_ok() {
+        let sum: u64 = scoped(1, |_, x: u64| x + 1, |run| run(vec![1, 2, 3]))
+            .into_iter()
+            .sum();
+        assert_eq!(sum, 9);
+    }
+
+    #[test]
+    fn ownership_ping_pong() {
+        // Moves a Vec out and back, mutated — the pattern the engines use.
+        let v = scoped(
+            2,
+            |_, mut v: Vec<u64>| {
+                v.push(99);
+                v
+            },
+            |run| run(vec![vec![1], vec![2]]),
+        );
+        assert_eq!(v, vec![vec![1, 99], vec![2, 99]]);
+    }
+}

@@ -1,0 +1,160 @@
+//! The sequential oracle: one global heap ordered by [`EventKey`].
+//!
+//! This engine defines the canonical total order. The parallel engine
+//! must reproduce its order digest, state digest and processed count
+//! exactly, for every worker count — that is what the differential
+//! suite in `tests/differential.rs` pins.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sim_core::{SimDuration, SimTime};
+
+use crate::actor::{Actor, EventKey, Outbox, INJECTED_SRC};
+use crate::digest::Digest64;
+
+struct Item<M> {
+    key: EventKey,
+    dst: u32,
+    msg: M,
+}
+
+impl<M> PartialEq for Item<M> {
+    fn eq(&self, other: &Item<M>) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for Item<M> {}
+impl<M> PartialOrd for Item<M> {
+    fn partial_cmp(&self, other: &Item<M>) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Item<M> {
+    fn cmp(&self, other: &Item<M>) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// The single-threaded reference engine.
+pub struct SequentialEngine<A: Actor> {
+    actors: Vec<A>,
+    heap: BinaryHeap<Reverse<Item<A::Msg>>>,
+    lookahead: SimDuration,
+    /// Per-actor emission counters (index = src), plus one injected
+    /// counter, so keys are dense and engine-independent.
+    out_seq: Vec<u64>,
+    injected_seq: u64,
+    order: Vec<Digest64>,
+    processed: u64,
+    now: SimTime,
+}
+
+impl<A: Actor> SequentialEngine<A> {
+    /// Builds an engine over `actors` with the given lookahead (only
+    /// used to enforce the [`Outbox`] send contract — the sequential
+    /// engine itself needs no lookahead to be correct).
+    pub fn new(actors: Vec<A>, lookahead: SimDuration) -> SequentialEngine<A> {
+        let n = actors.len();
+        SequentialEngine {
+            actors,
+            heap: BinaryHeap::new(),
+            lookahead,
+            out_seq: vec![0; n],
+            injected_seq: 0,
+            order: vec![Digest64::new(); n],
+            processed: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Injects an external stimulus for actor `dst` at absolute time
+    /// `at` (source slot [`INJECTED_SRC`]).
+    pub fn inject(&mut self, dst: u32, at: SimTime, msg: A::Msg) {
+        let key = EventKey {
+            at,
+            src: INJECTED_SRC,
+            seq: self.injected_seq,
+        };
+        self.injected_seq += 1;
+        self.heap.push(Reverse(Item { key, dst, msg }));
+    }
+
+    /// Runs every event with `at <= until`; returns events processed
+    /// by this call.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let before = self.processed;
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.key.at > until {
+                break;
+            }
+            let Reverse(item) = self.heap.pop().expect("peeked");
+            self.now = item.key.at;
+            self.dispatch(item);
+        }
+        self.processed - before
+    }
+
+    fn dispatch(&mut self, item: Item<A::Msg>) {
+        let dst = item.dst as usize;
+        item.key.fold_into(&mut self.order[dst]);
+        self.processed += 1;
+        let mut out = Outbox::new(item.key.at, item.dst, self.lookahead);
+        self.actors[dst].on_event(item.key.at, item.msg, &mut out);
+        for (to, at, msg) in out.sends {
+            let key = EventKey {
+                at,
+                src: item.dst,
+                seq: self.out_seq[dst],
+            };
+            self.out_seq[dst] += 1;
+            debug_assert!(at >= item.key.at, "send into the past");
+            self.heap.push(Reverse(Item { key, dst: to, msg }));
+        }
+    }
+
+    /// Total events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The current simulated time (timestamp of the last event run).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Digest of the processed-event key stream, folded per destination
+    /// actor then combined in actor order — identical across engines
+    /// and worker counts when execution is equivalent.
+    pub fn order_digest(&self) -> u64 {
+        combine(&self.order)
+    }
+
+    /// Digest of every actor's final observable state, in actor order.
+    pub fn state_digest(&self) -> u64 {
+        state_digest_of(&self.actors)
+    }
+
+    /// Read access to the actors (for test assertions).
+    pub fn actors(&self) -> &[A] {
+        &self.actors
+    }
+}
+
+pub(crate) fn combine(per_actor: &[Digest64]) -> u64 {
+    let mut d = Digest64::new();
+    for a in per_actor {
+        d.absorb(a);
+    }
+    d.value()
+}
+
+pub(crate) fn state_digest_of<A: Actor>(actors: &[A]) -> u64 {
+    let mut d = Digest64::new();
+    for a in actors {
+        let mut s = Digest64::new();
+        a.state_digest(&mut s);
+        d.absorb(&s);
+    }
+    d.value()
+}

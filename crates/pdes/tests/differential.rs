@@ -1,0 +1,171 @@
+//! Differential suite: the parallel engine must reproduce the
+//! sequential oracle bit-for-bit — order digest, state digest, event
+//! count — for randomized actor graphs, workloads and worker counts.
+
+use pdes::{Actor, Digest64, Outbox, ParallelEngine, SequentialEngine};
+use proptest::prelude::*;
+use sim_core::{derive_seed, SimDuration, SimRng, SimTime};
+
+/// A little stateful relay: on each message it mixes the payload into
+/// its state and forwards derived messages to pseudo-random peers with
+/// delays >= lookahead, plus occasional self-messages below lookahead
+/// (exercising the inline path).
+struct Relay {
+    idx: u32,
+    peers: u32,
+    state: u64,
+    rng: SimRng,
+    lookahead: SimDuration,
+    /// Remaining forwards this actor may emit (bounds the cascade).
+    budget: u32,
+}
+
+impl Actor for Relay {
+    type Msg = u64;
+
+    fn on_event(&mut self, _now: SimTime, msg: u64, out: &mut Outbox<u64>) {
+        self.state = self
+            .state
+            .rotate_left(7)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(msg);
+        if self.budget == 0 {
+            return;
+        }
+        self.budget -= 1;
+        // Fan out 0..=2 cross-actor sends and maybe one self-send.
+        let fan = self.rng.next_u64() % 3;
+        for _ in 0..fan {
+            let dst = (self.rng.next_u64() % u64::from(self.peers)) as u32;
+            let extra = self.rng.next_u64() % 2_000_000; // up to 2 us
+            let delay = self.lookahead + SimDuration::from_picos(extra);
+            if dst != self.idx {
+                out.send(dst, delay, self.state ^ u64::from(dst));
+            } else {
+                out.send(dst, delay, self.state);
+            }
+        }
+        if self.rng.chance(0.4) {
+            // Self-sends may violate the lookahead freely.
+            let delay = SimDuration::from_picos(self.rng.next_u64() % 500_000);
+            out.send(self.idx, delay, self.state.wrapping_add(1));
+        }
+    }
+
+    fn state_digest(&self, d: &mut Digest64) {
+        d.fold(self.state);
+        d.fold(u64::from(self.budget));
+    }
+}
+
+fn build(seed: u64, actors: u32, lookahead: SimDuration, budget: u32) -> Vec<Relay> {
+    (0..actors)
+        .map(|idx| Relay {
+            idx,
+            peers: actors,
+            state: derive_seed(seed, "relay-state") ^ u64::from(idx),
+            rng: SimRng::derive(seed, &format!("relay-{idx}")),
+            lookahead,
+            budget,
+        })
+        .collect()
+}
+
+fn inject_all(seed: u64, actors: u32, stimuli: u32, inject: &mut dyn FnMut(u32, SimTime, u64)) {
+    let mut rng = SimRng::derive(seed, "inject");
+    for i in 0..stimuli {
+        let dst = (rng.next_u64() % u64::from(actors)) as u32;
+        let at = SimTime::from_picos(rng.next_u64() % 5_000_000); // first 5 us
+        inject(dst, at, u64::from(i) << 32 | u64::from(dst));
+    }
+}
+
+/// Runs one configuration on the oracle and on the parallel engine at
+/// `workers`, asserting every observable is identical.
+fn assert_equivalent(seed: u64, actors: u32, stimuli: u32, budget: u32, workers: usize) {
+    let lookahead = SimDuration::from_nanos(700); // PCIe + fiber scale
+    let horizon = SimTime::from_micros(200);
+
+    let mut oracle = SequentialEngine::new(build(seed, actors, lookahead, budget), lookahead);
+    inject_all(seed, actors, stimuli, &mut |d, at, m| {
+        oracle.inject(d, at, m)
+    });
+    let oracle_n = oracle.run_until(horizon);
+
+    let mut par = ParallelEngine::new(build(seed, actors, lookahead, budget), lookahead, workers);
+    inject_all(seed, actors, stimuli, &mut |d, at, m| par.inject(d, at, m));
+    let par_n = par.run_until(horizon);
+
+    assert_eq!(oracle_n, par_n, "event counts diverged (workers={workers})");
+    assert_eq!(
+        oracle.order_digest(),
+        par.order_digest(),
+        "order digests diverged (workers={workers})"
+    );
+    assert_eq!(
+        oracle.state_digest(),
+        par.state_digest(),
+        "state digests diverged (workers={workers})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_matches_oracle(
+        seed in any::<u64>(),
+        actors in 1u32..24,
+        stimuli in 1u32..32,
+        budget in 0u32..64,
+    ) {
+        for workers in [2usize, 4, 8] {
+            assert_equivalent(seed, actors, stimuli, budget, workers);
+        }
+    }
+}
+
+#[test]
+fn single_actor_single_worker() {
+    assert_equivalent(7, 1, 4, 16, 1);
+}
+
+#[test]
+fn dense_same_timestamp_tiebreaks() {
+    // Many stimuli at identical timestamps: the (src, seq) tiebreak is
+    // the only thing separating them.
+    let lookahead = SimDuration::from_nanos(700);
+    let mut oracle = SequentialEngine::new(build(3, 6, lookahead, 8), lookahead);
+    let mut par = ParallelEngine::new(build(3, 6, lookahead, 8), lookahead, 4);
+    for i in 0..24u64 {
+        let dst = (i % 6) as u32;
+        oracle.inject(dst, SimTime::from_nanos(10), i);
+        par.inject(dst, SimTime::from_nanos(10), i);
+    }
+    let a = oracle.run_until(SimTime::from_micros(100));
+    let b = par.run_until(SimTime::from_micros(100));
+    assert_eq!(a, b);
+    assert_eq!(oracle.order_digest(), par.order_digest());
+    assert_eq!(oracle.state_digest(), par.state_digest());
+}
+
+#[test]
+fn worker_count_exceeding_actors_is_clamped() {
+    assert_equivalent(11, 3, 8, 12, 64);
+}
+
+#[test]
+#[should_panic(expected = "below lookahead")]
+fn cross_actor_send_below_lookahead_panics() {
+    struct Bad;
+    impl Actor for Bad {
+        type Msg = ();
+        fn on_event(&mut self, _now: SimTime, _msg: (), out: &mut Outbox<()>) {
+            out.send(1, SimDuration::from_nanos(1), ());
+        }
+        fn state_digest(&self, _d: &mut Digest64) {}
+    }
+    let mut eng = SequentialEngine::new(vec![Bad, Bad], SimDuration::from_nanos(700));
+    eng.inject(0, SimTime::ZERO, ());
+    eng.run_until(SimTime::from_micros(1));
+}

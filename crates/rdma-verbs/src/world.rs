@@ -14,6 +14,11 @@ use rnic_model::{
 use sim_core::{CalendarQueue, ReferenceQueue, SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
 
+// Child module (not a sibling) so the conservative-sync machinery can
+// reach the world's internals without widening their visibility.
+#[path = "parallel.rs"]
+mod parallel;
+
 /// Typed error for the user-facing [`Simulation`] and [`Ctx`] verbs APIs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VerbsError {
@@ -135,6 +140,20 @@ impl WorldQueue {
         match self {
             WorldQueue::Calendar(q) => q.pop_before(deadline),
             WorldQueue::Reference(q) => q.pop_before(deadline),
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        match self {
+            WorldQueue::Calendar(q) => q.peek_time(),
+            WorldQueue::Reference(q) => q.peek_time(),
+        }
+    }
+
+    fn pop_with_seq_before(&mut self, deadline: SimTime) -> Option<(SimTime, u64, WorldEvent)> {
+        match self {
+            WorldQueue::Calendar(q) => q.pop_with_seq_before(deadline),
+            WorldQueue::Reference(q) => q.pop_with_seq_before(deadline),
         }
     }
 
@@ -294,7 +313,7 @@ struct World {
     /// per-event cell allocation; this removes the per-event action
     /// allocation).
     scratch: Vec<NicAction>,
-    nics: Vec<Rnic>,
+    nics: Vec<Option<Rnic>>,
     qp_owner: HashMap<(HostId, QpNum), AppId>,
     switch_latency: SimDuration,
     next_qp: u32,
@@ -323,13 +342,170 @@ struct World {
     /// handles cost one branch per use.
     tracer: Tracer,
     metrics: Metrics,
+    /// Declared host footprint per app. Apps without an entry may touch
+    /// any host — and force the parallel engine onto the sequential
+    /// fallback, since worker partitioning needs the footprint.
+    app_scopes: HashMap<AppId, Vec<HostId>>,
+    /// `true` for apps registered via [`Simulation::add_send_app`]:
+    /// they ship to workers under the parallel engine, and in exchange
+    /// lose access to the world RNG and fabric-wide controls — on every
+    /// engine, so the sequential oracle surfaces violations first.
+    app_sendable: Vec<bool>,
+    /// Minimum window-batch size (events) a partition group must reach
+    /// before the parallel engine ships it to a worker; smaller groups
+    /// execute coordinator-side through the post-barrier leftover path,
+    /// which is bit-identical but skips the per-group shipping overhead
+    /// (channel hop, NIC checkout, stream merge). Zero ships everything.
+    ship_threshold: usize,
+    /// Active conservative-round merge state; `None` outside
+    /// `run_until_workers` apply phases (i.e. always, on the sequential
+    /// path).
+    round: Option<RoundCtl>,
+    /// Events materialized and consumed inside merge rounds without ever
+    /// touching the real queue; added to `queue.events_processed()` so
+    /// both engines report identical totals.
+    synthetic: u64,
+    /// Order-sensitive digest folded over every processed event — the
+    /// cross-engine fingerprint of the PDES differential suite.
+    order: pdes::Digest64,
+}
+
+/// Merge-phase state for one conservative round (see the `parallel`
+/// module): events already inside the round's window live in this heap,
+/// keyed by `(timestamp, virtual seq)`, exactly mirroring the global
+/// queue's `(timestamp, insertion seq)` order.
+struct RoundCtl {
+    /// Inclusive upper bound of the round's window.
+    limit: SimTime,
+    /// Timestamp of the entry currently being applied; `World::now()`
+    /// reports this while a round is active.
+    now: SimTime,
+    /// Next virtual sequence number; starts past every real seq the
+    /// round's batch consumed and advances in merge order.
+    vseq: u64,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<RoundKeyed>>,
+}
+
+struct RoundKeyed {
+    at: SimTime,
+    k2: u64,
+    item: RoundItem,
+}
+
+enum RoundItem {
+    /// A materialized world event, executed through the same
+    /// `execute_event` as the sequential loop.
+    Ev(WorldEvent),
+    /// Head-of-stream marker for a worker group's cooked output.
+    Marker(u32),
+}
+
+impl RoundKeyed {
+    fn key(&self) -> (SimTime, u64, bool) {
+        // Ev/Marker never share (at, k2) — batch seqs, virtual seqs and
+        // marker heads are disjoint — but keep the order total anyway.
+        (self.at, self.k2, matches!(self.item, RoundItem::Marker(_)))
+    }
+}
+
+impl PartialEq for RoundKeyed {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for RoundKeyed {}
+impl PartialOrd for RoundKeyed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RoundKeyed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
 }
 
 const HUGE_PAGE: u64 = 2 * 1024 * 1024;
 
 impl World {
     fn now(&self) -> SimTime {
-        self.queue.now()
+        match self.round.as_ref() {
+            Some(r) => r.now,
+            None => self.queue.now(),
+        }
+    }
+
+    fn nic_ref(&self, host: HostId) -> &Rnic {
+        self.nics[host.0 as usize]
+            .as_ref()
+            .expect("NIC checked out to a parallel worker")
+    }
+
+    fn nic_mut(&mut self, host: HostId) -> &mut Rnic {
+        self.nics[host.0 as usize]
+            .as_mut()
+            .expect("NIC checked out to a parallel worker")
+    }
+
+    /// Schedules a world event, routing through the active merge round
+    /// when one is open and `at` falls inside its window.
+    fn enqueue(&mut self, at: SimTime, event: WorldEvent) {
+        self.enqueue_in_round(at, event);
+    }
+
+    /// Like [`World::enqueue`], returning the virtual sequence number
+    /// when the event landed in the round heap (the parallel coordinator
+    /// needs it to translate worker emit ids into merge keys).
+    fn enqueue_in_round(&mut self, at: SimTime, event: WorldEvent) -> Option<u64> {
+        if let Some(r) = self.round.as_mut() {
+            if at <= r.limit {
+                debug_assert!(at >= r.now, "round heap push into the past");
+                let k2 = r.vseq;
+                r.vseq += 1;
+                r.heap.push(std::cmp::Reverse(RoundKeyed {
+                    at,
+                    k2,
+                    item: RoundItem::Ev(event),
+                }));
+                return Some(k2);
+            }
+        }
+        self.queue.schedule(at, event);
+        None
+    }
+
+    /// Folds one processed event into the order digest. Both engines
+    /// fold the same words in the same order; the digest is therefore a
+    /// fingerprint of the execution order itself.
+    fn fold_event(&mut self, at: SimTime, event: &WorldEvent) {
+        let d = &mut self.order;
+        d.fold(at.as_picos());
+        match event {
+            WorldEvent::Nic(host, _) => {
+                d.fold(1);
+                d.fold(u64::from(host.0));
+            }
+            WorldEvent::Deliver { host, corrupt, .. } => {
+                d.fold(2);
+                d.fold(u64::from(host.0));
+                d.fold(u64::from(*corrupt));
+            }
+            WorldEvent::Hop { hop, pkt, .. } => {
+                d.fold(3);
+                d.fold(u64::from(*hop));
+                d.fold(u64::from(pkt.dst.0));
+            }
+            WorldEvent::Timer { app, token } => {
+                d.fold(4);
+                d.fold(app.0 as u64);
+                d.fold(*token);
+            }
+            WorldEvent::AppCqe { app, host, .. } => {
+                d.fold(5);
+                d.fold(app.0 as u64);
+                d.fold(u64::from(host.0));
+            }
+        }
     }
 
     /// Routes a NIC event into the NIC and applies the resulting
@@ -337,7 +513,7 @@ impl World {
     fn dispatch_nic(&mut self, host: HostId, event: NicEvent) {
         let mut scratch = std::mem::take(&mut self.scratch);
         let now = self.now();
-        self.nics[host.0 as usize].handle_into(now, event, &mut scratch);
+        self.nic_mut(host).handle_into(now, event, &mut scratch);
         self.apply_actions(host, &mut scratch);
         self.scratch = scratch;
     }
@@ -346,85 +522,9 @@ impl World {
         for action in actions.drain(..) {
             match action {
                 NicAction::Schedule { at, event } => {
-                    self.queue.schedule(at, WorldEvent::Nic(host, event));
+                    self.enqueue(at, WorldEvent::Nic(host, event));
                 }
-                NicAction::Transmit { at, pkt } => {
-                    self.fabric.sent += 1;
-                    if let Some(rt) = self.fabric_rt.as_ref() {
-                        // Fabric mode: ECMP-route the flow and walk the
-                        // links hop by hop. Loss/chaos verdicts happen
-                        // per hop, where the packet physically is.
-                        if self.loss_rate > 0.0 && self.rng.chance(self.loss_rate) {
-                            let up = rt.topology().host_uplink(pkt.src);
-                            self.note_link_drop(up, pkt.src, pkt.dst);
-                            continue;
-                        }
-                        let key = FlowKey::new(pkt.src, pkt.dst, pkt.src_qp.0, pkt.dst_qp.0);
-                        let route = rt.topology().route(pkt.src, pkt.dst, key);
-                        self.queue.schedule(
-                            at,
-                            WorldEvent::Hop {
-                                route,
-                                hop: 0,
-                                pkt,
-                                corrupt: false,
-                            },
-                        );
-                        continue;
-                    }
-                    // Legacy uniform loss draws from the world RNG first so
-                    // that chaos-free runs keep their exact RNG stream.
-                    if self.loss_rate > 0.0 && self.rng.chance(self.loss_rate) {
-                        self.note_wire_drop(host, pkt.dst);
-                        continue;
-                    }
-                    let prop =
-                        self.nics[host.0 as usize].profile().wire_propagation + self.switch_latency;
-                    let dst = pkt.dst;
-                    let mut corrupt = false;
-                    let mut deliver_at = at + prop;
-                    if let Some(inj) = self.injector.as_mut() {
-                        let v = inj.verdict(at, host, dst);
-                        if v.drop {
-                            self.note_wire_drop(host, dst);
-                            continue;
-                        }
-                        corrupt = v.corrupt;
-                        deliver_at += v.extra_delay;
-                        if v.duplicate {
-                            self.fabric.duplicates += 1;
-                            self.queue.schedule(
-                                deliver_at + self.switch_latency,
-                                WorldEvent::Deliver {
-                                    host: dst,
-                                    pkt: pkt.clone(),
-                                    corrupt,
-                                },
-                            );
-                        }
-                    }
-                    if self.tracer.enabled(Target::RdmaVerbs) {
-                        self.tracer.span(
-                            Target::RdmaVerbs,
-                            "wire_hop",
-                            ActorId::device(host.0),
-                            at.as_picos(),
-                            (deliver_at - at).as_picos(),
-                            &[
-                                ("dst", u64::from(dst.0).into()),
-                                ("msg_id", pkt.msg_id.into()),
-                            ],
-                        );
-                    }
-                    self.queue.schedule(
-                        deliver_at,
-                        WorldEvent::Deliver {
-                            host: dst,
-                            pkt,
-                            corrupt,
-                        },
-                    );
-                }
+                NicAction::Transmit { at, pkt } => self.transmit(host, at, pkt),
                 NicAction::Complete { at, cqe } => {
                     if self.metrics.enabled() {
                         self.metrics
@@ -452,14 +552,96 @@ impl World {
                     }
                     match self.qp_owner.get(&(host, cqe.qp)) {
                         Some(&app) => {
-                            self.queue
-                                .schedule(at, WorldEvent::AppCqe { app, host, cqe });
+                            self.enqueue(at, WorldEvent::AppCqe { app, host, cqe });
                         }
                         None => self.orphan_cqes.push((host, cqe)),
                     }
                 }
             }
         }
+    }
+
+    /// Puts one packet on the wire at `at`: loss/chaos verdicts, then
+    /// either the first fabric hop or the legacy single-switch delivery.
+    ///
+    /// Shared between `apply_actions` (sequential path) and the parallel
+    /// coordinator, which replays worker-cooked transmits in merge order
+    /// so every RNG draw happens in exactly the sequential sequence.
+    fn transmit(&mut self, host: HostId, at: SimTime, pkt: Packet) {
+        self.fabric.sent += 1;
+        if let Some(rt) = self.fabric_rt.as_ref() {
+            // Fabric mode: ECMP-route the flow and walk the
+            // links hop by hop. Loss/chaos verdicts happen
+            // per hop, where the packet physically is.
+            if self.loss_rate > 0.0 && self.rng.chance(self.loss_rate) {
+                let up = rt.topology().host_uplink(pkt.src);
+                self.note_link_drop(up, pkt.src, pkt.dst);
+                return;
+            }
+            let key = FlowKey::new(pkt.src, pkt.dst, pkt.src_qp.0, pkt.dst_qp.0);
+            let route = rt.topology().route(pkt.src, pkt.dst, key);
+            self.enqueue(
+                at,
+                WorldEvent::Hop {
+                    route,
+                    hop: 0,
+                    pkt,
+                    corrupt: false,
+                },
+            );
+            return;
+        }
+        // Legacy uniform loss draws from the world RNG first so
+        // that chaos-free runs keep their exact RNG stream.
+        if self.loss_rate > 0.0 && self.rng.chance(self.loss_rate) {
+            self.note_wire_drop(host, pkt.dst);
+            return;
+        }
+        let prop = self.nic_ref(host).profile().wire_propagation + self.switch_latency;
+        let dst = pkt.dst;
+        let mut corrupt = false;
+        let mut deliver_at = at + prop;
+        if let Some(inj) = self.injector.as_mut() {
+            let v = inj.verdict(at, host, dst);
+            if v.drop {
+                self.note_wire_drop(host, dst);
+                return;
+            }
+            corrupt = v.corrupt;
+            deliver_at += v.extra_delay;
+            if v.duplicate {
+                self.fabric.duplicates += 1;
+                self.enqueue(
+                    deliver_at + self.switch_latency,
+                    WorldEvent::Deliver {
+                        host: dst,
+                        pkt: pkt.clone(),
+                        corrupt,
+                    },
+                );
+            }
+        }
+        if self.tracer.enabled(Target::RdmaVerbs) {
+            self.tracer.span(
+                Target::RdmaVerbs,
+                "wire_hop",
+                ActorId::device(host.0),
+                at.as_picos(),
+                (deliver_at - at).as_picos(),
+                &[
+                    ("dst", u64::from(dst.0).into()),
+                    ("msg_id", pkt.msg_id.into()),
+                ],
+            );
+        }
+        self.enqueue(
+            deliver_at,
+            WorldEvent::Deliver {
+                host: dst,
+                pkt,
+                corrupt,
+            },
+        );
     }
 
     /// Marks a successful QP Error → Ready transition in the trace.
@@ -481,8 +663,8 @@ impl World {
     fn note_wire_drop(&mut self, src: HostId, dst: HostId) {
         self.dropped_packets += 1;
         self.fabric.dropped += 1;
-        self.nics[src.0 as usize].counters_mut().wire_tx_dropped += 1;
-        if let Some(nic) = self.nics.get_mut(dst.0 as usize) {
+        self.nic_mut(src).counters_mut().wire_tx_dropped += 1;
+        if let Some(nic) = self.nics.get_mut(dst.0 as usize).and_then(Option::as_mut) {
             nic.counters_mut().wire_rx_dropped += 1;
         }
     }
@@ -499,10 +681,10 @@ impl World {
         rt.note_link_drop(link);
         let l = *rt.topology().link(link);
         if l.src == NodeId::Host(src.0) {
-            self.nics[src.0 as usize].counters_mut().wire_tx_dropped += 1;
+            self.nic_mut(src).counters_mut().wire_tx_dropped += 1;
         }
         if l.dst == NodeId::Host(dst.0) {
-            if let Some(nic) = self.nics.get_mut(dst.0 as usize) {
+            if let Some(nic) = self.nics.get_mut(dst.0 as usize).and_then(Option::as_mut) {
                 nic.counters_mut().wire_rx_dropped += 1;
             }
         }
@@ -573,7 +755,7 @@ impl World {
             self.fabric.duplicates += 1;
             let rt = self.fabric_rt.as_mut().expect("fabric mode");
             let dup = rt.traverse(start, &route, hop as usize, bytes, pkt.tc);
-            self.queue.schedule(
+            self.enqueue(
                 dup.arrival,
                 WorldEvent::Hop {
                     route,
@@ -585,7 +767,7 @@ impl World {
         }
         let next = hop + 1;
         if usize::from(next) == route.len() {
-            self.queue.schedule(
+            self.enqueue(
                 out.arrival,
                 WorldEvent::Deliver {
                     host: pkt.dst,
@@ -594,7 +776,7 @@ impl World {
                 },
             );
         } else {
-            self.queue.schedule(
+            self.enqueue(
                 out.arrival,
                 WorldEvent::Hop {
                     route,
@@ -609,8 +791,9 @@ impl World {
     fn post_send(&mut self, qp: QpHandle, wr: WorkRequest) -> Result<(), PostError> {
         let mut scratch = std::mem::take(&mut self.scratch);
         let now = self.now();
-        let res =
-            self.nics[qp.host.0 as usize].post_send_into(now, qp.qp, wr.into_wqe(), &mut scratch);
+        let res = self
+            .nic_mut(qp.host)
+            .post_send_into(now, qp.qp, wr.into_wqe(), &mut scratch);
         if res.is_ok() {
             self.apply_actions(qp.host, &mut scratch);
         }
@@ -652,8 +835,30 @@ impl World {
 /// ```
 pub struct Simulation {
     world: World,
-    apps: Vec<Option<Box<dyn App>>>,
+    apps: Vec<Option<AppBox>>,
     started_count: usize,
+}
+
+/// App storage: whether the app may be shipped to a parallel worker.
+enum AppBox {
+    /// Coordinator-only app ([`Simulation::add_app`]): may draw from the
+    /// world RNG and touch fabric-wide controls; under the parallel
+    /// engine its callbacks barrier its host group and run on the
+    /// coordinator in merge order.
+    Local(Box<dyn App>),
+    /// Send app ([`Simulation::add_send_app`]): checked out to the
+    /// worker that owns its host group, so its callbacks execute in
+    /// parallel instead of barriering.
+    Send(Box<dyn App + Send>),
+}
+
+impl AppBox {
+    fn as_dyn(&mut self) -> &mut dyn App {
+        match self {
+            AppBox::Local(a) => a.as_mut(),
+            AppBox::Send(a) => a.as_mut(),
+        }
+    }
 }
 
 impl Simulation {
@@ -689,6 +894,12 @@ impl Simulation {
                 fabric_rt: None,
                 tracer: ragnar_telemetry::tracer(),
                 metrics: ragnar_telemetry::metrics(),
+                app_scopes: HashMap::new(),
+                app_sendable: Vec::new(),
+                ship_threshold: parallel::DEFAULT_SHIP_THRESHOLD,
+                round: None,
+                synthetic: 0,
+                order: pdes::Digest64::new(),
             },
             apps: Vec::new(),
             started_count: 0,
@@ -740,7 +951,7 @@ impl Simulation {
         let id = HostId(self.world.nics.len() as u32);
         // Derive per-NIC seeds from the world RNG stream deterministically.
         let seed = self.world.rng.next_u64();
-        self.world.nics.push(Rnic::new(id, profile, seed));
+        self.world.nics.push(Some(Rnic::new(id, profile, seed)));
         self.world.next_va.push(HUGE_PAGE);
         id
     }
@@ -781,7 +992,7 @@ impl Simulation {
             len,
             access,
         };
-        self.world.nics[host.0 as usize].register_mr(entry);
+        self.world.nic_mut(host).register_mr(entry);
         MrHandle {
             host,
             key,
@@ -793,7 +1004,7 @@ impl Simulation {
 
     /// Deregisters an MR; returns whether it existed.
     pub fn deregister_mr(&mut self, mr: MrHandle) -> bool {
-        self.world.nics[mr.host.0 as usize].deregister_mr(mr.key)
+        self.world.nic_mut(mr.host).deregister_mr(mr.key)
     }
 
     /// Connects an RC queue pair between two hosts, returning both
@@ -809,7 +1020,7 @@ impl Simulation {
         let qa = QpNum(self.world.next_qp);
         let qb = QpNum(self.world.next_qp + 1);
         self.world.next_qp += 2;
-        self.world.nics[a.0 as usize].create_qp(
+        self.world.nic_mut(a).create_qp(
             qa,
             QpConfig {
                 pd: pd_a,
@@ -820,7 +1031,7 @@ impl Simulation {
                 max_send_queue: opts.max_send_queue,
             },
         );
-        self.world.nics[b.0 as usize].create_qp(
+        self.world.nic_mut(b).create_qp(
             qb,
             QpConfig {
                 pd: pd_b,
@@ -849,14 +1060,32 @@ impl Simulation {
 
     /// Applies ETS weights on a host's egress scheduler (`mlnx_qos`).
     pub fn set_ets_weights(&mut self, host: HostId, weights: [u32; TrafficClass::COUNT]) {
-        self.world.nics[host.0 as usize].set_ets_weights(weights);
+        self.world.nic_mut(host).set_ets_weights(weights);
     }
 
     /// Registers an application; its `on_start` runs when the simulation
     /// first advances.
     pub fn add_app(&mut self, app: Box<dyn App>) -> AppId {
         let id = AppId(self.apps.len());
-        self.apps.push(Some(app));
+        self.apps.push(Some(AppBox::Local(app)));
+        self.world.app_sendable.push(false);
+        id
+    }
+
+    /// Registers a `Send` application that the parallel engine may check
+    /// out to the worker owning its host group, so its `on_timer` /
+    /// `on_cqe` callbacks execute worker-side instead of barriering the
+    /// group (see `run_until_workers`). Sequential behavior is identical
+    /// to [`Simulation::add_app`], with one restriction enforced on
+    /// *every* engine so the sequential oracle stays a faithful
+    /// differential reference: a send app must not call [`Ctx::rng`]
+    /// (derive a private [`SimRng`] at construction instead) or the
+    /// fabric-wide controls ([`Ctx::topology`], [`Ctx::link_counters`],
+    /// [`Ctx::pause_link`], [`Ctx::stop`]) — those panic.
+    pub fn add_send_app(&mut self, app: Box<dyn App + Send>) -> AppId {
+        let id = AppId(self.apps.len());
+        self.apps.push(Some(AppBox::Send(app)));
+        self.world.app_sendable.push(true);
         id
     }
 
@@ -872,34 +1101,32 @@ impl Simulation {
 
     /// Immutable access to a host's NIC (counters, TPU, profile).
     pub fn nic(&self, host: HostId) -> &Rnic {
-        &self.world.nics[host.0 as usize]
+        self.world.nic_ref(host)
     }
 
     /// Mutable access to a host's NIC (defense knobs, instrumentation).
     pub fn nic_mut(&mut self, host: HostId) -> &mut Rnic {
-        &mut self.world.nics[host.0 as usize]
+        self.world.nic_mut(host)
     }
 
     /// Shorthand for a host's counters.
     pub fn counters(&self, host: HostId) -> &NicCounters {
-        self.world.nics[host.0 as usize].counters()
+        self.world.nic_ref(host).counters()
     }
 
     /// Writes into a host's memory.
     pub fn write_memory(&mut self, host: HostId, addr: u64, data: &[u8]) {
-        self.world.nics[host.0 as usize]
-            .memory_mut()
-            .write(addr, data);
+        self.world.nic_mut(host).memory_mut().write(addr, data);
     }
 
     /// Reads from a host's memory.
     pub fn read_memory(&self, host: HostId, addr: u64, len: u64) -> Vec<u8> {
-        self.world.nics[host.0 as usize].memory().read(addr, len)
+        self.world.nic_ref(host).memory().read(addr, len)
     }
 
     /// A host's memory handle.
     pub fn memory_mut(&mut self, host: HostId) -> &mut HostMemory {
-        self.world.nics[host.0 as usize].memory_mut()
+        self.world.nic_mut(host).memory_mut()
     }
 
     /// Sets the fabric's packet-loss probability (0 disables; default).
@@ -956,6 +1183,7 @@ impl Simulation {
         self.world
             .nics
             .get(qp.host.0 as usize)
+            .and_then(Option::as_ref)
             .and_then(|nic| nic.qp_transport(qp.qp))
             == Some(QpTransport::Error)
     }
@@ -975,6 +1203,7 @@ impl Simulation {
             .world
             .nics
             .get_mut(qp.host.0 as usize)
+            .and_then(Option::as_mut)
             .ok_or(VerbsError::UnknownHost(qp.host))?;
         nic.reset_qp(qp.qp)?;
         self.world.trace_qp_recover(qp);
@@ -1006,6 +1235,7 @@ impl Simulation {
             .world
             .nics
             .get_mut(qp.host.0 as usize)
+            .and_then(Option::as_mut)
             .ok_or(VerbsError::UnknownHost(qp.host))?;
         nic.post_recv(qp.qp, recv).map_err(VerbsError::from)
     }
@@ -1032,10 +1262,10 @@ impl Simulation {
         };
         {
             let mut ctx = Ctx {
-                world: &mut self.world,
+                world: CtxWorld::Direct(&mut self.world),
                 app: id,
             };
-            f(app.as_mut(), &mut ctx);
+            f(app.as_dyn(), &mut ctx);
         }
         self.apps[id.0] = Some(app);
     }
@@ -1046,45 +1276,51 @@ impl Simulation {
         self.start_apps();
         let mut processed = 0;
         while !self.world.stopped {
-            let Some((_, event)) = self.world.queue.pop_before(deadline) else {
+            let Some((at, event)) = self.world.queue.pop_before(deadline) else {
                 break;
             };
             processed += 1;
-            match event {
-                WorldEvent::Nic(host, ev) => {
-                    self.world.dispatch_nic(host, ev);
-                }
-                WorldEvent::Deliver { host, pkt, corrupt } => {
-                    if corrupt {
-                        // The ICRC check rejects the mangled payload; the
-                        // requester's retransmission timer recovers it.
-                        self.world.fabric.icrc_dropped += 1;
-                        self.world.nics[host.0 as usize]
-                            .counters_mut()
-                            .icrc_rx_dropped += 1;
-                    } else {
-                        self.world.fabric.delivered += 1;
-                        self.world
-                            .dispatch_nic(host, NicEvent::IngressArrival { pkt });
-                    }
-                }
-                WorldEvent::Hop {
-                    route,
-                    hop,
-                    pkt,
-                    corrupt,
-                } => {
-                    self.world.hop_packet(route, hop, pkt, corrupt);
-                }
-                WorldEvent::Timer { app, token } => {
-                    self.with_app(app, |a, ctx| a.on_timer(ctx, token));
-                }
-                WorldEvent::AppCqe { app, host, cqe } => {
-                    self.with_app(app, |a, ctx| a.on_cqe(ctx, host, cqe));
-                }
-            }
+            self.world.fold_event(at, &event);
+            self.execute_event(event);
         }
         processed
+    }
+
+    /// Dispatches one popped event — the single definition shared by the
+    /// sequential loop above and the parallel coordinator's merge phase,
+    /// so both engines execute events through identical code.
+    fn execute_event(&mut self, event: WorldEvent) {
+        match event {
+            WorldEvent::Nic(host, ev) => {
+                self.world.dispatch_nic(host, ev);
+            }
+            WorldEvent::Deliver { host, pkt, corrupt } => {
+                if corrupt {
+                    // The ICRC check rejects the mangled payload; the
+                    // requester's retransmission timer recovers it.
+                    self.world.fabric.icrc_dropped += 1;
+                    self.world.nic_mut(host).counters_mut().icrc_rx_dropped += 1;
+                } else {
+                    self.world.fabric.delivered += 1;
+                    self.world
+                        .dispatch_nic(host, NicEvent::IngressArrival { pkt });
+                }
+            }
+            WorldEvent::Hop {
+                route,
+                hop,
+                pkt,
+                corrupt,
+            } => {
+                self.world.hop_packet(route, hop, pkt, corrupt);
+            }
+            WorldEvent::Timer { app, token } => {
+                self.with_app(app, |a, ctx| a.on_timer(ctx, token));
+            }
+            WorldEvent::AppCqe { app, host, cqe } => {
+                self.with_app(app, |a, ctx| a.on_cqe(ctx, host, cqe));
+            }
+        }
     }
 
     /// Runs until the queue drains or an app calls [`Ctx::stop`].
@@ -1092,9 +1328,51 @@ impl Simulation {
         self.run_until(SimTime::MAX)
     }
 
-    /// Total events processed so far.
+    /// Total events processed so far — real queue pops plus events the
+    /// parallel engine materialized and consumed inside merge rounds.
     pub fn events_processed(&self) -> u64 {
-        self.world.queue.events_processed()
+        self.world.queue.events_processed() + self.world.synthetic
+    }
+
+    /// Order-sensitive digest over every processed event `(timestamp,
+    /// kind, principal)`. Bit-equal digests across engines and worker
+    /// counts mean the parallel engine replayed the sequential event
+    /// order exactly — the property the PDES differential suite pins.
+    pub fn order_digest(&self) -> u64 {
+        self.world.order.value()
+    }
+
+    /// Events consumed inside parallel merge rounds (zero on the
+    /// sequential engine). A positive count proves a
+    /// [`Simulation::run_until_workers`] call actually took the
+    /// parallel path rather than the sequential fallback — the
+    /// differential suite asserts this so a silently-degraded engine
+    /// can't fake equivalence.
+    pub fn synthetic_events(&self) -> u64 {
+        self.world.synthetic
+    }
+
+    /// Declares the set of hosts `app` may touch. The conservative
+    /// parallel engine partitions hosts into independent groups from
+    /// these footprints; apps that never declare one force the
+    /// sequential fallback in [`Simulation::run_until_workers`].
+    ///
+    /// Scopes are enforced: once declared, a [`Ctx`] call referencing a
+    /// host outside the footprint panics (on every engine, so the
+    /// sequential oracle catches violations before a parallel run ever
+    /// sees them).
+    pub fn set_app_scope(&mut self, app: AppId, hosts: &[HostId]) {
+        self.world.app_scopes.insert(app, hosts.to_vec());
+    }
+
+    /// Overrides the adaptive-granularity ship threshold of the parallel
+    /// engine: a partition group whose window batch holds fewer events
+    /// executes coordinator-side (bit-identically) instead of paying the
+    /// per-group shipping overhead. Zero forces every group onto a
+    /// worker — the differential suite uses that to keep the worker path
+    /// fully exercised regardless of workload size.
+    pub fn set_parallel_ship_threshold(&mut self, events: usize) {
+        self.world.ship_threshold = events;
     }
 }
 
@@ -1108,7 +1386,10 @@ impl Drop for Simulation {
         if !m.enabled() {
             return;
         }
-        m.counter_add("sim.events_processed", self.world.queue.events_processed());
+        m.counter_add(
+            "sim.events_processed",
+            self.world.queue.events_processed() + self.world.synthetic,
+        );
         m.counter_add("wire.dropped_packets", self.world.dropped_packets);
         if let Some(rt) = &self.world.fabric_rt {
             let (mut drops, mut pauses) = (0, 0);
@@ -1119,7 +1400,7 @@ impl Drop for Simulation {
             m.counter_add("fabric.link_dropped", drops);
             m.counter_add("fabric.pfc_pauses", pauses);
         }
-        for nic in &self.world.nics {
+        for nic in self.world.nics.iter().flatten() {
             for (name, v) in nic.counters().snapshot().metric_entries() {
                 if v != 0 {
                     m.counter_add(&format!("nic.{name}"), v);
@@ -1131,19 +1412,81 @@ impl Drop for Simulation {
 
 /// The capability handle passed to application callbacks.
 pub struct Ctx<'a> {
-    world: &'a mut World,
+    world: CtxWorld<'a>,
     app: AppId,
+}
+
+/// What a [`Ctx`] is backed by: the world itself (sequential engine and
+/// parallel-coordinator callbacks) or a worker's checked-out slice of it
+/// (send apps executing inside a conservative round).
+enum CtxWorld<'a> {
+    Direct(&'a mut World),
+    Worker(&'a mut (dyn WorkerBackend + 'a)),
+}
+
+/// The subset of world operations a parallel worker can honor for a
+/// shipped send app: time, timers, verbs on checked-out NICs. Side
+/// effects are *cooked* into the worker's output stream, not applied.
+/// Implemented by the `parallel` module.
+trait WorkerBackend {
+    fn now(&self) -> SimTime;
+    /// The shipped app's declared scope (exact, so enforcement matches
+    /// the sequential engine's `check_scope`).
+    fn scope(&self) -> &[HostId];
+    fn set_timer(&mut self, app: AppId, delay: SimDuration, token: u64);
+    fn post_send(&mut self, qp: QpHandle, wr: WorkRequest) -> Result<(), VerbsError>;
+    fn nic(&self, host: HostId) -> &Rnic;
+    fn nic_mut(&mut self, host: HostId) -> &mut Rnic;
 }
 
 impl Ctx<'_> {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.world.now()
+        match &self.world {
+            CtxWorld::Direct(w) => w.now(),
+            CtxWorld::Worker(b) => b.now(),
+        }
     }
 
     /// This app's id.
     pub fn app_id(&self) -> AppId {
         self.app
+    }
+
+    /// Enforces the app's declared host footprint (see
+    /// [`Simulation::set_app_scope`]). Apps without a declared scope are
+    /// unrestricted (and never run worker-side).
+    fn check_scope(&self, host: HostId) {
+        let in_scope = match &self.world {
+            CtxWorld::Direct(w) => w
+                .app_scopes
+                .get(&self.app)
+                .is_none_or(|scope| scope.contains(&host)),
+            CtxWorld::Worker(b) => b.scope().contains(&host),
+        };
+        assert!(
+            in_scope,
+            "app {} touched host {} outside its declared scope",
+            self.app.0, host.0
+        );
+    }
+
+    /// Panics if this app was registered via
+    /// [`Simulation::add_send_app`] — used by the world-RNG and
+    /// fabric-wide capabilities that cannot ship to a worker. Enforced
+    /// on the sequential engine too, so the oracle and the parallel
+    /// engine agree on which programs are valid.
+    fn deny_to_send_apps(&self, what: &str) {
+        let sendable = match &self.world {
+            CtxWorld::Direct(w) => w.app_sendable.get(self.app.0).copied().unwrap_or(false),
+            CtxWorld::Worker(_) => true,
+        };
+        assert!(
+            !sendable,
+            "app {}: {what} is not available to send apps (add_send_app); \
+             register via add_app to keep coordinator-side semantics",
+            self.app.0
+        );
     }
 
     /// Posts a work request.
@@ -1154,10 +1497,16 @@ impl Ctx<'_> {
     /// [`VerbsError::SendQueueFull`], which attack loops use for pacing,
     /// and [`VerbsError::QpInError`] after a fatal transport failure).
     pub fn post_send(&mut self, qp: QpHandle, wr: WorkRequest) -> Result<(), VerbsError> {
-        if qp.host.0 as usize >= self.world.nics.len() {
-            return Err(VerbsError::UnknownHost(qp.host));
+        self.check_scope(qp.host);
+        match &mut self.world {
+            CtxWorld::Direct(w) => {
+                if qp.host.0 as usize >= w.nics.len() {
+                    return Err(VerbsError::UnknownHost(qp.host));
+                }
+                w.post_send(qp, wr).map_err(VerbsError::from)
+            }
+            CtxWorld::Worker(b) => b.post_send(qp, wr),
         }
-        self.world.post_send(qp, wr).map_err(VerbsError::from)
     }
 
     /// Posts a receive WQE.
@@ -1166,21 +1515,35 @@ impl Ctx<'_> {
     ///
     /// The NIC's [`PostError`] mapped into [`VerbsError`].
     pub fn post_recv(&mut self, qp: QpHandle, recv: RecvWqe) -> Result<(), VerbsError> {
-        let nic = self
-            .world
-            .nics
-            .get_mut(qp.host.0 as usize)
-            .ok_or(VerbsError::UnknownHost(qp.host))?;
-        nic.post_recv(qp.qp, recv).map_err(VerbsError::from)
+        self.check_scope(qp.host);
+        match &mut self.world {
+            CtxWorld::Direct(w) => {
+                let nic = w
+                    .nics
+                    .get_mut(qp.host.0 as usize)
+                    .and_then(Option::as_mut)
+                    .ok_or(VerbsError::UnknownHost(qp.host))?;
+                nic.post_recv(qp.qp, recv).map_err(VerbsError::from)
+            }
+            CtxWorld::Worker(b) => b
+                .nic_mut(qp.host)
+                .post_recv(qp.qp, recv)
+                .map_err(VerbsError::from),
+        }
     }
 
     /// Whether `qp` sits in the Error state.
     pub fn qp_in_error(&self, qp: QpHandle) -> bool {
-        self.world
-            .nics
-            .get(qp.host.0 as usize)
-            .and_then(|nic| nic.qp_transport(qp.qp))
-            == Some(QpTransport::Error)
+        self.check_scope(qp.host);
+        let state = match &self.world {
+            CtxWorld::Direct(w) => w
+                .nics
+                .get(qp.host.0 as usize)
+                .and_then(Option::as_ref)
+                .and_then(|nic| nic.qp_transport(qp.qp)),
+            CtxWorld::Worker(b) => b.nic(qp.host).qp_transport(qp.qp),
+        };
+        state == Some(QpTransport::Error)
     }
 
     /// Resets an Error-state QP back to Ready (see
@@ -1190,82 +1553,166 @@ impl Ctx<'_> {
     ///
     /// Same contract as [`Simulation::recover_qp`].
     pub fn recover_qp(&mut self, qp: QpHandle) -> Result<(), VerbsError> {
-        let nic = self
-            .world
-            .nics
-            .get_mut(qp.host.0 as usize)
-            .ok_or(VerbsError::UnknownHost(qp.host))?;
-        nic.reset_qp(qp.qp)?;
-        self.world.trace_qp_recover(qp);
-        Ok(())
+        self.check_scope(qp.host);
+        match &mut self.world {
+            CtxWorld::Direct(w) => {
+                let nic = w
+                    .nics
+                    .get_mut(qp.host.0 as usize)
+                    .and_then(Option::as_mut)
+                    .ok_or(VerbsError::UnknownHost(qp.host))?;
+                nic.reset_qp(qp.qp)?;
+                w.trace_qp_recover(qp);
+                Ok(())
+            }
+            // Worker-side recovery skips the trace hook: parallel
+            // eligibility already requires the tracer disabled.
+            CtxWorld::Worker(b) => b.nic_mut(qp.host).reset_qp(qp.qp).map_err(VerbsError::from),
+        }
     }
 
     /// Fires `on_timer(token)` after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        let at = self.now() + delay;
         let app = self.app;
-        self.world
-            .queue
-            .schedule(at, WorldEvent::Timer { app, token });
+        match &mut self.world {
+            CtxWorld::Direct(w) => {
+                let at = w.now() + delay;
+                w.enqueue(at, WorldEvent::Timer { app, token });
+            }
+            CtxWorld::Worker(b) => b.set_timer(app, delay, token),
+        }
     }
 
     /// Stops the event loop after the current callback returns.
+    ///
+    /// # Panics
+    ///
+    /// Unsupported inside a parallel merge round (a global stop is not a
+    /// per-host action); run such workloads with `workers = 1`.
     pub fn stop(&mut self) {
-        self.world.stopped = true;
+        match &mut self.world {
+            CtxWorld::Direct(w) => {
+                assert!(
+                    w.round.is_none(),
+                    "Ctx::stop is not supported under run_until_workers"
+                );
+                w.stopped = true;
+            }
+            CtxWorld::Worker(_) => {
+                panic!("Ctx::stop is not supported under run_until_workers")
+            }
+        }
     }
 
     /// A host's counters.
     pub fn counters(&self, host: HostId) -> &NicCounters {
-        self.world.nics[host.0 as usize].counters()
+        self.check_scope(host);
+        match &self.world {
+            CtxWorld::Direct(w) => w.nic_ref(host).counters(),
+            CtxWorld::Worker(b) => b.nic(host).counters(),
+        }
     }
 
     /// A host's NIC.
     pub fn nic(&self, host: HostId) -> &Rnic {
-        &self.world.nics[host.0 as usize]
+        self.check_scope(host);
+        match &self.world {
+            CtxWorld::Direct(w) => w.nic_ref(host),
+            CtxWorld::Worker(b) => b.nic(host),
+        }
     }
 
     /// Writes into a host's memory.
     pub fn write_memory(&mut self, host: HostId, addr: u64, data: &[u8]) {
-        self.world.nics[host.0 as usize]
-            .memory_mut()
-            .write(addr, data);
+        self.check_scope(host);
+        match &mut self.world {
+            CtxWorld::Direct(w) => w.nic_mut(host).memory_mut().write(addr, data),
+            CtxWorld::Worker(b) => b.nic_mut(host).memory_mut().write(addr, data),
+        }
     }
 
     /// Reads from a host's memory.
     pub fn read_memory(&self, host: HostId, addr: u64, len: u64) -> Vec<u8> {
-        self.world.nics[host.0 as usize].memory().read(addr, len)
+        self.check_scope(host);
+        match &self.world {
+            CtxWorld::Direct(w) => w.nic_ref(host).memory().read(addr, len),
+            CtxWorld::Worker(b) => b.nic(host).memory().read(addr, len),
+        }
     }
 
-    /// Deterministic app-level randomness.
+    /// Deterministic app-level randomness, drawn from the world stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics for send apps on every engine: a worker cannot draw from
+    /// the world RNG without changing the sequential draw order. Send
+    /// apps derive a private [`SimRng`] at construction instead.
     pub fn rng(&mut self) -> &mut SimRng {
-        &mut self.world.rng
+        self.deny_to_send_apps("Ctx::rng");
+        match &mut self.world {
+            CtxWorld::Direct(w) => &mut w.rng,
+            CtxWorld::Worker(_) => unreachable!("denied above"),
+        }
     }
 
     /// Pauses a traffic class on a host's egress for `duration` — the
     /// enforcement half of a PFC defense app.
     pub fn pause_traffic_class(&mut self, host: HostId, tc: TrafficClass, duration: SimDuration) {
+        self.check_scope(host);
         let until = self.now() + duration;
-        self.world.nics[host.0 as usize].pause_tc(tc, until);
+        match &mut self.world {
+            CtxWorld::Direct(w) => w.nic_mut(host).pause_tc(tc, until),
+            CtxWorld::Worker(b) => b.nic_mut(host).pause_tc(tc, until),
+        }
     }
 
     /// The installed topology, if this is a multi-hop fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics for send apps (fabric-wide state does not ship to
+    /// workers); keep topology-aware apps on [`Simulation::add_app`].
     pub fn topology(&self) -> Option<&Topology> {
-        self.world.fabric_rt.as_ref().map(|rt| rt.topology())
+        self.deny_to_send_apps("Ctx::topology");
+        match &self.world {
+            CtxWorld::Direct(w) => w.fabric_rt.as_ref().map(|rt| rt.topology()),
+            CtxWorld::Worker(_) => unreachable!("denied above"),
+        }
     }
 
     /// Per-link ingress counters (`None` without a topology) — what a
     /// per-port watchdog app samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics for send apps (fabric-wide state does not ship to
+    /// workers); keep watchdog apps on [`Simulation::add_app`].
     pub fn link_counters(&self, link: LinkId) -> Option<&PortCounters> {
-        self.world.fabric_rt.as_ref().map(|rt| rt.counters(link))
+        self.deny_to_send_apps("Ctx::link_counters");
+        match &self.world {
+            CtxWorld::Direct(w) => w.fabric_rt.as_ref().map(|rt| rt.counters(link)),
+            CtxWorld::Worker(_) => unreachable!("denied above"),
+        }
     }
 
     /// Silences one fabric link's transmitter for a traffic class — the
     /// per-port enforcement half of a PFC defense app. No-op without a
     /// topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics for send apps (fabric-wide state does not ship to
+    /// workers); keep defense apps on [`Simulation::add_app`].
     pub fn pause_link(&mut self, link: LinkId, tc: TrafficClass, duration: SimDuration) {
+        self.deny_to_send_apps("Ctx::pause_link");
         let until = self.now() + duration;
-        if let Some(rt) = self.world.fabric_rt.as_mut() {
-            rt.pause_link(link, tc, until);
+        match &mut self.world {
+            CtxWorld::Direct(w) => {
+                if let Some(rt) = w.fabric_rt.as_mut() {
+                    rt.pause_link(link, tc, until);
+                }
+            }
+            CtxWorld::Worker(_) => unreachable!("denied above"),
         }
     }
 }

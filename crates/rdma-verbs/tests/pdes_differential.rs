@@ -1,0 +1,524 @@
+//! PDES differential suite: `run_until_workers` must reproduce the
+//! sequential engine bit-for-bit — event-order digest, event count,
+//! fabric ledger, fault trace, NIC counters and app-visible completion
+//! logs — for randomized topologies, chaos plans and QP workloads at
+//! every worker count.
+
+use proptest::prelude::*;
+use rdma_verbs::{
+    AccessFlags, App, ConnectOptions, Ctx, DeviceProfile, FabricStats, FaultEvent, FaultKind,
+    FaultPlan, HostId, LinkSelector, MrHandle, QpHandle, QueueBackend, Simulation, Topology,
+    WorkRequest,
+};
+use sim_core::{SimDuration, SimRng, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+type Log = Rc<RefCell<Vec<(u64, u64)>>>;
+type SendLog = Arc<Mutex<Vec<(u64, u64)>>>;
+
+/// A two-host traffic generator: posts batches of reads/writes from a
+/// timer, re-arms a pseudo-random interval, and logs every completion.
+/// Exercises timers, CQE barriers, RNG draws and cross-round traffic.
+struct Pinger {
+    qp: QpHandle,
+    mr: MrHandle,
+    rounds: u32,
+    log: Log,
+}
+
+impl App for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let jitter = ctx.rng().next_u64() % 2_000;
+        ctx.set_timer(SimDuration::from_nanos(50 + jitter), 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        let burst = 1 + ctx.rng().next_u64() % 3;
+        for i in 0..burst {
+            let wr_id = u64::from(self.rounds) << 8 | i;
+            let off = (ctx.rng().next_u64() % 64) * 64;
+            let wr = if ctx.rng().chance(0.5) {
+                WorkRequest::read(wr_id, 0x10_0000 + off, self.mr.addr(off), self.mr.key, 64)
+            } else {
+                WorkRequest::write(wr_id, 0x10_0000 + off, self.mr.addr(off), self.mr.key, 64)
+            };
+            // SendQueueFull is fine under heavy bursts; the workload
+            // just paces itself like real attack loops do.
+            let _ = ctx.post_send(self.qp, wr);
+        }
+        if self.rounds > 0 {
+            self.rounds -= 1;
+            let gap = 200 + ctx.rng().next_u64() % 3_000;
+            ctx.set_timer(SimDuration::from_nanos(gap), 0);
+        }
+    }
+
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_>, _host: HostId, cqe: rdma_verbs::Cqe) {
+        self.log
+            .borrow_mut()
+            .push((cqe.wr_id, cqe.completed_at.as_picos()));
+        let _ = ctx;
+    }
+}
+
+/// The send-app counterpart of [`Pinger`]: same traffic shape, but
+/// registered via `add_send_app` so the parallel engine runs its
+/// callbacks worker-side. Draws from a private RNG (send apps must not
+/// touch the world stream) and logs through an `Arc<Mutex<…>>`.
+struct Pump {
+    qp: QpHandle,
+    mr: MrHandle,
+    rounds: u32,
+    rng: SimRng,
+    log: SendLog,
+}
+
+impl App for Pump {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let jitter = self.rng.next_u64() % 2_000;
+        ctx.set_timer(SimDuration::from_nanos(40 + jitter), 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        let burst = 1 + self.rng.next_u64() % 3;
+        for i in 0..burst {
+            let wr_id = u64::from(self.rounds) << 8 | i;
+            let off = (self.rng.next_u64() % 64) * 64;
+            let wr = if self.rng.chance(0.5) {
+                WorkRequest::read(wr_id, 0x10_0000 + off, self.mr.addr(off), self.mr.key, 64)
+            } else {
+                WorkRequest::write(wr_id, 0x10_0000 + off, self.mr.addr(off), self.mr.key, 64)
+            };
+            let _ = ctx.post_send(self.qp, wr);
+        }
+        if self.rounds > 0 {
+            self.rounds -= 1;
+            let gap = 150 + self.rng.next_u64() % 2_500;
+            ctx.set_timer(SimDuration::from_nanos(gap), 0);
+        }
+    }
+
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_>, _host: HostId, cqe: rdma_verbs::Cqe) {
+        self.log
+            .lock()
+            .unwrap()
+            .push((cqe.wr_id, cqe.completed_at.as_picos()));
+        let _ = ctx;
+    }
+}
+
+/// Which kind of apps the differential workload registers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Apps {
+    /// Coordinator apps only (`add_app`, barrier path).
+    Local,
+    /// Send apps only (`add_send_app`, worker path); when `home_scope`
+    /// is set their scope is the requester host alone, so every pair
+    /// splits into two single-host partition groups.
+    Send { home_scope: bool },
+    /// Alternating coordinator and send apps — barriers and worker-side
+    /// callbacks interleave inside the same simulation.
+    Mixed,
+}
+
+struct Config {
+    seed: u64,
+    /// Number of independent host pairs (2 hosts, 1 app each).
+    pairs: u32,
+    rounds: u32,
+    fabric: bool,
+    chaos: bool,
+    backend: QueueBackend,
+    apps: Apps,
+}
+
+/// A per-app completion log, behind whichever sharing type the app
+/// kind requires.
+enum LogHandle {
+    Local(Log),
+    Send(SendLog),
+}
+
+impl LogHandle {
+    fn snapshot(&self) -> Vec<(u64, u64)> {
+        match self {
+            LogHandle::Local(l) => l.borrow().clone(),
+            LogHandle::Send(l) => l.lock().unwrap().clone(),
+        }
+    }
+}
+
+fn build(cfg: &Config) -> (Simulation, Vec<LogHandle>) {
+    let mut sim = if cfg.fabric {
+        // `with_topology` always uses the default (calendar) backend.
+        let hosts = (cfg.pairs * 2).max(4).next_power_of_two();
+        let spec = format!("leaf-spine:hosts={hosts},leaves=2,spines=2");
+        Simulation::with_topology(cfg.seed, Topology::from_spec(&spec).expect("spec"), None)
+    } else {
+        Simulation::with_backend(cfg.seed, cfg.backend)
+    };
+    if cfg.chaos {
+        let mut plan = FaultPlan::empty(cfg.seed ^ 0xc4a0);
+        plan.events.push(FaultEvent {
+            link: LinkSelector::Any,
+            from: SimTime::ZERO,
+            until: SimTime::from_millis(1),
+            kind: FaultKind::LossBurst { rate: 0.05 },
+        });
+        plan.events.push(FaultEvent {
+            link: LinkSelector::Any,
+            from: SimTime::from_micros(5),
+            until: SimTime::from_micros(60),
+            kind: FaultKind::Duplicate { prob: 0.1 },
+        });
+        plan.events.push(FaultEvent {
+            link: LinkSelector::Any,
+            from: SimTime::from_micros(10),
+            until: SimTime::from_micros(80),
+            kind: FaultKind::Reorder {
+                window: SimDuration::from_micros(1),
+            },
+        });
+        sim.install_fault_plan(&plan);
+    }
+    let mut logs = Vec::new();
+    for p in 0..cfg.pairs {
+        let a = sim.add_host(DeviceProfile::connectx5());
+        let b = sim.add_host(DeviceProfile::connectx5());
+        let pd_a = sim.alloc_pd(a);
+        let pd_b = sim.alloc_pd(b);
+        let mr_b = sim.register_mr(b, pd_b, 2 * 1024 * 1024, AccessFlags::remote_all());
+        let (qa, _qb) = sim.connect(a, pd_a, b, pd_b, ConnectOptions::default());
+        let local = match cfg.apps {
+            Apps::Local => true,
+            Apps::Send { .. } => false,
+            Apps::Mixed => p % 2 == 0,
+        };
+        let (app, handle) = if local {
+            let log: Log = Rc::new(RefCell::new(Vec::new()));
+            let app = sim.add_app(Box::new(Pinger {
+                qp: qa,
+                mr: mr_b,
+                rounds: cfg.rounds + p % 3,
+                log: Rc::clone(&log),
+            }));
+            sim.set_app_scope(app, &[a, b]);
+            (app, LogHandle::Local(log))
+        } else {
+            let log: SendLog = Arc::new(Mutex::new(Vec::new()));
+            let app = sim.add_send_app(Box::new(Pump {
+                qp: qa,
+                mr: mr_b,
+                rounds: cfg.rounds + p % 3,
+                rng: SimRng::derive(cfg.seed ^ u64::from(p), "pump"),
+                log: Arc::clone(&log),
+            }));
+            let home_only = matches!(cfg.apps, Apps::Send { home_scope: true });
+            if home_only {
+                sim.set_app_scope(app, &[a]);
+            } else {
+                sim.set_app_scope(app, &[a, b]);
+            }
+            (app, LogHandle::Send(log))
+        };
+        sim.own_qp(app, qa);
+        logs.push(handle);
+    }
+    (sim, logs)
+}
+
+#[derive(Debug, PartialEq)]
+struct Obs {
+    events: u64,
+    order: u64,
+    fabric: FabricStats,
+    fault: Option<u64>,
+    counters: Vec<String>,
+    logs: Vec<Vec<(u64, u64)>>,
+}
+
+fn observe(cfg: &Config, workers: usize) -> Obs {
+    observe_at_threshold(cfg, workers, Some(0))
+}
+
+/// Like [`observe`], but with the engine's ship threshold left at (or
+/// pinned to) the given value. `Some(0)` forces every partition group
+/// onto a worker, so the differential suite exercises the full shipping
+/// path no matter how small the workload; `None` keeps the default
+/// adaptive granularity, where small groups execute coordinator-side
+/// and sparse stretches run on the plain sequential loop.
+fn observe_at_threshold(cfg: &Config, workers: usize, threshold: Option<usize>) -> Obs {
+    let (mut sim, logs) = build(cfg);
+    if let Some(t) = threshold {
+        sim.set_parallel_ship_threshold(t);
+    }
+    let horizon = SimTime::from_micros(300);
+    if workers <= 1 {
+        sim.run_until(horizon);
+    } else {
+        sim.run_until_workers(horizon, workers);
+        // Equivalence must be earned by the parallel engine, not by a
+        // silent sequential fallback. (Only enforceable when groups are
+        // force-shipped: the adaptive default may legitimately run a
+        // sparse workload entirely on sequential stretches.)
+        if threshold == Some(0) {
+            assert!(
+                sim.synthetic_events() > 0,
+                "run_until_workers fell back to the sequential path"
+            );
+        }
+    }
+    let counters = (0..cfg.pairs * 2)
+        .map(|h| format!("{:?}", sim.counters(HostId(h))))
+        .collect();
+    Obs {
+        events: sim.events_processed(),
+        order: sim.order_digest(),
+        fabric: sim.fabric_stats(),
+        fault: sim.fault_trace_digest(),
+        counters,
+        logs: logs.iter().map(LogHandle::snapshot).collect(),
+    }
+}
+
+fn assert_equivalent(cfg: &Config) {
+    let oracle = observe(cfg, 1);
+    assert!(oracle.events > 0, "workload produced no events");
+    assert!(
+        !oracle.logs.iter().all(|l| l.is_empty()),
+        "workload produced no completions"
+    );
+    for workers in [2usize, 4, 8] {
+        let par = observe(cfg, workers);
+        assert_eq!(oracle, par, "divergence at workers={workers}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_matches_oracle(
+        seed in any::<u64>(),
+        pairs in 1u32..5,
+        rounds in 1u32..12,
+        fabric in any::<bool>(),
+        chaos in any::<bool>(),
+    ) {
+        assert_equivalent(&Config {
+            seed,
+            pairs,
+            rounds,
+            fabric,
+            chaos,
+            backend: QueueBackend::Calendar,
+            apps: Apps::Local,
+        });
+    }
+}
+
+#[test]
+fn legacy_wire_chaos_reference_backend() {
+    assert_equivalent(&Config {
+        seed: 17,
+        pairs: 3,
+        rounds: 8,
+        fabric: false,
+        chaos: true,
+        backend: QueueBackend::Reference,
+        apps: Apps::Local,
+    });
+}
+
+#[test]
+fn fabric_dense_pairs() {
+    assert_equivalent(&Config {
+        seed: 23,
+        pairs: 4,
+        rounds: 10,
+        fabric: true,
+        chaos: false,
+        backend: QueueBackend::Calendar,
+        apps: Apps::Local,
+    });
+}
+
+#[test]
+fn fabric_chaos_heavy() {
+    assert_equivalent(&Config {
+        seed: 29,
+        pairs: 4,
+        rounds: 9,
+        fabric: true,
+        chaos: true,
+        backend: QueueBackend::Calendar,
+        apps: Apps::Local,
+    });
+}
+
+/// An app without a declared scope forces the sequential fallback —
+/// results still match the oracle (because it *is* the oracle).
+#[test]
+fn unscoped_app_falls_back_sequentially() {
+    let cfg = Config {
+        seed: 31,
+        pairs: 2,
+        rounds: 6,
+        fabric: false,
+        chaos: false,
+        backend: QueueBackend::Calendar,
+        apps: Apps::Local,
+    };
+    let build_unscoped = || {
+        let (mut sim, logs) = build(&cfg);
+        // Wipe one scope: eligibility now fails.
+        let extra = sim.add_app(Box::new(Idle));
+        let _ = extra;
+        (sim, logs)
+    };
+    let horizon = SimTime::from_micros(300);
+    let (mut seq, _) = build_unscoped();
+    seq.run_until(horizon);
+    let (mut par, _) = build_unscoped();
+    par.run_until_workers(horizon, 8);
+    assert_eq!(seq.order_digest(), par.order_digest());
+    assert_eq!(seq.events_processed(), par.events_processed());
+}
+
+struct Idle;
+impl App for Idle {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+}
+
+/// Scope enforcement: a scoped app touching a host outside its
+/// footprint panics on every engine.
+#[test]
+#[should_panic(expected = "outside its declared scope")]
+fn scope_violation_panics() {
+    struct Trespasser {
+        other: HostId,
+    }
+    impl App for Trespasser {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let _ = ctx.counters(self.other);
+        }
+    }
+    let mut sim = Simulation::new(3);
+    let a = sim.add_host(DeviceProfile::connectx5());
+    let b = sim.add_host(DeviceProfile::connectx5());
+    let app = sim.add_app(Box::new(Trespasser { other: b }));
+    sim.set_app_scope(app, &[a]);
+    sim.run_until(SimTime::from_micros(1));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Send apps (`add_send_app`) run their timer and completion
+    /// callbacks worker-side with no coordinator barrier; the result
+    /// must still be bit-identical to the sequential oracle, whether
+    /// the app's scope covers the whole pair or just its home host
+    /// (the latter splits every pair into two partition groups).
+    #[test]
+    fn send_apps_match_oracle(
+        seed in any::<u64>(),
+        pairs in 1u32..5,
+        rounds in 1u32..12,
+        fabric in any::<bool>(),
+        chaos in any::<bool>(),
+        home_scope in any::<bool>(),
+    ) {
+        assert_equivalent(&Config {
+            seed,
+            pairs,
+            rounds,
+            fabric,
+            chaos,
+            backend: QueueBackend::Calendar,
+            apps: Apps::Send { home_scope },
+        });
+    }
+}
+
+/// The default adaptive granularity — small groups inlined
+/// coordinator-side, sparse stretches run on the plain sequential loop,
+/// dense groups shipped — must land on the same bits as both the oracle
+/// and the force-ship configuration.
+#[test]
+fn adaptive_granularity_matches_oracle() {
+    for apps in [Apps::Local, Apps::Send { home_scope: true }, Apps::Mixed] {
+        let cfg = Config {
+            seed: 43,
+            pairs: 4,
+            rounds: 10,
+            fabric: true,
+            chaos: true,
+            backend: QueueBackend::Calendar,
+            apps,
+        };
+        let oracle = observe(&cfg, 1);
+        for threshold in [None, Some(4)] {
+            let par = observe_at_threshold(&cfg, 8, threshold);
+            assert_eq!(
+                oracle, par,
+                "divergence at threshold {threshold:?} ({apps:?})"
+            );
+        }
+    }
+}
+
+/// Coordinator apps and send apps in the same simulation: barrier
+/// rounds and worker-side callbacks interleave, and the merge must
+/// still reproduce the oracle exactly.
+#[test]
+fn mixed_apps_fabric_chaos() {
+    assert_equivalent(&Config {
+        seed: 37,
+        pairs: 4,
+        rounds: 9,
+        fabric: true,
+        chaos: true,
+        backend: QueueBackend::Calendar,
+        apps: Apps::Mixed,
+    });
+}
+
+/// Send apps must not touch the world RNG stream — the restriction is
+/// enforced on the sequential engine too, so the oracle itself rejects
+/// a workload the parallel engine could not replay.
+#[test]
+#[should_panic(expected = "not available to send apps")]
+fn send_app_rng_is_denied_on_the_oracle() {
+    struct RngThief;
+    impl App for RngThief {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let _ = ctx.rng().next_u64();
+        }
+    }
+    let mut sim = Simulation::new(5);
+    let a = sim.add_host(DeviceProfile::connectx5());
+    let app = sim.add_send_app(Box::new(RngThief));
+    sim.set_app_scope(app, &[a]);
+    sim.run_until(SimTime::from_micros(1));
+}
+
+/// `--workers`-style invariance across the queue backends too: the
+/// parallel engine sits behind the same `EventSchedule` seam, so
+/// calendar and reference queues agree under every worker count.
+#[test]
+fn backends_agree_under_workers() {
+    let mk = |backend| Config {
+        seed: 41,
+        pairs: 3,
+        rounds: 7,
+        fabric: false,
+        chaos: true,
+        backend,
+        apps: Apps::Local,
+    };
+    let a = observe(&mk(QueueBackend::Calendar), 8);
+    let b = observe(&mk(QueueBackend::Reference), 8);
+    assert_eq!(a, b);
+}

@@ -99,6 +99,22 @@ pub trait EventSchedule<E> {
         }
     }
 
+    /// Like [`pop`](EventSchedule::pop), but also exposes the event's
+    /// insertion sequence number — the FIFO tiebreak among equal
+    /// timestamps. Parallel engines use `(at, seq)` as the deterministic
+    /// merge key when draining a batch of events.
+    fn pop_with_seq(&mut self) -> Option<(SimTime, u64, E)>;
+
+    /// Like [`pop_before`](EventSchedule::pop_before) with the insertion
+    /// sequence number exposed.
+    fn pop_with_seq_before(&mut self, deadline: SimTime) -> Option<(SimTime, u64, E)> {
+        if self.peek_time()? <= deadline {
+            self.pop_with_seq()
+        } else {
+            None
+        }
+    }
+
     /// Drops all pending events without touching the clock.
     fn clear(&mut self);
 }
@@ -267,6 +283,22 @@ impl<E> ReferenceQueue<E> {
     /// Removes and returns the earliest pending event, advancing the
     /// clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_with_seq().map(|(at, _, e)| (at, e))
+    }
+
+    /// Removes and returns the earliest event only if it fires at or
+    /// before `deadline`.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= deadline {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// [`pop`](ReferenceQueue::pop) with the insertion sequence number
+    /// exposed (see [`EventSchedule::pop_with_seq`]).
+    pub fn pop_with_seq(&mut self) -> Option<(SimTime, u64, E)> {
         loop {
             let s = self.heap.pop()?;
             if !self.cancelled.is_empty() && self.cancelled.remove(&s.seq) {
@@ -275,15 +307,15 @@ impl<E> ReferenceQueue<E> {
             debug_assert!(s.at >= self.now, "event queue time went backwards");
             self.now = s.at;
             self.popped += 1;
-            return Some((s.at, s.event));
+            return Some((s.at, s.seq, s.event));
         }
     }
 
-    /// Removes and returns the earliest event only if it fires at or
-    /// before `deadline`.
-    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+    /// [`pop_before`](ReferenceQueue::pop_before) with the insertion
+    /// sequence number exposed.
+    pub fn pop_with_seq_before(&mut self, deadline: SimTime) -> Option<(SimTime, u64, E)> {
         if self.peek_time()? <= deadline {
-            self.pop()
+            self.pop_with_seq()
         } else {
             None
         }
@@ -317,6 +349,9 @@ impl<E> EventSchedule<E> for ReferenceQueue<E> {
     }
     fn pop(&mut self) -> Option<(SimTime, E)> {
         ReferenceQueue::pop(self)
+    }
+    fn pop_with_seq(&mut self) -> Option<(SimTime, u64, E)> {
+        ReferenceQueue::pop_with_seq(self)
     }
     fn clear(&mut self) {
         ReferenceQueue::clear(self)
