@@ -61,6 +61,22 @@ test "$nn_t1_digest" = "$nn_t4_digest"
 echo "== cargo clippy (pdes crate, standalone)"
 cargo clippy -p pdes --all-targets --offline -- -D warnings
 
+echo "== cargo clippy (packet-path crates, standalone)"
+cargo clippy -p sim-core --all-targets --offline -- -D warnings
+cargo clippy -p rnic-model --all-targets --offline -- -D warnings
+cargo clippy -p rdma-verbs --all-targets --offline -- -D warnings
+
+echo "== packet arena: zero allocations per hop, copy only on chaos duplication"
+cargo test --release -q --offline -p rdma-verbs --test packet_arena
+
+echo "== nic_storm smoke: arena ledger clean, digest backend-invariant"
+storm_cal=$(cargo run --release --offline -p ragnar-bench --example storm -- 3 calendar)
+storm_ref=$(cargo run --release --offline -p ragnar-bench --example storm -- 3 reference)
+storm_cal_digest=$(printf '%s\n' "$storm_cal" | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
+storm_ref_digest=$(printf '%s\n' "$storm_ref" | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
+test -n "$storm_cal_digest"
+test "$storm_cal_digest" = "$storm_ref_digest"
+
 echo "== PDES determinism smoke: noisy_neighbor digest is worker-count invariant"
 nn_w1=$(cargo run --release --offline -p ragnar-bench --bin noisy_neighbor -- \
     --quick --no-cache --workers 1)

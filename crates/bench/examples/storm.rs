@@ -1,0 +1,97 @@
+//! Standalone nic_storm driver for profiling: the same workload as the
+//! `eventcore` bench's storm, run in a flat loop so `gprofng`/`perf`
+//! samples attribute to the simulator instead of criterion plumbing.
+//!
+//! Doubles as the CI nic_storm smoke: it prints the run's event-order
+//! digest and enforces the packet-arena ledger (zero clones, zero
+//! leaks) on every iteration, so `ci.sh` can diff the digest across
+//! queue backends without a criterion run.
+//!
+//! Usage: `cargo run --release -p ragnar-bench --example storm [iters] [calendar|reference]`
+
+use rdma_verbs::{
+    AccessFlags, ConnectOptions, DeviceProfile, QueueBackend, Simulation, WorkRequest,
+};
+use sim_core::SimTime;
+use std::hint::black_box;
+
+fn storm(backend: QueueBackend) -> (u64, u64) {
+    let mut sim = Simulation::with_backend(1, backend);
+    let requester = sim.add_host(DeviceProfile::connectx5());
+    let responder = sim.add_host(DeviceProfile::connectx5());
+    let pd_r = sim.alloc_pd(requester);
+    let pd_s = sim.alloc_pd(responder);
+    let mr = sim.register_mr(responder, pd_s, 1 << 21, AccessFlags::remote_all());
+    let qps: Vec<_> = (0..4)
+        .map(|_| {
+            sim.connect(
+                requester,
+                pd_r,
+                responder,
+                pd_s,
+                ConnectOptions {
+                    max_send_queue: 64,
+                    ..ConnectOptions::default()
+                },
+            )
+            .0
+        })
+        .collect();
+    let mut wr_id = 0u64;
+    for &qp in &qps {
+        for _ in 0..64 {
+            wr_id += 1;
+            sim.post_send(
+                qp,
+                WorkRequest::read(wr_id, 0x1000, mr.addr(0), mr.key, 256),
+            )
+            .expect("post");
+        }
+    }
+    let mut done = 0u64;
+    while sim.now() < SimTime::from_micros(300) {
+        sim.run_until(SimTime::from_micros(300));
+        let completions = sim.take_completions();
+        if completions.is_empty() {
+            break;
+        }
+        for _ in completions {
+            done += 1;
+            wr_id += 1;
+            let qp = qps[(done % qps.len() as u64) as usize];
+            let _ = sim.post_send(
+                qp,
+                WorkRequest::read(wr_id, 0x1000, mr.addr(0), mr.key, 256),
+            );
+        }
+    }
+    // The storm stops mid-flight at the horizon, so live() > 0 is
+    // expected (in-flight packets, not leaks — the draining ledger
+    // tests live in rdma-verbs/tests/packet_arena.rs). Zero clones
+    // must hold regardless: a fault-free run never copies a packet.
+    let stats = sim.packet_arena_stats();
+    assert_eq!(stats.dup_clones, 0, "fault-free storm cloned a packet");
+    (done, sim.order_digest())
+}
+
+fn main() {
+    let iters: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50);
+    let backend = match std::env::args().nth(2).as_deref() {
+        Some("reference") => QueueBackend::Reference,
+        _ => QueueBackend::Calendar,
+    };
+    let start = std::time::Instant::now();
+    let mut total = 0u64;
+    let mut digest = 0u64;
+    for _ in 0..iters {
+        let (done, d) = black_box(storm(backend));
+        total += done;
+        digest = d;
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_secs_f64() * 1e3 / f64::from(iters);
+    println!("{iters} iters, {total} completions, {per_iter:.3} ms/iter, digest {digest:016x}");
+}

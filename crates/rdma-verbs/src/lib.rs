@@ -26,8 +26,8 @@ pub use wr::WorkRequest;
 
 // Re-export the identifiers callers need to interact with the NIC layer.
 pub use rnic_model::{
-    AccessFlags, Cqe, CqeStatus, DeviceKind, DeviceProfile, FlowId, HostId, MrKey, NakReason,
-    Opcode, PdId, PostError, QpNum, QpTransport, RecvWqe, TrafficClass,
+    AccessFlags, ArenaStats, Cqe, CqeStatus, DeviceKind, DeviceProfile, FlowId, HostId, MrKey,
+    NakReason, Opcode, PdId, PostError, QpNum, QpTransport, RecvWqe, TrafficClass,
 };
 
 // Re-export the fault-injection vocabulary so experiment crates can build

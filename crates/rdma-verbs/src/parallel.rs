@@ -53,8 +53,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use ragnar_telemetry::Target;
-use rnic_model::{Cqe, NicAction, NicEvent, Packet, QpNum, Rnic};
-use sim_core::{SimDuration, SimTime};
+use rnic_model::{Cqe, NicAction, NicEvent, Packet, PacketArena, PacketHandle, QpNum, Rnic};
+use sim_core::{FxHashMap, SimDuration, SimTime};
 
 use super::{
     App, AppBox, AppId, Ctx, CtxWorld, HostId, QpHandle, RoundCtl, RoundItem, RoundKeyed,
@@ -78,20 +78,40 @@ struct WKey {
 
 /// A worker-digestible event: per-NIC traffic, or a shipped send app's
 /// callback.
+///
+/// Packets cross the thread boundary *by value*: world-arena handles
+/// mean nothing on a worker, so the ship-time conversion detaches the
+/// packet from the world arena and the worker re-attaches it into its
+/// round-local arena the moment it processes the event (and the
+/// coordinator into the world arena, for leftovers and orphans the
+/// barrier bounced back). Inside the worker heap every payload stays in
+/// this detached form — the kitchen detaches generated events on the
+/// way in — so drain-back needs no arena surgery.
 enum WPayload {
-    NicEv(NicEvent),
-    DeliverOk(Packet),
-    DeliverCorrupt(Packet),
-    Timer { app: AppId, token: u64 },
-    Cqe { app: AppId, cqe: Cqe },
+    /// NIC pipeline event; when the event names a packet, the packet
+    /// rides alongside and the event's own handle is dangling until
+    /// re-attachment.
+    NicEv(NicEvent, Option<Packet>),
+    Deliver {
+        pkt: Packet,
+        corrupt: bool,
+    },
+    Timer {
+        app: AppId,
+        token: u64,
+    },
+    Cqe {
+        app: AppId,
+        cqe: Cqe,
+    },
 }
 
 impl WPayload {
     fn kind(&self) -> EvKind {
         match self {
-            WPayload::NicEv(_) => EvKind::NicEv,
-            WPayload::DeliverOk(_) => EvKind::DeliverOk,
-            WPayload::DeliverCorrupt(_) => EvKind::DeliverCorrupt,
+            WPayload::NicEv(..) => EvKind::NicEv,
+            WPayload::Deliver { corrupt: false, .. } => EvKind::DeliverOk,
+            WPayload::Deliver { corrupt: true, .. } => EvKind::DeliverCorrupt,
             WPayload::Timer { app, token } => EvKind::Timer {
                 app: *app,
                 token: *token,
@@ -99,23 +119,25 @@ impl WPayload {
             WPayload::Cqe { app, .. } => EvKind::Cqe { app: *app },
         }
     }
+}
 
-    fn into_world_event(self, host: HostId) -> WorldEvent {
-        match self {
-            WPayload::NicEv(ev) => WorldEvent::Nic(host, ev),
-            WPayload::DeliverOk(pkt) => WorldEvent::Deliver {
-                host,
-                pkt,
-                corrupt: false,
-            },
-            WPayload::DeliverCorrupt(pkt) => WorldEvent::Deliver {
-                host,
-                pkt,
-                corrupt: true,
-            },
-            WPayload::Timer { app, token } => WorldEvent::Timer { app, token },
-            WPayload::Cqe { app, cqe } => WorldEvent::AppCqe { app, host, cqe },
-        }
+/// Pulls the packet a NIC event names out of `arena`, leaving the
+/// event's handle dangling — the ship-time half of the detach/attach
+/// pair. `None` for events that carry no packet.
+fn detach_nic_event(arena: &mut PacketArena, ev: &mut NicEvent) -> Option<Packet> {
+    ev.packet_handle_mut().map(|h| {
+        let pkt = arena.take(*h);
+        *h = PacketHandle::DANGLING;
+        pkt
+    })
+}
+
+/// Re-homes a detached NIC event's packet into `arena`, patching the
+/// event's handle — the processing-time half of the detach/attach pair.
+fn attach_nic_event(arena: &mut PacketArena, ev: &mut NicEvent, pkt: Option<Packet>) {
+    if let Some(p) = pkt {
+        *ev.packet_handle_mut()
+            .expect("sidecar implies a handle slot") = arena.insert(p);
     }
 }
 
@@ -167,11 +189,18 @@ enum Cooked {
     /// matching virtual seq (or materializes the event, if the worker's
     /// barrier preempted it).
     SchedLocal { emit: u64 },
-    /// A generated event beyond the window: goes to the real queue.
-    SchedOut { at: SimTime, ev: WorldEvent },
+    /// A generated event beyond the window: goes to the real queue
+    /// (packet detached; the coordinator re-attaches into the world
+    /// arena).
+    SchedOut {
+        at: SimTime,
+        host: HostId,
+        payload: WPayload,
+    },
     /// `NicAction::Transmit`: replayed by the coordinator so fabric
     /// routing, loss/chaos RNG draws and hop scheduling happen in exact
-    /// merge order.
+    /// merge order. The packet travels by value and re-enters the world
+    /// arena at replay.
     Transmit {
         at: SimTime,
         host: HostId,
@@ -211,6 +240,10 @@ struct GroupWork {
     /// coordinator-app event in the window.
     barrier: Option<(SimTime, u64)>,
     nics: Vec<(HostId, Rnic)>,
+    /// Round-local packet arena, pre-seeded with the packets still
+    /// queued in the checked-out NICs' egress schedulers (their handles
+    /// were re-homed at checkout).
+    arena: PacketArena,
     /// Send apps whose scope lives in this group, with their scopes.
     apps: Vec<(AppId, Vec<HostId>, Box<dyn App + Send>)>,
     entries: Vec<(SimTime, u64, HostId, WPayload)>,
@@ -219,13 +252,18 @@ struct GroupWork {
 struct GroupOut {
     group: u32,
     nics: Vec<(HostId, Rnic)>,
+    /// The round-local arena, holding exactly the packets still queued
+    /// in the returned NICs' egress schedulers; the coordinator re-homes
+    /// them back into the world arena.
+    arena: PacketArena,
     apps: Vec<(AppId, Box<dyn App + Send>)>,
     stream: Vec<OutEntry>,
-    /// Batch events the barrier preempted, returned unprocessed.
-    leftovers: Vec<(SimTime, u64, WorldEvent)>,
+    /// Batch events the barrier preempted, returned unprocessed (in
+    /// detached form).
+    leftovers: Vec<(SimTime, u64, HostId, WPayload)>,
     /// Locally-queued generated events the barrier preempted:
-    /// `(emit, at, event)`.
-    orphans: Vec<(u64, SimTime, WorldEvent)>,
+    /// `(emit, at, host, payload)`, in detached form.
+    orphans: Vec<(u64, SimTime, HostId, WPayload)>,
 }
 
 /// The worker's shared cooking state: where generated events and side
@@ -236,7 +274,11 @@ struct Kitchen<'k> {
     heap: &'k mut BinaryHeap<Reverse<WItem>>,
     emit: &'k mut u64,
     barrier: &'k mut Option<WKey>,
-    qp_owner: &'k HashMap<(HostId, QpNum), AppId>,
+    /// The round-local arena: generated events detach their packets out
+    /// of it on the way into the heap, transmits take them out for the
+    /// coordinator replay.
+    arena: &'k mut PacketArena,
+    qp_owner: &'k FxHashMap<(HostId, QpNum), AppId>,
     /// Send apps shipped to this worker: completions on their QPs
     /// materialize locally instead of barriering.
     group_apps: &'k HashSet<AppId>,
@@ -257,19 +299,20 @@ impl Kitchen<'_> {
             }));
             out.push(Cooked::SchedLocal { emit: e });
         } else {
-            out.push(Cooked::SchedOut {
-                at,
-                ev: payload.into_world_event(host),
-            });
+            out.push(Cooked::SchedOut { at, host, payload });
         }
     }
 
     fn cook(&mut self, host: HostId, action: NicAction, out: &mut Vec<Cooked>) {
         match action {
-            NicAction::Schedule { at, event } => {
-                self.sched(at, host, WPayload::NicEv(event), out);
+            NicAction::Schedule { at, mut event } => {
+                let pkt = detach_nic_event(self.arena, &mut event);
+                self.sched(at, host, WPayload::NicEv(event, pkt), out);
             }
-            NicAction::Transmit { at, pkt } => out.push(Cooked::Transmit { at, host, pkt }),
+            NicAction::Transmit { at, pkt } => {
+                let pkt = self.arena.take(pkt);
+                out.push(Cooked::Transmit { at, host, pkt });
+            }
             NicAction::Complete { at, cqe } => match self.qp_owner.get(&(host, cqe.qp)) {
                 // The owning send app runs on this worker: its callback
                 // replays here in (time, emit) order — no barrier.
@@ -313,7 +356,8 @@ struct Wb<'k> {
     heap: &'k mut BinaryHeap<Reverse<WItem>>,
     emit: &'k mut u64,
     barrier: &'k mut Option<WKey>,
-    qp_owner: &'k HashMap<(HostId, QpNum), AppId>,
+    arena: &'k mut PacketArena,
+    qp_owner: &'k FxHashMap<(HostId, QpNum), AppId>,
     group_apps: &'k HashSet<AppId>,
     scratch: &'k mut Vec<NicAction>,
     cooked: &'k mut Vec<Cooked>,
@@ -342,6 +386,7 @@ impl WorkerBackend for Wb<'_> {
             heap: &mut *self.heap,
             emit: &mut *self.emit,
             barrier: &mut *self.barrier,
+            arena: &mut *self.arena,
             qp_owner: self.qp_owner,
             group_apps: self.group_apps,
         };
@@ -366,6 +411,7 @@ impl WorkerBackend for Wb<'_> {
                 heap: &mut *self.heap,
                 emit: &mut *self.emit,
                 barrier: &mut *self.barrier,
+                arena: &mut *self.arena,
                 qp_owner: self.qp_owner,
                 group_apps: self.group_apps,
             };
@@ -398,12 +444,13 @@ impl WorkerBackend for Wb<'_> {
 }
 
 /// Replays one group's window slice, cooking side effects.
-fn process_group(work: GroupWork, qp_owner: &HashMap<(HostId, QpNum), AppId>) -> GroupOut {
+fn process_group(work: GroupWork, qp_owner: &FxHashMap<(HostId, QpNum), AppId>) -> GroupOut {
     let GroupWork {
         group,
         limit,
         barrier,
         mut nics,
+        mut arena,
         apps,
         entries,
     } = work;
@@ -449,29 +496,40 @@ fn process_group(work: GroupWork, qp_owner: &HashMap<(HostId, QpNum), AppId>) ->
         let kind = item.payload.kind();
         let mut cooked = Vec::new();
         match item.payload {
-            WPayload::DeliverCorrupt(_) => {
+            WPayload::Deliver { pkt, corrupt: true } => {
                 // ICRC rejection mutates only the receiver's counter;
-                // the fabric-wide ledger advances at merge time.
+                // the fabric-wide ledger advances at merge time. The
+                // mangled packet dies here, owned.
+                drop(pkt);
                 let slot = nics
                     .iter_mut()
                     .find(|(h, _)| *h == host)
                     .expect("host NIC in group");
                 slot.1.counters_mut().icrc_rx_dropped += 1;
             }
-            WPayload::DeliverOk(pkt) => {
+            WPayload::Deliver {
+                pkt,
+                corrupt: false,
+            } => {
+                let hp = arena.insert(pkt);
                 let slot = nics
                     .iter_mut()
                     .find(|(h, _)| *h == host)
                     .expect("host NIC in group");
-                slot.1
-                    .handle_into(at, NicEvent::IngressArrival { pkt }, &mut scratch);
+                slot.1.handle_into(
+                    at,
+                    NicEvent::IngressArrival { pkt: hp },
+                    &mut arena,
+                    &mut scratch,
+                );
             }
-            WPayload::NicEv(ev) => {
+            WPayload::NicEv(mut ev, pkt) => {
+                attach_nic_event(&mut arena, &mut ev, pkt);
                 let slot = nics
                     .iter_mut()
                     .find(|(h, _)| *h == host)
                     .expect("host NIC in group");
-                slot.1.handle_into(at, ev, &mut scratch);
+                slot.1.handle_into(at, ev, &mut arena, &mut scratch);
             }
             WPayload::Timer { app, token } => {
                 let (scope, mut a) = app_map
@@ -485,6 +543,7 @@ fn process_group(work: GroupWork, qp_owner: &HashMap<(HostId, QpNum), AppId>) ->
                     heap: &mut heap,
                     emit: &mut emit,
                     barrier: &mut barrier,
+                    arena: &mut arena,
                     qp_owner,
                     group_apps: &group_apps,
                     scratch: &mut scratch,
@@ -509,6 +568,7 @@ fn process_group(work: GroupWork, qp_owner: &HashMap<(HostId, QpNum), AppId>) ->
                     heap: &mut heap,
                     emit: &mut emit,
                     barrier: &mut barrier,
+                    arena: &mut arena,
                     qp_owner,
                     group_apps: &group_apps,
                     scratch: &mut scratch,
@@ -529,6 +589,7 @@ fn process_group(work: GroupWork, qp_owner: &HashMap<(HostId, QpNum), AppId>) ->
                 heap: &mut heap,
                 emit: &mut emit,
                 barrier: &mut barrier,
+                arena: &mut arena,
                 qp_owner,
                 group_apps: &group_apps,
             };
@@ -545,19 +606,25 @@ fn process_group(work: GroupWork, qp_owner: &HashMap<(HostId, QpNum), AppId>) ->
             cooked,
         });
     }
+    // Heap payloads are already in detached form (batch entries stay
+    // detached until processed; the kitchen detaches generated ones on
+    // the way in), so the barrier's survivors travel back as-is. The
+    // local arena keeps only the packets still queued in the NICs'
+    // egress schedulers; the coordinator re-homes those.
     let mut leftovers = Vec::new();
     let mut orphans = Vec::new();
     for Reverse(item) in heap {
         let at = item.key.at;
         let host = item.host;
         match item.key.tier {
-            0 => leftovers.push((at, item.key.n, item.payload.into_world_event(host))),
-            _ => orphans.push((item.key.n, at, item.payload.into_world_event(host))),
+            0 => leftovers.push((at, item.key.n, host, item.payload)),
+            _ => orphans.push((item.key.n, at, host, item.payload)),
         }
     }
     GroupOut {
         group,
         nics,
+        arena,
         apps: app_map.into_iter().map(|(a, (_, b))| (a, b)).collect(),
         stream,
         leftovers,
@@ -580,6 +647,25 @@ pub(super) const DEFAULT_SHIP_THRESHOLD: usize = 16;
 const SEQ_STRETCH_WINDOWS: u64 = 8;
 
 impl World {
+    /// Re-homes a detached worker payload's packet into the world arena
+    /// and rebuilds the world event — the coordinator-side inverse of
+    /// the ship-time detach.
+    fn attach_payload(&mut self, host: HostId, payload: WPayload) -> WorldEvent {
+        match payload {
+            WPayload::NicEv(mut ev, pkt) => {
+                attach_nic_event(&mut self.arena, &mut ev, pkt);
+                WorldEvent::Nic(host, ev)
+            }
+            WPayload::Deliver { pkt, corrupt } => WorldEvent::Deliver {
+                host,
+                pkt: self.arena.insert(pkt),
+                corrupt,
+            },
+            WPayload::Timer { app, token } => WorldEvent::Timer { app, token },
+            WPayload::Cqe { app, cqe } => WorldEvent::AppCqe { app, host, cqe },
+        }
+    }
+
     /// The conservative lookahead: the minimum latency any NIC-to-NIC
     /// effect must cross. `None` when the fabric provides no positive
     /// bound (no hosts, or a zero-latency link).
@@ -825,16 +911,18 @@ impl Simulation {
             // Each event's destination group and worker payload — or the
             // event itself, when only the coordinator can run it.
             let routed: Result<(u32, HostId, WPayload), WorldEvent> = match ev {
-                WorldEvent::Nic(h, e) => Ok((host_group[h.0 as usize], h, WPayload::NicEv(e))),
-                WorldEvent::Deliver { host, pkt, corrupt } => Ok((
-                    host_group[host.0 as usize],
-                    host,
-                    if corrupt {
-                        WPayload::DeliverCorrupt(pkt)
-                    } else {
-                        WPayload::DeliverOk(pkt)
-                    },
-                )),
+                WorldEvent::Nic(h, mut e) => {
+                    let pkt = detach_nic_event(&mut self.world.arena, &mut e);
+                    Ok((host_group[h.0 as usize], h, WPayload::NicEv(e, pkt)))
+                }
+                WorldEvent::Deliver { host, pkt, corrupt } => {
+                    let pkt = self.world.arena.take(pkt);
+                    Ok((
+                        host_group[host.0 as usize],
+                        host,
+                        WPayload::Deliver { pkt, corrupt },
+                    ))
+                }
                 WorldEvent::Timer { app, token }
                     if self.world.app_sendable.get(app.0).copied().unwrap_or(false) =>
                 {
@@ -862,7 +950,10 @@ impl Simulation {
                 Ok((g, h, payload)) if barriers.get(&g).is_none_or(|b| (at, seq) < *b) => {
                     per_group.entry(g).or_default().push((at, seq, h, payload));
                 }
-                Ok((_, h, payload)) => raw.push((at, seq, payload.into_world_event(h))),
+                Ok((_, h, payload)) => {
+                    let ev = self.world.attach_payload(h, payload);
+                    raw.push((at, seq, ev));
+                }
                 Err(ev) => raw.push((at, seq, ev)),
             }
         }
@@ -884,15 +975,20 @@ impl Simulation {
             t => t,
         };
         if threshold > 1 {
+            // `retain` can't reach `self.world`, so drain the under-
+            // threshold groups in two steps: collect, then re-attach.
+            let mut inlined: Vec<(SimTime, u64, HostId, WPayload)> = Vec::new();
             per_group.retain(|_, entries| {
                 if entries.len() >= threshold {
                     return true;
                 }
-                for (at, seq, h, payload) in entries.drain(..) {
-                    raw.push((at, seq, payload.into_world_event(h)));
-                }
+                inlined.append(entries);
                 false
             });
+            for (at, seq, h, payload) in inlined {
+                let ev = self.world.attach_payload(h, payload);
+                raw.push((at, seq, ev));
+            }
         }
 
         // Ship groups to workers (round-robin bundling amortizes the
@@ -918,12 +1014,17 @@ impl Simulation {
             }
             hosts.sort_by_key(|h| h.0);
             hosts.dedup();
+            // Packets still waiting on arbitration travel with their
+            // NIC: re-home them from the world arena into the group's
+            // round-local arena.
+            let mut arena = PacketArena::new();
             let nics = hosts
                 .into_iter()
                 .map(|h| {
-                    let nic = self.world.nics[h.0 as usize]
+                    let mut nic = self.world.nics[h.0 as usize]
                         .take()
                         .expect("NIC double checkout");
+                    nic.rehome_egress(&mut self.world.arena, &mut arena);
                     (h, nic)
                 })
                 .collect();
@@ -932,6 +1033,7 @@ impl Simulation {
                 limit,
                 barrier: barriers.get(&g).copied(),
                 nics,
+                arena,
                 apps,
                 entries,
             });
@@ -951,11 +1053,17 @@ impl Simulation {
         };
         // Return NICs and apps before the merge: post-barrier leftovers
         // and materialized orphans execute coordinator-side and must
-        // find both at home.
+        // find both at home. Egress-queued packets re-home back into the
+        // world arena, after which the round-local arena must be empty —
+        // every other packet either terminated worker-side or travels
+        // onward by value (cooked transmits, leftovers, orphans).
         for out in &mut outs {
-            for (h, nic) in out.nics.drain(..) {
+            let mut arena = std::mem::take(&mut out.arena);
+            for (h, mut nic) in out.nics.drain(..) {
+                nic.rehome_egress(&mut arena, &mut self.world.arena);
                 self.world.nics[h.0 as usize] = Some(nic);
             }
+            debug_assert_eq!(arena.live(), 0, "round-local arena drained at return");
             for (a, app) in out.apps.drain(..) {
                 self.apps[a.0] = Some(AppBox::Send(app));
             }
@@ -973,17 +1081,18 @@ impl Simulation {
             }));
         }
         let mut streams: Vec<(u32, VecDeque<OutEntry>)> = Vec::new();
-        let mut orphan_gen: HashMap<(u32, u64), (SimTime, WorldEvent)> = HashMap::new();
+        let mut orphan_gen: HashMap<(u32, u64), (SimTime, HostId, WPayload)> = HashMap::new();
         for out in outs {
-            for (at, seq, ev) in out.leftovers {
+            for (at, seq, host, payload) in out.leftovers {
+                let ev = self.world.attach_payload(host, payload);
                 heap.push(Reverse(RoundKeyed {
                     at,
                     k2: seq,
                     item: RoundItem::Ev(ev),
                 }));
             }
-            for (emit, at, ev) in out.orphans {
-                orphan_gen.insert((out.group, emit), (at, ev));
+            for (emit, at, host, payload) in out.orphans {
+                orphan_gen.insert((out.group, emit), (at, host, payload));
             }
             if let Some(head) = out.stream.front_key() {
                 let si = streams.len() as u32;
@@ -1043,7 +1152,8 @@ impl Simulation {
                                     // The worker's barrier preempted
                                     // this event: materialize it at its
                                     // virtual seq.
-                                    Some((at2, ev)) => {
+                                    Some((at2, host, payload)) => {
+                                        let ev = self.world.attach_payload(host, payload);
                                         let v = self
                                             .world
                                             .enqueue_in_round(at2, ev)
@@ -1061,12 +1171,18 @@ impl Simulation {
                                     }
                                 }
                             }
-                            Cooked::SchedOut { at: at2, ev } => {
+                            Cooked::SchedOut {
+                                at: at2,
+                                host,
+                                payload,
+                            } => {
                                 debug_assert!(at2 > limit);
+                                let ev = self.world.attach_payload(host, payload);
                                 self.world.enqueue(at2, ev);
                             }
                             Cooked::Transmit { at: at2, host, pkt } => {
-                                self.world.transmit(host, at2, pkt);
+                                let h = self.world.arena.insert(pkt);
+                                self.world.transmit(host, at2, h);
                             }
                             Cooked::Complete {
                                 emit,

@@ -8,10 +8,13 @@ use ragnar_topology::{
     FabricRuntime, FlowKey, LinkId, NodeId, PfcPortConfig, PortCounters, Route, Topology,
 };
 use rnic_model::{
-    AccessFlags, Cqe, DeviceProfile, HostMemory, MrEntry, MrKey, NicAction, NicCounters, NicEvent,
-    Packet, PdId, PostError, QpConfig, QpNum, QpTransport, RecvWqe, ResetError, Rnic, TrafficClass,
+    AccessFlags, ArenaStats, Cqe, DeviceProfile, HostMemory, MrEntry, MrKey, NicAction,
+    NicCounters, NicEvent, PacketArena, PacketHandle, PdId, PostError, QpConfig, QpNum,
+    QpTransport, RecvWqe, ResetError, Rnic, TrafficClass,
 };
-use sim_core::{CalendarQueue, ReferenceQueue, SimDuration, SimRng, SimTime};
+use sim_core::{
+    CalendarQueue, EventHandle, FxHashMap, ReferenceQueue, SimDuration, SimRng, SimTime,
+};
 use std::collections::HashMap;
 
 // Child module (not a sibling) so the conservative-sync machinery can
@@ -136,6 +139,30 @@ impl WorldQueue {
         }
     }
 
+    /// Schedules and returns the handle when the backend supports
+    /// in-place payload amendment (the calendar queue). The reference
+    /// oracle deliberately returns `None` so hop batching never engages
+    /// there — keeping it a batching-free differential baseline.
+    fn schedule_tracked(&mut self, at: SimTime, event: WorldEvent) -> Option<EventHandle> {
+        match self {
+            WorldQueue::Calendar(q) => Some(q.schedule(at, event)),
+            WorldQueue::Reference(q) => {
+                q.schedule(at, event);
+                None
+            }
+        }
+    }
+
+    /// In-place access to a still-pending event's payload (calendar
+    /// backend only; `None` once fired/cancelled or on the reference
+    /// oracle).
+    fn event_mut(&mut self, handle: EventHandle) -> Option<&mut WorldEvent> {
+        match self {
+            WorldQueue::Calendar(q) => q.event_mut(handle),
+            WorldQueue::Reference(_) => None,
+        }
+    }
+
     fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, WorldEvent)> {
         match self {
             WorldQueue::Calendar(q) => q.pop_before(deadline),
@@ -254,24 +281,68 @@ impl Default for ConnectOptions {
     }
 }
 
+/// Inline set of packets sharing one `Hop` event: same link, same
+/// instant, same corruption verdict. Most hops carry exactly one packet
+/// (link serialization spreads arrivals over distinct instants); the
+/// batch exists so that when a burst *does* land on one `(link, tick)`
+/// the world pays one queue cell for the whole burst instead of one per
+/// packet. Capacity is fixed and small — a full batch simply spills
+/// into a fresh event.
+#[derive(Debug, Clone, Copy)]
+struct HopBatch {
+    pkts: [PacketHandle; HopBatch::CAP],
+    len: u8,
+}
+
+impl HopBatch {
+    const CAP: usize = 4;
+
+    fn one(h: PacketHandle) -> HopBatch {
+        let mut pkts = [PacketHandle::DANGLING; HopBatch::CAP];
+        pkts[0] = h;
+        HopBatch { pkts, len: 1 }
+    }
+
+    /// Appends a packet; `false` when the batch is full (caller starts a
+    /// new event).
+    fn push(&mut self, h: PacketHandle) -> bool {
+        if usize::from(self.len) == HopBatch::CAP {
+            return false;
+        }
+        self.pkts[usize::from(self.len)] = h;
+        self.len += 1;
+        true
+    }
+
+    fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Handles in enqueue order — the order an unbatched run would have
+    /// popped the separate events in.
+    fn iter(&self) -> impl Iterator<Item = PacketHandle> + '_ {
+        self.pkts[..usize::from(self.len)].iter().copied()
+    }
+}
+
 /// Events of the global loop.
 #[derive(Debug)]
 enum WorldEvent {
     Nic(HostId, NicEvent),
     Deliver {
         host: HostId,
-        pkt: Packet,
+        pkt: PacketHandle,
         /// The fault injector flipped payload bits in flight; the
         /// receiver's ICRC check discards the packet on arrival.
         corrupt: bool,
     },
-    /// A packet crossing one physical link of its ECMP route (only
+    /// Packets crossing one physical link of their ECMP route (only
     /// scheduled when a topology is installed; the point-to-point world
     /// keeps the single-hop `Deliver` path untouched).
     Hop {
         route: Route,
         hop: u8,
-        pkt: Packet,
+        pkts: HopBatch,
         corrupt: bool,
     },
     Timer {
@@ -305,16 +376,41 @@ pub trait App {
     }
 }
 
+/// The most recently scheduled `Hop` event, kept only while no other
+/// enqueue has intervened — the one situation where appending another
+/// packet to that event's batch is provably order-preserving (see
+/// [`World::enqueue_hop`]).
+#[derive(Debug, Clone, Copy)]
+struct HopTail {
+    handle: EventHandle,
+    at: SimTime,
+    route: Route,
+    hop: u8,
+    corrupt: bool,
+}
+
 /// State shared by the fabric: NICs, routing, allocators.
 struct World {
     queue: WorldQueue,
+    /// Slab arena every in-flight wire packet lives in. Events, egress
+    /// queues and chaos injection pass [`PacketHandle`]s; the packet's
+    /// bytes are written once at build time and read in place until the
+    /// NIC that consumes it takes or frees the slot.
+    arena: PacketArena,
+    /// See [`HopTail`]; cleared by every non-coalescing enqueue.
+    hop_tail: Option<HopTail>,
+    /// Packets that rode an existing `Hop` event instead of costing
+    /// their own queue cell. Counted back into
+    /// [`Simulation::events_processed`] so batching never changes the
+    /// reported event totals.
+    coalesced_hops: u64,
     /// Reusable action buffer: NIC dispatches append into this instead
     /// of allocating a fresh `Vec` per event (the queue swap removed the
     /// per-event cell allocation; this removes the per-event action
     /// allocation).
     scratch: Vec<NicAction>,
     nics: Vec<Option<Rnic>>,
-    qp_owner: HashMap<(HostId, QpNum), AppId>,
+    qp_owner: FxHashMap<(HostId, QpNum), AppId>,
     switch_latency: SimDuration,
     next_qp: u32,
     next_mr: u32,
@@ -457,6 +553,11 @@ impl World {
     /// when the event landed in the round heap (the parallel coordinator
     /// needs it to translate worker emit ids into merge keys).
     fn enqueue_in_round(&mut self, at: SimTime, event: WorldEvent) -> Option<u64> {
+        // Any enqueue other than a successful hop coalesce invalidates
+        // the tail: a later packet appended to an older Hop event would
+        // otherwise execute *before* this event despite having been
+        // scheduled after it.
+        self.hop_tail = None;
         if let Some(r) = self.round.as_mut() {
             if at <= r.limit {
                 debug_assert!(at >= r.now, "round heap push into the past");
@@ -477,7 +578,22 @@ impl World {
     /// Folds one processed event into the order digest. Both engines
     /// fold the same words in the same order; the digest is therefore a
     /// fingerprint of the execution order itself.
+    ///
+    /// A batched `Hop` folds once *per packet* — exactly the words an
+    /// unbatched run folds for its separate Hop events — so coalescing
+    /// is invisible to the digest by construction.
     fn fold_event(&mut self, at: SimTime, event: &WorldEvent) {
+        if let WorldEvent::Hop { hop, pkts, .. } = event {
+            for h in pkts.iter() {
+                let dst = u64::from(self.arena.hot(h).dst.0);
+                let d = &mut self.order;
+                d.fold(at.as_picos());
+                d.fold(3);
+                d.fold(u64::from(*hop));
+                d.fold(dst);
+            }
+            return;
+        }
         let d = &mut self.order;
         d.fold(at.as_picos());
         match event {
@@ -490,11 +606,7 @@ impl World {
                 d.fold(u64::from(host.0));
                 d.fold(u64::from(*corrupt));
             }
-            WorldEvent::Hop { hop, pkt, .. } => {
-                d.fold(3);
-                d.fold(u64::from(*hop));
-                d.fold(u64::from(pkt.dst.0));
-            }
+            WorldEvent::Hop { .. } => unreachable!("folded above"),
             WorldEvent::Timer { app, token } => {
                 d.fold(4);
                 d.fold(app.0 as u64);
@@ -508,12 +620,86 @@ impl World {
         }
     }
 
+    /// Schedules hop `hop` of `route` for one packet, coalescing into
+    /// the immediately preceding `Hop` event when — and only when — that
+    /// event is still pending, nothing else has been enqueued since, and
+    /// `(at, route, hop, corrupt)` all match. Under those conditions the
+    /// batch members occupy adjacent positions in the unbatched pop
+    /// order, so executing them back-to-back from one event is
+    /// bit-identical (same RNG draws, same digest words, same trace).
+    ///
+    /// In practice the fabric's link serialization spreads arrivals over
+    /// distinct picosecond instants, so the coalesce path fires rarely;
+    /// it exists for the bursts (duplicated packets, zero-latency test
+    /// fabrics) where per-packet queue cells would be pure overhead.
+    fn enqueue_hop(
+        &mut self,
+        at: SimTime,
+        route: Route,
+        hop: u8,
+        pkt: PacketHandle,
+        corrupt: bool,
+    ) {
+        if self.round.is_none() {
+            if let Some(tail) = self.hop_tail {
+                if tail.at == at
+                    && tail.hop == hop
+                    && tail.corrupt == corrupt
+                    && tail.route == route
+                {
+                    if let Some(WorldEvent::Hop { pkts, .. }) = self.queue.event_mut(tail.handle) {
+                        if pkts.push(pkt) {
+                            // Counted into `coalesced_hops` when the
+                            // batch executes, not here, so the ledger
+                            // only ever reflects processed events.
+                            return;
+                        }
+                    }
+                }
+            }
+            let event = WorldEvent::Hop {
+                route,
+                hop,
+                pkts: HopBatch::one(pkt),
+                corrupt,
+            };
+            self.hop_tail = self
+                .queue
+                .schedule_tracked(at, event)
+                .map(|handle| HopTail {
+                    handle,
+                    at,
+                    route,
+                    hop,
+                    corrupt,
+                });
+            return;
+        }
+        // Inside a merge round events materialize in the round heap,
+        // which has no stable handles — fall back to one event per
+        // packet (clearing the tail via the shared path).
+        self.enqueue_in_round(
+            at,
+            WorldEvent::Hop {
+                route,
+                hop,
+                pkts: HopBatch::one(pkt),
+                corrupt,
+            },
+        );
+    }
+
     /// Routes a NIC event into the NIC and applies the resulting
     /// actions, reusing the world's scratch buffer.
     fn dispatch_nic(&mut self, host: HostId, event: NicEvent) {
         let mut scratch = std::mem::take(&mut self.scratch);
         let now = self.now();
-        self.nic_mut(host).handle_into(now, event, &mut scratch);
+        // Split field borrows: the NIC slot and the packet arena are
+        // disjoint parts of the world.
+        let nic = self.nics[host.0 as usize]
+            .as_mut()
+            .expect("NIC checked out to a parallel worker");
+        nic.handle_into(now, event, &mut self.arena, &mut scratch);
         self.apply_actions(host, &mut scratch);
         self.scratch = scratch;
     }
@@ -567,55 +753,62 @@ impl World {
     /// Shared between `apply_actions` (sequential path) and the parallel
     /// coordinator, which replays worker-cooked transmits in merge order
     /// so every RNG draw happens in exactly the sequential sequence.
-    fn transmit(&mut self, host: HostId, at: SimTime, pkt: Packet) {
+    fn transmit(&mut self, host: HostId, at: SimTime, pkt: PacketHandle) {
         self.fabric.sent += 1;
-        if let Some(rt) = self.fabric_rt.as_ref() {
+        let (src, dst, msg_id) = {
+            let hot = self.arena.hot(pkt);
+            (hot.src, hot.dst, hot.msg_id)
+        };
+        if self.fabric_rt.is_some() {
             // Fabric mode: ECMP-route the flow and walk the
             // links hop by hop. Loss/chaos verdicts happen
             // per hop, where the packet physically is.
             if self.loss_rate > 0.0 && self.rng.chance(self.loss_rate) {
-                let up = rt.topology().host_uplink(pkt.src);
-                self.note_link_drop(up, pkt.src, pkt.dst);
+                let rt = self.fabric_rt.as_ref().expect("fabric mode");
+                let up = rt.topology().host_uplink(src);
+                self.note_link_drop(up, src, dst);
+                self.arena.free(pkt);
                 return;
             }
-            let key = FlowKey::new(pkt.src, pkt.dst, pkt.src_qp.0, pkt.dst_qp.0);
-            let route = rt.topology().route(pkt.src, pkt.dst, key);
-            self.enqueue(
-                at,
-                WorldEvent::Hop {
-                    route,
-                    hop: 0,
-                    pkt,
-                    corrupt: false,
-                },
-            );
+            let (src_qp, dst_qp) = {
+                let p = self.arena.get(pkt);
+                (p.src_qp, p.dst_qp)
+            };
+            let rt = self.fabric_rt.as_ref().expect("fabric mode");
+            let key = FlowKey::new(src, dst, src_qp.0, dst_qp.0);
+            let route = rt.topology().route(src, dst, key);
+            self.enqueue_hop(at, route, 0, pkt, false);
             return;
         }
         // Legacy uniform loss draws from the world RNG first so
         // that chaos-free runs keep their exact RNG stream.
         if self.loss_rate > 0.0 && self.rng.chance(self.loss_rate) {
-            self.note_wire_drop(host, pkt.dst);
+            self.note_wire_drop(host, dst);
+            self.arena.free(pkt);
             return;
         }
         let prop = self.nic_ref(host).profile().wire_propagation + self.switch_latency;
-        let dst = pkt.dst;
         let mut corrupt = false;
         let mut deliver_at = at + prop;
         if let Some(inj) = self.injector.as_mut() {
             let v = inj.verdict(at, host, dst);
             if v.drop {
                 self.note_wire_drop(host, dst);
+                self.arena.free(pkt);
                 return;
             }
             corrupt = v.corrupt;
             deliver_at += v.extra_delay;
             if v.duplicate {
+                // The only copy a fault-free run never pays: duplication
+                // clones the slot (payload bytes stay shared).
                 self.fabric.duplicates += 1;
+                let dup = self.arena.clone_entry(pkt);
                 self.enqueue(
                     deliver_at + self.switch_latency,
                     WorldEvent::Deliver {
                         host: dst,
-                        pkt: pkt.clone(),
+                        pkt: dup,
                         corrupt,
                     },
                 );
@@ -628,10 +821,7 @@ impl World {
                 ActorId::device(host.0),
                 at.as_picos(),
                 (deliver_at - at).as_picos(),
-                &[
-                    ("dst", u64::from(dst.0).into()),
-                    ("msg_id", pkt.msg_id.into()),
-                ],
+                &[("dst", u64::from(dst.0).into()), ("msg_id", msg_id.into())],
             );
         }
         self.enqueue(
@@ -693,9 +883,13 @@ impl World {
     /// Carries a packet across hop `hop` of its route: per-hop chaos
     /// verdict, serialization behind the link's queue and pause gate,
     /// then either the next hop or final delivery.
-    fn hop_packet(&mut self, route: Route, hop: u8, pkt: Packet, corrupt: bool) {
+    fn hop_packet(&mut self, route: Route, hop: u8, pkt: PacketHandle, corrupt: bool) {
         let now = self.now();
         let link = route.hop(hop as usize).expect("hop within route");
+        let (src, dst, tc, wire_bytes, msg_id) = {
+            let hot = self.arena.hot(pkt);
+            (hot.src, hot.dst, hot.tc, hot.wire_bytes, hot.msg_id)
+        };
         let mut corrupt = corrupt;
         let mut start = now;
         let mut duplicate = false;
@@ -704,9 +898,10 @@ impl World {
             // apply, evaluated once per traversed link, so loss
             // compounds along the path the way real fabrics lose
             // packets.
-            let v = inj.verdict(now, pkt.src, pkt.dst);
+            let v = inj.verdict(now, src, dst);
             if v.drop {
-                self.note_link_drop(link, pkt.src, pkt.dst);
+                self.note_link_drop(link, src, dst);
+                self.arena.free(pkt);
                 return;
             }
             corrupt |= v.corrupt;
@@ -715,9 +910,9 @@ impl World {
             // honoring it at every hop would multiply copies.
             duplicate = v.duplicate && hop == 0;
         }
-        let bytes = pkt.wire_bytes();
+        let bytes = u64::from(wire_bytes);
         let rt = self.fabric_rt.as_mut().expect("fabric mode");
-        let out = rt.traverse(start, &route, hop as usize, bytes, pkt.tc);
+        let out = rt.traverse(start, &route, hop as usize, bytes, tc);
         if let Some(up) = out.paused_upstream {
             if self.metrics.enabled() {
                 self.metrics.counter_add("fabric.pfc_xoff", 1);
@@ -726,12 +921,12 @@ impl World {
                 self.tracer.instant(
                     Target::RdmaVerbs,
                     "pfc_xoff",
-                    ActorId::device(pkt.src.0),
+                    ActorId::device(src.0),
                     now.as_picos(),
                     &[
                         ("paused_link", u64::from(up.0).into()),
                         ("congested_link", u64::from(link.0).into()),
-                        ("tc", u64::from(pkt.tc.0).into()),
+                        ("tc", u64::from(tc.0).into()),
                     ],
                 );
             }
@@ -740,51 +935,39 @@ impl World {
             self.tracer.span(
                 Target::RdmaVerbs,
                 "wire_hop",
-                ActorId::device(pkt.src.0),
+                ActorId::device(src.0),
                 start.as_picos(),
                 (out.arrival - start).as_picos(),
                 &[
                     ("link", u64::from(link.0).into()),
                     ("hop", u64::from(hop).into()),
-                    ("dst", u64::from(pkt.dst.0).into()),
-                    ("msg_id", pkt.msg_id.into()),
+                    ("dst", u64::from(dst.0).into()),
+                    ("msg_id", msg_id.into()),
                 ],
             );
         }
         if duplicate {
+            // Copy-on-duplication: the slot is cloned (payload bytes
+            // stay shared behind the refcount) only when chaos actually
+            // forks the packet.
             self.fabric.duplicates += 1;
             let rt = self.fabric_rt.as_mut().expect("fabric mode");
-            let dup = rt.traverse(start, &route, hop as usize, bytes, pkt.tc);
-            self.enqueue(
-                dup.arrival,
-                WorldEvent::Hop {
-                    route,
-                    hop: hop + 1,
-                    pkt: pkt.clone(),
-                    corrupt,
-                },
-            );
+            let dup_out = rt.traverse(start, &route, hop as usize, bytes, tc);
+            let dup = self.arena.clone_entry(pkt);
+            self.enqueue_hop(dup_out.arrival, route, hop + 1, dup, corrupt);
         }
         let next = hop + 1;
         if usize::from(next) == route.len() {
             self.enqueue(
                 out.arrival,
                 WorldEvent::Deliver {
-                    host: pkt.dst,
+                    host: dst,
                     pkt,
                     corrupt,
                 },
             );
         } else {
-            self.enqueue(
-                out.arrival,
-                WorldEvent::Hop {
-                    route,
-                    hop: next,
-                    pkt,
-                    corrupt,
-                },
-            );
+            self.enqueue_hop(out.arrival, route, next, pkt, corrupt);
         }
     }
 
@@ -875,9 +1058,12 @@ impl Simulation {
         Simulation {
             world: World {
                 queue: WorldQueue::new(backend),
+                arena: PacketArena::new(),
+                hop_tail: None,
+                coalesced_hops: 0,
                 scratch: Vec::new(),
                 nics: Vec::new(),
-                qp_owner: HashMap::new(),
+                qp_owner: FxHashMap::default(),
                 switch_latency: SimDuration::from_nanos(200),
                 next_qp: 1,
                 next_mr: 1,
@@ -1279,7 +1465,12 @@ impl Simulation {
             let Some((at, event)) = self.world.queue.pop_before(deadline) else {
                 break;
             };
-            processed += 1;
+            // A batched Hop counts once per packet it carries, so the
+            // processed total is identical with and without coalescing.
+            processed += match &event {
+                WorldEvent::Hop { pkts, .. } => u64::from(pkts.len()),
+                _ => 1,
+            };
             self.world.fold_event(at, &event);
             self.execute_event(event);
         }
@@ -1297,9 +1488,11 @@ impl Simulation {
             WorldEvent::Deliver { host, pkt, corrupt } => {
                 if corrupt {
                     // The ICRC check rejects the mangled payload; the
-                    // requester's retransmission timer recovers it.
+                    // requester's retransmission timer recovers it —
+                    // the slot is done the moment the check fails.
                     self.world.fabric.icrc_dropped += 1;
                     self.world.nic_mut(host).counters_mut().icrc_rx_dropped += 1;
+                    self.world.arena.free(pkt);
                 } else {
                     self.world.fabric.delivered += 1;
                     self.world
@@ -1309,10 +1502,17 @@ impl Simulation {
             WorldEvent::Hop {
                 route,
                 hop,
-                pkt,
+                pkts,
                 corrupt,
             } => {
-                self.world.hop_packet(route, hop, pkt, corrupt);
+                // Batch members execute back-to-back in enqueue order —
+                // the exact order an unbatched run pops them in. The
+                // extra members are folded into the processed-events
+                // ledger so totals stay engine- and batching-invariant.
+                self.world.coalesced_hops += u64::from(pkts.len()) - 1;
+                for h in pkts.iter() {
+                    self.world.hop_packet(route, hop, h, corrupt);
+                }
             }
             WorldEvent::Timer { app, token } => {
                 self.with_app(app, |a, ctx| a.on_timer(ctx, token));
@@ -1331,7 +1531,28 @@ impl Simulation {
     /// Total events processed so far — real queue pops plus events the
     /// parallel engine materialized and consumed inside merge rounds.
     pub fn events_processed(&self) -> u64 {
-        self.world.queue.events_processed() + self.world.synthetic
+        self.world.queue.events_processed() + self.world.synthetic + self.world.coalesced_hops
+    }
+
+    /// Packets that executed as extra members of a batched `Hop` event
+    /// instead of costing their own queue cell (zero unless a burst
+    /// landed on one `(link, tick)`). Already included in
+    /// [`Simulation::events_processed`].
+    pub fn coalesced_hops(&self) -> u64 {
+        self.world.coalesced_hops
+    }
+
+    /// Allocation ledger of the packet arena: slots allocated and freed,
+    /// chaos-driven duplications (the only packet copies a run ever
+    /// pays), and the high-water mark of simultaneously live packets.
+    pub fn packet_arena_stats(&self) -> ArenaStats {
+        self.world.arena.stats()
+    }
+
+    /// Packets currently alive in the arena — zero at quiescence, when
+    /// every transmitted packet has been consumed or dropped.
+    pub fn packet_arena_live(&self) -> u64 {
+        self.world.arena.live()
     }
 
     /// Order-sensitive digest over every processed event `(timestamp,
@@ -1388,7 +1609,7 @@ impl Drop for Simulation {
         }
         m.counter_add(
             "sim.events_processed",
-            self.world.queue.events_processed() + self.world.synthetic,
+            self.world.queue.events_processed() + self.world.synthetic + self.world.coalesced_hops,
         );
         m.counter_add("wire.dropped_packets", self.world.dropped_packets);
         if let Some(rt) = &self.world.fabric_rt {
@@ -1400,10 +1621,13 @@ impl Drop for Simulation {
             m.counter_add("fabric.link_dropped", drops);
             m.counter_add("fabric.pfc_pauses", pauses);
         }
+        // One interned `nic.*` key per counter name for the whole
+        // fabric, instead of a fresh format! per (host, counter) pair.
+        let mut nic_keys = ragnar_telemetry::PrefixedInterner::new("nic.");
         for nic in self.world.nics.iter().flatten() {
             for (name, v) in nic.counters().snapshot().metric_entries() {
                 if v != 0 {
-                    m.counter_add(&format!("nic.{name}"), v);
+                    m.counter_add(nic_keys.get(name), v);
                 }
             }
         }

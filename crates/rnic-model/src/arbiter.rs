@@ -7,9 +7,16 @@
 //! Finding 3 of §IV-B. Within each priority group, traffic classes share
 //! the port by deficit-weighted round robin using the ETS weights
 //! configured through the `mlnx_qos` equivalent.
+//!
+//! Queues hold [`EgressItem`]s — a packet [handle](PacketHandle) plus
+//! the few header fields the arbiter's grant decisions read (wire size,
+//! traffic class, bulk-write eligibility) — so arbitration never moves
+//! or touches the full packet, which stays in the
+//! [`PacketArena`](crate::PacketArena) from allocation to delivery.
 
+use crate::arena::{PacketArena, PacketHandle};
 use crate::packet::{Packet, PacketKind};
-use crate::types::TrafficClass;
+use crate::types::{FlowId, TrafficClass};
 use sim_core::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -22,9 +29,45 @@ pub enum EgressClass {
     RxResponse,
 }
 
+/// One queued packet, reduced to the handle plus the header fields the
+/// scheduler's grant logic reads.
+#[derive(Debug, Clone, Copy)]
+pub struct EgressItem {
+    /// The queued packet.
+    pub pkt: PacketHandle,
+    /// Cached [`Packet::wire_bytes`].
+    pub wire_bytes: u64,
+    /// Payload length in bytes (for per-flow accounting).
+    pub payload_len: u32,
+    /// Traffic class (selects the DWRR queue).
+    pub tc: TrafficClass,
+    /// Application flow label (for per-flow accounting).
+    pub flow: FlowId,
+    /// True for write segments — the bulk-burst candidates.
+    pub is_write_seg: bool,
+    /// Total message length (bulk-burst threshold check).
+    pub total_len: u64,
+}
+
+impl EgressItem {
+    /// Captures the grant-relevant header fields of `pkt` under handle
+    /// `h`.
+    pub fn of(pkt: &Packet, h: PacketHandle) -> EgressItem {
+        EgressItem {
+            pkt: h,
+            wire_bytes: pkt.wire_bytes(),
+            payload_len: u32::try_from(pkt.payload.len()).expect("payload fits u32"),
+            tc: pkt.tc,
+            flow: pkt.flow,
+            is_write_seg: matches!(pkt.kind, PacketKind::WriteSeg),
+            total_len: pkt.total_len,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Group {
-    queues: [VecDeque<Packet>; TrafficClass::COUNT],
+    queues: [VecDeque<EgressItem>; TrafficClass::COUNT],
     deficit: [i64; TrafficClass::COUNT],
     cursor: usize,
 }
@@ -56,7 +99,7 @@ impl Group {
         weights: &[u32; TrafficClass::COUNT],
         paused_until: &[SimTime; TrafficClass::COUNT],
         now: SimTime,
-    ) -> Option<Packet> {
+    ) -> Option<EgressItem> {
         if self.is_empty(paused_until, now) {
             return None;
         }
@@ -71,17 +114,17 @@ impl Group {
                 }
                 let need = self.queues[tc]
                     .front()
-                    .map(|p| p.wire_bytes() as i64)
+                    .map(|p| p.wire_bytes as i64)
                     .unwrap_or(0);
                 if self.deficit[tc] >= need {
                     self.deficit[tc] -= need;
-                    let pkt = self.queues[tc].pop_front();
+                    let item = self.queues[tc].pop_front();
                     if self.queues[tc].is_empty() {
                         // Idle classes don't accumulate deficit.
                         self.deficit[tc] = 0;
                     }
                     self.cursor = tc;
-                    return pkt;
+                    return item;
                 }
                 self.deficit[tc] += QUANTUM_UNIT * i64::from(weights[tc].max(1));
             }
@@ -174,11 +217,29 @@ impl EgressScheduler {
     }
 
     /// Enqueues a packet into the given logical arbiter.
-    pub fn enqueue(&mut self, class: EgressClass, pkt: Packet) {
-        let tc = pkt.tc.index();
+    pub fn enqueue(&mut self, class: EgressClass, item: EgressItem) {
+        let tc = item.tc.index();
         match class {
-            EgressClass::TxRequest => self.tx.queues[tc].push_back(pkt),
-            EgressClass::RxResponse => self.rx.queues[tc].push_back(pkt),
+            EgressClass::TxRequest => self.tx.queues[tc].push_back(item),
+            EgressClass::RxResponse => self.rx.queues[tc].push_back(item),
+        }
+    }
+
+    /// Moves every still-queued packet from one arena to another,
+    /// patching the queued handles in place. Parallel engines use this
+    /// when a NIC crosses a worker boundary: packets waiting on
+    /// arbitration must travel with the NIC, since the arena they were
+    /// allocated in stays behind. Queue order, deficit state and burst
+    /// state are untouched, so grant decisions after the move are
+    /// bit-identical.
+    pub fn rehome(&mut self, from: &mut PacketArena, to: &mut PacketArena) {
+        for group in [&mut self.tx, &mut self.rx] {
+            for q in &mut group.queues {
+                for item in q.iter_mut() {
+                    let pkt = from.take(item.pkt);
+                    item.pkt = to.insert(pkt);
+                }
+            }
         }
     }
 
@@ -195,14 +256,14 @@ impl EgressScheduler {
     }
 
     /// If the port is idle and a packet is eligible, grants it: returns
-    /// the packet and its serialization time. The caller schedules
+    /// the item and its serialization time. The caller schedules
     /// `EgressDone` at `now + duration` and the fabric hand-off.
-    pub fn try_grant(&mut self, now: SimTime) -> Option<(Packet, SimDuration)> {
+    pub fn try_grant(&mut self, now: SimTime) -> Option<(EgressItem, SimDuration)> {
         if self.busy {
             return None;
         }
         // Bulk-burst continuation: keep draining same-class write segments.
-        let pkt = self.burst_continuation(now).or_else(|| {
+        let item = self.burst_continuation(now).or_else(|| {
             if self.tx_strict_priority {
                 // The logical Tx arbiter outranks the Rx arbiter (Key
                 // Finding 3) — weighted 3:1 rather than absolute, so
@@ -251,33 +312,35 @@ impl EgressScheduler {
             }
         })?;
         // Arm or clear the burst window.
-        if matches!(pkt.kind, PacketKind::WriteSeg) && pkt.total_len >= self.bulk_threshold {
+        if item.is_write_seg && item.total_len >= self.bulk_threshold {
             let left = match self.burst_state.take() {
-                Some((tc, left)) if tc == pkt.tc.index() => left,
+                Some((tc, left)) if tc == item.tc.index() => left,
                 _ => self.bulk_burst,
             };
             if left > 0 {
-                self.burst_state = Some((pkt.tc.index(), left));
+                self.burst_state = Some((item.tc.index(), left));
             }
         } else {
             self.burst_state = None;
         }
-        let bytes = pkt.wire_bytes();
         self.busy = true;
         self.granted_packets += 1;
-        self.granted_bytes += bytes;
-        Some((pkt, SimDuration::serialization(bytes, self.rate_bps)))
+        self.granted_bytes += item.wire_bytes;
+        Some((
+            item,
+            SimDuration::serialization(item.wire_bytes, self.rate_bps),
+        ))
     }
 
-    fn burst_continuation(&mut self, now: SimTime) -> Option<Packet> {
+    fn burst_continuation(&mut self, now: SimTime) -> Option<EgressItem> {
         let (tc, left) = self.burst_state?;
         if left == 0 || self.paused_until[tc] > now {
             self.burst_state = None;
             return None;
         }
-        let is_bulk_write = self.tx.queues[tc].front().is_some_and(|p| {
-            matches!(p.kind, PacketKind::WriteSeg) && p.total_len >= self.bulk_threshold
-        });
+        let is_bulk_write = self.tx.queues[tc]
+            .front()
+            .is_some_and(|p| p.is_write_seg && p.total_len >= self.bulk_threshold);
         if !is_bulk_write {
             self.burst_state = None;
             return None;
@@ -310,8 +373,9 @@ impl EgressScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::PacketKind;
-    use crate::types::{FlowId, HostId, MrKey, Opcode, QpNum};
+    use crate::arena::PacketArena;
+    use crate::packet::{Packet, PacketKind};
+    use crate::types::{HostId, MrKey, Opcode, QpNum};
     use bytes::Bytes;
 
     fn pkt(tc: u8, kind: PacketKind, payload: usize) -> Packet {
@@ -339,10 +403,17 @@ mod tests {
         }
     }
 
-    fn drain(s: &mut EgressScheduler, now: SimTime) -> Vec<Packet> {
+    fn enqueue(s: &mut EgressScheduler, arena: &mut PacketArena, class: EgressClass, p: Packet) {
+        let h = arena.insert(p);
+        s.enqueue(class, EgressItem::of(arena.get(h), h));
+    }
+
+    /// Grants everything eligible, resolving each item back to its
+    /// packet through the arena.
+    fn drain(s: &mut EgressScheduler, arena: &mut PacketArena, now: SimTime) -> Vec<Packet> {
         let mut out = Vec::new();
-        while let Some((p, _)) = s.try_grant(now) {
-            out.push(p);
+        while let Some((item, _)) = s.try_grant(now) {
+            out.push(arena.take(item.pkt));
             s.complete_transmission();
         }
         out
@@ -351,21 +422,49 @@ mod tests {
     #[test]
     fn tx_beats_rx_strictly() {
         let mut s = EgressScheduler::new(25_000_000_000);
-        s.enqueue(EgressClass::RxResponse, pkt(0, PacketKind::ReadResp, 64));
-        s.enqueue(EgressClass::TxRequest, pkt(0, PacketKind::WriteSeg, 64));
-        s.enqueue(EgressClass::TxRequest, pkt(0, PacketKind::WriteSeg, 64));
-        let order = drain(&mut s, SimTime::ZERO);
+        let mut a = PacketArena::new();
+        enqueue(
+            &mut s,
+            &mut a,
+            EgressClass::RxResponse,
+            pkt(0, PacketKind::ReadResp, 64),
+        );
+        enqueue(
+            &mut s,
+            &mut a,
+            EgressClass::TxRequest,
+            pkt(0, PacketKind::WriteSeg, 64),
+        );
+        enqueue(
+            &mut s,
+            &mut a,
+            EgressClass::TxRequest,
+            pkt(0, PacketKind::WriteSeg, 64),
+        );
+        let order = drain(&mut s, &mut a, SimTime::ZERO);
         assert_eq!(order.len(), 3);
         assert_eq!(order[0].kind, PacketKind::WriteSeg);
         assert_eq!(order[1].kind, PacketKind::WriteSeg);
         assert_eq!(order[2].kind, PacketKind::ReadResp);
+        assert_eq!(a.live(), 0, "drain consumed every arena slot");
     }
 
     #[test]
     fn busy_port_grants_one_at_a_time() {
         let mut s = EgressScheduler::new(25_000_000_000);
-        s.enqueue(EgressClass::TxRequest, pkt(0, PacketKind::WriteSeg, 64));
-        s.enqueue(EgressClass::TxRequest, pkt(0, PacketKind::WriteSeg, 64));
+        let mut a = PacketArena::new();
+        enqueue(
+            &mut s,
+            &mut a,
+            EgressClass::TxRequest,
+            pkt(0, PacketKind::WriteSeg, 64),
+        );
+        enqueue(
+            &mut s,
+            &mut a,
+            EgressClass::TxRequest,
+            pkt(0, PacketKind::WriteSeg, 64),
+        );
         assert!(s.try_grant(SimTime::ZERO).is_some());
         assert!(s.try_grant(SimTime::ZERO).is_none(), "port is busy");
         s.complete_transmission();
@@ -375,19 +474,31 @@ mod tests {
     #[test]
     fn ets_weights_share_bandwidth() {
         let mut s = EgressScheduler::new(25_000_000_000);
+        let mut a = PacketArena::new();
         let mut w = [1u32; 8];
         w[0] = 3;
         w[1] = 1;
         s.set_ets_weights(w);
         for _ in 0..400 {
-            s.enqueue(EgressClass::TxRequest, pkt(0, PacketKind::WriteSeg, 1024));
-            s.enqueue(EgressClass::TxRequest, pkt(1, PacketKind::WriteSeg, 1024));
+            enqueue(
+                &mut s,
+                &mut a,
+                EgressClass::TxRequest,
+                pkt(0, PacketKind::WriteSeg, 1024),
+            );
+            enqueue(
+                &mut s,
+                &mut a,
+                EgressClass::TxRequest,
+                pkt(1, PacketKind::WriteSeg, 1024),
+            );
         }
         // Grant a window and measure the byte share.
         let mut bytes = [0u64; 8];
         for _ in 0..200 {
-            let (p, _) = s.try_grant(SimTime::ZERO).expect("backlog");
-            bytes[p.tc.index()] += p.wire_bytes();
+            let (item, _) = s.try_grant(SimTime::ZERO).expect("backlog");
+            bytes[item.tc.index()] += item.wire_bytes;
+            a.free(item.pkt);
             s.complete_transmission();
         }
         let share0 = bytes[0] as f64 / (bytes[0] + bytes[1]) as f64;
@@ -400,14 +511,26 @@ mod tests {
     #[test]
     fn equal_weights_split_evenly() {
         let mut s = EgressScheduler::new(25_000_000_000);
+        let mut a = PacketArena::new();
         for _ in 0..200 {
-            s.enqueue(EgressClass::TxRequest, pkt(2, PacketKind::WriteSeg, 512));
-            s.enqueue(EgressClass::TxRequest, pkt(5, PacketKind::WriteSeg, 512));
+            enqueue(
+                &mut s,
+                &mut a,
+                EgressClass::TxRequest,
+                pkt(2, PacketKind::WriteSeg, 512),
+            );
+            enqueue(
+                &mut s,
+                &mut a,
+                EgressClass::TxRequest,
+                pkt(5, PacketKind::WriteSeg, 512),
+            );
         }
         let mut counts = [0u32; 8];
         for _ in 0..100 {
-            let (p, _) = s.try_grant(SimTime::ZERO).expect("backlog");
-            counts[p.tc.index()] += 1;
+            let (item, _) = s.try_grant(SimTime::ZERO).expect("backlog");
+            counts[item.tc.index()] += 1;
+            a.free(item.pkt);
             s.complete_transmission();
         }
         assert!((counts[2] as i32 - counts[5] as i32).abs() <= 2);
@@ -416,14 +539,25 @@ mod tests {
     #[test]
     fn paused_class_is_skipped() {
         let mut s = EgressScheduler::new(25_000_000_000);
-        s.enqueue(EgressClass::TxRequest, pkt(0, PacketKind::WriteSeg, 64));
-        s.enqueue(EgressClass::TxRequest, pkt(1, PacketKind::WriteSeg, 64));
+        let mut a = PacketArena::new();
+        enqueue(
+            &mut s,
+            &mut a,
+            EgressClass::TxRequest,
+            pkt(0, PacketKind::WriteSeg, 64),
+        );
+        enqueue(
+            &mut s,
+            &mut a,
+            EgressClass::TxRequest,
+            pkt(1, PacketKind::WriteSeg, 64),
+        );
         s.pause(TrafficClass::new(0), SimTime::from_micros(100));
-        let order = drain(&mut s, SimTime::ZERO);
+        let order = drain(&mut s, &mut a, SimTime::ZERO);
         assert_eq!(order.len(), 1);
         assert_eq!(order[0].tc.index(), 1);
         // After the pause expires the packet flows again.
-        let order = drain(&mut s, SimTime::from_micros(200));
+        let order = drain(&mut s, &mut a, SimTime::from_micros(200));
         assert_eq!(order.len(), 1);
         assert_eq!(order[0].tc.index(), 0);
     }
@@ -431,15 +565,21 @@ mod tests {
     #[test]
     fn bulk_writes_burst_through_dwrr() {
         let mut s = EgressScheduler::new(25_000_000_000);
+        let mut a = PacketArena::new();
         s.set_bulk_burst(4, 512);
         // Interleave big writes on TC0 with reads requests on TC1.
         for _ in 0..6 {
             let mut w = pkt(0, PacketKind::WriteSeg, 2048);
             w.total_len = 2048;
-            s.enqueue(EgressClass::TxRequest, w);
-            s.enqueue(EgressClass::TxRequest, pkt(1, PacketKind::ReadReq, 0));
+            enqueue(&mut s, &mut a, EgressClass::TxRequest, w);
+            enqueue(
+                &mut s,
+                &mut a,
+                EgressClass::TxRequest,
+                pkt(1, PacketKind::ReadReq, 0),
+            );
         }
-        let order = drain(&mut s, SimTime::ZERO);
+        let order = drain(&mut s, &mut a, SimTime::ZERO);
         // Once a bulk write is granted, it pulls a burst of further writes
         // through before the other class gets another grant.
         let first_write = order
@@ -460,12 +600,23 @@ mod tests {
     #[test]
     fn small_writes_do_not_burst() {
         let mut s = EgressScheduler::new(25_000_000_000);
+        let mut a = PacketArena::new();
         s.set_bulk_burst(4, 512);
         for _ in 0..6 {
-            s.enqueue(EgressClass::TxRequest, pkt(0, PacketKind::WriteSeg, 64));
-            s.enqueue(EgressClass::TxRequest, pkt(1, PacketKind::ReadReq, 0));
+            enqueue(
+                &mut s,
+                &mut a,
+                EgressClass::TxRequest,
+                pkt(0, PacketKind::WriteSeg, 64),
+            );
+            enqueue(
+                &mut s,
+                &mut a,
+                EgressClass::TxRequest,
+                pkt(1, PacketKind::ReadReq, 0),
+            );
         }
-        let order = drain(&mut s, SimTime::ZERO);
+        let order = drain(&mut s, &mut a, SimTime::ZERO);
         let first_read = order
             .iter()
             .position(|p| p.kind == PacketKind::ReadReq)
@@ -476,8 +627,14 @@ mod tests {
     #[test]
     fn serialization_time_matches_rate() {
         let mut s = EgressScheduler::new(8_000_000_000_000); // 1 B/ps
-        s.enqueue(EgressClass::TxRequest, pkt(0, PacketKind::SendSeg, 938));
-        let (p, dur) = s.try_grant(SimTime::ZERO).expect("grant");
-        assert_eq!(dur.as_picos(), p.wire_bytes());
+        let mut a = PacketArena::new();
+        enqueue(
+            &mut s,
+            &mut a,
+            EgressClass::TxRequest,
+            pkt(0, PacketKind::SendSeg, 938),
+        );
+        let (item, dur) = s.try_grant(SimTime::ZERO).expect("grant");
+        assert_eq!(dur.as_picos(), item.wire_bytes);
     }
 }

@@ -13,7 +13,7 @@
 
 use crate::types::{FlowId, Opcode, TrafficClass};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use sim_core::FxHashMap;
 
 /// Monotonic counters for one NIC.
 #[derive(Debug, Clone, Default)]
@@ -68,7 +68,7 @@ pub struct NicCounters {
     pub qp_fatal_errors: u64,
     /// Per-flow transmitted payload bytes (Grain-III bookkeeping for
     /// experiments and the HARMONIC detector).
-    pub tx_payload_per_flow: HashMap<FlowId, u64>,
+    pub tx_payload_per_flow: FxHashMap<FlowId, u64>,
 }
 
 impl NicCounters {

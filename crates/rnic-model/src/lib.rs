@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod arbiter;
+mod arena;
 mod cache;
 mod counters;
 mod device;
@@ -51,7 +52,8 @@ mod packet;
 mod tpu;
 mod types;
 
-pub use arbiter::{EgressClass, EgressScheduler};
+pub use arbiter::{EgressClass, EgressItem, EgressScheduler};
+pub use arena::{ArenaStats, HotHeader, PacketArena, PacketHandle};
 pub use cache::SetAssocCache;
 pub use counters::{CounterSnapshot, NicCounters};
 pub use device::{DeviceKind, DeviceProfile};

@@ -5,7 +5,7 @@
 //! it. Pages materialize on first touch so multi-gigabyte address spaces
 //! cost nothing until used.
 
-use std::collections::HashMap;
+use sim_core::FxHashMap;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
@@ -23,7 +23,7 @@ const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
 /// ```
 #[derive(Debug, Default)]
 pub struct HostMemory {
-    pages: HashMap<u64, Box<[u8]>>,
+    pages: FxHashMap<u64, Box<[u8]>>,
 }
 
 impl HostMemory {

@@ -22,7 +22,8 @@
 //! Requester completion: RxPU → payload DMA → CQE write (PCIe) →
 //! completion to the application.
 
-use crate::arbiter::{EgressClass, EgressScheduler};
+use crate::arbiter::{EgressClass, EgressItem, EgressScheduler};
+use crate::arena::{PacketArena, PacketHandle};
 use crate::counters::NicCounters;
 use crate::device::DeviceProfile;
 use crate::memory::HostMemory;
@@ -32,8 +33,9 @@ use crate::tpu::{MrEntry, TpuAccess, TranslationUnit};
 use crate::types::{wire, FlowId, HostId, MrKey, NakReason, Opcode, PdId, QpNum, TrafficClass};
 use bytes::Bytes;
 use ragnar_telemetry::{ActorId, ArgValue, Target, Tracer};
+use sim_core::FxHashMap;
 use sim_core::{LinkResource, ServiceResource, SimDuration, SimRng, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Size of a WQE on the PCIe bus.
 const WQE_BYTES: u64 = 64;
@@ -173,33 +175,33 @@ pub enum NicEvent {
     EgressDone,
     /// A packet arrived from the fabric at the ingress link.
     IngressArrival {
-        /// The packet.
-        pkt: Packet,
+        /// The packet (held by the world's [`PacketArena`]).
+        pkt: PacketHandle,
     },
     /// A packet was fully received and enters the Rx pipeline.
     RxPacket {
         /// The packet.
-        pkt: Packet,
+        pkt: PacketHandle,
     },
     /// RxPU parsing finished.
     RxPuDone {
         /// The packet.
-        pkt: Packet,
+        pkt: PacketHandle,
     },
     /// The TPU lookup for an inbound request finished.
     TpuDone {
         /// The packet.
-        pkt: Packet,
+        pkt: PacketHandle,
     },
     /// A host-memory DMA transaction for this packet finished.
     DmaDone {
         /// The packet.
-        pkt: Packet,
+        pkt: PacketHandle,
     },
     /// The atomic execution unit finished.
     AtomicExecDone {
         /// The packet.
-        pkt: Packet,
+        pkt: PacketHandle,
     },
     /// The CQE DMA write finished; deliver the completion.
     CqeWrite {
@@ -213,6 +215,23 @@ pub enum NicEvent {
         /// The message to check.
         msg_id: u64,
     },
+}
+
+impl NicEvent {
+    /// The packet handle this event carries, if any — the worker-boundary
+    /// code uses this to detach the packet from one arena and re-attach
+    /// it to another, patching the handle in place.
+    pub fn packet_handle_mut(&mut self) -> Option<&mut PacketHandle> {
+        match self {
+            NicEvent::IngressArrival { pkt }
+            | NicEvent::RxPacket { pkt }
+            | NicEvent::RxPuDone { pkt }
+            | NicEvent::TpuDone { pkt }
+            | NicEvent::DmaDone { pkt }
+            | NicEvent::AtomicExecDone { pkt } => Some(pkt),
+            _ => None,
+        }
+    }
 }
 
 /// Effects a NIC handler asks the world to carry out.
@@ -230,7 +249,7 @@ pub enum NicAction {
         /// Departure instant.
         at: SimTime,
         /// The packet.
-        pkt: Packet,
+        pkt: PacketHandle,
     },
     /// Deliver a completion to the application at `at`.
     Complete {
@@ -276,7 +295,7 @@ pub struct Rnic {
     host: HostId,
     profile: DeviceProfile,
     rng: SimRng,
-    qps: HashMap<QpNum, QpState>,
+    qps: FxHashMap<QpNum, QpState>,
     tpu: TranslationUnit,
     mem: HostMemory,
     pcie_up: ServiceResource,
@@ -291,32 +310,32 @@ pub struct Rnic {
     msg_seq: u64,
     issue_order: VecDeque<QpNum>,
     tx_issue_scheduled: bool,
-    assembly: HashMap<(HostId, u64), AssemblyState>,
-    recv_targets: HashMap<(HostId, u64), RecvWqe>,
+    assembly: FxHashMap<(HostId, u64), AssemblyState>,
+    recv_targets: FxHashMap<(HostId, u64), RecvWqe>,
     /// Responder-side placement ordering: a read (or atomic) on a QP must
     /// observe all earlier writes on that QP, even though DMA reads and
     /// writes use different PCIe directions.
-    placement_fence: HashMap<QpNum, SimTime>,
+    placement_fence: FxHashMap<QpNum, SimTime>,
     /// Requester-side WQE ordering: per-QP fetch completions are
     /// monotonic so PCIe jitter can never reorder WQEs within a QP.
-    wqe_fetch_fence: HashMap<QpNum, SimTime>,
+    wqe_fetch_fence: FxHashMap<QpNum, SimTime>,
     /// Responder-side RC ordering: requests of one QP leave the TPU in
     /// PSN order even when they hit different banks.
-    responder_order: HashMap<QpNum, SimTime>,
+    responder_order: FxHashMap<QpNum, SimTime>,
     /// Responder-side RC ordering, DMA stage: host-memory effects of one
     /// QP's requests happen in PSN order (reads snapshot before later
     /// writes land — the anti-dependency).
-    responder_dma_order: HashMap<QpNum, SimTime>,
+    responder_dma_order: FxHashMap<QpNum, SimTime>,
     /// Requester-side RC ordering: requests of one QP enter the egress
     /// scheduler in WQE order (a gathered write cannot be overtaken by a
     /// later inline op).
-    requester_order: HashMap<QpNum, SimTime>,
+    requester_order: FxHashMap<QpNum, SimTime>,
     /// In-flight messages awaiting completion, for retransmission.
-    inflight: HashMap<u64, Inflight>,
+    inflight: FxHashMap<u64, Inflight>,
     /// Responder replay cache for atomics: a retransmitted atomic must
     /// not execute twice (RC exactly-once semantics), so the old value is
     /// replayed from here. Bounded FIFO per NIC.
-    atomic_replay: HashMap<(HostId, u64), u64>,
+    atomic_replay: FxHashMap<(HostId, u64), u64>,
     atomic_replay_order: VecDeque<(HostId, u64)>,
     /// Responder replay cache for writes/sends: a message retransmitted
     /// because its Ack was lost must not complete (or write a recv WQE)
@@ -346,7 +365,7 @@ impl Rnic {
         Rnic {
             host,
             rng: SimRng::derive(seed, &format!("rnic-{}", host.0)),
-            qps: HashMap::new(),
+            qps: FxHashMap::default(),
             tpu,
             mem: HostMemory::new(),
             pcie_up: ServiceResource::new(),
@@ -361,15 +380,15 @@ impl Rnic {
             msg_seq: 0,
             issue_order: VecDeque::new(),
             tx_issue_scheduled: false,
-            assembly: HashMap::new(),
-            recv_targets: HashMap::new(),
-            placement_fence: HashMap::new(),
-            wqe_fetch_fence: HashMap::new(),
-            responder_order: HashMap::new(),
-            responder_dma_order: HashMap::new(),
-            requester_order: HashMap::new(),
-            inflight: HashMap::new(),
-            atomic_replay: HashMap::new(),
+            assembly: FxHashMap::default(),
+            recv_targets: FxHashMap::default(),
+            placement_fence: FxHashMap::default(),
+            wqe_fetch_fence: FxHashMap::default(),
+            responder_order: FxHashMap::default(),
+            responder_dma_order: FxHashMap::default(),
+            requester_order: FxHashMap::default(),
+            inflight: FxHashMap::default(),
+            atomic_replay: FxHashMap::default(),
             atomic_replay_order: VecDeque::new(),
             completed_inbound: std::collections::HashSet::new(),
             completed_inbound_order: VecDeque::new(),
@@ -488,6 +507,14 @@ impl Rnic {
     /// Pauses a traffic class until `until` (PFC).
     pub fn pause_tc(&mut self, tc: TrafficClass, until: SimTime) {
         self.egress.pause(tc, until);
+    }
+
+    /// Moves every packet still queued in this NIC's egress scheduler
+    /// from one arena to another, patching the queued handles in place.
+    /// Parallel engines call this when the NIC crosses a worker
+    /// boundary; the sequential engine never needs it.
+    pub fn rehome_egress(&mut self, from: &mut PacketArena, to: &mut PacketArena) {
+        self.egress.rehome(from, to);
     }
 
     /// Counters (Grain-I/II/III observables).
@@ -655,16 +682,22 @@ impl Rnic {
         Ok(())
     }
 
-    /// Handles one pipeline event, returning follow-up actions.
+    /// Handles one pipeline event, returning follow-up actions. In-flight
+    /// packets live in `arena`; events reference them by handle.
     ///
     /// # Panics
     ///
-    /// Panics on internal inconsistencies (events for unknown QPs), which
-    /// indicate a bug in the event loop rather than a recoverable
-    /// condition.
-    pub fn handle(&mut self, now: SimTime, event: NicEvent) -> Vec<NicAction> {
+    /// Panics on internal inconsistencies (events for unknown QPs, stale
+    /// packet handles), which indicate a bug in the event loop rather
+    /// than a recoverable condition.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        event: NicEvent,
+        arena: &mut PacketArena,
+    ) -> Vec<NicAction> {
         let mut out = Vec::new();
-        self.handle_into(now, event, &mut out);
+        self.handle_into(now, event, arena, &mut out);
         out
     }
 
@@ -676,7 +709,13 @@ impl Rnic {
     /// # Panics
     ///
     /// Same as [`handle`](Self::handle).
-    pub fn handle_into(&mut self, now: SimTime, event: NicEvent, out: &mut Vec<NicAction>) {
+    pub fn handle_into(
+        &mut self,
+        now: SimTime,
+        event: NicEvent,
+        arena: &mut PacketArena,
+        out: &mut Vec<NicAction>,
+    ) {
         match event {
             NicEvent::WqeFetched { qp, wqe } => {
                 let state = self.qps.get_mut(&qp).expect("WQE for unknown QP");
@@ -727,39 +766,43 @@ impl Rnic {
                 // and this event was inserted before any later WQE's
                 // RequestReady, so enqueueing directly preserves FIFO
                 // order at equal timestamps.
-                self.enqueue_request(now, qp, wqe, out);
+                self.enqueue_request(now, qp, wqe, arena, out);
             }
             NicEvent::RequestReady { qp, wqe } => {
-                self.enqueue_request(now, qp, wqe, out);
+                self.enqueue_request(now, qp, wqe, arena, out);
             }
             NicEvent::EgressDone => {
                 self.egress.complete_transmission();
                 self.kick_egress(now, out);
             }
             NicEvent::IngressArrival { pkt } => {
-                let res = self.ingress.transmit(now, pkt.wire_bytes());
+                let res = self
+                    .ingress
+                    .transmit(now, u64::from(arena.hot(pkt).wire_bytes));
                 out.push(NicAction::Schedule {
                     at: res.end,
                     event: NicEvent::RxPacket { pkt },
                 });
             }
             NicEvent::RxPacket { pkt } => {
-                self.counters.rx_bytes += pkt.wire_bytes();
+                let hot = *arena.hot(pkt);
+                let wire = u64::from(hot.wire_bytes);
+                self.counters.rx_bytes += wire;
                 self.counters.rx_packets += 1;
-                self.counters.rx_bytes_per_tc[pkt.tc.index()] += pkt.wire_bytes();
+                self.counters.rx_bytes_per_tc[hot.tc.index()] += wire;
                 let res = self.rx_pu.reserve(now, self.profile.rx_pu_service);
                 if self.trace_on() {
-                    self.trace_stage("rx_pu", pkt.dst_qp, res.start, res.end);
+                    self.trace_stage("rx_pu", arena.get(pkt).dst_qp, res.start, res.end);
                 }
                 out.push(NicAction::Schedule {
                     at: res.end,
                     event: NicEvent::RxPuDone { pkt },
                 });
             }
-            NicEvent::RxPuDone { pkt } => self.rx_pu_done(now, pkt, out),
-            NicEvent::TpuDone { pkt } => self.tpu_done(now, pkt, out),
-            NicEvent::DmaDone { pkt } => self.dma_done(now, pkt, out),
-            NicEvent::AtomicExecDone { pkt } => self.atomic_done(now, pkt, out),
+            NicEvent::RxPuDone { pkt } => self.rx_pu_done(now, pkt, arena, out),
+            NicEvent::TpuDone { pkt } => self.tpu_done(now, pkt, arena, out),
+            NicEvent::DmaDone { pkt } => self.dma_done(now, pkt, arena, out),
+            NicEvent::AtomicExecDone { pkt } => self.atomic_done(now, pkt, arena, out),
             NicEvent::CqeWrite { cqe } => {
                 if !cqe.is_recv {
                     if let Some(state) = self.qps.get_mut(&cqe.qp) {
@@ -770,7 +813,7 @@ impl Rnic {
                 out.push(NicAction::Complete { at: now, cqe });
             }
             NicEvent::RetransmitCheck { qp, msg_id } => {
-                self.retransmit_check(now, qp, msg_id, out);
+                self.retransmit_check(now, qp, msg_id, arena, out);
             }
         }
     }
@@ -954,7 +997,14 @@ impl Rnic {
         }
     }
 
-    fn enqueue_request(&mut self, now: SimTime, qp: QpNum, wqe: Wqe, out: &mut Vec<NicAction>) {
+    fn enqueue_request(
+        &mut self,
+        now: SimTime,
+        qp: QpNum,
+        wqe: Wqe,
+        arena: &mut PacketArena,
+        out: &mut Vec<NicAction>,
+    ) {
         if self.qp_in_error(qp) {
             self.flush_send_wqe(now, qp, &wqe, out);
             return;
@@ -974,7 +1024,7 @@ impl Rnic {
             at: now + self.profile.retransmit_timeout,
             event: NicEvent::RetransmitCheck { qp, msg_id },
         });
-        self.send_request_packets(now, qp, wqe, msg_id, out);
+        self.send_request_packets(now, qp, wqe, msg_id, arena, out);
     }
 
     /// Builds and enqueues the wire packets of one message (also used on
@@ -986,6 +1036,7 @@ impl Rnic {
         qp: QpNum,
         wqe: Wqe,
         msg_id: u64,
+        arena: &mut PacketArena,
         out: &mut Vec<NicAction>,
     ) {
         let config = self.qps.get(&qp).expect("unknown QP").config;
@@ -1011,6 +1062,7 @@ impl Rnic {
             } else {
                 let lo = (seg as u64 * wire::MTU) as usize;
                 let hi = ((seg as u64 + 1) * wire::MTU).min(wqe.len) as usize;
+                // A refcounted view into the gathered message — no copy.
                 payload.slice(lo..hi)
             };
             let pkt = Packet {
@@ -1020,7 +1072,7 @@ impl Rnic {
                 dst_qp: config.peer_qp,
                 tc: config.tc,
                 flow: config.flow,
-                kind: kind.clone(),
+                kind,
                 msg_id,
                 seg_idx: seg,
                 seg_cnt,
@@ -1035,30 +1087,42 @@ impl Rnic {
                 wr_id: wqe.wr_id,
                 posted_at: wqe.posted_at,
             };
-            self.egress.enqueue(EgressClass::TxRequest, pkt);
+            let h = arena.insert(pkt);
+            self.egress
+                .enqueue(EgressClass::TxRequest, EgressItem::of(arena.get(h), h));
         }
         self.kick_egress(now, out);
     }
 
     fn kick_egress(&mut self, now: SimTime, out: &mut Vec<NicAction>) {
-        if let Some((pkt, ser)) = self.egress.try_grant(now) {
+        if let Some((item, ser)) = self.egress.try_grant(now) {
             let finish = now + ser;
-            self.counters.tx_bytes += pkt.wire_bytes();
+            self.counters.tx_bytes += item.wire_bytes;
             self.counters.tx_packets += 1;
-            self.counters.tx_bytes_per_tc[pkt.tc.index()] += pkt.wire_bytes();
-            if !pkt.payload.is_empty() {
+            self.counters.tx_bytes_per_tc[item.tc.index()] += item.wire_bytes;
+            if item.payload_len > 0 {
                 self.counters
-                    .note_flow_payload(pkt.flow, pkt.payload.len() as u64);
+                    .note_flow_payload(item.flow, u64::from(item.payload_len));
             }
             out.push(NicAction::Schedule {
                 at: finish,
                 event: NicEvent::EgressDone,
             });
-            out.push(NicAction::Transmit { at: finish, pkt });
+            out.push(NicAction::Transmit {
+                at: finish,
+                pkt: item.pkt,
+            });
         }
     }
 
-    fn respond(&mut self, now: SimTime, req: &Packet, kind: PacketKind, payload: Bytes) {
+    fn respond(
+        &mut self,
+        now: SimTime,
+        req: &Packet,
+        kind: PacketKind,
+        payload: Bytes,
+        arena: &mut PacketArena,
+    ) {
         let seg_cnt = if payload.is_empty() {
             1
         } else {
@@ -1079,7 +1143,7 @@ impl Rnic {
                 dst_qp: req.src_qp,
                 tc: req.tc,
                 flow: req.flow,
-                kind: kind.clone(),
+                kind,
                 msg_id: req.msg_id,
                 seg_idx: seg,
                 seg_cnt,
@@ -1094,7 +1158,9 @@ impl Rnic {
                 wr_id: req.wr_id,
                 posted_at: req.posted_at,
             };
-            self.egress.enqueue(EgressClass::RxResponse, pkt);
+            let h = arena.insert(pkt);
+            self.egress
+                .enqueue(EgressClass::RxResponse, EgressItem::of(arena.get(h), h));
         }
         let _ = now;
     }
@@ -1107,49 +1173,61 @@ impl Rnic {
             .unwrap_or(PdId(u32::MAX))
     }
 
-    fn rx_pu_done(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<NicAction>) {
-        match pkt.kind {
+    fn rx_pu_done(
+        &mut self,
+        now: SimTime,
+        h: PacketHandle,
+        arena: &mut PacketArena,
+        out: &mut Vec<NicAction>,
+    ) {
+        let kind = arena.get(h).kind;
+        match kind {
             PacketKind::ReadReq | PacketKind::AtomicReq => {
-                let pd = self.qp_pd(pkt.dst_qp);
-                let len = if pkt.kind == PacketKind::AtomicReq {
+                let (dst_qp, opcode, rkey, remote_addr, total_len) = {
+                    let p = arena.get(h);
+                    (p.dst_qp, p.opcode, p.rkey, p.remote_addr, p.total_len)
+                };
+                let pd = self.qp_pd(dst_qp);
+                let len = if kind == PacketKind::AtomicReq {
                     wire::ATOMIC_LEN
                 } else {
-                    pkt.total_len
+                    total_len
                 };
-                match self.tpu.access(
-                    now,
-                    &mut self.rng,
-                    pd,
-                    pkt.opcode,
-                    pkt.rkey,
-                    pkt.remote_addr,
-                    len,
-                ) {
+                match self
+                    .tpu
+                    .access(now, &mut self.rng, pd, opcode, rkey, remote_addr, len)
+                {
                     Ok(access) => {
                         self.counters.tpu_lookups += 1;
                         if self.trace_on() {
-                            self.trace_tpu(&pkt, &access);
+                            self.trace_tpu(arena.get(h), &access);
                         }
-                        let at = self.responder_fence(pkt.dst_qp, access.reservation.end);
+                        let at = self.responder_fence(dst_qp, access.reservation.end);
                         out.push(NicAction::Schedule {
                             at,
-                            event: NicEvent::TpuDone { pkt },
+                            event: NicEvent::TpuDone { pkt: h },
                         });
                     }
                     Err(reason) => {
                         self.counters.naks_sent += 1;
+                        // Terminal: the request dies here; only the NAK
+                        // (a fresh packet) goes back out.
+                        let pkt = arena.take(h);
                         self.trace_nak(now, &pkt, reason);
-                        self.respond(now, &pkt, PacketKind::Nak(reason), Bytes::new());
+                        self.respond(now, &pkt, PacketKind::Nak(reason), Bytes::new(), arena);
                         self.kick_egress(now, out);
                     }
                 }
             }
             PacketKind::WriteSeg => {
-                let key = (pkt.src, pkt.msg_id);
-                if self.drop_replayed_inbound(now, &pkt, out) {
+                if self.drop_replayed_inbound(now, h, arena, out) {
                     return;
                 }
-                if pkt.seg_idx == 0 {
+                let (key, seg_idx, dst_qp) = {
+                    let p = arena.get(h);
+                    ((p.src, p.msg_id), p.seg_idx, p.dst_qp)
+                };
+                if seg_idx == 0 {
                     if let Some(AssemblyState::Receiving { next_seg, .. }) =
                         self.assembly.get_mut(&key)
                     {
@@ -1157,22 +1235,26 @@ impl Rnic {
                         // validated: accept from the top without a second
                         // TPU lookup.
                         *next_seg = 1;
-                        let at = self.responder_fence(pkt.dst_qp, now);
+                        let at = self.responder_fence(dst_qp, now);
                         out.push(NicAction::Schedule {
                             at,
-                            event: NicEvent::TpuDone { pkt },
+                            event: NicEvent::TpuDone { pkt: h },
                         });
                         return;
                     }
-                    let pd = self.qp_pd(pkt.dst_qp);
+                    let pd = self.qp_pd(dst_qp);
+                    let (opcode, rkey, remote_addr, total_len) = {
+                        let p = arena.get(h);
+                        (p.opcode, p.rkey, p.remote_addr, p.total_len)
+                    };
                     match self.tpu.access(
                         now,
                         &mut self.rng,
                         pd,
-                        pkt.opcode,
-                        pkt.rkey,
-                        pkt.remote_addr,
-                        pkt.total_len,
+                        opcode,
+                        rkey,
+                        remote_addr,
+                        total_len,
                     ) {
                         Ok(access) => {
                             self.counters.tpu_lookups += 1;
@@ -1183,17 +1265,18 @@ impl Rnic {
                                     placed: 0,
                                 },
                             );
-                            let at = self.responder_fence(pkt.dst_qp, access.reservation.end);
+                            let at = self.responder_fence(dst_qp, access.reservation.end);
                             out.push(NicAction::Schedule {
                                 at,
-                                event: NicEvent::TpuDone { pkt },
+                                event: NicEvent::TpuDone { pkt: h },
                             });
                         }
                         Err(reason) => {
                             self.counters.naks_sent += 1;
-                            self.trace_nak(now, &pkt, reason);
+                            self.trace_nak(now, arena.get(h), reason);
                             self.assembly.insert(key, AssemblyState::Failed);
-                            self.respond(now, &pkt, PacketKind::Nak(reason), Bytes::new());
+                            let pkt = arena.take(h);
+                            self.respond(now, &pkt, PacketKind::Nak(reason), Bytes::new(), arena);
                             self.kick_egress(now, out);
                         }
                     }
@@ -1202,18 +1285,17 @@ impl Rnic {
                         Some(AssemblyState::Failed) => {
                             // Message already NAK'd; drop the segment,
                             // clear state on the last one.
-                            if pkt.is_last_segment() {
+                            if arena.get(h).is_last_segment() {
                                 self.assembly.remove(&key);
                             }
+                            arena.free(h);
                         }
-                        Some(AssemblyState::Receiving { next_seg, .. })
-                            if *next_seg == pkt.seg_idx =>
-                        {
-                            *next_seg = pkt.seg_idx + 1;
-                            let at = self.responder_fence(pkt.dst_qp, now);
+                        Some(AssemblyState::Receiving { next_seg, .. }) if *next_seg == seg_idx => {
+                            *next_seg = seg_idx + 1;
+                            let at = self.responder_fence(dst_qp, now);
                             out.push(NicAction::Schedule {
                                 at,
-                                event: NicEvent::TpuDone { pkt },
+                                event: NicEvent::TpuDone { pkt: h },
                             });
                         }
                         _ => {
@@ -1221,26 +1303,30 @@ impl Rnic {
                             // segment for an unknown message: go-back-N —
                             // drop and let the requester's timer resend.
                             self.counters.rx_out_of_order_dropped += 1;
+                            arena.free(h);
                         }
                     }
                 }
             }
             PacketKind::SendSeg => {
-                let key = (pkt.src, pkt.msg_id);
-                if self.drop_replayed_inbound(now, &pkt, out) {
+                if self.drop_replayed_inbound(now, h, arena, out) {
                     return;
                 }
-                if pkt.seg_idx == 0 {
+                let (key, seg_idx, dst_qp, total_len) = {
+                    let p = arena.get(h);
+                    ((p.src, p.msg_id), p.seg_idx, p.dst_qp, p.total_len)
+                };
+                if seg_idx == 0 {
                     if let Some(AssemblyState::Receiving { next_seg, .. }) =
                         self.assembly.get_mut(&key)
                     {
                         // Restart of a send we already matched to a recv
                         // WQE: keep the claimed recv, accept from the top.
                         *next_seg = 1;
-                        let at = self.responder_fence(pkt.dst_qp, now);
+                        let at = self.responder_fence(dst_qp, now);
                         out.push(NicAction::Schedule {
                             at,
-                            event: NicEvent::TpuDone { pkt },
+                            event: NicEvent::TpuDone { pkt: h },
                         });
                         return;
                     }
@@ -1250,10 +1336,10 @@ impl Rnic {
                     self.assembly.remove(&key);
                     let recv = self
                         .qps
-                        .get_mut(&pkt.dst_qp)
+                        .get_mut(&dst_qp)
                         .and_then(|s| s.recv_queue.pop_front());
                     match recv {
-                        Some(r) if r.len >= pkt.total_len => {
+                        Some(r) if r.len >= total_len => {
                             self.assembly.insert(
                                 key,
                                 AssemblyState::Receiving {
@@ -1262,21 +1348,23 @@ impl Rnic {
                                 },
                             );
                             self.recv_targets.insert(key, r);
-                            let at = self.responder_fence(pkt.dst_qp, now);
+                            let at = self.responder_fence(dst_qp, now);
                             out.push(NicAction::Schedule {
                                 at,
-                                event: NicEvent::TpuDone { pkt },
+                                event: NicEvent::TpuDone { pkt: h },
                             });
                         }
                         _ => {
                             self.counters.naks_sent += 1;
-                            self.trace_nak(now, &pkt, NakReason::ReceiveNotPosted);
+                            self.trace_nak(now, arena.get(h), NakReason::ReceiveNotPosted);
                             self.assembly.insert(key, AssemblyState::Failed);
+                            let pkt = arena.take(h);
                             self.respond(
                                 now,
                                 &pkt,
                                 PacketKind::Nak(NakReason::ReceiveNotPosted),
                                 Bytes::new(),
+                                arena,
                             );
                             self.kick_egress(now, out);
                         }
@@ -1284,36 +1372,41 @@ impl Rnic {
                 } else {
                     match self.assembly.get_mut(&key) {
                         Some(AssemblyState::Failed) => {
-                            if pkt.is_last_segment() {
+                            if arena.get(h).is_last_segment() {
                                 self.assembly.remove(&key);
                                 self.recv_targets.remove(&key);
                             }
+                            arena.free(h);
                         }
-                        Some(AssemblyState::Receiving { next_seg, .. })
-                            if *next_seg == pkt.seg_idx =>
-                        {
-                            *next_seg = pkt.seg_idx + 1;
-                            let at = self.responder_fence(pkt.dst_qp, now);
+                        Some(AssemblyState::Receiving { next_seg, .. }) if *next_seg == seg_idx => {
+                            *next_seg = seg_idx + 1;
+                            let at = self.responder_fence(dst_qp, now);
                             out.push(NicAction::Schedule {
                                 at,
-                                event: NicEvent::TpuDone { pkt },
+                                event: NicEvent::TpuDone { pkt: h },
                             });
                         }
                         _ => {
                             self.counters.rx_out_of_order_dropped += 1;
+                            arena.free(h);
                         }
                     }
                 }
             }
             PacketKind::ReadResp | PacketKind::AtomicResp => {
-                if !self.inflight.contains_key(&pkt.msg_id) {
+                let (msg_id, seg_idx, payload_len) = {
+                    let p = arena.get(h);
+                    (p.msg_id, p.seg_idx, p.payload.len() as u64)
+                };
+                if !self.inflight.contains_key(&msg_id) {
                     // Late or duplicate response: the message already
                     // completed (or was flushed). Dropping here keeps the
                     // exactly-once completion contract.
                     self.counters.rx_duplicate_dropped += 1;
+                    arena.free(h);
                     return;
                 }
-                let key = (self.host, pkt.msg_id);
+                let key = (self.host, msg_id);
                 let accept = match self
                     .assembly
                     .entry(key)
@@ -1321,8 +1414,8 @@ impl Rnic {
                         next_seg: 0,
                         placed: 0,
                     }) {
-                    AssemblyState::Receiving { next_seg, .. } if *next_seg == pkt.seg_idx => {
-                        *next_seg = pkt.seg_idx + 1;
+                    AssemblyState::Receiving { next_seg, .. } if *next_seg == seg_idx => {
+                        *next_seg = seg_idx + 1;
                         true
                     }
                     _ => false,
@@ -1331,22 +1424,25 @@ impl Rnic {
                     // Gap in the response stream: go-back-N — the timer
                     // will redrive the whole request.
                     self.counters.rx_out_of_order_dropped += 1;
+                    arena.free(h);
                     return;
                 }
                 // Requester side: DMA the payload down to host memory.
-                self.counters.pcie_bytes += pkt.payload.len() as u64;
-                let ser = SimDuration::serialization(
-                    (pkt.payload.len() as u64).max(1),
-                    self.profile.pcie_rate_bps,
-                );
+                self.counters.pcie_bytes += payload_len;
+                let ser =
+                    SimDuration::serialization(payload_len.max(1), self.profile.pcie_rate_bps);
                 let delay = self.pcie_delay();
                 let res = self.pcie_down.reserve(now, ser);
                 out.push(NicAction::Schedule {
                     at: res.end + delay,
-                    event: NicEvent::DmaDone { pkt },
+                    event: NicEvent::DmaDone { pkt: h },
                 });
             }
-            PacketKind::Ack | PacketKind::Nak(_) => self.requester_response(now, &pkt, out),
+            PacketKind::Ack | PacketKind::Nak(_) => {
+                // Terminal on the requester side.
+                let pkt = arena.take(h);
+                self.requester_response(now, &pkt, out);
+            }
         }
     }
 
@@ -1403,19 +1499,25 @@ impl Rnic {
     /// belongs to a message that already completed — a replay caused by a
     /// lost Ack. The data (and any recv WQE consumption) must not be
     /// applied twice; re-Acking the last segment stops the requester.
+    /// When it returns true the packet has been consumed from the arena.
     fn drop_replayed_inbound(
         &mut self,
         now: SimTime,
-        pkt: &Packet,
+        h: PacketHandle,
+        arena: &mut PacketArena,
         out: &mut Vec<NicAction>,
     ) -> bool {
-        let key = (pkt.src, pkt.msg_id);
+        let key = {
+            let p = arena.get(h);
+            (p.src, p.msg_id)
+        };
         if !self.completed_inbound.contains(&key) {
             return false;
         }
         self.counters.rx_duplicate_dropped += 1;
+        let pkt = arena.take(h);
         if pkt.is_last_segment() {
-            self.respond(now, pkt, PacketKind::Ack, Bytes::new());
+            self.respond(now, &pkt, PacketKind::Ack, Bytes::new(), arena);
             self.kick_egress(now, out);
         }
         true
@@ -1441,7 +1543,14 @@ impl Rnic {
     }
 
     /// Fires when a message's retransmission timer expires.
-    fn retransmit_check(&mut self, now: SimTime, qp: QpNum, msg_id: u64, out: &mut Vec<NicAction>) {
+    fn retransmit_check(
+        &mut self,
+        now: SimTime,
+        qp: QpNum,
+        msg_id: u64,
+        arena: &mut PacketArena,
+        out: &mut Vec<NicAction>,
+    ) {
         let Some(entry) = self.inflight.get(&msg_id).cloned() else {
             return; // completed in time
         };
@@ -1478,7 +1587,7 @@ impl Rnic {
             at: now + backoff,
             event: NicEvent::RetransmitCheck { qp, msg_id },
         });
-        self.send_request_packets(now, qp, wqe, msg_id, out);
+        self.send_request_packets(now, qp, wqe, msg_id, arena, out);
     }
 
     /// Clamps a requester request hand-off to WQE order for its QP.
@@ -1497,78 +1606,92 @@ impl Rnic {
         at
     }
 
-    fn tpu_done(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<NicAction>) {
-        match pkt.kind {
+    fn tpu_done(
+        &mut self,
+        now: SimTime,
+        h: PacketHandle,
+        arena: &mut PacketArena,
+        out: &mut Vec<NicAction>,
+    ) {
+        let (kind, dst_qp, total_len, payload_len) = {
+            let p = arena.get(h);
+            (p.kind, p.dst_qp, p.total_len, p.payload.len() as u64)
+        };
+        match kind {
             PacketKind::ReadReq => {
                 // DMA-read the data from host memory, after any earlier
                 // write on this QP has been placed (same-QP ordering).
-                self.counters.pcie_bytes += pkt.total_len;
-                let ser =
-                    SimDuration::serialization(pkt.total_len.max(1), self.profile.pcie_rate_bps);
+                self.counters.pcie_bytes += total_len;
+                let ser = SimDuration::serialization(total_len.max(1), self.profile.pcie_rate_bps);
                 let delay = self.pcie_delay();
                 let res = self.pcie_up.reserve(now, ser);
                 let fence = self
                     .placement_fence
-                    .get(&pkt.dst_qp)
+                    .get(&dst_qp)
                     .copied()
                     .unwrap_or(SimTime::ZERO);
-                let at = self.responder_dma_fence(pkt.dst_qp, (res.end + delay).max_of(fence));
+                let at = self.responder_dma_fence(dst_qp, (res.end + delay).max_of(fence));
                 out.push(NicAction::Schedule {
                     at,
-                    event: NicEvent::DmaDone { pkt },
+                    event: NicEvent::DmaDone { pkt: h },
                 });
             }
             PacketKind::WriteSeg | PacketKind::SendSeg => {
-                self.counters.pcie_bytes += pkt.payload.len() as u64;
-                let ser = SimDuration::serialization(
-                    (pkt.payload.len() as u64).max(1),
-                    self.profile.pcie_rate_bps,
-                );
+                self.counters.pcie_bytes += payload_len;
+                let ser =
+                    SimDuration::serialization(payload_len.max(1), self.profile.pcie_rate_bps);
                 let delay = self.pcie_delay();
                 let res = self.pcie_down.reserve(now, ser);
-                let placed = self.responder_dma_fence(pkt.dst_qp, res.end + delay);
-                let fence = self
-                    .placement_fence
-                    .entry(pkt.dst_qp)
-                    .or_insert(SimTime::ZERO);
+                let placed = self.responder_dma_fence(dst_qp, res.end + delay);
+                let fence = self.placement_fence.entry(dst_qp).or_insert(SimTime::ZERO);
                 *fence = fence.max_of(placed);
                 out.push(NicAction::Schedule {
                     at: placed,
-                    event: NicEvent::DmaDone { pkt },
+                    event: NicEvent::DmaDone { pkt: h },
                 });
             }
             PacketKind::AtomicReq => {
                 let fence = self
                     .placement_fence
-                    .get(&pkt.dst_qp)
+                    .get(&dst_qp)
                     .copied()
                     .unwrap_or(SimTime::ZERO);
                 let res = self
                     .atomic_unit
                     .reserve(now.max_of(fence), self.profile.atomic_unit_service);
-                let at = self.responder_dma_fence(pkt.dst_qp, res.end);
+                let at = self.responder_dma_fence(dst_qp, res.end);
                 out.push(NicAction::Schedule {
                     at,
-                    event: NicEvent::AtomicExecDone { pkt },
+                    event: NicEvent::AtomicExecDone { pkt: h },
                 });
             }
             _ => unreachable!("TpuDone for non-request packet"),
         }
     }
 
-    fn dma_done(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<NicAction>) {
+    fn dma_done(
+        &mut self,
+        now: SimTime,
+        h: PacketHandle,
+        arena: &mut PacketArena,
+        out: &mut Vec<NicAction>,
+    ) {
+        // Every DmaDone branch is terminal for the inbound packet: it is
+        // consumed here and only fresh packets (responses) re-enter the
+        // arena.
+        let pkt = arena.take(h);
         match pkt.kind {
             PacketKind::ReadReq => {
                 // Responder: data fetched; emit the response segments.
                 self.counters.responder_ops_per_opcode[pkt.opcode.index()] += 1;
                 let data = Bytes::from(self.mem.read(pkt.remote_addr, pkt.total_len));
-                self.respond(now, &pkt, PacketKind::ReadResp, data);
+                self.respond(now, &pkt, PacketKind::ReadResp, data, arena);
                 self.kick_egress(now, out);
             }
             PacketKind::WriteSeg => {
                 let addr = pkt.segment_addr();
                 self.mem.write(addr, &pkt.payload);
-                self.finish_inbound_segment(now, pkt, out);
+                self.finish_inbound_segment(now, pkt, arena, out);
             }
             PacketKind::SendSeg => {
                 let key = (pkt.src, pkt.msg_id);
@@ -1576,14 +1699,13 @@ impl Rnic {
                     let addr = recv.local_addr + pkt.seg_idx as u64 * wire::MTU;
                     self.mem.write(addr, &pkt.payload);
                 }
-                self.finish_inbound_segment(now, pkt, out);
+                self.finish_inbound_segment(now, pkt, arena, out);
             }
             PacketKind::ReadResp | PacketKind::AtomicResp => {
                 // Requester: place the payload into the WQE's local buffer.
                 if !pkt.payload.is_empty() {
                     let addr = pkt.local_addr + pkt.seg_idx as u64 * wire::MTU;
-                    let data = pkt.payload.clone();
-                    self.mem.write(addr, &data);
+                    self.mem.write(addr, &pkt.payload);
                 }
                 let key = (self.host, pkt.msg_id);
                 let done = match self.assembly.get_mut(&key) {
@@ -1610,7 +1732,13 @@ impl Rnic {
         }
     }
 
-    fn finish_inbound_segment(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<NicAction>) {
+    fn finish_inbound_segment(
+        &mut self,
+        now: SimTime,
+        pkt: Packet,
+        arena: &mut PacketArena,
+        out: &mut Vec<NicAction>,
+    ) {
         let key = (pkt.src, pkt.msg_id);
         // Segments are accepted strictly in order and responder DMAs are
         // fenced per QP, so the whole message is placed exactly when the
@@ -1627,7 +1755,7 @@ impl Rnic {
             self.assembly.remove(&key);
             self.note_completed_inbound(key);
             self.counters.responder_ops_per_opcode[pkt.opcode.index()] += 1;
-            self.respond(now, &pkt, PacketKind::Ack, Bytes::new());
+            self.respond(now, &pkt, PacketKind::Ack, Bytes::new(), arena);
             self.kick_egress(now, out);
             if pkt.kind == PacketKind::SendSeg {
                 if let Some(recv) = self.recv_targets.remove(&key) {
@@ -1649,10 +1777,17 @@ impl Rnic {
         }
     }
 
-    fn atomic_done(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<NicAction>) {
+    fn atomic_done(
+        &mut self,
+        now: SimTime,
+        h: PacketHandle,
+        arena: &mut PacketArena,
+        out: &mut Vec<NicAction>,
+    ) {
         // Execute on host memory; 8 B each way over PCIe is folded into
         // the atomic unit's service time. RC semantics: a retransmitted
         // atomic must not execute twice, so replay the cached result.
+        let pkt = arena.take(h);
         self.counters.responder_ops_per_opcode[pkt.opcode.index()] += 1;
         self.counters.pcie_bytes += 16;
         let replay_key = (pkt.src, pkt.msg_id);
@@ -1681,6 +1816,7 @@ impl Rnic {
             &pkt,
             PacketKind::AtomicResp,
             Bytes::from(old.to_le_bytes().to_vec()),
+            arena,
         );
         self.kick_egress(now, out);
     }
@@ -1732,15 +1868,28 @@ impl Rnic {
             self.schedule_cqe_write(ready, cqe, out);
             return;
         };
-        state.retire_hold.insert(seq, (ready, cqe));
-        while let Some(state) = self.qps.get_mut(&qp) {
-            let next = state.retire_seq;
-            let Some((ready, cqe)) = state.retire_hold.remove(&next) else {
-                break;
-            };
+        // In-order fast path (the overwhelmingly common case on RC):
+        // this is the next WQE and nothing is held back, so no hold-map
+        // traffic at all.
+        if seq == state.retire_seq && state.retire_hold.is_empty() {
             state.retire_seq += 1;
             let at = ready.max_of(state.retire_clock);
             state.retire_clock = at;
+            self.schedule_cqe_write(at, cqe, out);
+            return;
+        }
+        state.retire_hold.insert(seq, (ready, cqe));
+        // Drain every WQE that is now retirable before scheduling the
+        // writes, so the `qps` borrow ends first; delivery order and
+        // timestamps are identical to retiring one at a time.
+        let mut due: Vec<(SimTime, Cqe)> = Vec::new();
+        while let Some((ready, cqe)) = state.retire_hold.remove(&state.retire_seq) {
+            state.retire_seq += 1;
+            let at = ready.max_of(state.retire_clock);
+            state.retire_clock = at;
+            due.push((at, cqe));
+        }
+        for (at, cqe) in due {
             self.schedule_cqe_write(at, cqe, out);
         }
     }

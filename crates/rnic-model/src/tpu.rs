@@ -24,8 +24,8 @@
 use crate::device::DeviceProfile;
 use crate::types::{AccessFlags, MrKey, NakReason, Opcode, PdId};
 use crate::SetAssocCache;
+use sim_core::FxHashMap;
 use sim_core::{BankedResource, Reservation, SimDuration, SimRng, SimTime};
-use std::collections::HashMap;
 
 /// A registered memory region as seen by the NIC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,7 +97,7 @@ pub struct TpuAccess {
 /// The translation & protection unit of one RNIC.
 #[derive(Debug, Clone)]
 pub struct TranslationUnit {
-    mrs: HashMap<MrKey, MrEntry>,
+    mrs: FxHashMap<MrKey, MrEntry>,
     banks: BankedResource,
     row_buffers: Vec<Option<u64>>,
     resident_mrs: Vec<MrKey>,
@@ -131,7 +131,7 @@ impl TranslationUnit {
     /// Builds the TPU for a device profile.
     pub fn new(profile: &DeviceProfile) -> Self {
         TranslationUnit {
-            mrs: HashMap::new(),
+            mrs: FxHashMap::default(),
             banks: BankedResource::new(profile.tpu_banks),
             row_buffers: vec![None; profile.tpu_row_buffers],
             resident_mrs: Vec::with_capacity(profile.mr_context_slots),

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod calendar;
+mod fxmap;
 mod queue;
 mod resource;
 mod rng;
@@ -48,6 +49,7 @@ mod stats;
 mod time;
 
 pub use calendar::CalendarQueue;
+pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
 pub use queue::{EventHandle, EventSchedule, ReferenceQueue};
 
 /// The default event-queue backend used by the simulation hot path.

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 use std::io::Write;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::event::Event;
 use crate::json;
@@ -54,9 +54,17 @@ impl RingCollector {
         Arc::clone(&self.state)
     }
 
+    /// Locks the ring, recovering from poison: a panicking harness
+    /// worker must report its own panic, not die again on an opaque
+    /// `PoisonError` while draining telemetry. The ring's invariants
+    /// hold under poison — every mutation leaves it consistent.
+    fn lock(&self) -> MutexGuard<'_, RingState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Number of events currently buffered.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("ring poisoned").events.len()
+        self.lock().events.len()
     }
 
     /// True when nothing is buffered.
@@ -66,23 +74,18 @@ impl RingCollector {
 
     /// Events evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
-        self.state.lock().expect("ring poisoned").dropped
+        self.lock().dropped
     }
 
     /// Removes and returns every buffered event, oldest first.
     pub fn drain(&self) -> Vec<Event> {
-        self.state
-            .lock()
-            .expect("ring poisoned")
-            .events
-            .drain(..)
-            .collect()
+        self.lock().events.drain(..).collect()
     }
 }
 
 impl Collector for RingCollector {
     fn record(&mut self, event: Event) {
-        let mut state = self.state.lock().expect("ring poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.events.len() >= self.capacity {
             state.events.pop_front();
             state.dropped += 1;
@@ -169,6 +172,32 @@ mod tests {
         assert_eq!(
             events.iter().map(|e| e.ts_ps).collect::<Vec<_>>(),
             vec![2, 3, 4]
+        );
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn poisoned_ring_still_records_and_drains() {
+        let ring = RingCollector::new(8);
+        ring.clone().record(ev(1));
+        // Poison the mutex: a harness worker panics while holding the
+        // ring lock (simulated by panicking under the guard).
+        let poisoner = ring.clone();
+        let result = std::thread::spawn(move || {
+            let _guard = poisoner.state.lock().expect("not yet poisoned");
+            panic!("worker dies holding the ring");
+        })
+        .join();
+        assert!(result.is_err(), "the poisoning thread must have panicked");
+        assert!(ring.state.lock().is_err(), "mutex is poisoned");
+        // The ring must keep working: record, len, dropped, drain.
+        ring.clone().record(ev(2));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 0);
+        let events = ring.drain();
+        assert_eq!(
+            events.iter().map(|e| e.ts_ps).collect::<Vec<_>>(),
+            vec![1, 2]
         );
         assert!(ring.is_empty());
     }

@@ -28,9 +28,50 @@ impl DecimalInterner {
     }
 }
 
+/// Memoized `"{prefix}{name}"` keys for metric flush loops.
+///
+/// A per-NIC counter flush renders the same few dozen static counter
+/// names once per host — `format!("nic.{name}")` on every flush
+/// allocates a fresh `String` each time. The interner formats each
+/// distinct name once per process lifetime and hands out borrowed
+/// slices after that; the rendered key is unchanged byte for byte.
+#[derive(Debug)]
+pub struct PrefixedInterner {
+    prefix: &'static str,
+    cache: HashMap<&'static str, Box<str>>,
+}
+
+impl PrefixedInterner {
+    /// An interner producing `"{prefix}{name}"` keys.
+    pub fn new(prefix: &'static str) -> PrefixedInterner {
+        PrefixedInterner {
+            prefix,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The `"{prefix}{name}"` form of `name`, formatted at most once
+    /// per interner.
+    pub fn get(&mut self, name: &'static str) -> &str {
+        self.cache
+            .entry(name)
+            .or_insert_with(|| format!("{}{}", self.prefix, name).into_boxed_str())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prefixed_keys_match_format_and_cache() {
+        let mut interner = PrefixedInterner::new("nic.");
+        assert_eq!(interner.get("tx_bytes"), "nic.tx_bytes");
+        assert_eq!(interner.get("rx_bytes"), "nic.rx_bytes");
+        // Repeat lookups reuse the first allocation.
+        let first = interner.get("tx_bytes").as_ptr();
+        assert_eq!(first, interner.get("tx_bytes").as_ptr());
+    }
 
     #[test]
     fn matches_to_string_and_caches() {

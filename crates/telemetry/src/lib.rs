@@ -61,6 +61,7 @@ mod tracer;
 pub use collector::{Collector, NullCollector, RingCollector, StreamCollector};
 pub use event::{ActorId, ArgValue, Event, EventKind, Level, Target, TargetSet};
 pub use histogram::{Histogram, HistogramSummary};
+pub use intern::PrefixedInterner;
 pub use metrics::{Metrics, MetricsReport};
 pub use perfetto::{chrome_trace_json, TraceCell};
 pub use scope::{install, log, metrics, tracer, Installed, Session, SessionReport};

@@ -2,7 +2,7 @@
 //! behind a cloneable, disabled-by-default handle.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::histogram::{Histogram, HistogramSummary};
 use crate::json;
@@ -40,10 +40,17 @@ impl Metrics {
         self.shared.is_some()
     }
 
+    /// Locks the registry, recovering from poison: counters and maps
+    /// stay structurally valid even if a holder panicked mid-update, and
+    /// telemetry must never turn one panic into a double panic.
+    fn lock(shared: &Arc<Mutex<Registry>>) -> MutexGuard<'_, Registry> {
+        shared.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Adds `delta` to the named monotonic counter.
     pub fn counter_add(&self, name: &str, delta: u64) {
         if let Some(shared) = &self.shared {
-            let mut reg = shared.lock().expect("metrics poisoned");
+            let mut reg = Metrics::lock(shared);
             match reg.counters.get_mut(name) {
                 Some(slot) => *slot += delta,
                 None => {
@@ -56,11 +63,7 @@ impl Metrics {
     /// Sets the named gauge to its latest observed value.
     pub fn gauge_set(&self, name: &str, value: f64) {
         if let Some(shared) = &self.shared {
-            shared
-                .lock()
-                .expect("metrics poisoned")
-                .gauges
-                .insert(name.to_string(), value);
+            Metrics::lock(shared).gauges.insert(name.to_string(), value);
         }
     }
 
@@ -69,7 +72,7 @@ impl Metrics {
     pub fn record_ns(&self, name: &str, value_ns: f64) {
         if let Some(shared) = &self.shared {
             let ps = (value_ns * 1e3).max(0.0).round() as u64;
-            let mut reg = shared.lock().expect("metrics poisoned");
+            let mut reg = Metrics::lock(shared);
             reg.histograms
                 .entry(name.to_string())
                 .or_default()
@@ -80,7 +83,7 @@ impl Metrics {
     /// Snapshots the registry into a report (`None` when disabled).
     pub fn report(&self) -> Option<MetricsReport> {
         let shared = self.shared.as_ref()?;
-        let reg = shared.lock().expect("metrics poisoned");
+        let reg = Metrics::lock(shared);
         Some(MetricsReport {
             counters: reg.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             gauges: reg.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),

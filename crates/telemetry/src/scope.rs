@@ -8,7 +8,7 @@
 //! one branch.
 
 use std::cell::RefCell;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::collector::{Collector, NullCollector, RingCollector, RingState};
 use crate::event::{ActorId, ArgValue, Event, Level, Target, TargetSet};
@@ -129,7 +129,9 @@ impl Session {
         self.tracer.flush();
         let (events, dropped) = match &self.ring {
             Some(state) => {
-                let mut state = state.lock().expect("ring poisoned");
+                // Recover from poison so a panicked worker's session can
+                // still be harvested after the fact.
+                let mut state = state.lock().unwrap_or_else(PoisonError::into_inner);
                 (state.events.drain(..).collect(), state.dropped)
             }
             None => (Vec::new(), 0),

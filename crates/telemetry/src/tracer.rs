@@ -2,7 +2,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::collector::Collector;
 use crate::event::{ActorId, ArgValue, Event, EventKind, Target, TargetSet};
@@ -73,10 +73,12 @@ impl Tracer {
                 return;
             }
             shared.recorded.fetch_add(1, Ordering::Relaxed);
+            // Recover from poison: a panicking collector holder must not
+            // turn every later record into a second panic.
             shared
                 .collector
                 .lock()
-                .expect("collector poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .record(event);
         }
     }
@@ -148,7 +150,11 @@ impl Tracer {
     /// Flushes the underlying collector.
     pub fn flush(&self) {
         if let Some(shared) = &self.shared {
-            shared.collector.lock().expect("collector poisoned").flush();
+            shared
+                .collector
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .flush();
         }
     }
 }

@@ -2,17 +2,21 @@
 //!
 //! Implements the slice of the `Bytes` API the RNIC model uses: cheaply
 //! clonable, immutable byte buffers (`Bytes::new`, `From<Vec<u8>>`, and
-//! `Deref<Target = [u8]>`). Backed by `Arc<[u8]>`, so packet payload
-//! clones stay O(1) just like the real crate.
+//! `Deref<Target = [u8]>`). Backed by `Arc<[u8]>` plus an offset/length
+//! view, so both payload clones *and* subrange slices stay O(1) — a
+//! message sliced into MTU segments shares one allocation across every
+//! segment, just like the real crate.
 
 #![warn(missing_docs)]
 
 use std::sync::Arc;
 
 /// A cheaply clonable immutable byte buffer.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -23,24 +27,24 @@ impl Bytes {
 
     /// Length of the buffer in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
     }
 
     /// Returns a new buffer holding the given subrange.
     ///
-    /// Unlike the real `bytes` crate this copies the subrange rather
-    /// than refcounting a view; callers here slice small packet
-    /// payloads, where the copy is negligible.
+    /// O(1): the returned buffer refcounts the same backing allocation
+    /// and narrows the view, exactly like the real `bytes` crate. No
+    /// payload bytes are copied.
     ///
     /// # Panics
     ///
@@ -55,44 +59,75 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.data.len(),
+            Bound::Unbounded => self.len,
         };
+        assert!(start <= end && end <= self.len, "slice out of bounds");
         Bytes {
-            data: self.data[start..end].into(),
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
         }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: v.into() }
+        let len = v.len();
+        Bytes {
+            data: v.into(),
+            off: 0,
+            len,
+        }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Bytes { data: v.into() }
+        Bytes {
+            data: v.into(),
+            off: 0,
+            len: v.len(),
+        }
     }
 }
 
 impl From<&'static str> for Bytes {
     fn from(v: &'static str) -> Self {
-        Bytes {
-            data: v.as_bytes().into(),
-        }
+        Bytes::from(v.as_bytes())
     }
 }
 
 impl std::ops::Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
+    }
+}
+
+// Equality and hashing are by content, not by backing allocation, so a
+// zero-copy view compares equal to an owned copy of the same bytes.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
@@ -114,5 +149,43 @@ mod tests {
         assert_eq!(b.len(), 3);
         assert!(Bytes::new().is_empty());
         assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_view() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let s = b.slice(2..6);
+        assert_eq!(&*s, &[2, 3, 4, 5]);
+        // The slice borrows the parent's allocation — same backing
+        // pointer range, no copy.
+        let parent = b.as_ref().as_ptr();
+        let view = s.as_ref().as_ptr();
+        assert_eq!(view, unsafe { parent.add(2) });
+        // Nested slices keep narrowing the same allocation.
+        let s2 = s.slice(1..3);
+        assert_eq!(&*s2, &[3, 4]);
+        assert_eq!(s2.as_ref().as_ptr(), unsafe { parent.add(3) });
+    }
+
+    #[test]
+    fn slice_bounds() {
+        let b = Bytes::from(vec![9u8; 4]);
+        assert_eq!(b.slice(..).len(), 4);
+        assert_eq!(b.slice(4..4).len(), 0);
+        assert_eq!(b.slice(..=1).len(), 2);
+    }
+
+    #[test]
+    fn eq_and_hash_are_by_content() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let owned = Bytes::from(vec![5u8, 6, 7]);
+        let viewed = Bytes::from(vec![4u8, 5, 6, 7, 8]).slice(1..4);
+        assert_eq!(owned, viewed);
+        let mut h1 = DefaultHasher::new();
+        owned.hash(&mut h1);
+        let mut h2 = DefaultHasher::new();
+        viewed.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
     }
 }
