@@ -135,7 +135,7 @@ pub(crate) fn tab_rows<'r>(records: impl IntoIterator<Item = &'r RunRecord>) -> 
                     .map(str::to_string)
                     .collect(),
             ),
-            Outcome::Failed { .. } => None,
+            _ => None,
         })
         .collect()
 }

@@ -41,6 +41,7 @@ fn digest(threads: usize, extras: &[&str]) -> String {
                     r.config.label()
                 )
             }
+            other => panic!("config [{}] did not finish: {other:?}", r.config.label()),
         }
     }
     content_hash(material.as_bytes())

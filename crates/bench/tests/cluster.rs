@@ -63,6 +63,7 @@ fn artifact_digest(
             Outcome::Failed { message, .. } => {
                 panic!("config [{}] failed: {message}", r.config.label())
             }
+            other => panic!("config [{}] did not finish: {other:?}", r.config.label()),
         }
     }
     content_hash(material.as_bytes())

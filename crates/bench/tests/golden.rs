@@ -55,6 +55,7 @@ fn artifact_digest(exp: &dyn Experiment, threads: usize, extras: &[&str]) -> Str
             Outcome::Failed { message, .. } => {
                 panic!("config [{}] failed: {message}", r.config.label())
             }
+            other => panic!("config [{}] did not finish: {other:?}", r.config.label()),
         }
     }
     content_hash(material.as_bytes())

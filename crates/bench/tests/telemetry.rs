@@ -39,6 +39,7 @@ fn run_quick(
             threads,
             force: true,
             telemetry,
+            ..Default::default()
         },
     )
 }
@@ -54,6 +55,7 @@ fn artifact_digest(records: &[RunRecord]) -> String {
             Outcome::Failed { message, .. } => {
                 panic!("config [{}] failed: {message}", r.config.label())
             }
+            other => panic!("config [{}] did not finish: {other:?}", r.config.label()),
         }
     }
     content_hash(material.as_bytes())

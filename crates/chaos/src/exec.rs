@@ -1,0 +1,430 @@
+//! Execution-fault plans: seed-derived worker panic/stall/slow-start
+//! injections for the supervised worker pool.
+//!
+//! Wire faults ([`crate::FaultPlan`]) break the *simulated* fabric;
+//! exec faults break the *simulator's own execution* — a pool worker
+//! panics before taking its window, or goes quiet long enough to trip
+//! the supervisor's stall heartbeat. They exist to prove the
+//! supervision layer: an induced worker crash mid-run must complete
+//! with digests bit-identical to the unfaulted run at every worker
+//! count (see `crates/pdes/tests/supervisor.rs` and the ci.sh smoke).
+//!
+//! Determinism contract: plans are generated from
+//! `derive(seed, "chaos-exec-plan")` — a stream orthogonal to the wire
+//! fault stream (`"chaos-plan"`) and to every simulation stream — and
+//! events fire on a pure `(worker, round)` periodic match, so a plan
+//! perturbs *scheduling only*, never results.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sim_core::SimRng;
+
+/// Which logical pool worker slot an exec-fault event targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ExecWorkerSelector {
+    /// Every worker slot.
+    Any,
+    /// One worker slot (0-based logical index; slots keep their index
+    /// across respawns).
+    Worker(u32),
+}
+
+impl ExecWorkerSelector {
+    /// Whether worker slot `w` matches this selector.
+    pub fn matches(self, w: usize) -> bool {
+        match self {
+            ExecWorkerSelector::Any => true,
+            ExecWorkerSelector::Worker(target) => w as u32 == target,
+        }
+    }
+}
+
+/// The fault a matching worker injects on itself before taking a job.
+///
+/// Stall/slow-start durations are **wall-clock milliseconds** (these
+/// are real thread sleeps, not simulated time): threads cannot be
+/// killed in safe Rust, so injected stalls are bounded sleeps sized to
+/// trip (or not trip) the supervisor's heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ExecFaultKind {
+    /// Panic before touching the job (the supervisor gets the job back
+    /// and replays the window sequentially).
+    Panic,
+    /// Sleep this many milliseconds — long enough to trip the stall
+    /// heartbeat and exercise quarantine + respawn.
+    Stall {
+        /// Sleep duration in wall-clock milliseconds.
+        ms: u64,
+    },
+    /// Sleep briefly — skews scheduling without tripping the heartbeat.
+    SlowStart {
+        /// Sleep duration in wall-clock milliseconds.
+        ms: u64,
+    },
+}
+
+impl ExecFaultKind {
+    fn tag(&self) -> &'static str {
+        match self {
+            ExecFaultKind::Panic => "panic",
+            ExecFaultKind::Stall { .. } => "stall",
+            ExecFaultKind::SlowStart { .. } => "slow",
+        }
+    }
+}
+
+/// One scheduled exec fault: fires on worker slots matching `worker`
+/// whenever the pool round satisfies `round % every == offset`.
+///
+/// Periodic matching (rather than absolute round numbers) means a plan
+/// fires regardless of how many rounds the run actually has — short
+/// `--quick` runs and full sweeps both get perturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ExecFaultEvent {
+    /// Worker slot(s) the fault applies to.
+    pub worker: ExecWorkerSelector,
+    /// Period of the round match (>= 1).
+    pub every: u64,
+    /// Phase of the round match (`< every`).
+    pub offset: u64,
+    /// What the matching worker does to itself.
+    pub kind: ExecFaultKind,
+}
+
+impl ExecFaultEvent {
+    /// Whether this event fires for worker slot `w` in round `round`
+    /// (rounds are 1-based, as counted by the pool).
+    pub fn fires(&self, w: usize, round: u64) -> bool {
+        self.worker.matches(w) && round % self.every.max(1) == self.offset
+    }
+}
+
+/// Parameters for [`ExecFaultPlan::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPlanParams {
+    /// Worker slots targeted events are drawn from.
+    pub workers: u32,
+    /// Number of fault events to generate.
+    pub events: usize,
+    /// Upper bound on stall sleeps in wall-clock milliseconds.
+    pub max_stall_ms: u64,
+}
+
+impl Default for ExecPlanParams {
+    fn default() -> Self {
+        ExecPlanParams {
+            workers: 4,
+            events: 3,
+            max_stall_ms: 40,
+        }
+    }
+}
+
+/// A deterministic, serializable schedule of execution faults.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ExecFaultPlan {
+    /// The seed the plan was generated from (recorded for repro lines).
+    pub seed: u64,
+    /// The scheduled events. The first event matching `(worker, round)`
+    /// wins when several apply.
+    pub events: Vec<ExecFaultEvent>,
+}
+
+impl ExecFaultPlan {
+    /// A plan with no events (workers run unperturbed).
+    pub fn empty(seed: u64) -> Self {
+        ExecFaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Generates a randomized plan from a seed.
+    ///
+    /// The draw stream is `derive(seed, "chaos-exec-plan")`, orthogonal
+    /// to the wire-fault stream, and the first event is always a panic
+    /// on worker 0 with period 3 — so a generated plan always crashes a
+    /// worker early in any run with at least a couple of rounds.
+    pub fn generate(seed: u64, params: &ExecPlanParams) -> Self {
+        assert!(params.workers > 0, "plan needs at least one worker");
+        let mut rng = SimRng::derive(seed, "chaos-exec-plan");
+        let mut events = Vec::with_capacity(params.events);
+        if params.events > 0 {
+            events.push(ExecFaultEvent {
+                worker: ExecWorkerSelector::Worker(0),
+                every: 3,
+                offset: 1,
+                kind: ExecFaultKind::Panic,
+            });
+        }
+        while events.len() < params.events {
+            let worker = if rng.chance(0.3) {
+                ExecWorkerSelector::Any
+            } else {
+                ExecWorkerSelector::Worker(rng.uniform_range(0, u64::from(params.workers)) as u32)
+            };
+            let every = rng.uniform_range(2, 7);
+            let offset = rng.uniform_range(0, every);
+            let kind = match rng.uniform_range(0, 3) {
+                0 => ExecFaultKind::Panic,
+                1 => ExecFaultKind::Stall {
+                    ms: rng.uniform_range(1, params.max_stall_ms.max(2)),
+                },
+                _ => ExecFaultKind::SlowStart {
+                    ms: rng.uniform_range(1, 6),
+                },
+            };
+            events.push(ExecFaultEvent {
+                worker,
+                every,
+                offset,
+                kind,
+            });
+        }
+        ExecFaultPlan { seed, events }
+    }
+
+    /// Compiles the plan into the hook the supervised pool consumes.
+    /// The hook is pure: identical `(worker, round)` arguments always
+    /// produce identical verdicts.
+    pub fn to_hook(&self) -> pdes::ExecFaultHook {
+        let events = self.events.clone();
+        Arc::new(move |w, round| {
+            events
+                .iter()
+                .find(|ev| ev.fires(w, round))
+                .map(|ev| match ev.kind {
+                    ExecFaultKind::Panic => pdes::InjectedExecFault::Panic,
+                    ExecFaultKind::Stall { ms } => {
+                        pdes::InjectedExecFault::Stall(Duration::from_millis(ms))
+                    }
+                    ExecFaultKind::SlowStart { ms } => {
+                        pdes::InjectedExecFault::SlowStart(Duration::from_millis(ms))
+                    }
+                })
+        })
+    }
+
+    /// Serializes to the plan text format (see [`ExecFaultPlan::parse`]).
+    pub fn to_text(&self) -> String {
+        use core::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "exec-plan v1 seed={}", self.seed);
+        for ev in &self.events {
+            let worker = match ev.worker {
+                ExecWorkerSelector::Any => "any".to_string(),
+                ExecWorkerSelector::Worker(w) => w.to_string(),
+            };
+            let _ = write!(
+                s,
+                "{} worker={} every={} offset={}",
+                ev.kind.tag(),
+                worker,
+                ev.every,
+                ev.offset
+            );
+            match ev.kind {
+                ExecFaultKind::Stall { ms } | ExecFaultKind::SlowStart { ms } => {
+                    let _ = write!(s, " ms={ms}");
+                }
+                ExecFaultKind::Panic => {}
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses the text form produced by [`ExecFaultPlan::to_text`]:
+    ///
+    /// ```text
+    /// exec-plan v1 seed=<u64>
+    /// panic worker=<any|slot#> every=<u64> offset=<u64>
+    /// stall worker=<any|slot#> every=<u64> offset=<u64> ms=<u64>
+    /// slow  worker=<any|slot#> every=<u64> offset=<u64> ms=<u64>
+    /// ```
+    ///
+    /// Blank lines and `#` comment lines are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::PlanParseError`] naming the offending line.
+    pub fn parse(text: &str) -> Result<Self, crate::PlanParseError> {
+        let err = |line: usize, message: &str| crate::PlanParseError {
+            line,
+            message: message.to_string(),
+        };
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+        let (first_no, header) = lines
+            .next()
+            .ok_or_else(|| err(1, "empty plan (missing 'exec-plan v1' header)"))?;
+        let seed = header
+            .strip_prefix("exec-plan v1 seed=")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .ok_or_else(|| err(first_no, "expected header 'exec-plan v1 seed=<u64>'"))?;
+        let mut events = Vec::new();
+        for (no, line) in lines {
+            let mut fields = line.split_whitespace();
+            let tag = fields.next().unwrap_or_default();
+            let mut worker = None;
+            let mut every = None;
+            let mut offset = None;
+            let mut ms = None;
+            for field in fields {
+                let (key, value) = field
+                    .split_once('=')
+                    .ok_or_else(|| err(no, "fields must be key=value"))?;
+                match key {
+                    "worker" if value == "any" => worker = Some(ExecWorkerSelector::Any),
+                    "worker" => {
+                        let w = value
+                            .parse::<u32>()
+                            .map_err(|_| err(no, "worker must be 'any' or a slot number"))?;
+                        worker = Some(ExecWorkerSelector::Worker(w));
+                    }
+                    "every" | "offset" | "ms" => {
+                        let v = value
+                            .parse::<u64>()
+                            .map_err(|_| err(no, "counts are u64"))?;
+                        match key {
+                            "every" => every = Some(v),
+                            "offset" => offset = Some(v),
+                            _ => ms = Some(v),
+                        }
+                    }
+                    other => return Err(err(no, &format!("unknown field '{other}'"))),
+                }
+            }
+            let kind = match tag {
+                "panic" => ExecFaultKind::Panic,
+                "stall" => ExecFaultKind::Stall {
+                    ms: ms.ok_or_else(|| err(no, "stall needs ms="))?,
+                },
+                "slow" => ExecFaultKind::SlowStart {
+                    ms: ms.ok_or_else(|| err(no, "slow needs ms="))?,
+                },
+                other => return Err(err(no, &format!("unknown event kind '{other}'"))),
+            };
+            let every = every.ok_or_else(|| err(no, "missing every="))?;
+            if every == 0 {
+                return Err(err(no, "every must be >= 1"));
+            }
+            let offset = offset.ok_or_else(|| err(no, "missing offset="))?;
+            if offset >= every {
+                return Err(err(no, "offset must be < every"));
+            }
+            events.push(ExecFaultEvent {
+                worker: worker.ok_or_else(|| err(no, "missing worker="))?,
+                every,
+                offset,
+                kind,
+            });
+        }
+        Ok(ExecFaultPlan { seed, events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_and_decorrelated_from_wire_stream() {
+        let params = ExecPlanParams::default();
+        assert_eq!(
+            ExecFaultPlan::generate(42, &params),
+            ExecFaultPlan::generate(42, &params)
+        );
+        assert_ne!(
+            ExecFaultPlan::generate(42, &params).events,
+            ExecFaultPlan::generate(43, &params).events
+        );
+        // First draws of the exec stream differ from the wire stream's:
+        // "chaos-exec-plan" and "chaos-plan" are distinct labels.
+        let mut exec = SimRng::derive(42, "chaos-exec-plan");
+        let mut wire = SimRng::derive(42, "chaos-plan");
+        assert_ne!(
+            exec.uniform_range(0, u64::MAX),
+            wire.uniform_range(0, u64::MAX)
+        );
+    }
+
+    #[test]
+    fn first_event_guarantees_an_early_panic() {
+        let plan = ExecFaultPlan::generate(7, &ExecPlanParams::default());
+        assert_eq!(plan.events[0].kind, ExecFaultKind::Panic);
+        assert!(plan.events[0].fires(0, 1), "must fire on worker 0, round 1");
+    }
+
+    #[test]
+    fn text_round_trip() {
+        for seed in [0, 1, 9, 1234] {
+            let plan = ExecFaultPlan::generate(
+                seed,
+                &ExecPlanParams {
+                    workers: 8,
+                    events: 10,
+                    max_stall_ms: 25,
+                },
+            );
+            let text = plan.to_text();
+            let back = ExecFaultPlan::parse(&text).expect("round trip");
+            assert_eq!(plan, back, "plan text:\n{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(ExecFaultPlan::parse("").is_err());
+        assert!(ExecFaultPlan::parse("exec-plan v2 seed=1").is_err());
+        assert!(
+            ExecFaultPlan::parse("exec-plan v1 seed=1\nwarp worker=any every=2 offset=0").is_err()
+        );
+        assert!(
+            ExecFaultPlan::parse("exec-plan v1 seed=1\nstall worker=any every=2 offset=0").is_err()
+        );
+        assert!(
+            ExecFaultPlan::parse("exec-plan v1 seed=1\npanic worker=any every=0 offset=0").is_err()
+        );
+        assert!(
+            ExecFaultPlan::parse("exec-plan v1 seed=1\npanic worker=any every=2 offset=2").is_err()
+        );
+    }
+
+    #[test]
+    fn hook_matches_first_applicable_event() {
+        let plan = ExecFaultPlan {
+            seed: 0,
+            events: vec![
+                ExecFaultEvent {
+                    worker: ExecWorkerSelector::Worker(1),
+                    every: 2,
+                    offset: 0,
+                    kind: ExecFaultKind::Panic,
+                },
+                ExecFaultEvent {
+                    worker: ExecWorkerSelector::Any,
+                    every: 2,
+                    offset: 0,
+                    kind: ExecFaultKind::SlowStart { ms: 3 },
+                },
+            ],
+        };
+        let hook = plan.to_hook();
+        assert_eq!(hook(1, 2), Some(pdes::InjectedExecFault::Panic));
+        assert_eq!(
+            hook(0, 2),
+            Some(pdes::InjectedExecFault::SlowStart(Duration::from_millis(3)))
+        );
+        assert_eq!(hook(0, 1), None, "odd rounds match nothing");
+    }
+}

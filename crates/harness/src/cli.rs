@@ -27,6 +27,25 @@
 //!                   (sim-core,rnic-model,rdma-verbs,chaos,core,defense,
 //!                   harness; default all)
 //! --metrics         collect per-cell metrics reports next to each cell
+//! --cell-timeout <ms>  wall-clock watchdog per cell attempt; an attempt
+//!                   past the budget is recorded as timed out (never part
+//!                   of cache keys)
+//! --retries <n>     re-run a failed/hung cell up to n more times with the
+//!                   same seed after a seeded exponential backoff; cells
+//!                   that fail every attempt are quarantined with a repro
+//!                   command in the manifest (never part of cache keys)
+//! --monitors <policy>  run cells under the online invariant monitors
+//!                   (log, fail-cell or abort-run); forces cells to
+//!                   execute (cache reads bypassed) but artifacts and keys
+//!                   are unchanged — monitors observe, never perturb
+//! --exec-chaos-seed <u64>  install a seeded worker-fault plan (panics,
+//!                   stalls, slow starts) under the supervised PDES pool;
+//!                   digests must not change — this is a self-test of the
+//!                   quarantine/replay machinery (requires --workers > 1
+//!                   to bite; never part of cache keys)
+//! --only <substr>   run only configs whose label contains the substring
+//!                   (the spelling `--only "<label>"` is what quarantined
+//!                   cells' repro commands use)
 //! --help            usage
 //! ```
 //!
@@ -91,6 +110,21 @@ pub struct Cli {
     /// Collect per-cell metrics reports (`--metrics`). Also excluded
     /// from cache keys by construction.
     pub metrics: bool,
+    /// Per-attempt cell watchdog in ms (`--cell-timeout`). `None`
+    /// (default) trusts cells to terminate. Excluded from cache keys by
+    /// construction, like every dedicated supervision field.
+    pub cell_timeout_ms: Option<u64>,
+    /// Extra attempts for failed/hung cells (`--retries`, default 0).
+    pub retries: u32,
+    /// Online invariant-monitor policy (`--monitors`), validated at
+    /// parse time. `None` (default) runs unmonitored.
+    pub monitors: Option<sim_core::ViolationPolicy>,
+    /// Seed for an execution-fault plan against the supervised PDES
+    /// pool (`--exec-chaos-seed`). `None` (default) disables it.
+    pub exec_chaos_seed: Option<u64>,
+    /// Label-substring filter (`--only`); configs whose label does not
+    /// contain it are dropped before the sweep.
+    pub only: Option<String>,
     /// Unrecognised arguments, available to experiments.
     extras: Vec<String>,
 }
@@ -111,6 +145,11 @@ impl Default for Cli {
             trace: None,
             trace_filter: None,
             metrics: false,
+            cell_timeout_ms: None,
+            retries: 0,
+            monitors: None,
+            exec_chaos_seed: None,
+            only: None,
             extras: Vec::new(),
         }
     }
@@ -164,6 +203,28 @@ impl Cli {
                     cli.trace_filter = Some(take_value(&mut it, "--trace-filter")?);
                 }
                 "--metrics" => cli.metrics = true,
+                "--cell-timeout" => {
+                    let ms = take_u64(&mut it, "--cell-timeout")?;
+                    if ms == 0 {
+                        return Err(CliError("--cell-timeout must be > 0 ms".to_string()));
+                    }
+                    cli.cell_timeout_ms = Some(ms);
+                }
+                "--retries" => {
+                    cli.retries = take_u64(&mut it, "--retries")?.clamp(0, 16) as u32;
+                }
+                "--monitors" => {
+                    // Validated here so a typo is a usage error, not a
+                    // surprise an hour into a sweep.
+                    let raw = take_value(&mut it, "--monitors")?;
+                    let policy = sim_core::ViolationPolicy::parse(&raw)
+                        .map_err(|e| CliError(format!("--monitors: {e}")))?;
+                    cli.monitors = Some(policy);
+                }
+                "--exec-chaos-seed" => {
+                    cli.exec_chaos_seed = Some(take_u64(&mut it, "--exec-chaos-seed")?);
+                }
+                "--only" => cli.only = Some(take_value(&mut it, "--only")?),
                 _ => cli.extras.push(arg),
             }
         }
@@ -205,7 +266,9 @@ fn usage(exp: &dyn Experiment) -> String {
          {pad}   [--force] [--no-cache]\n\
          {pad}   [--results <dir>] [--chaos-seed <u64>] [--chaos-plan <file>]\n\
          {pad}   [--topology <spec>] [--trace <path>] [--trace-filter <targets>]\n\
-         {pad}   [--metrics]\n\
+         {pad}   [--metrics] [--cell-timeout <ms>] [--retries <n>]\n\
+         {pad}   [--monitors <log|fail-cell|abort-run>] [--exec-chaos-seed <u64>]\n\
+         {pad}   [--only <label-substring>]\n\
          {pad}   [experiment-specific flags]\n\n\
          Artifacts and the run manifest land in <results>/{name}/;\n\
          see EXPERIMENTS.md for the per-experiment flags and cache-key scheme.",
@@ -249,11 +312,48 @@ pub fn run_with_cli(exp: &dyn Experiment, cli: &Cli) -> Result<usize, String> {
     // its `run_until_workers` call sites, keeping `Experiment::run`
     // signatures — and, by construction, cache keys — untouched.
     pdes::set_ambient_workers(cli.workers);
+    // The supervision knobs follow the same ambient pattern — installed
+    // for the sweep, reset on every exit path by the guard below so a
+    // later in-process invocation (tests, batch drivers) starts clean.
+    struct AmbientReset;
+    impl Drop for AmbientReset {
+        fn drop(&mut self) {
+            sim_core::set_ambient_monitors(None);
+            pdes::set_ambient_supervision(None);
+        }
+    }
+    let _ambient_reset = AmbientReset;
+    if let Some(policy) = cli.monitors {
+        sim_core::set_ambient_monitors(Some(sim_core::MonitorConfig {
+            policy,
+            ..Default::default()
+        }));
+    }
+    if let Some(chaos_seed) = cli.exec_chaos_seed {
+        let plan = ragnar_chaos::ExecFaultPlan::generate(
+            chaos_seed,
+            &ragnar_chaos::ExecPlanParams::default(),
+        );
+        pdes::set_ambient_supervision(Some(pdes::PoolPolicy {
+            stall_timeout: Some(std::time::Duration::from_secs(2)),
+            max_respawns: 8,
+            fault_hook: Some(plan.to_hook()),
+        }));
+    }
     let t_start = Instant::now();
     let mut stages: Vec<(String, f64)> = Vec::new();
 
     let t0 = Instant::now();
-    let configs = exp.params(cli);
+    let mut configs = exp.params(cli);
+    if let Some(needle) = &cli.only {
+        configs.retain(|c| c.label().contains(needle.as_str()));
+        if configs.is_empty() {
+            return Err(format!(
+                "--only \"{needle}\" matched no configs of '{}'",
+                exp.name()
+            ));
+        }
+    }
     stages.push(("params".into(), t0.elapsed().as_secs_f64() * 1e3));
     if configs.is_empty() {
         return Err(format!("experiment '{}' produced no configs", exp.name()));
@@ -287,6 +387,11 @@ pub fn run_with_cli(exp: &dyn Experiment, cli: &Cli) -> Result<usize, String> {
                 filter,
                 metrics: cli.metrics,
             },
+            cell_timeout: cli.cell_timeout_ms.map(std::time::Duration::from_millis),
+            retries: cli.retries,
+            // Supervision modes exist to *exercise* cells; a cache hit
+            // would skip the work they are meant to observe.
+            bypass_cache_reads: cli.monitors.is_some() || cli.exec_chaos_seed.is_some(),
         },
     );
     stages.push(("execute".into(), t0.elapsed().as_secs_f64() * 1e3));
@@ -327,13 +432,29 @@ pub fn run_with_cli(exp: &dyn Experiment, cli: &Cli) -> Result<usize, String> {
     print!("{report}");
     println!("\n{}", manifest.summary_line());
     for r in &records {
-        if let Outcome::Failed { message, panicked } = &r.outcome {
-            ragnar_telemetry::warn!(
-                "failed config [{}]: {}{}",
-                r.config.label(),
-                if *panicked { "panic: " } else { "" },
-                message
-            );
+        match &r.outcome {
+            Outcome::Done(_) => continue,
+            Outcome::Failed { message, panicked } => {
+                ragnar_telemetry::warn!(
+                    "failed config [{}]: {}{}",
+                    r.config.label(),
+                    if *panicked { "panic: " } else { "" },
+                    message
+                );
+            }
+            Outcome::TimedOut { timeout_ms } => {
+                ragnar_telemetry::warn!(
+                    "timed-out config [{}]: {} attempt(s) past {timeout_ms} ms",
+                    r.config.label(),
+                    r.attempts
+                );
+            }
+            Outcome::Skipped { reason } => {
+                ragnar_telemetry::warn!("skipped config [{}]: {reason}", r.config.label());
+            }
+        }
+        if let Some(repro) = &r.repro {
+            ragnar_telemetry::warn!("  repro: {repro}");
         }
     }
     Ok(manifest.failed)
@@ -438,6 +559,43 @@ mod tests {
             "leaf-spine:hosts=7,leaves=3,spines=2".to_string()
         ])
         .is_err());
+        assert!(Cli::parse(["--cell-timeout".to_string(), "0".to_string()]).is_err());
+        assert!(Cli::parse(["--cell-timeout".to_string(), "x".to_string()]).is_err());
+        assert!(Cli::parse(["--retries".to_string()]).is_err());
+        assert!(Cli::parse(["--monitors".to_string(), "verbose".to_string()]).is_err());
+        assert!(Cli::parse(["--monitors".to_string()]).is_err());
+        assert!(Cli::parse(["--exec-chaos-seed".to_string(), "x".to_string()]).is_err());
+        assert!(Cli::parse(["--only".to_string()]).is_err());
+    }
+
+    #[test]
+    fn supervision_flags_parse_and_validate() {
+        let cli = parse(&[
+            "--cell-timeout",
+            "5000",
+            "--retries",
+            "3",
+            "--monitors",
+            "fail-cell",
+            "--exec-chaos-seed",
+            "17",
+            "--only",
+            "op=read",
+        ]);
+        assert_eq!(cli.cell_timeout_ms, Some(5000));
+        assert_eq!(cli.retries, 3);
+        assert_eq!(cli.monitors, Some(sim_core::ViolationPolicy::FailCell));
+        assert_eq!(cli.exec_chaos_seed, Some(17));
+        assert_eq!(cli.only.as_deref(), Some("op=read"));
+        // Retries clamp instead of erroring.
+        assert_eq!(parse(&["--retries", "99"]).retries, 16);
+        for (raw, policy) in [
+            ("log", sim_core::ViolationPolicy::Log),
+            ("fail-cell", sim_core::ViolationPolicy::FailCell),
+            ("abort-run", sim_core::ViolationPolicy::AbortRun),
+        ] {
+            assert_eq!(parse(&["--monitors", raw]).monitors, Some(policy));
+        }
     }
 }
 
@@ -473,5 +631,45 @@ mod workers_key_exclusion {
         assert_eq!(lo.workers, 1);
         let hi = Cli::parse(["--workers".to_string(), "99999".to_string()]).expect("parse");
         assert_eq!(hi.workers, 512);
+    }
+
+    /// The supervision flags are all observational: like `--workers`
+    /// they must land in dedicated fields, never in `extras`, so no
+    /// experiment can fold them into a config — and hence into a cache
+    /// key — by accident.
+    #[test]
+    fn supervision_flags_never_land_in_extras() {
+        let cli = Cli::parse(
+            [
+                "--cell-timeout",
+                "100",
+                "--retries",
+                "2",
+                "--monitors",
+                "log",
+                "--exec-chaos-seed",
+                "5",
+                "--only",
+                "i=3",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .expect("parse");
+        assert!(
+            cli.extras().is_empty(),
+            "supervision flag leaked: {:?}",
+            cli.extras()
+        );
+        for flag in [
+            "--cell-timeout",
+            "--retries",
+            "--monitors",
+            "--exec-chaos-seed",
+            "--only",
+        ] {
+            assert!(!cli.flag(flag), "{flag} visible as an extra");
+            assert_eq!(cli.option_u64(flag), None);
+        }
     }
 }

@@ -6,20 +6,44 @@
 //! pool. Determinism is preserved at any thread count because each
 //! config's seed is derived from the config's *content*
 //! ([`sim_core::derive_seed`] over its canonical encoding), never from
-//! scheduling order. A panicking config is caught, recorded as a
-//! failure, and the sweep continues — one bad combination in a
-//! 6000-cell grid costs one cell, not the run.
+//! scheduling order.
+//!
+//! The executor is also the harness's supervision layer:
+//!
+//! * A panicking config is caught, recorded as a failure, and the sweep
+//!   continues — one bad combination in a 6000-cell grid costs one
+//!   cell, not the run. Panic-hook suppression is scoped to the cell
+//!   threads via [`sim_core::supervised_section`]; panics on threads
+//!   nobody supervises stay loud.
+//! * With [`ExecOptions::cell_timeout`] set, each attempt runs on its
+//!   own watchdog-monitored thread; an attempt that overruns its budget
+//!   is declared hung and the worker moves on (the hung thread is
+//!   joined at sweep end, so process exit waits for it, but scheduling
+//!   does not).
+//! * With [`ExecOptions::retries`] > 0, a failed or hung attempt is
+//!   retried with the *same* seed after a seed-deterministic
+//!   exponential backoff ([`retry_backoff`]); a cell that fails every
+//!   attempt is quarantined as a repeat offender and its record carries
+//!   a ready-to-paste minimal-repro command.
+//! * A panic message starting with `[monitor-abort]` (the
+//!   [`sim_core::ViolationPolicy::AbortRun`] spelling) trips a
+//!   sweep-wide abort: cells not yet started are recorded as
+//!   [`Outcome::Skipped`], already-running cells finish, and everything
+//!   completed so far is salvaged — per-cell results are persisted as
+//!   they finish, so the store and manifest stay crash-consistent.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::thread::Scope;
+use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Stealer, Worker};
-use ragnar_telemetry::{Session, TargetSet};
+use ragnar_telemetry::{Session, SessionReport, TargetSet};
 
 use crate::cache::ResultStore;
-use crate::experiment::{Config, Experiment, Outcome, RunRecord};
+use crate::experiment::{Artifact, Config, Experiment, Outcome, RunRecord};
 use crate::hash;
 
 /// Events buffered per traced cell before the ring starts evicting the
@@ -75,6 +99,19 @@ pub struct ExecOptions {
     /// only observe work that happens); cache writes still refresh the
     /// store, and keys are unchanged — artifacts are telemetry-invariant.
     pub telemetry: TelemetrySpec,
+    /// Wall-clock watchdog per attempt. `None` (default) trusts cells
+    /// to terminate; `Some(budget)` runs each attempt on its own thread
+    /// and declares it hung past the budget.
+    pub cell_timeout: Option<Duration>,
+    /// Extra attempts after a failed or hung first attempt (default 0).
+    /// Retries reuse the cell's seed — a deterministic failure fails
+    /// every rung of the ladder and ends quarantined.
+    pub retries: u32,
+    /// Skip cache reads (writes still happen). Set by supervision modes
+    /// (`--monitors`, `--exec-chaos-seed`) whose whole point is that the
+    /// cell actually executes; keys are unchanged, so the refreshed
+    /// entries stay interchangeable with unsupervised ones.
+    pub bypass_cache_reads: bool,
 }
 
 impl Default for ExecOptions {
@@ -83,6 +120,9 @@ impl Default for ExecOptions {
             threads: default_threads(),
             force: false,
             telemetry: TelemetrySpec::default(),
+            cell_timeout: None,
+            retries: 0,
+            bypass_cache_reads: false,
         }
     }
 }
@@ -101,6 +141,244 @@ pub fn default_threads() -> usize {
 /// partial sweep — hands the config the same seed.
 pub fn config_seed(master_seed: u64, experiment: &str, config: &Config) -> u64 {
     sim_core::derive_seed(master_seed, &format!("{experiment}/{}", config.canonical()))
+}
+
+/// The delay before retry `attempt` (1-based: the sleep after the
+/// first failed attempt is `retry_backoff(seed, 1)`).
+///
+/// Exponential base (25 ms, doubling, capped at 1.6 s) plus a jitter in
+/// `[0, base)` derived from the cell seed — a pure function of
+/// `(cell_seed, attempt)`, so reschedules are reproducible run over run
+/// while distinct cells still decorrelate.
+pub fn retry_backoff(cell_seed: u64, attempt: u32) -> Duration {
+    let base_ms = 25u64 << attempt.saturating_sub(1).min(6);
+    let jitter_ms = sim_core::derive_seed(cell_seed, &format!("retry-jitter/{attempt}")) % base_ms;
+    Duration::from_millis(base_ms + jitter_ms)
+}
+
+/// Sweep-wide abort latch: set by the first `[monitor-abort]` panic,
+/// read by workers before starting each cell.
+struct AbortState(Mutex<Option<String>>);
+
+impl AbortState {
+    fn reason(&self) -> Option<String> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    fn trip(&self, reason: &str) {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get_or_insert_with(|| reason.to_string());
+    }
+}
+
+/// Everything a worker needs to run cells; borrowed for the sweep.
+struct SweepCtx<'env> {
+    exp: &'env dyn Experiment,
+    configs: &'env [Config],
+    master_seed: u64,
+    store: Option<&'env ResultStore>,
+    opts: &'env ExecOptions,
+    slots: &'env [Mutex<Option<RunRecord>>],
+    completed: &'env AtomicUsize,
+    abort: &'env AbortState,
+}
+
+/// How one attempt of one cell ended.
+enum AttemptEnd {
+    /// The attempt ran to completion (success, error or caught panic).
+    Finished(
+        Result<Result<Artifact, String>, Box<dyn std::any::Any + Send>>,
+        Option<SessionReport>,
+    ),
+    /// The attempt overran the watchdog budget; its thread is still
+    /// running and will be joined at sweep end.
+    Hung,
+    /// The attempt thread vanished without reporting (its channel
+    /// disconnected) — something outside `catch_unwind`'s reach died.
+    Died,
+}
+
+/// Runs one attempt, inline or under the watchdog.
+fn run_attempt<'scope, 'env: 'scope>(
+    exp: &'env dyn Experiment,
+    config: &'env Config,
+    seed: u64,
+    opts: &'env ExecOptions,
+    scope: &'scope Scope<'scope, 'env>,
+) -> AttemptEnd {
+    let body = move || {
+        // Mark the thread supervised so the gate hook stays quiet: the
+        // executor reports caught panics itself, with cell context.
+        let _supervised = sim_core::supervised_section();
+        if opts.telemetry.enabled() {
+            let session = opts.telemetry.session();
+            let guard = session.install();
+            let result = panic::catch_unwind(AssertUnwindSafe(|| exp.run(config, seed)));
+            drop(guard);
+            (result, Some(session.finish()))
+        } else {
+            (
+                panic::catch_unwind(AssertUnwindSafe(|| exp.run(config, seed))),
+                None,
+            )
+        }
+    };
+    match opts.cell_timeout {
+        None => {
+            let (result, telemetry) = body();
+            AttemptEnd::Finished(result, telemetry)
+        }
+        Some(budget) => {
+            let (tx, rx) = mpsc::channel();
+            scope.spawn(move || {
+                // The receiver may be long gone (watchdog fired); a dead
+                // channel just means the result is discarded.
+                let _ = tx.send(body());
+            });
+            match rx.recv_timeout(budget) {
+                Ok((result, telemetry)) => AttemptEnd::Finished(result, telemetry),
+                Err(RecvTimeoutError::Timeout) => AttemptEnd::Hung,
+                Err(RecvTimeoutError::Disconnected) => AttemptEnd::Died,
+            }
+        }
+    }
+}
+
+/// Runs one cell end to end: cache probe, attempt ladder, record.
+fn run_cell<'scope, 'env: 'scope>(
+    ctx: &SweepCtx<'env>,
+    index: usize,
+    scope: &'scope Scope<'scope, 'env>,
+) {
+    let config = &ctx.configs[index];
+    let exp = ctx.exp;
+    let opts = ctx.opts;
+    let seed = config_seed(ctx.master_seed, exp.name(), config);
+    let key = hash::cache_key(
+        exp.name(),
+        &config.canonical(),
+        seed,
+        exp.version(),
+        sim_core::ENGINE_VERSION,
+        crate::cache::FORMAT_VERSION,
+    );
+    let t0 = Instant::now();
+
+    let finish = |record: RunRecord| {
+        *ctx.slots[index].lock().expect("slot poisoned") = Some(record);
+        ctx.completed.fetch_add(1, Ordering::Relaxed);
+    };
+    let record =
+        |outcome: Outcome, from_cache: bool, telemetry: Option<SessionReport>, attempts: u32| {
+            let failed = outcome.is_failure();
+            RunRecord {
+                index,
+                config: config.clone(),
+                seed,
+                cache_key: key.clone(),
+                outcome,
+                from_cache,
+                elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                telemetry,
+                attempts,
+                quarantined: failed && attempts >= 2,
+                repro: (failed && attempts > 0).then(|| {
+                    format!(
+                        "{} --seed {} --force --only \"{}\"",
+                        exp.name(),
+                        ctx.master_seed,
+                        config.label()
+                    )
+                }),
+            }
+        };
+
+    // A tripped abort skips everything not yet started; cells already
+    // in flight on other workers run to completion and are kept.
+    if let Some(reason) = ctx.abort.reason() {
+        finish(record(Outcome::Skipped { reason }, false, None, 0));
+        return;
+    }
+
+    if !opts.force && !opts.telemetry.enabled() && !opts.bypass_cache_reads {
+        if let Some(hit) = ctx.store.and_then(|s| s.load(&key)) {
+            finish(record(Outcome::Done(hit.artifact), true, None, 0));
+            return;
+        }
+    }
+
+    let max_attempts = opts.retries.saturating_add(1);
+    let mut attempt = 0u32;
+    let (outcome, telemetry) = loop {
+        attempt += 1;
+        match run_attempt(exp, config, seed, opts, scope) {
+            AttemptEnd::Finished(Ok(Ok(artifact)), telemetry) => {
+                if let Some(s) = ctx.store {
+                    // A failed persist degrades caching, not correctness.
+                    let _ = s.store(
+                        &key,
+                        config,
+                        seed,
+                        exp.version(),
+                        &artifact,
+                        t0.elapsed().as_secs_f64() * 1e3,
+                    );
+                }
+                break (Outcome::Done(artifact), telemetry);
+            }
+            AttemptEnd::Finished(Ok(Err(message)), telemetry) => {
+                if attempt >= max_attempts {
+                    break (
+                        Outcome::Failed {
+                            message,
+                            panicked: false,
+                        },
+                        telemetry,
+                    );
+                }
+            }
+            AttemptEnd::Finished(Err(payload), telemetry) => {
+                let message = sim_core::panic_payload_message(payload.as_ref());
+                let abort = message.starts_with("[monitor-abort]");
+                if abort {
+                    ctx.abort.trip(&message);
+                }
+                // An abort verdict is a judgement about the sweep, not a
+                // flaky cell: never retried.
+                if abort || attempt >= max_attempts {
+                    break (
+                        Outcome::Failed {
+                            message,
+                            panicked: true,
+                        },
+                        telemetry,
+                    );
+                }
+            }
+            AttemptEnd::Hung => {
+                if attempt >= max_attempts {
+                    let timeout_ms = opts.cell_timeout.map(|d| d.as_millis() as u64).unwrap_or(0);
+                    break (Outcome::TimedOut { timeout_ms }, None);
+                }
+            }
+            AttemptEnd::Died => {
+                break (
+                    Outcome::Failed {
+                        message: "attempt thread died before reporting a result".to_string(),
+                        panicked: true,
+                    },
+                    None,
+                );
+            }
+        }
+        std::thread::sleep(retry_backoff(seed, attempt));
+    };
+    finish(record(outcome, false, telemetry, attempt));
 }
 
 /// Runs every config of `exp`, in parallel, through the cache.
@@ -125,104 +403,43 @@ pub fn execute(
         workers[i % threads].push(i);
     }
 
-    // Panics inside `run` are part of normal sweep operation; silence
-    // the default hook's backtrace spew for the duration.
-    let prev_hook = panic::take_hook();
-    panic::set_hook(Box::new(|_| {}));
+    // Panics inside `run` are part of normal sweep operation; the gate
+    // hook silences them on exactly the supervised cell threads (see
+    // `sim_core::supervise`) — unsupervised threads keep the loud
+    // default, unlike the old globally-swallowing hook swap.
+    sim_core::install_panic_gate();
     let completed = AtomicUsize::new(0);
-
-    let run_one = |index: usize| {
-        let config = &configs[index];
-        let seed = config_seed(master_seed, exp.name(), config);
-        let key = hash::cache_key(
-            exp.name(),
-            &config.canonical(),
-            seed,
-            exp.version(),
-            sim_core::ENGINE_VERSION,
-            crate::cache::FORMAT_VERSION,
-        );
-        let t0 = Instant::now();
-
-        if !opts.force && !opts.telemetry.enabled() {
-            if let Some(hit) = store.and_then(|s| s.load(&key)) {
-                let record = RunRecord {
-                    index,
-                    config: config.clone(),
-                    seed,
-                    cache_key: key,
-                    outcome: Outcome::Done(hit.artifact),
-                    from_cache: true,
-                    elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
-                    telemetry: None,
-                };
-                *slots[index].lock().expect("slot poisoned") = Some(record);
-                completed.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-        }
-
-        let (result, telemetry) = if opts.telemetry.enabled() {
-            let session = opts.telemetry.session();
-            let guard = session.install();
-            let result = panic::catch_unwind(AssertUnwindSafe(|| exp.run(config, seed)));
-            drop(guard);
-            (result, Some(session.finish()))
-        } else {
-            (
-                panic::catch_unwind(AssertUnwindSafe(|| exp.run(config, seed))),
-                None,
-            )
-        };
-        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let outcome = match result {
-            Ok(Ok(artifact)) => {
-                if let Some(s) = store {
-                    // A failed persist degrades caching, not correctness.
-                    let _ = s.store(&key, config, seed, exp.version(), &artifact, elapsed_ms);
-                }
-                Outcome::Done(artifact)
-            }
-            Ok(Err(message)) => Outcome::Failed {
-                message,
-                panicked: false,
-            },
-            Err(payload) => Outcome::Failed {
-                message: panic_message(payload.as_ref()),
-                panicked: true,
-            },
-        };
-        let record = RunRecord {
-            index,
-            config: config.clone(),
-            seed,
-            cache_key: key,
-            outcome,
-            from_cache: false,
-            elapsed_ms,
-            telemetry,
-        };
-        *slots[index].lock().expect("slot poisoned") = Some(record);
-        completed.fetch_add(1, Ordering::Relaxed);
+    let abort = AbortState(Mutex::new(None));
+    let ctx = SweepCtx {
+        exp,
+        configs,
+        master_seed,
+        store,
+        opts,
+        slots: &slots,
+        completed: &completed,
+        abort: &abort,
     };
 
     std::thread::scope(|scope| {
         for worker in &workers {
-            scope.spawn(|| {
+            let ctx = &ctx;
+            let stealers = &stealers;
+            scope.spawn(move || {
                 loop {
                     // Own deque first, then steal from siblings.
                     let task = worker
                         .pop()
                         .or_else(|| stealers.iter().find_map(|s| s.steal().success()));
                     match task {
-                        Some(index) => run_one(index),
+                        Some(index) => run_cell(ctx, index, scope),
                         None => {
                             // All deques observed empty: if every config
                             // is accounted for, we are done; otherwise a
                             // sibling still holds in-flight work that
                             // might never produce more tasks here, so
                             // yield and re-scan.
-                            if completed.load(Ordering::Relaxed) >= configs.len() {
+                            if ctx.completed.load(Ordering::Relaxed) >= configs.len() {
                                 break;
                             }
                             std::thread::yield_now();
@@ -232,8 +449,6 @@ pub fn execute(
             });
         }
     });
-
-    panic::set_hook(prev_hook);
 
     slots
         .into_iter()
@@ -245,21 +460,12 @@ pub fn execute(
         .collect()
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "panic with non-string payload".to_string()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cli::Cli;
     use crate::experiment::Artifact;
+    use std::collections::HashMap;
 
     struct Parity;
 
@@ -311,6 +517,11 @@ mod tests {
             }
             other => panic!("expected panic failure, got {other:?}"),
         }
+        assert!(records[13]
+            .repro
+            .as_deref()
+            .is_some_and(|r| r.contains("--only") && r.contains("i=13")));
+        assert!(!records[13].quarantined, "no retries -> no quarantine");
         match &records[21].outcome {
             Outcome::Failed { message, panicked } => {
                 assert!(!panicked);
@@ -325,6 +536,9 @@ mod tests {
                 .count(),
             62
         );
+        assert!(records
+            .iter()
+            .all(|r| r.attempts == 1 && r.repro.is_some() == r.outcome.is_failure()));
     }
 
     #[test]
@@ -369,5 +583,203 @@ mod tests {
             },
         );
         assert!(serial.iter().zip(&other).all(|(a, b)| a.seed != b.seed));
+    }
+
+    #[test]
+    fn backoff_is_seeded_exponential_and_deterministic() {
+        for attempt in 1..=8u32 {
+            assert_eq!(
+                retry_backoff(42, attempt),
+                retry_backoff(42, attempt),
+                "backoff must be a pure function"
+            );
+        }
+        // Exponential envelope: base doubles per rung (cap at rung 7),
+        // jitter stays below one base.
+        for attempt in 1..=6u32 {
+            let base = 25u64 << (attempt - 1);
+            let d = retry_backoff(7, attempt).as_millis() as u64;
+            assert!((base..2 * base).contains(&d), "attempt {attempt}: {d} ms");
+        }
+        assert_eq!(retry_backoff(7, 7), retry_backoff(7, 7));
+        assert!(retry_backoff(7, 60) < Duration::from_millis(2 * 25 * 64 + 1));
+        // Different cells decorrelate their jitter.
+        assert!((1..=8u32).any(|a| retry_backoff(1, a) != retry_backoff(2, a)));
+    }
+
+    /// A transiently-failing cell heals on retry with the same seed; a
+    /// deterministic failure climbs the whole ladder and is quarantined.
+    struct Flaky {
+        attempts_seen: Mutex<HashMap<u64, u32>>,
+    }
+
+    impl Experiment for Flaky {
+        fn name(&self) -> &'static str {
+            "flaky-unit"
+        }
+        fn params(&self, _cli: &Cli) -> Vec<Config> {
+            (0..6u64).map(|i| Config::new().with("i", i)).collect()
+        }
+        fn run(&self, config: &Config, seed: u64) -> Result<Artifact, String> {
+            let i = config.u64("i").expect("i");
+            // Count the attempt and release the lock before any panic,
+            // so a wobble never poisons the counter for other cells.
+            let n = {
+                let mut seen = self
+                    .attempts_seen
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let n = seen.entry(i).or_insert(0);
+                *n += 1;
+                *n
+            };
+            if i == 3 && n == 1 {
+                panic!("transient wobble");
+            }
+            if i == 5 {
+                return Err("deterministically bad".to_string());
+            }
+            Ok(Artifact::text(format!("cell {i} seed {seed}\n")))
+        }
+    }
+
+    #[test]
+    fn flaky_cell_heals_and_repeat_offender_is_quarantined() {
+        let exp = Flaky {
+            attempts_seen: Mutex::new(HashMap::new()),
+        };
+        let cfgs = exp.params(&Cli::default());
+        let records = execute(
+            &exp,
+            &cfgs,
+            3,
+            None,
+            &ExecOptions {
+                threads: 2,
+                retries: 1,
+                ..Default::default()
+            },
+        );
+        // The wobbly cell healed on its second attempt.
+        assert!(matches!(records[3].outcome, Outcome::Done(_)));
+        assert_eq!(records[3].attempts, 2);
+        assert!(!records[3].quarantined);
+        assert!(records[3].repro.is_none());
+        // The deterministic failure burned every attempt and is
+        // quarantined with a paste-ready repro.
+        assert!(matches!(records[5].outcome, Outcome::Failed { .. }));
+        assert_eq!(records[5].attempts, 2);
+        assert!(records[5].quarantined);
+        let repro = records[5].repro.as_deref().expect("repro command");
+        assert!(
+            repro.contains("flaky-unit") && repro.contains("--only \"i=5\""),
+            "got: {repro}"
+        );
+        assert!(repro.contains("--seed 3") && repro.contains("--force"));
+        // Healthy cells ran exactly once.
+        assert!(records[..3].iter().all(|r| r.attempts == 1));
+    }
+
+    /// A cell that sleeps past the watchdog budget is recorded as
+    /// `TimedOut` while the rest of the sweep completes normally.
+    struct Sleeper;
+
+    impl Experiment for Sleeper {
+        fn name(&self) -> &'static str {
+            "sleeper-unit"
+        }
+        fn params(&self, _cli: &Cli) -> Vec<Config> {
+            (0..4u64).map(|i| Config::new().with("i", i)).collect()
+        }
+        fn run(&self, config: &Config, _seed: u64) -> Result<Artifact, String> {
+            if config.u64("i") == Some(2) {
+                std::thread::sleep(Duration::from_millis(400));
+            }
+            Ok(Artifact::text("ok\n"))
+        }
+    }
+
+    #[test]
+    fn hung_cell_times_out_with_repro_and_sweep_continues() {
+        let records = execute(
+            &Sleeper,
+            &Sleeper.params(&Cli::default()),
+            0,
+            None,
+            &ExecOptions {
+                threads: 2,
+                cell_timeout: Some(Duration::from_millis(40)),
+                retries: 1,
+                ..Default::default()
+            },
+        );
+        match &records[2].outcome {
+            Outcome::TimedOut { timeout_ms } => assert_eq!(*timeout_ms, 40),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(records[2].attempts, 2, "a hung attempt is retried");
+        assert!(records[2].quarantined);
+        assert!(records[2]
+            .repro
+            .as_deref()
+            .is_some_and(|r| r.contains("--only \"i=2\"")));
+        for (i, r) in records.iter().enumerate() {
+            if i != 2 {
+                assert!(matches!(r.outcome, Outcome::Done(_)), "cell {i} collateral");
+            }
+        }
+    }
+
+    /// A `[monitor-abort]` panic stops the sweep: the offending cell is
+    /// failed without retry, and cells not yet started are skipped.
+    struct Aborter;
+
+    impl Experiment for Aborter {
+        fn name(&self) -> &'static str {
+            "aborter-unit"
+        }
+        fn params(&self, _cli: &Cli) -> Vec<Config> {
+            (0..6u64).map(|i| Config::new().with("i", i)).collect()
+        }
+        fn run(&self, config: &Config, _seed: u64) -> Result<Artifact, String> {
+            if config.u64("i") == Some(1) {
+                panic!("[monitor-abort] packet conservation broken in cell 1");
+            }
+            Ok(Artifact::text("ok\n"))
+        }
+    }
+
+    #[test]
+    fn monitor_abort_fails_fast_and_skips_the_rest() {
+        // threads=1 makes the schedule sequential, so exactly cells 2..6
+        // are still unstarted when the abort lands.
+        let records = execute(
+            &Aborter,
+            &Aborter.params(&Cli::default()),
+            0,
+            None,
+            &ExecOptions {
+                threads: 1,
+                retries: 3,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(records[0].outcome, Outcome::Done(_)));
+        match &records[1].outcome {
+            Outcome::Failed { message, panicked } => {
+                assert!(*panicked && message.starts_with("[monitor-abort]"));
+            }
+            other => panic!("expected abort failure, got {other:?}"),
+        }
+        assert_eq!(records[1].attempts, 1, "abort verdicts are never retried");
+        for r in &records[2..] {
+            match &r.outcome {
+                Outcome::Skipped { reason } => {
+                    assert!(reason.starts_with("[monitor-abort]"), "got: {reason}");
+                }
+                other => panic!("cell {} should be skipped, got {other:?}", r.index),
+            }
+            assert_eq!(r.attempts, 0);
+        }
     }
 }

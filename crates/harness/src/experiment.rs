@@ -162,6 +162,17 @@ pub enum Outcome {
         /// Whether the failure was a caught panic rather than an `Err`.
         panicked: bool,
     },
+    /// Every attempt overran the cell watchdog (`--cell-timeout`).
+    TimedOut {
+        /// The watchdog budget each attempt was given, in ms.
+        timeout_ms: u64,
+    },
+    /// The cell never ran: an earlier cell's monitor demanded a
+    /// whole-sweep abort before this one was picked up.
+    Skipped {
+        /// Why the sweep stopped scheduling cells.
+        reason: String,
+    },
 }
 
 impl Outcome {
@@ -169,8 +180,13 @@ impl Outcome {
     pub fn artifact(&self) -> Option<&Artifact> {
         match self {
             Outcome::Done(a) => Some(a),
-            Outcome::Failed { .. } => None,
+            _ => None,
         }
+    }
+
+    /// Whether the cell counts against the sweep (anything but `Done`).
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, Outcome::Done(_))
     }
 }
 
@@ -196,6 +212,15 @@ pub struct RunRecord {
     /// was off or the artifact came from the cache). Never part of the
     /// artifact or its digest.
     pub telemetry: Option<ragnar_telemetry::SessionReport>,
+    /// How many times the cell actually executed (0 for cache hits and
+    /// skipped cells, ≥ 2 when the retry ladder was climbed).
+    pub attempts: u32,
+    /// Whether the cell exhausted its retry budget and was quarantined
+    /// as a repeat offender.
+    pub quarantined: bool,
+    /// A ready-to-paste minimal-repro command for terminally failed
+    /// cells (`None` for successes).
+    pub repro: Option<String>,
 }
 
 /// A reproducible experiment: the unit the harness schedules, caches

@@ -52,7 +52,7 @@ pub mod value;
 
 pub use cache::ResultStore;
 pub use cli::{run_main, run_with_cli, Cli};
-pub use executor::{config_seed, ExecOptions, TelemetrySpec};
+pub use executor::{config_seed, retry_backoff, ExecOptions, TelemetrySpec};
 pub use experiment::{Artifact, Config, Experiment, Outcome, RunRecord};
 pub use manifest::Manifest;
 pub use value::Value;

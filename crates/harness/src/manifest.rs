@@ -32,8 +32,17 @@ pub struct Manifest {
     pub executed: usize,
     /// Configs served from the result cache.
     pub cached: usize,
-    /// Configs that failed (error or panic).
+    /// Configs that did not produce an artifact (error, panic, timeout
+    /// or skip); this is what drives the process exit code.
     pub failed: usize,
+    /// Configs whose every attempt overran the cell watchdog.
+    pub timed_out: usize,
+    /// Configs never started because the sweep aborted first.
+    pub skipped: usize,
+    /// Configs quarantined after exhausting their retry budget.
+    pub quarantined: usize,
+    /// Whether a `[monitor-abort]` violation stopped the sweep early.
+    pub aborted: bool,
     /// End-to-end wall time of the invocation, ms.
     pub wall_ms: f64,
     /// Per-stage wall timings `(stage, ms)` in execution order.
@@ -64,6 +73,12 @@ pub struct CellStat {
     pub dropped_events: u64,
     /// Samples recorded across the cell's metrics histograms.
     pub metric_samples: u64,
+    /// How many times the cell executed (0 = cache hit or skipped).
+    pub attempts: u32,
+    /// Whether the cell was quarantined as a repeat offender.
+    pub quarantined: bool,
+    /// Ready-to-paste minimal-repro command for failed cells.
+    pub repro: Option<String>,
 }
 
 impl Manifest {
@@ -77,10 +92,21 @@ impl Manifest {
         wall_ms: f64,
     ) -> Manifest {
         let cached = records.iter().filter(|r| r.from_cache).count();
-        let failed = records
+        let failed = records.iter().filter(|r| r.outcome.is_failure()).count();
+        let timed_out = records
             .iter()
-            .filter(|r| matches!(r.outcome, Outcome::Failed { .. }))
+            .filter(|r| matches!(r.outcome, Outcome::TimedOut { .. }))
             .count();
+        let skipped = records
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Skipped { .. }))
+            .count();
+        let quarantined = records.iter().filter(|r| r.quarantined).count();
+        let aborted = records.iter().any(|r| match &r.outcome {
+            Outcome::Failed { message, .. } => message.starts_with("[monitor-abort]"),
+            Outcome::Skipped { .. } => true,
+            _ => false,
+        });
         // Digest: artifact content hashes in config order, failures
         // folded in by message so they also reproduce.
         let mut material = String::new();
@@ -92,6 +118,13 @@ impl Manifest {
                 Outcome::Failed { message, .. } => {
                     material.push_str("failed:");
                     material.push_str(message);
+                }
+                Outcome::TimedOut { timeout_ms } => {
+                    material.push_str(&format!("timed-out:{timeout_ms}"));
+                }
+                Outcome::Skipped { reason } => {
+                    material.push_str("skipped:");
+                    material.push_str(reason);
                 }
             }
             material.push('\n');
@@ -117,6 +150,9 @@ impl Manifest {
                     events,
                     dropped_events: dropped,
                     metric_samples: samples,
+                    attempts: r.attempts,
+                    quarantined: r.quarantined,
+                    repro: r.repro.clone(),
                 }
             })
             .collect();
@@ -126,9 +162,13 @@ impl Manifest {
             seed,
             threads,
             total: records.len(),
-            executed: records.len() - cached,
+            executed: records.len() - cached - skipped,
             cached,
             failed,
+            timed_out,
+            skipped,
+            quarantined,
+            aborted,
             wall_ms,
             stages,
             artifact_digest: content_hash(material.as_bytes()),
@@ -160,6 +200,10 @@ impl Manifest {
         v.set("configs_executed", self.executed);
         v.set("configs_cached", self.cached);
         v.set("configs_failed", self.failed);
+        v.set("configs_timed_out", self.timed_out);
+        v.set("configs_skipped", self.skipped);
+        v.set("configs_quarantined", self.quarantined);
+        v.set("aborted", self.aborted);
         v.set("wall_ms", self.wall_ms);
         let mut stages = Value::object();
         for (name, ms) in &self.stages {
@@ -181,6 +225,11 @@ impl Manifest {
                 cell.set("events", c.events);
                 cell.set("dropped_events", c.dropped_events);
                 cell.set("metric_samples", c.metric_samples);
+                cell.set("attempts", u64::from(c.attempts));
+                cell.set("quarantined", c.quarantined);
+                if let Some(repro) = &c.repro {
+                    cell.set("repro", repro.as_str());
+                }
                 cell
             })
             .collect();
@@ -217,6 +266,15 @@ impl Manifest {
             self.failed,
             &self.artifact_digest[..16.min(self.artifact_digest.len())],
         );
+        if self.timed_out > 0 {
+            line.push_str(&format!("; {} timed out", self.timed_out));
+        }
+        if self.quarantined > 0 {
+            line.push_str(&format!("; {} quarantined", self.quarantined));
+        }
+        if self.aborted {
+            line.push_str(&format!("; ABORTED ({} skipped)", self.skipped));
+        }
         if self.telemetry_events > 0 {
             line.push_str(&format!("; {} trace events", self.telemetry_events));
         }
@@ -239,7 +297,16 @@ mod tests {
             from_cache: cached,
             elapsed_ms: 1.0,
             telemetry: None,
+            attempts: if cached { 0 } else { 1 },
+            quarantined: false,
+            repro: None,
         }
+    }
+
+    fn with_outcome(mut r: RunRecord, outcome: Outcome) -> RunRecord {
+        r.from_cache = false;
+        r.outcome = outcome;
+        r
     }
 
     #[test]
@@ -255,6 +322,55 @@ mod tests {
         let c = vec![record(0, "x", false), record(1, "z", false)];
         let m3 = Manifest::from_records("unit", 1, 4, &c, vec![], 10.0);
         assert_ne!(m1.artifact_digest, m3.artifact_digest);
+    }
+
+    #[test]
+    fn supervision_outcomes_are_counted_and_folded_into_the_digest() {
+        let mut quarantined =
+            with_outcome(record(1, "", false), Outcome::TimedOut { timeout_ms: 50 });
+        quarantined.attempts = 3;
+        quarantined.quarantined = true;
+        quarantined.repro = Some("unit --seed 1 --force --only \"i=1\"".to_string());
+        let records = vec![
+            record(0, "x", false),
+            quarantined,
+            with_outcome(
+                record(2, "", false),
+                Outcome::Skipped {
+                    reason: "[monitor-abort] planted".to_string(),
+                },
+            ),
+        ];
+        let m = Manifest::from_records("unit", 1, 2, &records, vec![], 10.0);
+        assert_eq!((m.total, m.executed, m.failed), (3, 2, 2));
+        assert_eq!((m.timed_out, m.skipped, m.quarantined), (1, 1, 1));
+        assert!(m.aborted);
+        let line = m.summary_line();
+        assert!(
+            line.contains("1 timed out") && line.contains("ABORTED"),
+            "{line}"
+        );
+        // New outcome kinds are digest material: a different timeout or
+        // skip reason is a different run.
+        let other = vec![
+            record(0, "x", false),
+            with_outcome(record(1, "", false), Outcome::TimedOut { timeout_ms: 99 }),
+            records[2].clone(),
+        ];
+        let m2 = Manifest::from_records("unit", 1, 2, &other, vec![], 10.0);
+        assert_ne!(m.artifact_digest, m2.artifact_digest);
+        // The repro command survives into the JSON cells.
+        let v = m.to_value();
+        let cells = match v.get("cells") {
+            Some(Value::Array(cells)) => cells,
+            other => panic!("cells missing: {other:?}"),
+        };
+        assert_eq!(
+            cells[1].get("repro").and_then(Value::as_str),
+            Some("unit --seed 1 --force --only \"i=1\"")
+        );
+        assert_eq!(cells[1].get("attempts").and_then(Value::as_i64), Some(3));
+        assert_eq!(v.get("aborted").and_then(Value::as_bool), Some(true));
     }
 
     #[test]

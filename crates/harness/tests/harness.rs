@@ -310,3 +310,110 @@ fn manifest_history_accumulates() {
     assert!(m.summary_line().contains("[unit]"));
     let _ = std::fs::remove_dir_all(&results);
 }
+
+#[test]
+fn only_filter_restricts_the_sweep() {
+    let results = temp_results("only");
+    let exp = Counted::new(8);
+    let mut args = cli(&results, 2, 5);
+    args.only = Some("cell=3".to_string());
+    run_with_cli(&exp, &args).expect("filtered run");
+    assert_eq!(exp.runs.load(Ordering::SeqCst), 1, "only one cell matches");
+    assert_eq!(manifest_field(&results, "configs_total"), 1);
+    // A filter that matches nothing is a usage error, not an empty sweep.
+    args.only = Some("cell=99".to_string());
+    let err = run_with_cli(&exp, &args).expect_err("no match");
+    assert!(err.contains("cell=99"), "got: {err}");
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn cli_retries_heal_a_transient_cell() {
+    struct Wobbly {
+        tried: AtomicUsize,
+    }
+    impl Experiment for Wobbly {
+        fn name(&self) -> &'static str {
+            "harness_itest_wobbly"
+        }
+        fn params(&self, _cli: &Cli) -> Vec<Config> {
+            (0..3u64).map(|i| Config::new().with("cell", i)).collect()
+        }
+        fn run(&self, config: &Config, _seed: u64) -> Result<Artifact, String> {
+            if config.u64("cell") == Some(1) && self.tried.fetch_add(1, Ordering::SeqCst) == 0 {
+                return Err("transient".to_string());
+            }
+            Ok(Artifact::text("ok\n"))
+        }
+    }
+    let results = temp_results("retries");
+    let exp = Wobbly {
+        tried: AtomicUsize::new(0),
+    };
+    let mut args = cli(&results, 1, 0);
+    args.retries = 1;
+    let failed = run_with_cli(&exp, &args).expect("sweep completes");
+    assert_eq!(failed, 0, "the wobble healed on retry");
+    assert_eq!(exp.tried.load(Ordering::SeqCst), 2);
+    // The manifest records the extra attempt on the healed cell.
+    let raw = std::fs::read_to_string(results.join("harness_itest_wobbly/manifest.json"))
+        .expect("manifest");
+    let manifest = Value::parse(&raw).expect("parse");
+    let cells = match manifest.get("cells") {
+        Some(Value::Array(cells)) => cells.clone(),
+        other => panic!("cells missing: {other:?}"),
+    };
+    assert_eq!(cells[1].get("attempts").and_then(Value::as_i64), Some(2));
+    assert_eq!(cells[0].get("attempts").and_then(Value::as_i64), Some(1));
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn monitor_abort_salvages_completed_cells() {
+    struct Tripwire;
+    impl Experiment for Tripwire {
+        fn name(&self) -> &'static str {
+            "harness_itest_abort"
+        }
+        fn params(&self, _cli: &Cli) -> Vec<Config> {
+            (0..6u64).map(|i| Config::new().with("cell", i)).collect()
+        }
+        fn run(&self, config: &Config, _seed: u64) -> Result<Artifact, String> {
+            if config.u64("cell") == Some(2) {
+                panic!("[monitor-abort] arena ledger skew at event 312");
+            }
+            Ok(Artifact::text("ok\n"))
+        }
+    }
+    let results = temp_results("abort");
+    // threads=1 pins the schedule: cells 0 and 1 complete, 2 trips the
+    // abort, 3..6 are skipped.
+    let failed = run_with_cli(&Tripwire, &cli(&results, 1, 0)).expect("sweep returns");
+    assert_eq!(failed, 4, "one aborting cell + three skipped");
+    let raw = std::fs::read_to_string(results.join("harness_itest_abort/manifest.json"))
+        .expect("manifest");
+    let manifest = Value::parse(&raw).expect("parse");
+    assert_eq!(manifest.get("aborted").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        manifest.get("configs_skipped").and_then(Value::as_i64),
+        Some(3)
+    );
+    // Crash-consistent salvage: the cells that finished before the abort
+    // are persisted and will be cache hits on the next (fixed) run.
+    let store = ResultStore::open(&results, "harness_itest_abort").expect("open");
+    assert_eq!(store.len(), 2, "completed cells salvaged");
+    // The aborting cell carries a paste-ready repro in the manifest.
+    let cells = match manifest.get("cells") {
+        Some(Value::Array(cells)) => cells.clone(),
+        other => panic!("cells missing: {other:?}"),
+    };
+    let repro = cells[2]
+        .get("repro")
+        .and_then(Value::as_str)
+        .expect("repro present");
+    assert!(
+        repro.contains("harness_itest_abort") && repro.contains("--only \"cell=2\""),
+        "got: {repro}"
+    );
+    let _ = std::fs::remove_dir_all(&results);
+}

@@ -63,10 +63,15 @@ mod sequential;
 
 pub use actor::{Actor, EventKey, Outbox, INJECTED_SRC};
 pub use digest::Digest64;
-pub use parallel::ParallelEngine;
+pub use parallel::{ParallelEngine, SupervisorReport};
+pub use pool::{
+    ExecFaultHook, FaultCause, HealthSnapshot, InjectedExecFault, JobOutcome, PoolHealth,
+    PoolPolicy, WorkerFault,
+};
 pub use sequential::SequentialEngine;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 static AMBIENT_WORKERS: AtomicUsize = AtomicUsize::new(1);
 
@@ -81,4 +86,25 @@ pub fn set_ambient_workers(n: usize) {
 /// The worker count last set by [`set_ambient_workers`] (default 1).
 pub fn ambient_workers() -> usize {
     AMBIENT_WORKERS.load(Ordering::Relaxed)
+}
+
+static AMBIENT_SUPERVISION: Mutex<Option<PoolPolicy>> = Mutex::new(None);
+
+/// Installs (or clears, with `None`) the process-wide supervision
+/// policy that parallel runs pick up, the same way [`ambient_workers`]
+/// threads `--workers`. The harness sets this from `--cell-timeout` /
+/// exec-chaos flags before dispatching cells; `None` (the default)
+/// means unsupervised pools with default policy.
+pub fn set_ambient_supervision(policy: Option<PoolPolicy>) {
+    *AMBIENT_SUPERVISION
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = policy;
+}
+
+/// The supervision policy last installed by [`set_ambient_supervision`].
+pub fn ambient_supervision() -> Option<PoolPolicy> {
+    AMBIENT_SUPERVISION
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
 }

@@ -108,6 +108,20 @@ impl<A: Actor> Shard<A> {
     }
 }
 
+/// What a supervised run observed: events processed, pool health, and
+/// how many lookahead windows were replayed inline after a worker
+/// fault. Digests are unaffected by any of it — that is the point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorReport {
+    /// Events processed by this call.
+    pub events: u64,
+    /// Pool health counters at the end of the run.
+    pub health: pool::HealthSnapshot,
+    /// Windows replayed inline on the coordinator after a worker fault
+    /// returned the job intact.
+    pub replayed_windows: u64,
+}
+
 /// The parallel engine. Construct with the same actors, lookahead and
 /// injections as a [`SequentialEngine`](crate::SequentialEngine) and
 /// every digest matches, for any `workers >= 1`.
@@ -190,18 +204,44 @@ impl<A: Actor> ParallelEngine<A> {
     /// Runs every event with `at <= until` across the worker pool;
     /// returns events processed by this call.
     pub fn run_until(&mut self, until: SimTime) -> u64 {
+        self.run_until_supervised(until, pool::PoolPolicy::default())
+            .events
+    }
+
+    /// Like [`run_until`](ParallelEngine::run_until), but under a
+    /// supervision [`PoolPolicy`](pool::PoolPolicy): worker panics and
+    /// stalls are caught, the faulty worker is quarantined and (budget
+    /// permitting) respawned, and any window whose job came back intact
+    /// is **replayed inline on the coordinator** — shard event order is
+    /// fully determined by the heap keys, so the replay is bit-identical
+    /// to what the worker would have produced and every digest matches
+    /// the unfaulted run.
+    ///
+    /// # Panics
+    ///
+    /// A worker panic *mid-window* (a real bug in actor code, as
+    /// opposed to an injected pre-window fault) loses the shard; the
+    /// engine re-raises it with full [`WorkerFault`](pool::WorkerFault)
+    /// context rather than guessing at recovery.
+    pub fn run_until_supervised(
+        &mut self,
+        until: SimTime,
+        policy: pool::PoolPolicy,
+    ) -> SupervisorReport {
         let before: u64 = self.events_processed();
         let until_excl = SimTime::from_picos(until.as_picos().saturating_add(1));
         let lookahead = self.shards[0].lookahead;
         let shards = std::mem::take(&mut self.shards);
-        let shards = pool::scoped(
+        let (shards, health, replayed_windows) = pool::scoped_supervised(
             self.workers,
+            policy,
             |_, (mut shard, wend): (Shard<A>, SimTime)| {
                 let outbound = shard.run_window(wend);
                 (shard, outbound)
             },
-            |run| {
+            |run, health| {
                 let mut shards = shards;
+                let mut replayed = 0u64;
                 while let Some(t0) = shards.iter().filter_map(Shard::head_at).min() {
                     if t0 > until {
                         break;
@@ -210,9 +250,25 @@ impl<A: Actor> ParallelEngine<A> {
                     let jobs: Vec<(Shard<A>, SimTime)> =
                         shards.drain(..).map(|s| (s, wend)).collect();
                     let mut outbound = Vec::new();
-                    for (shard, mut sends) in run(jobs) {
-                        shards.push(shard);
-                        outbound.append(&mut sends);
+                    for outcome in run(jobs) {
+                        match outcome {
+                            pool::JobOutcome::Done((shard, mut sends)) => {
+                                shards.push(shard);
+                                outbound.append(&mut sends);
+                            }
+                            pool::JobOutcome::Returned((mut shard, wend), _fault) => {
+                                // The job never reached actor code, so
+                                // the shard is intact: replaying the
+                                // window here IS the sequential oracle.
+                                let mut sends = shard.run_window(wend);
+                                replayed += 1;
+                                shards.push(shard);
+                                outbound.append(&mut sends);
+                            }
+                            pool::JobOutcome::Lost(fault) => {
+                                panic!("pdes window unrecoverable: {fault}");
+                            }
+                        }
                     }
                     for item in outbound {
                         let s = shards
@@ -220,7 +276,7 @@ impl<A: Actor> ParallelEngine<A> {
                         shards[s].heap.push(Reverse(item));
                     }
                 }
-                shards
+                (shards, health.snapshot(), replayed)
             },
         );
         self.shards = shards;
@@ -230,7 +286,11 @@ impl<A: Actor> ParallelEngine<A> {
             .map(|s| s.now)
             .max()
             .unwrap_or(SimTime::ZERO);
-        self.events_processed() - before
+        SupervisorReport {
+            events: self.events_processed() - before,
+            health,
+            replayed_windows,
+        }
     }
 
     /// Total events processed since construction.

@@ -1,0 +1,278 @@
+//! Supervisor determinism suite: `run_until_supervised` must reproduce
+//! the sequential oracle bit-for-bit — order digest, state digest,
+//! event count — under *any* injected worker-fault schedule (panics,
+//! stalls, slow starts) at every worker count. The healing machinery
+//! (quarantine, respawn, inline window replay) is allowed to change
+//! wall-clock behavior only, never results.
+
+use pdes::{
+    Actor, Digest64, InjectedExecFault, Outbox, ParallelEngine, PoolPolicy, SequentialEngine,
+};
+use proptest::prelude::*;
+use sim_core::{derive_seed, SimDuration, SimRng, SimTime};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Same relay workload as the differential suite: stateful actors
+/// forwarding derived messages to pseudo-random peers.
+struct Relay {
+    idx: u32,
+    peers: u32,
+    state: u64,
+    rng: SimRng,
+    lookahead: SimDuration,
+    budget: u32,
+}
+
+impl Actor for Relay {
+    type Msg = u64;
+
+    fn on_event(&mut self, _now: SimTime, msg: u64, out: &mut Outbox<u64>) {
+        self.state = self
+            .state
+            .rotate_left(7)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(msg);
+        if self.budget == 0 {
+            return;
+        }
+        self.budget -= 1;
+        let fan = self.rng.next_u64() % 3;
+        for _ in 0..fan {
+            let dst = (self.rng.next_u64() % u64::from(self.peers)) as u32;
+            let extra = self.rng.next_u64() % 2_000_000;
+            let delay = self.lookahead + SimDuration::from_picos(extra);
+            out.send(dst, delay, self.state ^ u64::from(dst));
+        }
+        if self.rng.chance(0.4) {
+            let delay = SimDuration::from_picos(self.rng.next_u64() % 500_000);
+            out.send(self.idx, delay, self.state.wrapping_add(1));
+        }
+    }
+
+    fn state_digest(&self, d: &mut Digest64) {
+        d.fold(self.state);
+        d.fold(u64::from(self.budget));
+    }
+}
+
+fn build(seed: u64, actors: u32, lookahead: SimDuration, budget: u32) -> Vec<Relay> {
+    (0..actors)
+        .map(|idx| Relay {
+            idx,
+            peers: actors,
+            state: derive_seed(seed, "relay-state") ^ u64::from(idx),
+            rng: SimRng::derive(seed, &format!("relay-{idx}")),
+            lookahead,
+            budget,
+        })
+        .collect()
+}
+
+fn inject_all(seed: u64, actors: u32, stimuli: u32, inject: &mut dyn FnMut(u32, SimTime, u64)) {
+    let mut rng = SimRng::derive(seed, "inject");
+    for i in 0..stimuli {
+        let dst = (rng.next_u64() % u64::from(actors)) as u32;
+        let at = SimTime::from_picos(rng.next_u64() % 5_000_000);
+        inject(dst, at, u64::from(i) << 32 | u64::from(dst));
+    }
+}
+
+/// A seed-derived fault schedule: per `(worker, round)` the hook draws
+/// from a stateless derived stream, so the schedule is a pure function
+/// of its seed — identical across runs and independent of dispatch
+/// timing.
+fn fault_hook(seed: u64, rate_pct: u64) -> pdes::ExecFaultHook {
+    Arc::new(move |worker, round| {
+        let draw = derive_seed(seed, &format!("fault/{worker}/{round}"));
+        if draw % 100 >= rate_pct {
+            return None;
+        }
+        // Panic-heavy mix: panics are wall-clock free, while every
+        // stall costs its sleep, so the suite stays fast even under a
+        // dense schedule.
+        Some(match draw / 100 % 4 {
+            0 | 1 => InjectedExecFault::Panic,
+            2 => InjectedExecFault::Stall(Duration::from_millis(5)),
+            _ => InjectedExecFault::SlowStart(Duration::from_micros(300)),
+        })
+    })
+}
+
+fn policy(seed: u64, rate_pct: u64) -> PoolPolicy {
+    PoolPolicy {
+        // Short enough that every injected 5 ms stall trips the
+        // watchdog; long enough that healthy sub-millisecond windows
+        // never do.
+        stall_timeout: Some(Duration::from_millis(2)),
+        max_respawns: 64,
+        fault_hook: Some(fault_hook(seed, rate_pct)),
+    }
+}
+
+/// Oracle observables for one configuration.
+fn oracle(seed: u64, actors: u32, stimuli: u32, budget: u32) -> (u64, u64, u64) {
+    let lookahead = SimDuration::from_nanos(700);
+    let mut seq = SequentialEngine::new(build(seed, actors, lookahead, budget), lookahead);
+    inject_all(seed, actors, stimuli, &mut |d, at, m| seq.inject(d, at, m));
+    let n = seq.run_until(SimTime::from_micros(200));
+    (n, seq.order_digest(), seq.state_digest())
+}
+
+fn assert_supervised_equivalent(seed: u64, actors: u32, stimuli: u32, budget: u32, rate_pct: u64) {
+    let lookahead = SimDuration::from_nanos(700);
+    let (oracle_n, oracle_order, oracle_state) = oracle(seed, actors, stimuli, budget);
+    for workers in [2usize, 4, 8] {
+        let mut par =
+            ParallelEngine::new(build(seed, actors, lookahead, budget), lookahead, workers);
+        inject_all(seed, actors, stimuli, &mut |d, at, m| par.inject(d, at, m));
+        let report = par.run_until_supervised(SimTime::from_micros(200), policy(seed, rate_pct));
+        assert_eq!(
+            report.events, oracle_n,
+            "event counts diverged (workers={workers})"
+        );
+        assert_eq!(
+            par.order_digest(),
+            oracle_order,
+            "order digests diverged under faults (workers={workers})"
+        );
+        assert_eq!(
+            par.state_digest(),
+            oracle_state,
+            "state digests diverged under faults (workers={workers})"
+        );
+        // Every panic-returned window must have been replayed, and the
+        // ledger must agree with the pool's own panic counter.
+        assert_eq!(
+            report.replayed_windows, report.health.panics,
+            "replay ledger out of step with panic count (workers={workers})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random workloads under a ~25% per-(worker, round) fault rate:
+    /// digests must match the fault-free sequential oracle exactly.
+    #[test]
+    fn faulted_supervised_runs_match_oracle(
+        seed in any::<u64>(),
+        actors in 2u32..16,
+        stimuli in 4u32..24,
+        budget in 4u32..48,
+    ) {
+        assert_supervised_equivalent(seed, actors, stimuli, budget, 25);
+    }
+}
+
+/// A guaranteed-dense panic schedule: every worker faults on every
+/// third round. The run must both heal (digests match) and *record*
+/// the healing (non-zero panic and replay counters).
+#[test]
+fn dense_panic_schedule_heals_and_is_recorded() {
+    let lookahead = SimDuration::from_nanos(700);
+    let (oracle_n, oracle_order, oracle_state) = oracle(99, 8, 16, 32);
+    let hook: pdes::ExecFaultHook =
+        Arc::new(|_worker, round| (round % 3 == 1).then_some(InjectedExecFault::Panic));
+    let mut par = ParallelEngine::new(build(99, 8, lookahead, 32), lookahead, 4);
+    inject_all(99, 8, 16, &mut |d, at, m| par.inject(d, at, m));
+    let report = par.run_until_supervised(
+        SimTime::from_micros(200),
+        PoolPolicy {
+            stall_timeout: Some(Duration::from_millis(50)),
+            max_respawns: 64,
+            fault_hook: Some(hook),
+        },
+    );
+    assert_eq!(report.events, oracle_n);
+    assert_eq!(par.order_digest(), oracle_order);
+    assert_eq!(par.state_digest(), oracle_state);
+    assert!(report.health.panics > 0, "schedule never fired: {report:?}");
+    assert_eq!(report.replayed_windows, report.health.panics);
+    assert!(
+        report.health.respawns > 0,
+        "panicked workers were never respawned: {report:?}"
+    );
+}
+
+/// Stall quarantine: a worker that goes silent past the watchdog is
+/// quarantined and respawned, its late result is still folded in, and
+/// the digests never notice.
+#[test]
+fn stalled_workers_are_quarantined_without_divergence() {
+    let lookahead = SimDuration::from_nanos(700);
+    let (oracle_n, oracle_order, oracle_state) = oracle(7, 6, 12, 24);
+    let hook: pdes::ExecFaultHook = Arc::new(|worker, round| {
+        (worker == 0 && round == 2).then_some(InjectedExecFault::Stall(Duration::from_millis(40)))
+    });
+    let mut par = ParallelEngine::new(build(7, 6, lookahead, 24), lookahead, 4);
+    inject_all(7, 6, 12, &mut |d, at, m| par.inject(d, at, m));
+    let report = par.run_until_supervised(
+        SimTime::from_micros(200),
+        PoolPolicy {
+            stall_timeout: Some(Duration::from_millis(5)),
+            max_respawns: 8,
+            fault_hook: Some(hook),
+        },
+    );
+    assert_eq!(report.events, oracle_n);
+    assert_eq!(par.order_digest(), oracle_order);
+    assert_eq!(par.state_digest(), oracle_state);
+}
+
+/// Respawn-budget exhaustion degrades to inline coordinator execution —
+/// slower, never wrong.
+#[test]
+fn respawn_exhaustion_falls_back_inline() {
+    let lookahead = SimDuration::from_nanos(700);
+    let (oracle_n, oracle_order, oracle_state) = oracle(13, 5, 10, 20);
+    // Every round, every worker: the budget drains almost immediately.
+    let hook: pdes::ExecFaultHook = Arc::new(|_w, _round| Some(InjectedExecFault::Panic));
+    let mut par = ParallelEngine::new(build(13, 5, lookahead, 20), lookahead, 3);
+    inject_all(13, 5, 10, &mut |d, at, m| par.inject(d, at, m));
+    let report = par.run_until_supervised(
+        SimTime::from_micros(200),
+        PoolPolicy {
+            stall_timeout: Some(Duration::from_millis(50)),
+            max_respawns: 2,
+            fault_hook: Some(hook),
+        },
+    );
+    assert_eq!(report.events, oracle_n);
+    assert_eq!(par.order_digest(), oracle_order);
+    assert_eq!(par.state_digest(), oracle_state);
+    assert!(
+        report.health.quarantined > 0,
+        "no slot ever exhausted its budget: {report:?}"
+    );
+}
+
+/// Seed-determinism of the schedule itself: the same hook seed produces
+/// the same health counters run over run (the schedule is a pure
+/// function of `(seed, worker, round)`, not of thread timing).
+#[test]
+fn fault_schedule_is_seed_deterministic() {
+    let lookahead = SimDuration::from_nanos(700);
+    let run = || {
+        let mut par = ParallelEngine::new(build(21, 6, lookahead, 24), lookahead, 4);
+        inject_all(21, 6, 12, &mut |d, at, m| par.inject(d, at, m));
+        let report = par.run_until_supervised(
+            SimTime::from_micros(200),
+            PoolPolicy {
+                // No stall injection and a generous watchdog: the only
+                // nondeterministic counter source (wall-clock timeouts)
+                // is out of the picture.
+                stall_timeout: Some(Duration::from_secs(5)),
+                max_respawns: 64,
+                fault_hook: Some(Arc::new(|w, round| {
+                    (round % 4 == 1 && w % 2 == 0).then_some(InjectedExecFault::Panic)
+                })),
+            },
+        );
+        (par.order_digest(), par.state_digest(), report.health.panics)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed, same schedule, different outcome");
+}

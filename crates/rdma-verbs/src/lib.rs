@@ -15,12 +15,14 @@
 #![warn(missing_docs)]
 
 mod host;
+mod monitors;
 mod world;
 mod wr;
 
 pub use host::HostSpec;
 pub use world::{
-    App, AppId, ConnectOptions, Ctx, MrHandle, QpHandle, QueueBackend, Simulation, VerbsError,
+    App, AppId, ConnectOptions, Ctx, MrHandle, QpHandle, QueueBackend, Simulation, SupervisorStats,
+    VerbsError,
 };
 pub use wr::WorkRequest;
 
@@ -33,7 +35,8 @@ pub use rnic_model::{
 // Re-export the fault-injection vocabulary so experiment crates can build
 // and install plans without depending on the chaos crate directly.
 pub use ragnar_chaos::{
-    FabricStats, FaultEvent, FaultKind, FaultPlan, InjectorStats, LinkSelector, PlanParams,
+    ExecFaultEvent, ExecFaultKind, ExecFaultPlan, ExecPlanParams, ExecWorkerSelector, FabricStats,
+    FaultEvent, FaultKind, FaultPlan, InjectorStats, LinkSelector, PlanParams,
 };
 
 // Re-export the fabric vocabulary for the same reason: experiments build

@@ -721,6 +721,12 @@ impl Simulation {
         if w.metrics.enabled() {
             return false;
         }
+        // Online invariant monitors want one coherent world state per
+        // event — and a run whose invariants are in question belongs on
+        // the sequential oracle anyway.
+        if w.monitors.is_some() {
+            return false;
+        }
         for t in [
             Target::SimCore,
             Target::RnicModel,
@@ -751,6 +757,7 @@ impl Simulation {
     ///
     /// Returns the number of events processed.
     pub fn run_until_workers(&mut self, deadline: SimTime, workers: usize) -> u64 {
+        self.supervisor = None;
         if workers <= 1 || !self.parallel_eligible() {
             return self.run_until(deadline);
         }
@@ -789,70 +796,121 @@ impl Simulation {
         let threads = workers
             .min(std::thread::available_parallelism().map_or(1, |n| n.get()))
             .max(1);
+        // Ambient supervision (installed by the harness): worker faults
+        // are caught, quarantined and healed instead of tearing the run
+        // down. When the policy carries an injected-fault hook, drop the
+        // ship threshold for the duration so every group batch actually
+        // crosses a worker boundary — otherwise small runs inline
+        // everything and the injected faults never meet a job.
+        let supervision = pdes::ambient_supervision();
+        let saved_threshold = match &supervision {
+            Some(p) if p.fault_hook.is_some() => {
+                Some(std::mem::replace(&mut self.world.ship_threshold, 0))
+            }
+            _ => None,
+        };
+        let mut replayed = 0u64;
+        let mut sup_health = None;
         let sim = &mut *self;
-        pdes::pool::scoped(
-            threads,
-            |_worker, jobs: Vec<GroupWork>| -> Vec<GroupOut> {
-                jobs.into_iter()
-                    .map(|job| process_group(job, &qp_owner))
-                    .collect()
-            },
-            |run| {
-                // Adaptive engine selection: a round that ships nothing
-                // pays the whole protocol (batch pop, partition, merge
-                // heap) for work the plain sequential loop does cheaper.
-                // After such a round the next few windows run
-                // sequentially, then a round probes the density again.
-                // Which engine processes a window never changes results
-                // — only wall clock — because a conservative window is
-                // causally self-contained either way.
-                let mut stretch: u64 = 0;
-                let mut backoff = SEQ_STRETCH_WINDOWS;
-                while let Some(t0) = sim.world.queue.peek_time() {
-                    if t0 > deadline {
+        let work = |_worker: usize, jobs: Vec<GroupWork>| -> Vec<GroupOut> {
+            jobs.into_iter()
+                .map(|job| process_group(job, &qp_owner))
+                .collect()
+        };
+        let mut drive_loop = |run: &mut dyn FnMut(Vec<Vec<GroupWork>>) -> Vec<Vec<GroupOut>>| {
+            // Adaptive engine selection: a round that ships nothing
+            // pays the whole protocol (batch pop, partition, merge
+            // heap) for work the plain sequential loop does cheaper.
+            // After such a round the next few windows run
+            // sequentially, then a round probes the density again.
+            // Which engine processes a window never changes results
+            // — only wall clock — because a conservative window is
+            // causally self-contained either way.
+            let mut stretch: u64 = 0;
+            let mut backoff = SEQ_STRETCH_WINDOWS;
+            while let Some(t0) = sim.world.queue.peek_time() {
+                if t0 > deadline {
+                    break;
+                }
+                if stretch > 0 {
+                    let limit = SimTime::from_picos(
+                        t0.as_picos().saturating_add(stretch * lookahead.as_picos()) - 1,
+                    )
+                    .min(deadline);
+                    stretch = 0;
+                    while !sim.world.stopped {
+                        let Some((at, event)) = sim.world.queue.pop_before(limit) else {
+                            break;
+                        };
+                        sim.world.fold_event(at, &event);
+                        sim.execute_event(event);
+                    }
+                    if sim.world.stopped {
                         break;
                     }
-                    if stretch > 0 {
-                        let limit = SimTime::from_picos(
-                            t0.as_picos().saturating_add(stretch * lookahead.as_picos()) - 1,
-                        )
-                        .min(deadline);
-                        stretch = 0;
-                        while !sim.world.stopped {
-                            let Some((at, event)) = sim.world.queue.pop_before(limit) else {
-                                break;
-                            };
-                            sim.world.fold_event(at, &event);
-                            sim.execute_event(event);
-                        }
-                        if sim.world.stopped {
-                            break;
-                        }
-                        continue;
-                    }
-                    let shipped = sim.round(
-                        t0,
-                        deadline,
-                        lookahead,
-                        &host_group,
-                        &app_group,
-                        &group_send_apps,
-                        threads,
-                        run,
-                    );
-                    if shipped == 0 {
-                        // Exponential backoff on consecutive empty
-                        // probes: sparse phases cost ever fewer wasted
-                        // rounds, while one shipped round snaps the
-                        // probe cadence back to tight.
-                        stretch = backoff;
-                        backoff = (backoff * 2).min(SEQ_STRETCH_WINDOWS * 16);
-                    } else {
-                        backoff = SEQ_STRETCH_WINDOWS;
-                    }
+                    continue;
                 }
-            },
-        );
+                let shipped = sim.round(
+                    t0,
+                    deadline,
+                    lookahead,
+                    &host_group,
+                    &app_group,
+                    &group_send_apps,
+                    threads,
+                    run,
+                );
+                if shipped == 0 {
+                    // Exponential backoff on consecutive empty
+                    // probes: sparse phases cost ever fewer wasted
+                    // rounds, while one shipped round snaps the
+                    // probe cadence back to tight.
+                    stretch = backoff;
+                    backoff = (backoff * 2).min(SEQ_STRETCH_WINDOWS * 16);
+                } else {
+                    backoff = SEQ_STRETCH_WINDOWS;
+                }
+            }
+        };
+        match supervision {
+            None => pdes::pool::scoped(threads, work, |run| drive_loop(run)),
+            Some(policy) => {
+                // Inline replay of a returned batch runs the exact same
+                // pure `process_group` a healthy worker would have run —
+                // the coordinator *is* the sequential oracle, so digests
+                // stay bit-identical through any fault schedule.
+                let qp_owner_replay = qp_owner.clone();
+                let snap = pdes::pool::scoped_supervised(threads, policy, work, |run, health| {
+                    let mut adapter = |batches: Vec<Vec<GroupWork>>| -> Vec<Vec<GroupOut>> {
+                        run(batches)
+                            .into_iter()
+                            .map(|outcome| match outcome {
+                                pdes::JobOutcome::Done(outs) => outs,
+                                pdes::JobOutcome::Returned(jobs, _fault) => {
+                                    replayed += jobs.len() as u64;
+                                    jobs.into_iter()
+                                        .map(|j| process_group(j, &qp_owner_replay))
+                                        .collect()
+                                }
+                                pdes::JobOutcome::Lost(fault) => {
+                                    panic!("rdma-verbs worker batch unrecoverable: {fault}")
+                                }
+                            })
+                            .collect()
+                    };
+                    drive_loop(&mut adapter);
+                    health.snapshot()
+                });
+                sup_health = Some(snap);
+            }
+        }
+        if let Some(t) = saved_threshold {
+            self.world.ship_threshold = t;
+        }
+        self.supervisor = sup_health.map(|health| super::SupervisorStats {
+            health,
+            replayed_jobs: replayed,
+        });
         self.events_processed() - before
     }
 

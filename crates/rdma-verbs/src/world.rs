@@ -464,6 +464,11 @@ struct World {
     /// Order-sensitive digest folded over every processed event — the
     /// cross-engine fingerprint of the PDES differential suite.
     order: pdes::Digest64,
+    /// Online invariant monitors, captured from
+    /// [`sim_core::ambient_monitors`] at construction; `None` (the
+    /// default) keeps the event loop's hot path monitor-free. Active
+    /// monitors force the sequential engine (see `parallel_eligible`).
+    monitors: Option<crate::monitors::MonitorState>,
 }
 
 /// Merge-phase state for one conservative round (see the `parallel`
@@ -1020,6 +1025,25 @@ pub struct Simulation {
     world: World,
     apps: Vec<Option<AppBox>>,
     started_count: usize,
+    /// Supervisor activity recorded by the most recent
+    /// `run_until_workers` call that ran under an ambient
+    /// [`pdes::PoolPolicy`]; `None` on the unsupervised fast path.
+    supervisor: Option<SupervisorStats>,
+}
+
+/// What the supervised worker pool survived during one
+/// [`Simulation::run_until_workers`] call: the pool's health counters
+/// plus how many shipped group batches were replayed inline on the
+/// coordinator (the sequential oracle) after a worker fault returned
+/// them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Pool health counters (panics, stalls, respawns, quarantines,
+    /// jobs run inline because every worker slot died).
+    pub health: pdes::HealthSnapshot,
+    /// Group jobs replayed coordinator-side after a worker fault
+    /// returned them unexecuted.
+    pub replayed_jobs: u64,
 }
 
 /// App storage: whether the app may be shipped to a parallel worker.
@@ -1086,9 +1110,11 @@ impl Simulation {
                 round: None,
                 synthetic: 0,
                 order: pdes::Digest64::new(),
+                monitors: sim_core::ambient_monitors().map(crate::monitors::MonitorState::new),
             },
             apps: Vec::new(),
             started_count: 0,
+            supervisor: None,
         }
     }
 
@@ -1473,8 +1499,63 @@ impl Simulation {
             };
             self.world.fold_event(at, &event);
             self.execute_event(event);
+            if self.world.monitors.is_some() {
+                self.observe_monitors(at);
+            }
         }
         processed
+    }
+
+    /// Runs the online invariant monitors after one event: the O(1)
+    /// per-event checks always, the O(state) checks on cadence. Out of
+    /// line so the monitor-free hot loop pays one branch.
+    #[cold]
+    fn observe_monitors(&mut self, at: SimTime) {
+        let w = &mut self.world;
+        let Some(mon) = w.monitors.as_mut() else {
+            return;
+        };
+        mon.observe_event(at, &w.metrics);
+        if mon.cadence_due() {
+            mon.check_state(&w.arena, &w.fabric, &w.nics, &w.metrics);
+        }
+    }
+
+    /// Monitor violations observed so far under the `Log` policy
+    /// (`None` when monitors are not installed; the stricter policies
+    /// panic on the first violation instead of counting).
+    pub fn monitor_violations(&self) -> Option<u64> {
+        self.world.monitors.as_ref().map(|m| m.violations())
+    }
+
+    /// Supervisor activity from the most recent supervised
+    /// `run_until_workers` call (`None` when no ambient
+    /// [`pdes::PoolPolicy`] was installed or the run fell back to the
+    /// sequential engine).
+    pub fn supervisor_stats(&self) -> Option<SupervisorStats> {
+        self.supervisor
+    }
+
+    /// Skews the packet arena's allocation ledger without touching any
+    /// slot — plants the exact inconsistency the arena monitor exists to
+    /// catch. Test-only.
+    #[doc(hidden)]
+    pub fn debug_skew_arena_ledger(&mut self) {
+        self.world.arena.debug_skew_ledger();
+    }
+
+    /// Records a phantom delivery in the fabric conservation ledger —
+    /// more packets leaving than entered. Test-only.
+    #[doc(hidden)]
+    pub fn debug_skew_fabric_ledger(&mut self) {
+        self.world.fabric.delivered += 1;
+    }
+
+    /// Forces a QP on `host` into an illegal state (`outstanding`
+    /// past its configured bound). Test-only.
+    #[doc(hidden)]
+    pub fn debug_skew_qp(&mut self, host: HostId, qp: QpNum) {
+        self.world.nic_mut(host).debug_skew_qp_outstanding(qp);
     }
 
     /// Dispatches one popped event — the single definition shared by the

@@ -1,0 +1,204 @@
+//! Supervised execution over the verbs fabric: induced worker crashes
+//! and stalls mid-window must leave every observable — order digest,
+//! event count, fabric ledger, NIC counters, app completion logs —
+//! bit-identical to the unfaulted sequential oracle, at every worker
+//! count. The supervisor's activity is visible only through
+//! [`Simulation::supervisor_stats`].
+
+use rdma_verbs::{
+    AccessFlags, App, ConnectOptions, Ctx, DeviceProfile, HostId, MrHandle, QpHandle, Simulation,
+    WorkRequest,
+};
+use sim_core::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Ambient supervision is process-global; tests in this binary take the
+/// lock, install their policy, and restore `None` on drop so parallel
+/// test threads never see each other's hooks.
+static AMBIENT: Mutex<()> = Mutex::new(());
+
+struct AmbientGuard<'a>(#[allow(dead_code)] MutexGuard<'a, ()>);
+
+impl<'a> AmbientGuard<'a> {
+    fn install(policy: Option<pdes::PoolPolicy>) -> AmbientGuard<'a> {
+        let g = AMBIENT.lock().unwrap_or_else(PoisonError::into_inner);
+        pdes::set_ambient_supervision(policy);
+        AmbientGuard(g)
+    }
+}
+
+impl Drop for AmbientGuard<'_> {
+    fn drop(&mut self) {
+        pdes::set_ambient_supervision(None);
+    }
+}
+
+type Log = Rc<RefCell<Vec<(u64, u64)>>>;
+
+/// Two-host traffic generator (same shape as the PDES differential
+/// suite's `Pinger`): posts read/write bursts from a timer and logs
+/// every completion.
+struct Pinger {
+    qp: QpHandle,
+    mr: MrHandle,
+    rounds: u32,
+    log: Log,
+}
+
+impl App for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let jitter = ctx.rng().next_u64() % 2_000;
+        ctx.set_timer(SimDuration::from_nanos(50 + jitter), 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        let burst = 1 + ctx.rng().next_u64() % 3;
+        for i in 0..burst {
+            let wr_id = u64::from(self.rounds) << 8 | i;
+            let off = (ctx.rng().next_u64() % 64) * 64;
+            let wr = if ctx.rng().chance(0.5) {
+                WorkRequest::read(wr_id, 0x10_0000 + off, self.mr.addr(off), self.mr.key, 64)
+            } else {
+                WorkRequest::write(wr_id, 0x10_0000 + off, self.mr.addr(off), self.mr.key, 64)
+            };
+            let _ = ctx.post_send(self.qp, wr);
+        }
+        if self.rounds > 0 {
+            self.rounds -= 1;
+            let gap = 200 + ctx.rng().next_u64() % 3_000;
+            ctx.set_timer(SimDuration::from_nanos(gap), 0);
+        }
+    }
+
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_>, _host: HostId, cqe: rdma_verbs::Cqe) {
+        self.log
+            .borrow_mut()
+            .push((cqe.wr_id, cqe.completed_at.as_picos()));
+        let _ = ctx;
+    }
+}
+
+fn build(seed: u64, pairs: u32, rounds: u32) -> (Simulation, Vec<Log>) {
+    let mut sim = Simulation::new(seed);
+    let mut logs = Vec::new();
+    for p in 0..pairs {
+        let a = sim.add_host(DeviceProfile::connectx5());
+        let b = sim.add_host(DeviceProfile::connectx5());
+        let pd_a = sim.alloc_pd(a);
+        let pd_b = sim.alloc_pd(b);
+        let mr_b = sim.register_mr(b, pd_b, 2 * 1024 * 1024, AccessFlags::remote_all());
+        let (qa, _qb) = sim.connect(a, pd_a, b, pd_b, ConnectOptions::default());
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let app = sim.add_app(Box::new(Pinger {
+            qp: qa,
+            mr: mr_b,
+            rounds: rounds + p % 3,
+            log: Rc::clone(&log),
+        }));
+        sim.set_app_scope(app, &[a, b]);
+        sim.own_qp(app, qa);
+        logs.push(log);
+    }
+    (sim, logs)
+}
+
+#[derive(Debug, PartialEq)]
+struct Obs {
+    events: u64,
+    order: u64,
+    fabric: rdma_verbs::FabricStats,
+    counters: Vec<String>,
+    logs: Vec<Vec<(u64, u64)>>,
+}
+
+fn observe(seed: u64, pairs: u32, rounds: u32, workers: usize) -> (Obs, Simulation) {
+    let (mut sim, logs) = build(seed, pairs, rounds);
+    sim.set_parallel_ship_threshold(0);
+    let horizon = SimTime::from_micros(300);
+    if workers <= 1 {
+        sim.run_until(horizon);
+    } else {
+        sim.run_until_workers(horizon, workers);
+    }
+    let counters = (0..pairs * 2)
+        .map(|h| format!("{:?}", sim.counters(HostId(h))))
+        .collect();
+    let obs = Obs {
+        events: sim.events_processed(),
+        order: sim.order_digest(),
+        fabric: sim.fabric_stats(),
+        counters,
+        logs: logs.iter().map(|l| l.borrow().clone()).collect(),
+    };
+    (obs, sim)
+}
+
+/// Worker crashes induced by a seed-derived exec-fault plan: the run
+/// completes, the supervisor records the panics and replays, and every
+/// observable matches the unfaulted oracle at workers 1, 2, 4 and 8.
+#[test]
+fn induced_worker_crashes_keep_digests_bit_identical() {
+    let (oracle, _) = observe(61, 3, 8, 1);
+    assert!(oracle.events > 0, "workload produced no events");
+
+    let plan = rdma_verbs::ExecFaultPlan::generate(61, &rdma_verbs::ExecPlanParams::default());
+    assert!(!plan.is_empty());
+    for workers in [2usize, 4, 8] {
+        let _guard = AmbientGuard::install(Some(pdes::PoolPolicy {
+            stall_timeout: Some(Duration::from_millis(100)),
+            max_respawns: 64,
+            fault_hook: Some(plan.to_hook()),
+        }));
+        let (faulted, sim) = observe(61, 3, 8, workers);
+        assert_eq!(
+            oracle, faulted,
+            "divergence under faults at workers={workers}"
+        );
+        let stats = sim
+            .supervisor_stats()
+            .expect("supervised run must record stats");
+        assert!(
+            stats.health.panics > 0,
+            "exec plan never fired at workers={workers}: {stats:?}"
+        );
+        assert!(
+            stats.replayed_jobs > 0,
+            "returned jobs were not replayed at workers={workers}: {stats:?}"
+        );
+    }
+}
+
+/// A stalled worker is quarantined by the heartbeat watchdog and its
+/// slot respawned; the late result is still folded in, so digests hold.
+#[test]
+fn stalled_worker_is_quarantined_without_divergence() {
+    let (oracle, _) = observe(67, 2, 6, 1);
+    let hook: pdes::ExecFaultHook = std::sync::Arc::new(|worker, round| {
+        (worker == 0 && round == 1)
+            .then_some(pdes::InjectedExecFault::Stall(Duration::from_millis(30)))
+    });
+    let _guard = AmbientGuard::install(Some(pdes::PoolPolicy {
+        stall_timeout: Some(Duration::from_millis(5)),
+        max_respawns: 8,
+        fault_hook: Some(hook),
+    }));
+    let (faulted, sim) = observe(67, 2, 6, 4);
+    assert_eq!(oracle, faulted, "divergence under an induced stall");
+    let stats = sim.supervisor_stats().expect("supervised run");
+    assert!(stats.health.stalls > 0, "watchdog never fired: {stats:?}");
+    assert!(
+        stats.health.respawns > 0,
+        "stalled slot not respawned: {stats:?}"
+    );
+}
+
+/// Without ambient supervision the fast path runs and records nothing.
+#[test]
+fn unsupervised_runs_record_no_stats() {
+    let _guard = AmbientGuard::install(None);
+    let (_, sim) = observe(71, 2, 5, 4);
+    assert!(sim.supervisor_stats().is_none());
+}

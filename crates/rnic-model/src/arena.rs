@@ -232,6 +232,22 @@ impl PacketArena {
         self.stats.dup_clones += 1;
         self.insert(pkt)
     }
+
+    /// Counts slots actually holding a packet — O(capacity), so callers
+    /// (the online arena monitor) sample it on a cadence rather than per
+    /// event. Always equals [`ArenaStats::live`] unless the ledger and
+    /// the slab have diverged, which is exactly the bug the monitor
+    /// exists to catch.
+    pub fn occupied_slots(&self) -> u64 {
+        self.cold.iter().filter(|c| c.is_some()).count() as u64
+    }
+
+    /// Skews the allocation ledger without touching any slot — plants
+    /// precisely the inconsistency the online arena monitor must catch.
+    #[doc(hidden)]
+    pub fn debug_skew_ledger(&mut self) {
+        self.stats.allocs += 1;
+    }
 }
 
 #[cfg(test)]

@@ -533,6 +533,52 @@ impl Rnic {
         self.qps.get(&qp).map(|s| s.transport)
     }
 
+    /// Checks every QP's structural invariants — the legality conditions
+    /// the online QP-state monitor samples during a run. Returns a
+    /// description of the first violated invariant, or `None` when all
+    /// QPs are legal:
+    ///
+    /// * `outstanding <= max_send_queue` (the admission check's bound);
+    /// * `sq.len() <= outstanding` (queued-not-yet-issued WQEs are a
+    ///   subset of outstanding ones);
+    /// * `retire_seq <= next_seq` (in-order retirement never runs ahead
+    ///   of issue).
+    pub fn check_qp_invariants(&self) -> Option<String> {
+        for (num, qp) in &self.qps {
+            if qp.outstanding > qp.config.max_send_queue {
+                return Some(format!(
+                    "QP {}: outstanding {} exceeds max_send_queue {}",
+                    num.0, qp.outstanding, qp.config.max_send_queue
+                ));
+            }
+            if qp.sq.len() > qp.outstanding {
+                return Some(format!(
+                    "QP {}: send queue holds {} WQEs but only {} outstanding",
+                    num.0,
+                    qp.sq.len(),
+                    qp.outstanding
+                ));
+            }
+            if qp.retire_seq > qp.next_seq {
+                return Some(format!(
+                    "QP {}: retire_seq {} ran ahead of next_seq {}",
+                    num.0, qp.retire_seq, qp.next_seq
+                ));
+            }
+        }
+        None
+    }
+
+    /// Forces a QP's `outstanding` past its configured bound — plants
+    /// precisely the illegal state [`Rnic::check_qp_invariants`] must
+    /// catch.
+    #[doc(hidden)]
+    pub fn debug_skew_qp_outstanding(&mut self, qp: QpNum) {
+        if let Some(state) = self.qps.get_mut(&qp) {
+            state.outstanding = state.config.max_send_queue + 1;
+        }
+    }
+
     /// Recovers a QP from the Error state (the verbs
     /// `Error → Reset → Init → RTR → RTS` cycle collapsed to one step —
     /// the simulator has no modify-qp latency model).

@@ -42,15 +42,22 @@
 
 mod calendar;
 mod fxmap;
+mod monitor;
 mod queue;
 mod resource;
 mod rng;
 mod stats;
+mod supervise;
 mod time;
 
 pub use calendar::CalendarQueue;
 pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
+pub use monitor::{ambient_monitors, set_ambient_monitors, MonitorConfig, ViolationPolicy};
 pub use queue::{EventHandle, EventSchedule, ReferenceQueue};
+pub use supervise::{
+    install_panic_gate, panic_payload_message, supervised_section, thread_is_supervised,
+    SupervisedGuard,
+};
 
 /// The default event-queue backend used by the simulation hot path.
 ///
