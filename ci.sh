@@ -110,4 +110,41 @@ nn_mon_digest=$(printf '%s\n' "$nn_mon" | sed -n 's/.*digest \([0-9a-f]*\).*/\1/
 test -n "$nn_mon_digest"
 test "$nn_mon_digest" = "$nn_t1_digest"
 
+echo "== profile smoke: --profile leaves the digest pinned"
+prof_out=$(cargo run --release --offline -p ragnar-bench --bin fig4_contention -- \
+    --quick --no-cache --profile)
+prof_digest=$(printf '%s\n' "$prof_out" | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')
+test -n "$prof_digest"
+test "$prof_digest" = "$baseline_digest"
+# The profiler actually collected something.
+printf '%s\n' "$prof_out" | grep -q '^profile: '
+
+echo "== run-report smoke: report.json / report.md carry the documented shape"
+cargo run --release --offline -p ragnar-bench --bin fig4_contention -- \
+    --quick --force --metrics --profile > /dev/null
+test -s results/fig4_contention/report.json
+test -s results/fig4_contention/report.md
+for key in '"cells":' '"counters":' '"histograms":' '"slo":' '"timing":' '"profile":'; do
+    grep -q "$key" results/fig4_contention/report.json
+done
+grep -q 'Engine phase profile' results/fig4_contention/report.md
+grep -q 'Merged latency histograms' results/fig4_contention/report.md
+
+echo "== bench-diff gate: identical reports pass, injected regression trips non-zero"
+cp results/fig4_contention/report.json /tmp/ragnar-ci-baseline.json
+cargo run --release --offline -p ragnar-bench --bin bench_diff -- \
+    /tmp/ragnar-ci-baseline.json results/fig4_contention/report.json > /dev/null
+# Perturb one deterministic counter; the 0%-threshold diff must fail.
+sed 's/"retries":[0-9]*/"retries":7/' /tmp/ragnar-ci-baseline.json \
+    > /tmp/ragnar-ci-regressed.json
+if cargo run --release --offline -p ragnar-bench --bin bench_diff -- \
+    /tmp/ragnar-ci-baseline.json /tmp/ragnar-ci-regressed.json > /dev/null; then
+    echo "bench-diff failed to flag an injected regression"
+    exit 1
+fi
+rm -f /tmp/ragnar-ci-baseline.json /tmp/ragnar-ci-regressed.json
+
+echo "== cargo clippy (harness crate, standalone)"
+cargo clippy -p ragnar-harness --all-targets --offline -- -D warnings
+
 echo "CI OK"

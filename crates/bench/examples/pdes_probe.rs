@@ -1,13 +1,20 @@
 //! One-shot wall-clock probe for the PDES noisy cell (debug aid).
+//!
+//! Pass a PDES worker count as the first argument (default 8) and
+//! `--profile` to print the engine phase breakdown.
 use ragnar_bench::experiments::cluster::NoisyNeighbor;
 use ragnar_harness::{Config, Experiment};
+use ragnar_telemetry::profile::{self, Phase};
 use std::time::Instant;
 
 fn main() {
-    let workers: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers: usize = args.iter().find_map(|s| s.parse().ok()).unwrap_or(8);
+    let profiled = args.iter().any(|s| s == "--profile");
+    if profiled {
+        profile::reset();
+        profile::set_enabled(true);
+    }
     pdes::set_ambient_workers(workers);
     let config = Config::new()
         .with("topology", "leaf-spine:hosts=256,leaves=8,spines=4")
@@ -16,12 +23,33 @@ fn main() {
         .with("placement_seed", 0u64);
     let t = Instant::now();
     let artifact = NoisyNeighbor.run(&config, 0).expect("cell runs");
-    eprintln!("workers={workers} elapsed={:?}", t.elapsed());
-    eprintln!(
+    ragnar_telemetry::info!("workers={workers} elapsed={:?}", t.elapsed());
+    ragnar_telemetry::progress(format!("workers={workers} elapsed={:?}", t.elapsed()));
+    ragnar_telemetry::progress(format!(
         "p99={:?}",
         artifact
             .metrics
             .get("victim_p99_ns")
             .and_then(|v| v.as_f64())
-    );
+    ));
+    if profiled {
+        profile::set_enabled(false);
+        let snap = profile::snapshot();
+        for phase in Phase::ALL {
+            let t = snap
+                .phases
+                .iter()
+                .find(|(p, _)| *p == phase)
+                .map(|(_, t)| *t)
+                .unwrap_or_default();
+            if t.calls > 0 {
+                ragnar_telemetry::progress(format!(
+                    "phase {:>14}: {:>10.3} ms over {} calls",
+                    phase.name(),
+                    t.ns as f64 / 1e6,
+                    t.calls
+                ));
+            }
+        }
+    }
 }

@@ -7,8 +7,14 @@
 //! leaks) on every iteration, so `ci.sh` can diff the digest across
 //! queue backends without a criterion run.
 //!
-//! Usage: `cargo run --release -p ragnar-bench --example storm [iters] [calendar|reference]`
+//! Usage: `cargo run --release -p ragnar-bench --example storm [iters] [calendar|reference] [--profile]`
+//!
+//! With `--profile`, the engine phase profiler is armed for the whole
+//! run and a per-phase wall-clock breakdown is printed to stderr at the
+//! end — the digest line is unchanged, so CI can assert profiler
+//! bit-invariance by diffing the two modes.
 
+use ragnar_telemetry::profile;
 use rdma_verbs::{
     AccessFlags, ConnectOptions, DeviceProfile, QueueBackend, Simulation, WorkRequest,
 };
@@ -75,14 +81,18 @@ fn storm(backend: QueueBackend) -> (u64, u64) {
 }
 
 fn main() {
-    let iters: u32 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(50);
-    let backend = match std::env::args().nth(2).as_deref() {
-        Some("reference") => QueueBackend::Reference,
-        _ => QueueBackend::Calendar,
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let iters: u32 = args.first().and_then(|a| a.parse().ok()).unwrap_or(50);
+    let backend = if args.iter().any(|a| a == "reference") {
+        QueueBackend::Reference
+    } else {
+        QueueBackend::Calendar
     };
+    let profiled = args.iter().any(|a| a == "--profile");
+    if profiled {
+        profile::reset();
+        profile::set_enabled(true);
+    }
     let start = std::time::Instant::now();
     let mut total = 0u64;
     let mut digest = 0u64;
@@ -94,4 +104,18 @@ fn main() {
     let elapsed = start.elapsed();
     let per_iter = elapsed.as_secs_f64() * 1e3 / f64::from(iters);
     println!("{iters} iters, {total} completions, {per_iter:.3} ms/iter, digest {digest:016x}");
+    if profiled {
+        profile::set_enabled(false);
+        let snap = profile::snapshot();
+        for (phase, t) in &snap.phases {
+            if t.calls > 0 {
+                ragnar_telemetry::progress(format!(
+                    "phase {:>14}: {:>10.3} ms over {} calls",
+                    phase.name(),
+                    t.ns as f64 / 1e6,
+                    t.calls
+                ));
+            }
+        }
+    }
 }

@@ -27,6 +27,10 @@
 //!                   (sim-core,rnic-model,rdma-verbs,chaos,core,defense,
 //!                   harness; default all)
 //! --metrics         collect per-cell metrics reports next to each cell
+//! --profile         enable the engine phase profiler: wall-clock per
+//!                   engine phase (queue ops, execute, merge, arena,
+//!                   chaos, flush), reported in report.{json,md}; pure
+//!                   observation — digests and cache keys are unchanged
 //! --cell-timeout <ms>  wall-clock watchdog per cell attempt; an attempt
 //!                   past the budget is recorded as timed out (never part
 //!                   of cache keys)
@@ -61,7 +65,9 @@ use crate::cache::ResultStore;
 use crate::executor::{self, ExecOptions, TelemetrySpec};
 use crate::experiment::{Experiment, Outcome, RunRecord};
 use crate::manifest::Manifest;
+use crate::report::RunReport;
 use crate::value::Value;
+use ragnar_telemetry::profile::{self, Phase};
 use ragnar_telemetry::{chrome_trace_json, TargetSet, TraceCell};
 use ragnar_topology::TopologySpec;
 
@@ -110,6 +116,11 @@ pub struct Cli {
     /// Collect per-cell metrics reports (`--metrics`). Also excluded
     /// from cache keys by construction.
     pub metrics: bool,
+    /// Enable the engine phase profiler (`--profile`). Wall-clock only —
+    /// it can never feed digests or cache keys, and like every
+    /// observability flag it parses into this dedicated field, never
+    /// into `extras`.
+    pub profile: bool,
     /// Per-attempt cell watchdog in ms (`--cell-timeout`). `None`
     /// (default) trusts cells to terminate. Excluded from cache keys by
     /// construction, like every dedicated supervision field.
@@ -145,6 +156,7 @@ impl Default for Cli {
             trace: None,
             trace_filter: None,
             metrics: false,
+            profile: false,
             cell_timeout_ms: None,
             retries: 0,
             monitors: None,
@@ -203,6 +215,7 @@ impl Cli {
                     cli.trace_filter = Some(take_value(&mut it, "--trace-filter")?);
                 }
                 "--metrics" => cli.metrics = true,
+                "--profile" => cli.profile = true,
                 "--cell-timeout" => {
                     let ms = take_u64(&mut it, "--cell-timeout")?;
                     if ms == 0 {
@@ -266,7 +279,7 @@ fn usage(exp: &dyn Experiment) -> String {
          {pad}   [--force] [--no-cache]\n\
          {pad}   [--results <dir>] [--chaos-seed <u64>] [--chaos-plan <file>]\n\
          {pad}   [--topology <spec>] [--trace <path>] [--trace-filter <targets>]\n\
-         {pad}   [--metrics] [--cell-timeout <ms>] [--retries <n>]\n\
+         {pad}   [--metrics] [--profile] [--cell-timeout <ms>] [--retries <n>]\n\
          {pad}   [--monitors <log|fail-cell|abort-run>] [--exec-chaos-seed <u64>]\n\
          {pad}   [--only <label-substring>]\n\
          {pad}   [experiment-specific flags]\n\n\
@@ -320,9 +333,14 @@ pub fn run_with_cli(exp: &dyn Experiment, cli: &Cli) -> Result<usize, String> {
         fn drop(&mut self) {
             sim_core::set_ambient_monitors(None);
             pdes::set_ambient_supervision(None);
+            profile::set_enabled(false);
         }
     }
     let _ambient_reset = AmbientReset;
+    if cli.profile {
+        profile::reset();
+        profile::set_enabled(true);
+    }
     if let Some(policy) = cli.monitors {
         sim_core::set_ambient_monitors(Some(sim_core::MonitorConfig {
             policy,
@@ -397,14 +415,20 @@ pub fn run_with_cli(exp: &dyn Experiment, cli: &Cli) -> Result<usize, String> {
     stages.push(("execute".into(), t0.elapsed().as_secs_f64() * 1e3));
 
     if let Some(path) = &cli.trace {
+        let _p = profile::enter(Phase::Flush);
         write_trace(&records, path)?;
     }
     if cli.metrics {
         if let Some(s) = &store {
+            let _p = profile::enter(Phase::Flush);
             for r in &records {
                 if let Some(m) = r.telemetry.as_ref().and_then(|t| t.metrics.as_ref()) {
+                    // Salvaged telemetry (the cell failed or timed out
+                    // mid-run) is tagged incomplete: its counts cover
+                    // only the portion of the cell that actually ran.
                     // A failed sidecar write degrades observability only.
-                    let _ = s.store_metrics(&r.cache_key, &m.to_json());
+                    let _ =
+                        s.store_metrics(&r.cache_key, &m.to_json_tagged(r.outcome.is_failure()));
                 }
             }
         }
@@ -423,13 +447,37 @@ pub fn run_with_cli(exp: &dyn Experiment, cli: &Cli) -> Result<usize, String> {
         stages,
         t_start.elapsed().as_secs_f64() * 1e3,
     );
+    // The run report is assembled for every invocation; the profiler
+    // snapshot (when armed) rides along in its timing section.
+    let run_report = RunReport::build(&manifest, &records, cli.profile.then(profile::snapshot));
     if !cli.no_cache {
+        let _p = profile::enter(Phase::Flush);
         manifest
             .write(&cli.results_dir)
             .map_err(|e| format!("cannot write manifest: {e}"))?;
+        run_report
+            .write(&cli.results_dir)
+            .map_err(|e| format!("cannot write run report: {e}"))?;
     }
 
     print!("{report}");
+    if let Some(p) = &run_report.profile {
+        if !p.is_empty() {
+            let total_ms = p.total_ns() as f64 / 1e6;
+            let mut phases: Vec<_> = p.phases.iter().filter(|(_, t)| t.calls > 0).collect();
+            phases.sort_by_key(|p| std::cmp::Reverse(p.1.ns));
+            let breakdown: Vec<String> = phases
+                .iter()
+                .take(5)
+                .map(|(phase, t)| format!("{} {:.1}ms", phase.name(), t.ns as f64 / 1e6))
+                .collect();
+            println!(
+                "profile: {total_ms:.1} ms across {} phases ({})",
+                phases.len(),
+                breakdown.join(", ")
+            );
+        }
+    }
     println!("\n{}", manifest.summary_line());
     for r in &records {
         match &r.outcome {
@@ -671,5 +719,16 @@ mod workers_key_exclusion {
             assert!(!cli.flag(flag), "{flag} visible as an extra");
             assert_eq!(cli.option_u64(flag), None);
         }
+    }
+
+    /// `--profile` is observational like `--trace`: a dedicated field,
+    /// never an extra, so it cannot reach configs or cache keys.
+    #[test]
+    fn profile_flag_never_lands_in_extras() {
+        assert!(!Cli::parse(Vec::<String>::new()).expect("parse").profile);
+        let cli = Cli::parse(["--profile".to_string(), "--quick".to_string()]).expect("parse");
+        assert!(cli.profile && cli.quick);
+        assert!(cli.extras().is_empty(), "--profile leaked into extras");
+        assert!(!cli.flag("--profile"));
     }
 }

@@ -33,14 +33,16 @@
 //!   they finish, so the store and manifest stay crash-consistent.
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Mutex;
 use std::thread::Scope;
 use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Stealer, Worker};
-use ragnar_telemetry::{Session, SessionReport, TargetSet};
+use ragnar_telemetry::{
+    ActorId, ArgValue, Event, EventKind, Session, SessionReport, Target, TargetSet,
+};
 
 use crate::cache::ResultStore;
 use crate::experiment::{Artifact, Config, Experiment, Outcome, RunRecord};
@@ -49,6 +51,13 @@ use crate::hash;
 /// Events buffered per traced cell before the ring starts evicting the
 /// oldest (evictions are counted and reported, never silent).
 pub const TRACE_RING_CAPACITY: usize = 1 << 20;
+
+/// How long a sweep must run before the progress reporter speaks up —
+/// quick sweeps finish silently.
+const PROGRESS_AFTER: Duration = Duration::from_secs(2);
+
+/// Cadence of the progress line once the reporter is engaged.
+const PROGRESS_PERIOD: Duration = Duration::from_millis(500);
 
 /// What the executor should observe about each cell. Telemetry never
 /// enters configs or cache keys — it is an observer, not an input.
@@ -185,6 +194,9 @@ struct SweepCtx<'env> {
     opts: &'env ExecOptions,
     slots: &'env [Mutex<Option<RunRecord>>],
     completed: &'env AtomicUsize,
+    /// Telemetry events accepted across finished cells, for the
+    /// progress reporter's events/s figure.
+    events: &'env AtomicU64,
     abort: &'env AbortState,
 }
 
@@ -196,14 +208,23 @@ enum AttemptEnd {
         Option<SessionReport>,
     ),
     /// The attempt overran the watchdog budget; its thread is still
-    /// running and will be joined at sweep end.
-    Hung,
+    /// running and will be joined at sweep end. Carries whatever the
+    /// cell's session had observed by the time the watchdog fired — the
+    /// salvage path: partial metrics beat no metrics when diagnosing
+    /// why a cell hung.
+    Hung(Option<SessionReport>),
     /// The attempt thread vanished without reporting (its channel
     /// disconnected) — something outside `catch_unwind`'s reach died.
-    Died,
+    Died(Option<SessionReport>),
 }
 
 /// Runs one attempt, inline or under the watchdog.
+///
+/// The telemetry session is owned by the *coordinator* side and only
+/// its handles cross into the attempt thread: when the watchdog fires,
+/// the coordinator can still harvest everything the cell recorded up to
+/// that point (the ring and registry are shared behind locks, so a
+/// still-running hung thread cannot corrupt the snapshot).
 fn run_attempt<'scope, 'env: 'scope>(
     exp: &'env dyn Experiment,
     config: &'env Config,
@@ -211,28 +232,17 @@ fn run_attempt<'scope, 'env: 'scope>(
     opts: &'env ExecOptions,
     scope: &'scope Scope<'scope, 'env>,
 ) -> AttemptEnd {
+    let session = opts.telemetry.enabled().then(|| opts.telemetry.session());
+    let handles = session.as_ref().map(|s| (s.tracer(), s.metrics()));
     let body = move || {
         // Mark the thread supervised so the gate hook stays quiet: the
         // executor reports caught panics itself, with cell context.
         let _supervised = sim_core::supervised_section();
-        if opts.telemetry.enabled() {
-            let session = opts.telemetry.session();
-            let guard = session.install();
-            let result = panic::catch_unwind(AssertUnwindSafe(|| exp.run(config, seed)));
-            drop(guard);
-            (result, Some(session.finish()))
-        } else {
-            (
-                panic::catch_unwind(AssertUnwindSafe(|| exp.run(config, seed))),
-                None,
-            )
-        }
+        let _guard = handles.map(|(tracer, metrics)| ragnar_telemetry::install(tracer, metrics));
+        panic::catch_unwind(AssertUnwindSafe(|| exp.run(config, seed)))
     };
     match opts.cell_timeout {
-        None => {
-            let (result, telemetry) = body();
-            AttemptEnd::Finished(result, telemetry)
-        }
+        None => AttemptEnd::Finished(body(), session.map(Session::finish)),
         Some(budget) => {
             let (tx, rx) = mpsc::channel();
             scope.spawn(move || {
@@ -241,11 +251,60 @@ fn run_attempt<'scope, 'env: 'scope>(
                 let _ = tx.send(body());
             });
             match rx.recv_timeout(budget) {
-                Ok((result, telemetry)) => AttemptEnd::Finished(result, telemetry),
-                Err(RecvTimeoutError::Timeout) => AttemptEnd::Hung,
-                Err(RecvTimeoutError::Disconnected) => AttemptEnd::Died,
+                Ok(result) => AttemptEnd::Finished(result, session.map(Session::finish)),
+                Err(RecvTimeoutError::Timeout) => AttemptEnd::Hung(session.map(Session::finish)),
+                Err(RecvTimeoutError::Disconnected) => {
+                    AttemptEnd::Died(session.map(Session::finish))
+                }
             }
         }
+    }
+}
+
+/// Appends the executor's supervision verdicts to a cell's trace as
+/// synthesized `Target::Harness` instants — one `retry` per extra
+/// attempt, a `watchdog_timeout` when every attempt overran the budget,
+/// and a `quarantine` marker for repeat offenders. All fields are
+/// derived from deterministic per-cell state (attempt counts and
+/// outcomes), never from wall-clock, so traces stay byte-identical at
+/// any thread count.
+fn append_supervisor_events(
+    telemetry: &mut SessionReport,
+    outcome: &Outcome,
+    attempts: u32,
+    quarantined: bool,
+) {
+    let mut push = |name: &'static str, args: Vec<(&'static str, ArgValue)>| {
+        telemetry.events.push(Event {
+            target: Target::Harness,
+            name,
+            actor: ActorId::GLOBAL,
+            ts_ps: 0,
+            kind: EventKind::Instant,
+            args,
+        });
+        telemetry.total_events += 1;
+    };
+    for attempt in 2..=attempts {
+        push(
+            "retry",
+            vec![("attempt", ArgValue::U64(u64::from(attempt)))],
+        );
+    }
+    if let Outcome::TimedOut { timeout_ms } = outcome {
+        push(
+            "watchdog_timeout",
+            vec![
+                ("timeout_ms", ArgValue::U64(*timeout_ms)),
+                ("attempts", ArgValue::U64(u64::from(attempts))),
+            ],
+        );
+    }
+    if quarantined {
+        push(
+            "quarantine",
+            vec![("attempts", ArgValue::U64(u64::from(attempts)))],
+        );
     }
 }
 
@@ -360,24 +419,38 @@ fn run_cell<'scope, 'env: 'scope>(
                     );
                 }
             }
-            AttemptEnd::Hung => {
+            AttemptEnd::Hung(telemetry) => {
                 if attempt >= max_attempts {
                     let timeout_ms = opts.cell_timeout.map(|d| d.as_millis() as u64).unwrap_or(0);
-                    break (Outcome::TimedOut { timeout_ms }, None);
+                    // Salvage whatever the hung attempt observed: its
+                    // partial session report rides on the record (and
+                    // into a sidecar tagged incomplete) instead of
+                    // vanishing with the stuck thread.
+                    break (Outcome::TimedOut { timeout_ms }, telemetry);
                 }
             }
-            AttemptEnd::Died => {
+            AttemptEnd::Died(telemetry) => {
                 break (
                     Outcome::Failed {
                         message: "attempt thread died before reporting a result".to_string(),
                         panicked: true,
                     },
-                    None,
+                    telemetry,
                 );
             }
         }
         std::thread::sleep(retry_backoff(seed, attempt));
     };
+    let mut telemetry = telemetry;
+    if opts.telemetry.trace {
+        let quarantined = outcome.is_failure() && attempt >= 2;
+        if let Some(t) = telemetry.as_mut() {
+            append_supervisor_events(t, &outcome, attempt, quarantined);
+        }
+    }
+    if let Some(t) = &telemetry {
+        ctx.events.fetch_add(t.total_events, Ordering::Relaxed);
+    }
     finish(record(outcome, false, telemetry, attempt));
 }
 
@@ -409,6 +482,7 @@ pub fn execute(
     // default, unlike the old globally-swallowing hook swap.
     sim_core::install_panic_gate();
     let completed = AtomicUsize::new(0);
+    let events = AtomicU64::new(0);
     let abort = AbortState(Mutex::new(None));
     let ctx = SweepCtx {
         exp,
@@ -418,10 +492,47 @@ pub fn execute(
         opts,
         slots: &slots,
         completed: &completed,
+        events: &events,
         abort: &abort,
     };
 
     std::thread::scope(|scope| {
+        // Progress reporter: silent for quick sweeps, then a periodic
+        // stderr line (cells done, events/s, ETA) for long ones. It only
+        // reads counters — progress is wall-clock and must never become
+        // trace or artifact material.
+        {
+            let ctx = &ctx;
+            let total = configs.len();
+            scope.spawn(move || {
+                let started = Instant::now();
+                loop {
+                    let done = ctx.completed.load(Ordering::Relaxed);
+                    if done >= total {
+                        break;
+                    }
+                    let elapsed = started.elapsed();
+                    if elapsed >= PROGRESS_AFTER && done > 0 {
+                        let secs = elapsed.as_secs_f64();
+                        let rate = done as f64 / secs;
+                        let eta_s = (total - done) as f64 / rate;
+                        // Trace-event throughput only exists with
+                        // telemetry on; otherwise the line is cells+ETA.
+                        let events = ctx.events.load(Ordering::Relaxed);
+                        let rate_part = if events > 0 {
+                            format!("{:.0} ev/s, ", events as f64 / secs)
+                        } else {
+                            String::new()
+                        };
+                        ragnar_telemetry::progress(format!(
+                            "{}/{} cells ({rate_part}ETA {:.0}s)",
+                            done, total, eta_s
+                        ));
+                    }
+                    std::thread::sleep(PROGRESS_PERIOD);
+                }
+            });
+        }
         for worker in &workers {
             let ctx = &ctx;
             let stealers = &stealers;
@@ -692,6 +803,7 @@ mod tests {
             (0..4u64).map(|i| Config::new().with("i", i)).collect()
         }
         fn run(&self, config: &Config, _seed: u64) -> Result<Artifact, String> {
+            ragnar_telemetry::metrics().counter_add("sleeper.started", 1);
             if config.u64("i") == Some(2) {
                 std::thread::sleep(Duration::from_millis(400));
             }
@@ -728,6 +840,145 @@ mod tests {
                 assert!(matches!(r.outcome, Outcome::Done(_)), "cell {i} collateral");
             }
         }
+    }
+
+    /// The salvage path: a hung cell's session is harvested by the
+    /// coordinator when the watchdog fires, so whatever the cell
+    /// recorded before getting stuck survives — with the executor's
+    /// supervision verdicts appended as synthesized trace events.
+    #[test]
+    fn hung_cell_salvages_partial_telemetry() {
+        let records = execute(
+            &Sleeper,
+            &Sleeper.params(&Cli::default()),
+            0,
+            None,
+            &ExecOptions {
+                threads: 2,
+                cell_timeout: Some(Duration::from_millis(40)),
+                telemetry: TelemetrySpec {
+                    trace: true,
+                    filter: TargetSet::ALL,
+                    metrics: true,
+                },
+                ..Default::default()
+            },
+        );
+        assert!(matches!(records[2].outcome, Outcome::TimedOut { .. }));
+        let t = records[2].telemetry.as_ref().expect("salvaged telemetry");
+        let m = t.metrics.as_ref().expect("salvaged metrics");
+        assert!(
+            m.counters
+                .iter()
+                .any(|(k, v)| k == "sleeper.started" && *v >= 1),
+            "pre-hang counter lost: {:?}",
+            m.counters
+        );
+        let names: Vec<&str> = t.events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"watchdog_timeout"), "got {names:?}");
+        // Healthy cells carry no supervision verdicts.
+        for i in [0usize, 1, 3] {
+            let t = records[i].telemetry.as_ref().expect("telemetry");
+            assert!(t
+                .events
+                .iter()
+                .all(|e| !matches!(e.name, "watchdog_timeout" | "retry" | "quarantine")));
+        }
+    }
+
+    /// Retry and quarantine verdicts appear as synthesized trace
+    /// events; a healed cell shows its retry but no quarantine.
+    #[test]
+    fn supervisor_events_mark_retries_and_quarantine() {
+        let exp = Flaky {
+            attempts_seen: Mutex::new(HashMap::new()),
+        };
+        let records = execute(
+            &exp,
+            &exp.params(&Cli::default()),
+            3,
+            None,
+            &ExecOptions {
+                threads: 2,
+                retries: 1,
+                telemetry: TelemetrySpec {
+                    trace: true,
+                    filter: TargetSet::ALL,
+                    metrics: false,
+                },
+                ..Default::default()
+            },
+        );
+        let names = |i: usize| -> Vec<&str> {
+            records[i]
+                .telemetry
+                .as_ref()
+                .expect("telemetry")
+                .events
+                .iter()
+                .map(|e| e.name)
+                .collect()
+        };
+        // Cell 3 healed on attempt 2: one retry, no quarantine.
+        let healed = names(3);
+        assert_eq!(healed.iter().filter(|n| **n == "retry").count(), 1);
+        assert!(!healed.contains(&"quarantine"), "got {healed:?}");
+        // Cell 5 burned the ladder: retry + quarantine.
+        let bad = names(5);
+        assert!(
+            bad.contains(&"retry") && bad.contains(&"quarantine"),
+            "got {bad:?}"
+        );
+    }
+
+    /// The synthesized supervisor track is deterministic: the same
+    /// flaky sweep renders byte-identical trace JSON at any thread
+    /// count, because the events are derived from per-cell attempt
+    /// state (never wall-clock) and pinned at ts 0.
+    #[test]
+    fn supervisor_track_is_thread_count_invariant() {
+        let trace = |threads: usize| {
+            let exp = Flaky {
+                attempts_seen: Mutex::new(HashMap::new()),
+            };
+            let records = execute(
+                &exp,
+                &exp.params(&Cli::default()),
+                3,
+                None,
+                &ExecOptions {
+                    threads,
+                    retries: 1,
+                    telemetry: TelemetrySpec {
+                        trace: true,
+                        filter: TargetSet::ALL,
+                        metrics: false,
+                    },
+                    ..Default::default()
+                },
+            );
+            let cells: Vec<ragnar_telemetry::TraceCell<'_>> = records
+                .iter()
+                .filter_map(|r| {
+                    r.telemetry.as_ref().map(|t| ragnar_telemetry::TraceCell {
+                        label: r.config.label(),
+                        index: r.index,
+                        events: &t.events,
+                    })
+                })
+                .collect();
+            ragnar_telemetry::chrome_trace_json(&cells)
+        };
+        let serial = trace(1);
+        assert!(
+            serial.contains("\"retry\"") && serial.contains("\"quarantine\""),
+            "supervisor events missing from trace"
+        );
+        assert_eq!(
+            serial,
+            trace(4),
+            "supervisor track differs between --threads 1 and --threads 4"
+        );
     }
 
     /// A `[monitor-abort]` panic stops the sweep: the offending cell is

@@ -16,6 +16,12 @@
 //!   resumable.
 //! * [`manifest`] — a per-invocation run manifest (wall time, per-stage
 //!   timings, run/cached/failed counts, artifact digest).
+//! * [`report`] — the per-invocation run report (`report.json` +
+//!   `report.md`): merged counters, exact bucket-merged histograms,
+//!   per-tenant SLO rows, supervision summary and — under `--profile` —
+//!   the engine phase breakdown.
+//! * [`diff`] — `bench-diff`: thresholded numeric comparison of two run
+//!   reports (the CI perf-regression gate).
 //! * [`cli`] — the shared command line (`--seed`, `--threads`,
 //!   `--quick`, `--force`, …) and [`run_main`], the entire `main` of an
 //!   experiment binary.
@@ -44,15 +50,19 @@
 
 pub mod cache;
 pub mod cli;
+pub mod diff;
 pub mod executor;
 pub mod experiment;
 pub mod hash;
 pub mod manifest;
+pub mod report;
 pub mod value;
 
 pub use cache::ResultStore;
 pub use cli::{run_main, run_with_cli, Cli};
+pub use diff::{diff_values, DiffReport};
 pub use executor::{config_seed, retry_backoff, ExecOptions, TelemetrySpec};
 pub use experiment::{Artifact, Config, Experiment, Outcome, RunRecord};
 pub use manifest::Manifest;
+pub use report::RunReport;
 pub use value::Value;

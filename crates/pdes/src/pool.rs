@@ -239,7 +239,16 @@ fn worker_loop<In, Out, W>(
     // and reported by the coordinator with context, so the default
     // hook's backtrace spew would be pure noise.
     let _guard = sim_core::supervised_section();
-    while let Ok((round, idx, job)) = rx.recv() {
+    loop {
+        // Time blocked on the job channel is the worker's barrier/idle
+        // share — the profiler's measure of how starved the pool runs.
+        let received = {
+            let _p = ragnar_telemetry::profile::enter(ragnar_telemetry::profile::Phase::WorkerIdle);
+            rx.recv()
+        };
+        let Ok((round, idx, job)) = received else {
+            break;
+        };
         let mut holder = Some(job);
         let result = {
             let holder = &mut holder;

@@ -52,6 +52,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
+use ragnar_telemetry::profile::{self, Phase};
 use ragnar_telemetry::Target;
 use rnic_model::{Cqe, NicAction, NicEvent, Packet, PacketArena, PacketHandle, QpNum, Rnic};
 use sim_core::{FxHashMap, SimDuration, SimTime};
@@ -445,6 +446,7 @@ impl WorkerBackend for Wb<'_> {
 
 /// Replays one group's window slice, cooking side effects.
 fn process_group(work: GroupWork, qp_owner: &FxHashMap<(HostId, QpNum), AppId>) -> GroupOut {
+    let _p = profile::enter(Phase::OutCook);
     let GroupWork {
         group,
         limit,
@@ -669,7 +671,7 @@ impl World {
     /// The conservative lookahead: the minimum latency any NIC-to-NIC
     /// effect must cross. `None` when the fabric provides no positive
     /// bound (no hosts, or a zero-latency link).
-    fn lookahead(&self) -> Option<SimDuration> {
+    pub(super) fn lookahead(&self) -> Option<SimDuration> {
         let l = if let Some(rt) = self.fabric_rt.as_ref() {
             rt.topology().links().iter().map(|l| l.latency).min()?
         } else {
@@ -684,7 +686,7 @@ impl World {
 
     /// Union-find over app footprints: hosts sharing an app land in one
     /// group so a single worker owns every NIC that app may touch.
-    fn host_groups(&self) -> Vec<u32> {
+    pub(super) fn host_groups(&self) -> Vec<u32> {
         let n = self.nics.len();
         let mut parent: Vec<u32> = (0..n as u32).collect();
         fn find(parent: &mut [u32], mut x: u32) -> u32 {
@@ -768,6 +770,7 @@ impl Simulation {
         if self.world.stopped {
             return 0;
         }
+        self.world.ensure_lane_tracker();
         let before = self.events_processed();
         let host_group = self.world.host_groups();
         let app_group: HashMap<AppId, u32> = self
@@ -911,6 +914,7 @@ impl Simulation {
             health,
             replayed_jobs: replayed,
         });
+        self.world.flush_lanes();
         self.events_processed() - before
     }
 
@@ -1172,6 +1176,7 @@ impl Simulation {
             vseq: vseq_base,
             heap,
         });
+        let _p = profile::enter(Phase::MergeDrain);
         loop {
             let popped = {
                 let r = self.world.round.as_mut().expect("round open");
@@ -1284,6 +1289,15 @@ impl Simulation {
     /// Folds a worker-processed event into the order digest with the
     /// exact words [`World::fold_event`] would have used.
     fn fold_worker_entry(&mut self, entry: &OutEntry) {
+        if self.world.lanes.is_some() {
+            // Same attribution as `World::lane_host_of`: timers bill the
+            // coordinator lane, everything else its owning host.
+            let host = match entry.kind {
+                EvKind::Timer { .. } => None,
+                _ => Some(entry.host),
+            };
+            self.world.note_lane(entry.at, host, 1);
+        }
         let d = &mut self.world.order;
         d.fold(entry.at.as_picos());
         match entry.kind {

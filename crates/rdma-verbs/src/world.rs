@@ -3,6 +3,7 @@
 
 use crate::wr::WorkRequest;
 use ragnar_chaos::{FabricStats, FaultInjector, FaultPlan, InjectorStats};
+use ragnar_telemetry::profile::{self, Phase};
 use ragnar_telemetry::{ActorId, ArgValue, Metrics, Target, Tracer};
 use ragnar_topology::{
     FabricRuntime, FlowKey, LinkId, NodeId, PfcPortConfig, PortCounters, Route, Topology,
@@ -469,6 +470,126 @@ struct World {
     /// default) keeps the event loop's hot path monitor-free. Active
     /// monitors force the sequential engine (see `parallel_eligible`).
     monitors: Option<crate::monitors::MonitorState>,
+    /// Shadow PDES window-lane tracker, built lazily when
+    /// [`Target::Pdes`] tracing is enabled and the configuration has a
+    /// positive lookahead. See [`LaneTracker`].
+    lanes: Option<LaneTracker>,
+}
+
+/// Deterministic per-window PDES lane accounting for the trace timeline.
+///
+/// Real job→worker assignment is demand-driven and hence
+/// scheduling-dependent, so worker-thread lanes can never appear in a
+/// deterministic trace. The schedulable unit that *is* deterministic is
+/// the host partition group: this tracker re-derives the same
+/// `host_groups` partition and the same lookahead windows the parallel
+/// engine uses, counts processed events per `(window, group)` in fold
+/// order — which both engines replay identically — and emits one
+/// `window` span per active group when the window closes. The resulting
+/// lanes are byte-identical at any `--threads`/`--workers`, including on
+/// the sequential engine (where they show what the parallel engine
+/// *would* schedule).
+struct LaneTracker {
+    lookahead_ps: u64,
+    host_group: Vec<u32>,
+    window: u64,
+    /// Events folded into the open window, per group (sorted for
+    /// deterministic emission order).
+    counts: std::collections::BTreeMap<u32, u64>,
+}
+
+/// Run-track lane ids (tids under the GLOBAL pid): lane 0 is the run
+/// itself, `1 + link` carries per-port PFC pause spans, and the PDES
+/// window lanes live in their own bands so port and group ids can never
+/// collide.
+pub(crate) const PFC_LANE_BASE: u32 = 1;
+pub(crate) const PDES_LANE_BASE: u32 = 1_000_000;
+pub(crate) const PDES_COORD_LANE: u32 = 2_000_000;
+
+impl World {
+    /// Builds the lane tracker on first use when `pdes` tracing is on.
+    fn ensure_lane_tracker(&mut self) {
+        if self.lanes.is_none() && self.tracer.enabled(Target::Pdes) {
+            if let Some(lookahead) = self.lookahead() {
+                self.lanes = Some(LaneTracker {
+                    lookahead_ps: lookahead.as_picos(),
+                    host_group: self.host_groups(),
+                    window: 0,
+                    counts: std::collections::BTreeMap::new(),
+                });
+            }
+        }
+    }
+
+    /// Attributes `n` folded events to a window lane, closing (and
+    /// emitting) the previous window when time crosses a boundary.
+    /// Events with no single owning host bill the coordinator lane.
+    /// Callers pass `n > 1` only for coalesced Hop batches, which must
+    /// count per packet so lane totals are batching-invariant (the same
+    /// discipline the order digest follows).
+    fn note_lane(&mut self, at: SimTime, host: Option<HostId>, n: u64) {
+        let Some(tr) = self.lanes.as_mut() else {
+            return;
+        };
+        let w = at.as_picos() / tr.lookahead_ps;
+        if w != tr.window {
+            let start = tr.window * tr.lookahead_ps;
+            for (&g, &n) in tr.counts.iter() {
+                let lane = if g == u32::MAX {
+                    PDES_COORD_LANE
+                } else {
+                    PDES_LANE_BASE + g
+                };
+                self.tracer.span(
+                    Target::Pdes,
+                    "window",
+                    ActorId {
+                        host: ActorId::GLOBAL_HOST,
+                        lane,
+                    },
+                    start,
+                    tr.lookahead_ps,
+                    &[("events", ArgValue::U64(n))],
+                );
+            }
+            tr.counts.clear();
+            tr.window = w;
+        }
+        let g = host
+            .and_then(|h| tr.host_group.get(h.0 as usize).copied())
+            .unwrap_or(u32::MAX);
+        *tr.counts.entry(g).or_insert(0) += n;
+    }
+
+    /// Emits the still-open window's lanes (end of a run entry point).
+    fn flush_lanes(&mut self) {
+        let Some(tr) = self.lanes.as_mut() else {
+            return;
+        };
+        if tr.counts.is_empty() {
+            return;
+        }
+        let start = tr.window * tr.lookahead_ps;
+        for (&g, &n) in tr.counts.iter() {
+            let lane = if g == u32::MAX {
+                PDES_COORD_LANE
+            } else {
+                PDES_LANE_BASE + g
+            };
+            self.tracer.span(
+                Target::Pdes,
+                "window",
+                ActorId {
+                    host: ActorId::GLOBAL_HOST,
+                    lane,
+                },
+                start,
+                tr.lookahead_ps,
+                &[("events", ArgValue::U64(n))],
+            );
+        }
+        tr.counts.clear();
+    }
 }
 
 /// Merge-phase state for one conservative round (see the `parallel`
@@ -588,6 +709,13 @@ impl World {
     /// unbatched run folds for its separate Hop events — so coalescing
     /// is invisible to the digest by construction.
     fn fold_event(&mut self, at: SimTime, event: &WorldEvent) {
+        if self.lanes.is_some() {
+            let n = match event {
+                WorldEvent::Hop { pkts, .. } => pkts.len() as u64,
+                _ => 1,
+            };
+            self.note_lane(at, World::lane_host_of(event), n);
+        }
         if let WorldEvent::Hop { hop, pkts, .. } = event {
             for h in pkts.iter() {
                 let dst = u64::from(self.arena.hot(h).dst.0);
@@ -622,6 +750,19 @@ impl World {
                 d.fold(app.0 as u64);
                 d.fold(u64::from(host.0));
             }
+        }
+    }
+
+    /// The single owning host a processed event bills its window lane
+    /// to, or `None` for events the coordinator always owns (fabric
+    /// hops, app timers). Mirrors the worker-side attribution in
+    /// `fold_worker_entry` exactly, so lanes are engine-invariant.
+    fn lane_host_of(event: &WorldEvent) -> Option<HostId> {
+        match event {
+            WorldEvent::Nic(host, _) => Some(*host),
+            WorldEvent::Deliver { host, .. } => Some(*host),
+            WorldEvent::AppCqe { host, .. } => Some(*host),
+            WorldEvent::Hop { .. } | WorldEvent::Timer { .. } => None,
         }
     }
 
@@ -796,6 +937,7 @@ impl World {
         let mut corrupt = false;
         let mut deliver_at = at + prop;
         if let Some(inj) = self.injector.as_mut() {
+            let _p = profile::enter(Phase::Chaos);
             let v = inj.verdict(at, host, dst);
             if v.drop {
                 self.note_wire_drop(host, dst);
@@ -899,6 +1041,7 @@ impl World {
         let mut start = now;
         let mut duplicate = false;
         if let Some(inj) = self.injector.as_mut() {
+            let _p = profile::enter(Phase::Chaos);
             // The same endpoint-pair plan selectors as the legacy wire
             // apply, evaluated once per traversed link, so loss
             // compounds along the path the way real fabrics lose
@@ -918,7 +1061,10 @@ impl World {
         let bytes = u64::from(wire_bytes);
         let rt = self.fabric_rt.as_mut().expect("fabric mode");
         let out = rt.traverse(start, &route, hop as usize, bytes, tc);
-        if let Some(up) = out.paused_upstream {
+        // Capture the pause window while the runtime borrow is live:
+        // the span below needs to know when the port resumes.
+        let pause_win = out.paused_upstream.map(|up| (up, rt.paused_until(up, tc)));
+        if let Some((up, until)) = pause_win {
             if self.metrics.enabled() {
                 self.metrics.counter_add("fabric.pfc_xoff", 1);
             }
@@ -930,6 +1076,24 @@ impl World {
                     now.as_picos(),
                     &[
                         ("paused_link", u64::from(up.0).into()),
+                        ("congested_link", u64::from(link.0).into()),
+                        ("tc", u64::from(tc.0).into()),
+                    ],
+                );
+                // Per-port pause/resume span on the run track: one
+                // `pfc_pause` span per XOFF, lasting until the pause
+                // gate reopens. Rendered as thread `port<link>` of the
+                // run process.
+                self.tracer.span(
+                    Target::RdmaVerbs,
+                    "pfc_pause",
+                    ActorId {
+                        host: ActorId::GLOBAL_HOST,
+                        lane: PFC_LANE_BASE + up.0,
+                    },
+                    now.as_picos(),
+                    until.as_picos().saturating_sub(now.as_picos()),
+                    &[
                         ("congested_link", u64::from(link.0).into()),
                         ("tc", u64::from(tc.0).into()),
                     ],
@@ -1111,6 +1275,7 @@ impl Simulation {
                 synthetic: 0,
                 order: pdes::Digest64::new(),
                 monitors: sim_core::ambient_monitors().map(crate::monitors::MonitorState::new),
+                lanes: None,
             },
             apps: Vec::new(),
             started_count: 0,
@@ -1486,6 +1651,7 @@ impl Simulation {
     /// queue exhaustion. Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         self.start_apps();
+        self.world.ensure_lane_tracker();
         let mut processed = 0;
         while !self.world.stopped {
             let Some((at, event)) = self.world.queue.pop_before(deadline) else {
@@ -1503,6 +1669,7 @@ impl Simulation {
                 self.observe_monitors(at);
             }
         }
+        self.world.flush_lanes();
         processed
     }
 
@@ -1562,6 +1729,7 @@ impl Simulation {
     /// sequential loop above and the parallel coordinator's merge phase,
     /// so both engines execute events through identical code.
     fn execute_event(&mut self, event: WorldEvent) {
+        let _p = profile::enter(Phase::Execute);
         match event {
             WorldEvent::Nic(host, ev) => {
                 self.world.dispatch_nic(host, ev);

@@ -39,6 +39,7 @@
 
 use crate::packet::Packet;
 use crate::types::{FlowId, HostId, TrafficClass};
+use ragnar_telemetry::profile::{self, Phase};
 
 /// An 8-byte generational reference to a packet in a [`PacketArena`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,6 +136,7 @@ impl PacketArena {
 
     /// Allocates a slot for `pkt`, caching its hot header fields.
     pub fn insert(&mut self, pkt: Packet) -> PacketHandle {
+        let _p = profile::enter(Phase::ArenaAlloc);
         let hot = HotHeader {
             src: pkt.src,
             dst: pkt.dst,
@@ -205,6 +207,7 @@ impl PacketArena {
     ///
     /// Panics if the handle is stale.
     pub fn take(&mut self, h: PacketHandle) -> Packet {
+        let _p = profile::enter(Phase::ArenaFree);
         let i = self.check(h);
         self.gens[i] = self.gens[i].wrapping_add(1);
         self.free.push(h.idx);

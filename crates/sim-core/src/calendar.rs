@@ -50,6 +50,7 @@
 
 use crate::queue::{EventHandle, EventSchedule};
 use crate::time::SimTime;
+use ragnar_telemetry::profile::{self, Phase};
 use ragnar_telemetry::{ActorId, Target, Tracer};
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
@@ -297,6 +298,7 @@ impl<E> CalendarQueue<E> {
     ///
     /// Panics if `at` is earlier than the current clock.
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventHandle {
+        let _p = profile::enter(Phase::QueueSchedule);
         assert!(
             at >= self.now,
             "cannot schedule event in the past: at={at} now={now}",
@@ -381,6 +383,7 @@ impl<E> CalendarQueue<E> {
     /// [`pop`](CalendarQueue::pop) with the insertion sequence number
     /// exposed (see [`EventSchedule::pop_with_seq`]).
     pub fn pop_with_seq(&mut self) -> Option<(SimTime, u64, E)> {
+        let _p = profile::enter(Phase::QueuePop);
         loop {
             self.refill();
             let entry = self.current.pop()?;

@@ -17,6 +17,7 @@
 //! across backends, thread counts and machines.
 
 use crate::time::SimTime;
+use ragnar_telemetry::profile::{self, Phase};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -237,6 +238,7 @@ impl<E> ReferenceQueue<E> {
     ///
     /// Panics if `at` is earlier than the current clock.
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventHandle {
+        let _p = profile::enter(Phase::QueueSchedule);
         assert!(
             at >= self.now,
             "cannot schedule event in the past: at={at} now={now}",
@@ -299,6 +301,7 @@ impl<E> ReferenceQueue<E> {
     /// [`pop`](ReferenceQueue::pop) with the insertion sequence number
     /// exposed (see [`EventSchedule::pop_with_seq`]).
     pub fn pop_with_seq(&mut self) -> Option<(SimTime, u64, E)> {
+        let _p = profile::enter(Phase::QueuePop);
         loop {
             let s = self.heap.pop()?;
             if !self.cancelled.is_empty() && self.cancelled.remove(&s.seq) {

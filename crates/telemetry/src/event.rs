@@ -24,11 +24,14 @@ pub enum Target {
     Defense = 5,
     /// The experiment harness itself: cell lifecycle, log facade.
     Harness = 6,
+    /// The parallel engine (`pdes`): lookahead-window lanes, supervisor
+    /// activity.
+    Pdes = 7,
 }
 
 impl Target {
     /// Every target, in stable order.
-    pub const ALL: [Target; 7] = [
+    pub const ALL: [Target; 8] = [
         Target::SimCore,
         Target::RnicModel,
         Target::RdmaVerbs,
@@ -36,6 +39,7 @@ impl Target {
         Target::Core,
         Target::Defense,
         Target::Harness,
+        Target::Pdes,
     ];
 
     /// The target's canonical name (also the Chrome trace `cat` field).
@@ -48,6 +52,7 @@ impl Target {
             Target::Core => "core",
             Target::Defense => "defense",
             Target::Harness => "harness",
+            Target::Pdes => "pdes",
         }
     }
 
@@ -73,7 +78,7 @@ pub struct TargetSet(u8);
 
 impl TargetSet {
     /// Every target enabled.
-    pub const ALL: TargetSet = TargetSet(0x7F);
+    pub const ALL: TargetSet = TargetSet(0xFF);
     /// No target enabled.
     pub const EMPTY: TargetSet = TargetSet(0);
 

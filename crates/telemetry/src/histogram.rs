@@ -122,6 +122,57 @@ impl Histogram {
         self.max
     }
 
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs — the lossless wire
+    /// form used by metrics sidecars so cross-cell merging can happen at
+    /// bucket level instead of re-bucketing summary quantiles.
+    pub fn sparse_buckets(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(idx, &n)| (idx as u32, n))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from its lossless wire form (see
+    /// [`Histogram::sparse_buckets`]). Out-of-range bucket indices are
+    /// ignored rather than panicking — a malformed sidecar should not
+    /// take a report run down.
+    pub fn from_parts(buckets: &[(u32, u64)], count: u64, sum: u128, min: u64, max: u64) -> Self {
+        let mut h = Histogram::new();
+        for &(idx, n) in buckets {
+            if let Some(slot) = h.buckets.get_mut(idx as usize) {
+                *slot += n;
+            }
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = if count == 0 { u64::MAX } else { min };
+        h.max = max;
+        h
+    }
+
+    /// Merges another histogram into this one at **bucket level**: the
+    /// merged quantiles are exactly what a single pass over the union of
+    /// samples would have produced (bucket counts add; min/max/count/sum
+    /// merge exactly).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (slot, &n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
     /// Summary quantiles for the metrics report.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -207,6 +258,54 @@ mod tests {
         }
         assert_eq!(h.quantile(1.0), 1_000 + (n - 1) * 37);
         assert_eq!(h.count(), n);
+    }
+
+    #[test]
+    fn bucket_merge_matches_single_pass_reference() {
+        // The satellite-2 accuracy contract: merging per-cell histograms
+        // at bucket level must reproduce the single-pass reference
+        // *exactly* — same buckets, same quantiles — unlike the old
+        // approach of re-bucketing per-cell summary quantiles, which
+        // compounds the bucket error at p99.
+        let mut reference = Histogram::new();
+        let mut shards: Vec<Histogram> = (0..7).map(|_| Histogram::new()).collect();
+        let mut x = 0x2545F4914F6CDD1Du64;
+        for i in 0..50_000u64 {
+            // xorshift* — deterministic, wide dynamic range.
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let v = (x.wrapping_mul(0x2545F4914F6CDD1D) >> 20) % 10_000_000;
+            reference.record(v);
+            shards[(i % 7) as usize].record(v);
+        }
+        let mut merged = Histogram::new();
+        for s in &shards {
+            // Round-trip through the sidecar wire form on the way in.
+            let rebuilt =
+                Histogram::from_parts(&s.sparse_buckets(), s.count(), s.sum(), s.min(), s.max());
+            merged.merge(&rebuilt);
+        }
+        assert_eq!(merged.count(), reference.count());
+        assert_eq!(merged.sum(), reference.sum());
+        assert_eq!(merged.min(), reference.min());
+        assert_eq!(merged.max(), reference.max());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), reference.quantile(q), "q={q}");
+        }
+        assert_eq!(merged.sparse_buckets(), reference.sparse_buckets());
+    }
+
+    #[test]
+    fn merge_handles_empty_sides() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record(42);
+        a.merge(&b);
+        assert_eq!((a.count(), a.min(), a.max()), (1, 42, 42));
+        let empty = Histogram::new();
+        a.merge(&empty);
+        assert_eq!((a.count(), a.min(), a.max()), (1, 42, 42));
     }
 
     #[test]

@@ -55,6 +55,7 @@ mod intern;
 mod json;
 mod metrics;
 mod perfetto;
+pub mod profile;
 mod scope;
 mod tracer;
 
@@ -62,9 +63,9 @@ pub use collector::{Collector, NullCollector, RingCollector, StreamCollector};
 pub use event::{ActorId, ArgValue, Event, EventKind, Level, Target, TargetSet};
 pub use histogram::{Histogram, HistogramSummary};
 pub use intern::PrefixedInterner;
-pub use metrics::{Metrics, MetricsReport};
+pub use metrics::{HistogramBuckets, Metrics, MetricsReport};
 pub use perfetto::{chrome_trace_json, TraceCell};
-pub use scope::{install, log, metrics, tracer, Installed, Session, SessionReport};
+pub use scope::{install, log, metrics, progress, tracer, Installed, Session, SessionReport};
 pub use tracer::Tracer;
 
 /// Logs a warning through the leveled facade: always written to stderr,

@@ -92,7 +92,55 @@ impl Metrics {
                 .iter()
                 .map(|(k, h)| (k.clone(), h.summary()))
                 .collect(),
+            hist_buckets: reg
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), HistogramBuckets::of(h)))
+                .collect(),
         })
+    }
+}
+
+/// The lossless wire form of one histogram: sparse `(index, count)`
+/// bucket pairs plus the exact aggregates, enough to rebuild the
+/// histogram bit-for-bit on the other side of a sidecar file (see
+/// [`Histogram::from_parts`]). This is what makes cross-cell merging
+/// exact instead of re-bucketing summary quantiles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramBuckets {
+    /// Non-empty buckets as `(bucket index, sample count)`.
+    pub buckets: Vec<(u32, u64)>,
+    /// Total samples.
+    pub count: u64,
+    /// Exact sum of recorded picosecond values.
+    pub sum_ps: u128,
+    /// Exact minimum (picoseconds; 0 when empty).
+    pub min_ps: u64,
+    /// Exact maximum (picoseconds).
+    pub max_ps: u64,
+}
+
+impl HistogramBuckets {
+    /// Captures the wire form of a live histogram.
+    pub fn of(h: &Histogram) -> HistogramBuckets {
+        HistogramBuckets {
+            buckets: h.sparse_buckets(),
+            count: h.count(),
+            sum_ps: h.sum(),
+            min_ps: h.min(),
+            max_ps: h.max(),
+        }
+    }
+
+    /// Rebuilds the histogram this wire form was captured from.
+    pub fn rebuild(&self) -> Histogram {
+        Histogram::from_parts(
+            &self.buckets,
+            self.count,
+            self.sum_ps,
+            self.min_ps,
+            self.max_ps,
+        )
     }
 }
 
@@ -107,6 +155,9 @@ pub struct MetricsReport {
     pub gauges: Vec<(String, f64)>,
     /// Histogram summaries, sorted by name. Values are picoseconds.
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// Lossless histogram bucket data, sorted by name (same order as
+    /// `histograms`), for exact cross-cell merging.
+    pub hist_buckets: Vec<(String, HistogramBuckets)>,
 }
 
 impl MetricsReport {
@@ -117,8 +168,20 @@ impl MetricsReport {
 
     /// Encodes the report as compact JSON.
     pub fn to_json(&self) -> String {
+        self.to_json_tagged(false)
+    }
+
+    /// Encodes the report as compact JSON, optionally tagging it
+    /// `"incomplete": true` — the salvage-path marker for metrics
+    /// harvested from timed-out or quarantined cells, whose counts only
+    /// cover the portion of the cell that actually ran.
+    pub fn to_json_tagged(&self, incomplete: bool) -> String {
         let mut out = String::with_capacity(256);
-        out.push_str("{\"counters\":{");
+        out.push('{');
+        if incomplete {
+            out.push_str("\"incomplete\":true,");
+        }
+        out.push_str("\"counters\":{");
         for (i, (k, v)) in self.counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -148,9 +211,22 @@ impl MetricsReport {
             ));
             json::float(h.mean, &mut out);
             out.push_str(&format!(
-                ",\"p50_ps\":{},\"p90_ps\":{},\"p99_ps\":{}}}",
+                ",\"p50_ps\":{},\"p90_ps\":{},\"p99_ps\":{}",
                 h.p50, h.p90, h.p99
             ));
+            // Lossless bucket data rides along (same-name entry; reports
+            // assembled by hand may omit it).
+            if let Some((_, b)) = self.hist_buckets.iter().find(|(name, _)| name == k) {
+                out.push_str(&format!(",\"sum_ps\":{},\"buckets\":[", b.sum_ps));
+                for (j, (idx, n)) in b.buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("[{idx},{n}]"));
+                }
+                out.push(']');
+            }
+            out.push('}');
         }
         out.push_str("}}");
         out
@@ -207,5 +283,34 @@ mod tests {
         let text = m.report().expect("report").to_json();
         assert!(text.starts_with("{\"counters\":{\"c\":7}"));
         assert!(text.contains("\"h\":{\"count\":1,\"min_ps\":1500,\"max_ps\":1500"));
+        // Lossless buckets ride along for cross-cell merging.
+        assert!(text.contains("\"sum_ps\":1500,\"buckets\":[["), "{text}");
+        assert!(!text.contains("\"incomplete\""));
+    }
+
+    #[test]
+    fn incomplete_tag_marks_salvaged_sidecars() {
+        let m = Metrics::new();
+        m.counter_add("c", 1);
+        let r = m.report().expect("report");
+        let tagged = r.to_json_tagged(true);
+        assert!(
+            tagged.starts_with("{\"incomplete\":true,\"counters\":"),
+            "{tagged}"
+        );
+        assert_eq!(r.to_json_tagged(false), r.to_json());
+    }
+
+    #[test]
+    fn bucket_wire_form_roundtrips() {
+        let m = Metrics::new();
+        for i in 0..1000u64 {
+            m.record_ns("lat", 50.0 + (i * i % 9973) as f64);
+        }
+        let r = m.report().expect("report");
+        let (_, wire) = &r.hist_buckets[0];
+        let rebuilt = wire.rebuild();
+        let (_, summary) = &r.histograms[0];
+        assert_eq!(rebuilt.summary(), *summary);
     }
 }

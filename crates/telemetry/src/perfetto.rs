@@ -100,7 +100,15 @@ pub fn chrome_trace_json(cells: &[TraceCell<'_>]) -> String {
         entry.push_str(",\"tid\":");
         entry.push_str(ids.get(tid));
         entry.push_str(",\"args\":{\"name\":");
-        let tname = if actor.lane == 0 {
+        let tname = if actor.host == ActorId::GLOBAL_HOST {
+            // Run-track lanes: 0 is the run itself, lane n+1 is port /
+            // PDES-group lane n (PFC pause spans, worker-window lanes).
+            if actor.lane == 0 {
+                "run".to_string()
+            } else {
+                format!("lane{}", actor.lane - 1)
+            }
+        } else if actor.lane == 0 {
             "device".to_string()
         } else {
             format!("qp{}", actor.lane)

@@ -182,6 +182,14 @@ pub fn log(level: Level, message: String) {
     }
 }
 
+/// Writes a transient progress line to stderr. Unlike [`log`], progress
+/// is never recorded as a trace event: it is wall-clock by nature
+/// (rates, ETAs) and would break byte-identical trace determinism if it
+/// entered a session.
+pub fn progress(message: String) {
+    eprintln!("progress: {message}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
